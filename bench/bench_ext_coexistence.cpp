@@ -1,0 +1,96 @@
+// E12 (extended): coexistence — what happens when a station with a tuned
+// ("boosted") configuration shares the strip with default stations?
+// Exact two-station chain for N = 2, slot simulation for larger N. This
+// quantifies the fairness cost of unilateral tuning, a question the
+// boosting theme raises immediately.
+#include <iostream>
+#include <memory>
+
+#include "analysis/exact_chain.hpp"
+#include "mac/config.hpp"
+#include "sim/slot_simulator.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace plc;
+
+mac::BackoffConfig aggressive_config() {
+  // A throughput-greedy unilateral tune: stay at CW 4-8 and never defer.
+  // d >= CW-1 can never expire within one countdown, so these values
+  // disable the deferral mechanism while keeping the exact chain's state
+  // space small.
+  mac::BackoffConfig config;
+  config.name = "greedy";
+  config.cw = {4, 8};
+  config.dc = {3, 7};
+  return config;
+}
+
+}  // namespace
+
+int main() {
+  const mac::BackoffConfig ca1 = mac::BackoffConfig::ca0_ca1();
+  const mac::BackoffConfig greedy = aggressive_config();
+  const sim::SlotTiming timing;
+
+  std::cout << "=== E12: coexistence of a tuned station with defaults "
+               "===\n\n";
+
+  // Exact N = 2 answer.
+  {
+    const analysis::ExactPairResult exact =
+        analysis::solve_exact_pair(greedy, ca1, 4000, 1e-10);
+    std::cout << "--- N = 2, exact joint chain (greedy vs default) ---\n";
+    util::TablePrinter table({"quantity", "value"});
+    table.add_row({"greedy station's success share",
+                   util::format_fixed(exact.success_share_a(), 4)});
+    table.add_row({"collision probability (network)",
+                   util::format_fixed(exact.collision_probability, 4)});
+    table.add_row({"P(idle) / P(success) / P(collision)",
+                   util::format_fixed(exact.p_idle, 3) + " / " +
+                       util::format_fixed(exact.p_success, 3) + " / " +
+                       util::format_fixed(exact.p_collision, 3)});
+    table.print(std::cout);
+    std::cout << "\n";
+  }
+
+  // Simulation for 1 greedy + k defaults.
+  std::cout << "--- 1 greedy + k default stations, 200 s simulation ---\n";
+  util::TablePrinter table({"stations (1+k)", "greedy share",
+                            "fair share", "network coll. prob",
+                            "norm. throughput"});
+  for (const int defaults : {1, 2, 4, 9}) {
+    std::vector<std::unique_ptr<mac::BackoffEntity>> entities;
+    des::RandomStream root(0xC0E);
+    entities.push_back(std::make_unique<mac::Backoff1901>(
+        greedy, des::RandomStream(root.derive_seed("greedy"))));
+    for (int i = 0; i < defaults; ++i) {
+      entities.push_back(std::make_unique<mac::Backoff1901>(
+          ca1, des::RandomStream(
+                   root.derive_seed("def-" + std::to_string(i)))));
+    }
+    sim::SlotSimulator simulator(std::move(entities), timing);
+    const sim::SlotSimResults results =
+        simulator.run(des::SimTime::from_seconds(200.0));
+    const double share =
+        static_cast<double>(results.tx_success[0]) /
+        static_cast<double>(results.successes);
+    table.add_row(
+        {"1+" + std::to_string(defaults), util::format_fixed(share, 4),
+         util::format_fixed(1.0 / (1.0 + defaults), 4),
+         util::format_fixed(results.collision_probability(), 4),
+         util::format_fixed(
+             results.normalized_throughput(des::SimTime::from_us(2050.0)),
+             4)});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nShape checks: the greedy station takes far more than "
+               "its fair share (the defaults' deferral counters back off "
+               "for it), and the network-wide collision probability rises "
+               "— unilateral boosting is a fairness problem, which is why "
+               "the paper tunes *network-wide* configurations.\n";
+  return 0;
+}

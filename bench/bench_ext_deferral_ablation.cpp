@@ -1,0 +1,61 @@
+// E9 (extended, ablation): what exactly does the deferral counter buy?
+// Same Table 1 windows, three deferral policies:
+//   - default d = [0 1 3 15] (the standard),
+//   - deferral disabled (stations only climb stages on collisions —
+//     802.11-like behaviour on 1901 windows),
+//   - extra-aggressive d = [0 0 1 3].
+// Collision probability and throughput per N, simulation + model.
+#include <iostream>
+
+#include "analysis/model_1901.hpp"
+#include "mac/config.hpp"
+#include "sim/sim_1901.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace plc;
+
+  mac::BackoffConfig standard = mac::BackoffConfig::ca0_ca1();
+  mac::BackoffConfig no_dc = standard;
+  no_dc.name = "no deferral";
+  no_dc.dc.assign(no_dc.dc.size(), mac::kDeferralDisabled);
+  mac::BackoffConfig aggressive = standard;
+  aggressive.name = "aggressive";
+  aggressive.dc = {0, 0, 1, 3};
+
+  std::cout << "=== E9: deferral-counter ablation (Table 1 windows) ===\n";
+  std::cout << "(collision probability / normalized throughput; sim 6e7 "
+               "us per point)\n\n";
+
+  util::TablePrinter table({"N", "default cp", "no-dc cp", "aggr cp",
+                            "default thr", "no-dc thr", "aggr thr",
+                            "model default cp", "model no-dc cp"});
+  for (const int n : {2, 3, 5, 10, 20, 30}) {
+    const auto def = sim::sim_1901(n, 6e7, 2920.64, 2542.64, 2050.0,
+                                   standard.cw, standard.dc, 0xE9);
+    const auto off = sim::sim_1901(n, 6e7, 2920.64, 2542.64, 2050.0,
+                                   no_dc.cw, no_dc.dc, 0xE9);
+    const auto agg = sim::sim_1901(n, 6e7, 2920.64, 2542.64, 2050.0,
+                                   aggressive.cw, aggressive.dc, 0xE9);
+    const auto model_def = analysis::solve_1901(n, standard);
+    const auto model_off = analysis::solve_1901(n, no_dc);
+    table.add_row({std::to_string(n),
+                   util::format_fixed(def.collision_probability, 4),
+                   util::format_fixed(off.collision_probability, 4),
+                   util::format_fixed(agg.collision_probability, 4),
+                   util::format_fixed(def.normalized_throughput, 4),
+                   util::format_fixed(off.normalized_throughput, 4),
+                   util::format_fixed(agg.normalized_throughput, 4),
+                   util::format_fixed(model_def.gamma, 4),
+                   util::format_fixed(model_off.gamma, 4)});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nShape checks: without the deferral counter, collisions "
+               "grow much faster with N (stations only react *after* "
+               "colliding) and throughput falls behind the default at "
+               "large N; the aggressive policy trades extra deferrals "
+               "for even fewer collisions.\n";
+  return 0;
+}

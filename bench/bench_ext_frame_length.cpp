@@ -1,0 +1,52 @@
+// E16 (extended): frame-length efficiency. The fixed CSMA/CA overheads
+// (priority resolution, preamble, RIFS, SACK, CIFS, backoff slots, and
+// the post-collision EIFS) are amortized over the frame payload, so
+// normalized throughput rises with the frame duration — the reason 1901
+// aggregates Ethernet frames into long MPDUs and bursts (§3.1) in the
+// first place. Simulation and model across frame durations and N.
+#include <iostream>
+
+#include "analysis/model_1901.hpp"
+#include "mac/config.hpp"
+#include "sim/sim_1901.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace plc;
+  const mac::BackoffConfig ca1 = mac::BackoffConfig::ca0_ca1();
+
+  std::cout << "=== E16: normalized throughput vs frame duration ===\n";
+  std::cout << "(overheads fixed at the paper's Ts/Tc residuals: success "
+               "+492.64 us, collision +870.64 us)\n\n";
+
+  util::TablePrinter table({"frame (us)", "N=2 sim", "N=2 model",
+                            "N=10 sim", "N=10 model"});
+  for (const double frame_us : {250.0, 500.0, 1025.0, 2050.0, 4100.0}) {
+    const double ts_us = frame_us + 492.64;
+    const double tc_us = frame_us + 870.64;
+    sim::SlotTiming timing;
+    timing.ts = des::SimTime::from_us(ts_us);
+    timing.tc = des::SimTime::from_us(tc_us);
+    const des::SimTime frame = des::SimTime::from_us(frame_us);
+
+    std::vector<std::string> row = {util::format_fixed(frame_us, 0)};
+    for (const int n : {2, 10}) {
+      const auto simulated = sim::sim_1901(n, 4e7, tc_us, ts_us, frame_us,
+                                           ca1.cw, ca1.dc, 0xE16);
+      const auto model = analysis::solve_1901(n, ca1);
+      row.push_back(util::format_fixed(simulated.normalized_throughput, 4));
+      row.push_back(
+          util::format_fixed(model.normalized_throughput(timing, frame), 4));
+    }
+    table.add_row(row);
+  }
+  table.print(std::cout);
+
+  std::cout << "\nShape checks: throughput rises steeply with frame "
+               "duration and saturates (overhead amortization); the gain "
+               "from aggregation is largest at small frames, which is "
+               "why the standard aggregates 512-byte PBs into ~2 ms "
+               "MPDUs and 2-4 MPDU bursts.\n";
+  return 0;
+}

@@ -1,0 +1,47 @@
+// E10 (extended, §3.3 methodology): management-message overhead measured
+// with the sniffer exactly as the paper prescribes — MME bursts divided
+// by data bursts, identified on SoF delimiters (Link ID priority, MPDUCnt
+// burst boundaries). Periodic CA2 management chatter is injected at
+// several rates and its cost in data throughput is shown next to the
+// measured overhead ratio.
+#include <iostream>
+
+#include "tools/testbed.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace plc;
+
+  std::cout << "=== E10: MME overhead via the sniffer (bursts of MMEs / "
+               "bursts of data) ===\n";
+  std::cout << "(2 saturated CA1 stations -> D, 60 s; each station also "
+               "emits periodic CA2 MMEs)\n\n";
+
+  util::TablePrinter table({"MME interval (ms)", "measured overhead",
+                            "data bursts", "norm. throughput",
+                            "collision prob"});
+  for (const double interval_ms : {0.0, 100.0, 20.0, 5.0}) {
+    tools::TestbedConfig config;
+    config.stations = 2;
+    config.duration = des::SimTime::from_seconds(60.0);
+    config.sniff_at_destination = true;
+    config.seed = 0xE10;
+    if (interval_ms > 0.0) {
+      config.mme_interval = des::SimTime::from_us(interval_ms * 1000.0);
+    }
+    const tools::TestbedResult result = tools::run_saturated_testbed(config);
+    table.add_row({interval_ms == 0.0 ? "off" : util::format_fixed(interval_ms, 0),
+                   util::format_fixed(result.mme_overhead, 4),
+                   std::to_string(result.data_burst_sources.size()),
+                   util::format_fixed(result.domain.normalized_throughput(), 4),
+                   util::format_fixed(result.collision_probability, 4)});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nShape checks: overhead scales inversely with the MME "
+               "interval; every MME burst consumes CSMA/CA time (backoff, "
+               "priority resolution, inter-frame spaces), so data "
+               "throughput drops as chatter grows.\n";
+  return 0;
+}

@@ -1,0 +1,95 @@
+// E17 (extended): the retransmission limit. The paper's simulator assumes
+// infinite retries ("they never discard a frame until it is successfully
+// transmitted"); the standard drops a frame at its retry limit. This
+// bench quantifies what the idealization hides: frame loss rate, the
+// collision probability, and throughput for retry limits 1, 3, 7 and
+// infinity across N.
+#include <iostream>
+#include <memory>
+
+#include "des/scheduler.hpp"
+#include "mac/station.hpp"
+#include "medium/domain.hpp"
+#include "phy/timing.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace plc;
+
+const des::SimTime kMpdu = des::SimTime::from_ns(2'050'000);
+
+struct CaseResult {
+  double loss_rate = 0.0;      ///< Drops / (successes + drops).
+  double collision_probability = 0.0;
+  double throughput = 0.0;
+};
+
+CaseResult run_case(int n, int retry_limit, double seconds) {
+  des::Scheduler scheduler;
+  medium::ContentionDomain domain(scheduler,
+                                  phy::TimingConfig::paper_default());
+  des::RandomStream root(0xE17);
+  std::vector<std::unique_ptr<mac::SaturatedStation>> stations;
+  for (int i = 0; i < n; ++i) {
+    stations.push_back(std::make_unique<mac::SaturatedStation>(
+        std::make_unique<mac::Backoff1901>(
+            mac::BackoffConfig::ca0_ca1(),
+            des::RandomStream(
+                root.derive_seed("s" + std::to_string(i)))),
+        frames::Priority::kCa1, kMpdu, 1, retry_limit));
+    domain.add_participant(*stations.back());
+  }
+  domain.start();
+  scheduler.run_until(des::SimTime::from_seconds(seconds));
+
+  CaseResult result;
+  std::int64_t successes = 0;
+  std::int64_t drops = 0;
+  for (const auto& station : stations) {
+    successes += station->stats().successes;
+    drops += station->stats().drops;
+  }
+  result.loss_rate = successes + drops > 0
+                         ? static_cast<double>(drops) /
+                               static_cast<double>(successes + drops)
+                         : 0.0;
+  result.collision_probability =
+      domain.stats().collision_probability();
+  result.throughput = domain.stats().normalized_throughput();
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== E17: retransmission limit vs the paper's "
+               "infinite-retry assumption ===\n";
+  std::cout << "(saturated CA1 stations, 60 s per case; limit 0 = "
+               "infinite)\n\n";
+
+  util::TablePrinter table({"N", "retry limit", "frame loss", "coll. prob",
+                            "norm. throughput"});
+  for (const int n : {3, 7, 15}) {
+    for (const int limit : {1, 3, 7, 0}) {
+      const CaseResult result = run_case(n, limit, 60.0);
+      table.add_row({std::to_string(n),
+                     limit == 0 ? "inf" : std::to_string(limit),
+                     util::format_fixed(result.loss_rate, 4),
+                     util::format_fixed(result.collision_probability, 4),
+                     util::format_fixed(result.throughput, 4)});
+    }
+  }
+  table.print(std::cout);
+
+  std::cout << "\nShape checks: loss falls steeply with the limit (the "
+               "per-attempt collision probability is ~0.1-0.4, so three "
+               "retries already push loss below a percent at small N). "
+               "Tight limits *raise* the collision probability: dropping "
+               "resets the station to stage 0, shortcutting the high-CW "
+               "stages that would have spaced the retries out. The "
+               "paper's infinite-retry idealization barely moves "
+               "throughput but hides loss entirely.\n";
+  return 0;
+}

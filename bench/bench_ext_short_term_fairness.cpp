@@ -1,0 +1,79 @@
+// E7 (extended): short-term fairness of 1901 vs 802.11 DCF, the paper's
+// §3.3 fairness methodology (and reference [4]) on simulator winner
+// traces: sliding-window Jain index over windows of consecutive
+// successful bursts, plus reign-length statistics. 1901's winner re-entry
+// at CW 8 while losers defer upward produces long single-station reigns —
+// strong short-term unfairness at small N that 802.11 does not exhibit to
+// the same degree.
+#include <iostream>
+
+#include "mac/config.hpp"
+#include "metrics/fairness.hpp"
+#include "sim/slot_simulator.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+std::vector<int> winner_trace(int n, bool dcf, std::uint64_t seed) {
+  using namespace plc;
+  auto entities =
+      dcf ? sim::make_dcf_entities(n, 16, 1024, seed)
+          : sim::make_1901_entities(n, mac::BackoffConfig::ca0_ca1(), seed);
+  sim::SlotSimulator simulator(std::move(entities), sim::SlotTiming{});
+  simulator.enable_winner_trace(true);
+  simulator.run(plc::des::SimTime::from_seconds(300.0));
+  return simulator.winners();
+}
+
+}  // namespace
+
+int main() {
+  using namespace plc;
+
+  std::cout << "=== E7: short-term fairness — sliding-window Jain index "
+               "===\n";
+  std::cout << "(300 s winner traces; window = consecutive successful "
+               "bursts)\n\n";
+
+  util::TablePrinter table({"N", "window", "Jain 1901", "Jain 802.11"});
+  for (const int n : {2, 5, 10}) {
+    const std::vector<int> trace_1901 =
+        winner_trace(n, /*dcf=*/false, 0xFA + static_cast<std::uint64_t>(n));
+    const std::vector<int> trace_dcf =
+        winner_trace(n, /*dcf=*/true, 0xFB + static_cast<std::uint64_t>(n));
+    for (const int window : {10, 50, 200, 1000}) {
+      table.add_row(
+          {std::to_string(n), std::to_string(window),
+           util::format_fixed(
+               metrics::sliding_window_jain(trace_1901, n, window).mean(),
+               4),
+           util::format_fixed(
+               metrics::sliding_window_jain(trace_dcf, n, window).mean(),
+               4)});
+    }
+  }
+  table.print(std::cout);
+
+  std::cout << "\n--- reign lengths (consecutive wins by one station) "
+               "---\n";
+  util::TablePrinter reigns({"N", "MAC", "mean reign", "longest reign"});
+  for (const int n : {2, 5}) {
+    const metrics::ReignStats r1901 = metrics::reign_lengths(
+        winner_trace(n, false, 0xFC + static_cast<std::uint64_t>(n)));
+    const metrics::ReignStats rdcf = metrics::reign_lengths(
+        winner_trace(n, true, 0xFD + static_cast<std::uint64_t>(n)));
+    reigns.add_row({std::to_string(n), "1901",
+                    util::format_fixed(r1901.length.mean(), 2),
+                    std::to_string(r1901.longest)});
+    reigns.add_row({std::to_string(n), "802.11",
+                    util::format_fixed(rdcf.length.mean(), 2),
+                    std::to_string(rdcf.longest)});
+  }
+  reigns.print(std::cout);
+
+  std::cout << "\nShape checks: at N = 2 the 1901 Jain index at window 10 "
+               "sits well below 802.11's and both approach 1 at window "
+               "1000; 1901 reigns are longer.\n";
+  return 0;
+}

@@ -1,0 +1,141 @@
+// E15 (extended): the hybrid beacon period — what a TDMA allocation buys
+// a delay-sensitive flow. A CBR "voice-like" flow (one frame every 10 ms)
+// shares the strip with background-saturated stations, either contending
+// in the CSMA region at CA1/CA3 or owning a contention-free allocation.
+// Reported: mean / p99 delay of the flow and the background's throughput
+// cost of the reservation.
+#include <iostream>
+#include <memory>
+
+#include "des/scheduler.hpp"
+#include "mac/station.hpp"
+#include "medium/beacon.hpp"
+#include "medium/domain.hpp"
+#include "phy/timing.hpp"
+#include "util/stats.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace plc;
+
+const des::SimTime kMpdu = des::SimTime::from_ns(2'050'000);
+// A small voice-like frame: 200 us of payload.
+const des::SimTime kVoiceMpdu = des::SimTime::from_ns(200'000);
+
+std::unique_ptr<mac::BackoffEntity> entity(frames::Priority priority,
+                                           std::uint64_t seed) {
+  return std::make_unique<mac::Backoff1901>(
+      mac::BackoffConfig::for_priority(static_cast<int>(priority)),
+      des::RandomStream(seed));
+}
+
+struct CaseResult {
+  double mean_ms = 0.0;
+  double p99_ms = 0.0;
+  double background_throughput = 0.0;
+};
+
+enum class FlowMode { kCsmaCa1, kCsmaCa3, kTdma };
+
+CaseResult run_case(FlowMode mode, int background_stations,
+                    double seconds) {
+  des::Scheduler scheduler;
+  medium::ContentionDomain domain(scheduler,
+                                  phy::TimingConfig::paper_default());
+
+  const frames::Priority flow_priority =
+      mode == FlowMode::kCsmaCa3 ? frames::Priority::kCa3
+                                 : frames::Priority::kCa1;
+  mac::QueueStation flow(entity(flow_priority, 0xF10),
+                         flow_priority, kVoiceMpdu, scheduler);
+  const int flow_id = domain.add_participant(flow);
+
+  std::vector<std::unique_ptr<mac::SaturatedStation>> background;
+  for (int i = 0; i < background_stations; ++i) {
+    background.push_back(std::make_unique<mac::SaturatedStation>(
+        entity(frames::Priority::kCa1, 0xB9 + i), frames::Priority::kCa1,
+        kMpdu, 1));
+    domain.add_participant(*background.back());
+  }
+
+  if (mode == FlowMode::kTdma) {
+    // One 4 ms allocation per 33.33 ms beacon period. Each voice exchange
+    // costs ~0.7 ms (200 us payload + fixed overheads), so the allocation
+    // carries ~5 frames per period — comfortably above the offered
+    // 3.3 frames/period.
+    domain.set_beacon_schedule(medium::BeaconSchedule::default_60hz(
+        {{flow_id, des::SimTime::from_us(2'000.0),
+          des::SimTime::from_us(4'000.0)}}));
+  }
+
+  // CBR arrivals: one frame every 10 ms.
+  for (int k = 0; k * 10'000 < seconds * 1e6; ++k) {
+    scheduler.schedule_at(des::SimTime::from_us(k * 10'000.0), [&] {
+      flow.enqueue_frame();
+      domain.notify_pending();
+    });
+  }
+
+  domain.start();
+  scheduler.run_until(des::SimTime::from_seconds(seconds));
+
+  CaseResult result;
+  util::QuantileEstimator delays;
+  util::RunningStats mean;
+  for (const des::SimTime delay : flow.delays()) {
+    delays.add(delay.us() / 1000.0);
+    mean.add(delay.us() / 1000.0);
+  }
+  if (delays.count() > 0) {
+    result.mean_ms = mean.mean();
+    result.p99_ms = delays.quantile(0.99);
+  }
+  std::int64_t background_successes = 0;
+  for (const auto& station : background) {
+    background_successes += station->stats().successes;
+  }
+  result.background_throughput =
+      static_cast<double>(background_successes) * kMpdu.us() /
+      (seconds * 1e6);
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== E15: TDMA allocation vs CSMA for a delay-sensitive "
+               "flow ===\n";
+  std::cout << "(100 fps CBR flow + saturated CA1 background; 60 s per "
+               "case)\n\n";
+
+  util::TablePrinter table({"background N", "flow mode", "mean delay (ms)",
+                            "p99 delay (ms)", "background thr"});
+  for (const int n : {2, 5}) {
+    const CaseResult ca1 = run_case(FlowMode::kCsmaCa1, n, 60.0);
+    const CaseResult ca3 = run_case(FlowMode::kCsmaCa3, n, 60.0);
+    const CaseResult tdma = run_case(FlowMode::kTdma, n, 60.0);
+    table.add_row({std::to_string(n), "CSMA @CA1",
+                   util::format_fixed(ca1.mean_ms, 2),
+                   util::format_fixed(ca1.p99_ms, 2),
+                   util::format_fixed(ca1.background_throughput, 4)});
+    table.add_row({std::to_string(n), "CSMA @CA3",
+                   util::format_fixed(ca3.mean_ms, 2),
+                   util::format_fixed(ca3.p99_ms, 2),
+                   util::format_fixed(ca3.background_throughput, 4)});
+    table.add_row({std::to_string(n), "TDMA",
+                   util::format_fixed(tdma.mean_ms, 2),
+                   util::format_fixed(tdma.p99_ms, 2),
+                   util::format_fixed(tdma.background_throughput, 4)});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nShape checks: at CA1 the flow queues behind saturated "
+               "data (tail blows up with N); CA3's priority resolution "
+               "already caps the delay at one frame exchange; the TDMA "
+               "allocation bounds delay by the beacon period regardless "
+               "of contention, at a small fixed cost in background "
+               "throughput (beacon + reserved airtime).\n";
+  return 0;
+}

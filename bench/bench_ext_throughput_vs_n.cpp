@@ -1,0 +1,78 @@
+// E6 (extended): normalized throughput vs number of stations — 1901 at
+// CA0/CA1 and CA2/CA3 defaults against 802.11 DCF flavours, simulation
+// next to the analytical models. The 1901 design premise is visible here:
+// a small CWmin plus the deferral counter holds throughput nearly flat in
+// N, while a DCF with the same small windows collapses and a standard DCF
+// wastes idle slots at small N.
+#include <iostream>
+
+#include "analysis/model_1901.hpp"
+#include "analysis/model_dcf.hpp"
+#include "mac/config.hpp"
+#include "sim/runner.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+double simulate(plc::sim::RunSpec spec) {
+  spec.duration = plc::des::SimTime::from_seconds(60.0);
+  spec.repetitions = 3;
+  return plc::sim::run_point(spec).normalized_throughput.mean();
+}
+
+}  // namespace
+
+int main() {
+  using namespace plc;
+  const sim::SlotTiming timing;
+  const des::SimTime frame = des::SimTime::from_us(2050.0);
+
+  std::cout << "=== E6: normalized throughput vs N — 1901 vs 802.11 DCF "
+               "===\n";
+  std::cout << "(sim: 3 x 60 s per point; model: decoupling fixed "
+               "points)\n\n";
+
+  util::TablePrinter table({"N", "1901 CA1 sim", "1901 CA1 model",
+                            "1901 CA3 sim", "DCF 16..1024 sim",
+                            "DCF 16..1024 model", "DCF 8..64 sim"});
+  for (const int n : {1, 2, 3, 5, 7, 10, 15, 20, 30}) {
+    sim::RunSpec ca1;
+    ca1.stations = n;
+    ca1.seed = 0xE6 + static_cast<std::uint64_t>(n);
+
+    sim::RunSpec ca3 = ca1;
+    ca3.config = mac::BackoffConfig::ca2_ca3();
+
+    sim::RunSpec dcf = ca1;
+    dcf.mac = sim::MacKind::kDcf;
+    dcf.dcf_cw_min = 16;
+    dcf.dcf_cw_max = 1024;
+
+    sim::RunSpec dcf_small = dcf;
+    dcf_small.dcf_cw_min = 8;
+    dcf_small.dcf_cw_max = 64;
+
+    const analysis::Model1901Result model_1901 =
+        analysis::solve_1901(n, mac::BackoffConfig::ca0_ca1());
+    const analysis::ModelDcfResult model_dcf =
+        analysis::solve_dcf(n, 16, 1024);
+
+    table.add_row(
+        {std::to_string(n), util::format_fixed(simulate(ca1), 4),
+         util::format_fixed(model_1901.normalized_throughput(timing, frame),
+                            4),
+         util::format_fixed(simulate(ca3), 4),
+         util::format_fixed(simulate(dcf), 4),
+         util::format_fixed(model_dcf.normalized_throughput(timing, frame),
+                            4),
+         util::format_fixed(simulate(dcf_small), 4)});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nShape checks: 1901 throughput decays gently with N; "
+               "DCF with 1901's window range (8..64) and no deferral "
+               "counter degrades much faster at large N; standard DCF "
+               "(16..1024) pays idle-slot overhead at small N.\n";
+  return 0;
+}

@@ -1,0 +1,95 @@
+// Kernel micro-benchmarks (google-benchmark): how fast the framework's
+// engines run. Useful for sizing long parameter sweeps — the slot
+// simulator processes millions of medium events per second, the full
+// event-driven testbed runs hundreds of simulated seconds per wall
+// second, and the analytical solvers are microseconds per point.
+#include <benchmark/benchmark.h>
+
+#include "analysis/exact_chain.hpp"
+#include "analysis/model_1901.hpp"
+#include "des/scheduler.hpp"
+#include "mac/config.hpp"
+#include "mme/ampstat.hpp"
+#include "sim/slot_simulator.hpp"
+#include "tools/testbed.hpp"
+
+namespace {
+
+using namespace plc;
+
+void BM_SlotSimulatorEvents(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  sim::SlotSimulator simulator(
+      sim::make_1901_entities(n, mac::BackoffConfig::ca0_ca1(), 42),
+      sim::SlotTiming{});
+  for (auto _ : state) {
+    simulator.run_events(10'000);
+  }
+  state.SetItemsProcessed(state.iterations() * 10'000);
+}
+BENCHMARK(BM_SlotSimulatorEvents)->Arg(2)->Arg(10)->Arg(50);
+
+void BM_SchedulerChurn(benchmark::State& state) {
+  for (auto _ : state) {
+    des::Scheduler scheduler;
+    for (int i = 0; i < 1'000; ++i) {
+      scheduler.schedule(des::SimTime::from_ns(i * 100), [] {});
+    }
+    scheduler.run_until(des::SimTime::from_us(1'000.0));
+    benchmark::DoNotOptimize(scheduler.events_dispatched());
+  }
+  state.SetItemsProcessed(state.iterations() * 1'000);
+}
+BENCHMARK(BM_SchedulerChurn);
+
+void BM_Model1901Solve(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        analysis::solve_1901(n, mac::BackoffConfig::ca0_ca1()).gamma);
+  }
+}
+BENCHMARK(BM_Model1901Solve)->Arg(2)->Arg(10)->Arg(50);
+
+void BM_ExactPairSolveTiny(benchmark::State& state) {
+  mac::BackoffConfig tiny;
+  tiny.cw = {4, 8};
+  tiny.dc = {0, 1};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        analysis::solve_exact_pair(tiny).collision_probability);
+  }
+}
+BENCHMARK(BM_ExactPairSolveTiny);
+
+void BM_AmpStatCodecRoundTrip(benchmark::State& state) {
+  mme::AmpStatConfirm confirm;
+  confirm.acknowledged = 162'220;
+  confirm.collided = 12'012;
+  const frames::MacAddress device = frames::MacAddress::for_station(1);
+  const frames::MacAddress host =
+      frames::MacAddress::parse("02:19:01:ff:ff:01");
+  for (auto _ : state) {
+    const frames::EthernetFrame frame =
+        confirm.to_mme(device, host).to_ethernet();
+    const auto parsed =
+        mme::AmpStatConfirm::from_mme(mme::Mme::from_ethernet(frame));
+    benchmark::DoNotOptimize(parsed->acknowledged);
+  }
+}
+BENCHMARK(BM_AmpStatCodecRoundTrip);
+
+void BM_EmulatedTestbedSecond(benchmark::State& state) {
+  // Wall cost of one simulated second of a 3-station emulated testbed.
+  for (auto _ : state) {
+    tools::TestbedConfig config;
+    config.stations = 3;
+    config.warmup = des::SimTime::from_seconds(0.1);
+    config.duration = des::SimTime::from_seconds(1.0);
+    benchmark::DoNotOptimize(
+        tools::run_saturated_testbed(config).total_acknowledged);
+  }
+}
+BENCHMARK(BM_EmulatedTestbedSecond);
+
+}  // namespace

@@ -1,0 +1,42 @@
+// E1 / Table 1: IEEE 1901 contention windows CW_i and initial deferral
+// counter values d_i per backoff stage, for the CA0/CA1 and CA2/CA3
+// priority classes — printed from the framework's presets so a mismatch
+// against the standard is impossible to miss.
+#include <iostream>
+#include <string>
+
+#include "mac/config.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using plc::mac::BackoffConfig;
+
+  std::cout << "=== Table 1: IEEE 1901 CW_i and d_i per backoff stage ===\n";
+  std::cout << "(paper: Vlachou et al., Table 1; BPC >= 3 re-uses the "
+               "last stage)\n\n";
+
+  const BackoffConfig ca01 = BackoffConfig::ca0_ca1();
+  const BackoffConfig ca23 = BackoffConfig::ca2_ca3();
+
+  plc::util::TablePrinter table(
+      {"backoff stage i", "BPC", "CA0/CA1 CWi", "CA0/CA1 di",
+       "CA2/CA3 CWi", "CA2/CA3 di"});
+  for (int stage = 0; stage < ca01.stage_count(); ++stage) {
+    const std::string bpc =
+        stage + 1 == ca01.stage_count() ? ">= " + std::to_string(stage)
+                                        : std::to_string(stage);
+    table.add_row({std::to_string(stage), bpc,
+                   std::to_string(ca01.cw[static_cast<std::size_t>(stage)]),
+                   std::to_string(ca01.dc[static_cast<std::size_t>(stage)]),
+                   std::to_string(ca23.cw[static_cast<std::size_t>(stage)]),
+                   std::to_string(ca23.dc[static_cast<std::size_t>(stage)])});
+  }
+  table.print(std::cout);
+
+  std::cout << "\npaper Table 1 reference rows:\n"
+               "  stage 0: BPC 0,  CA0/CA1 CW 8,  d 0 | CA2/CA3 CW 8,  d 0\n"
+               "  stage 1: BPC 1,  CA0/CA1 CW 16, d 1 | CA2/CA3 CW 16, d 1\n"
+               "  stage 2: BPC 2,  CA0/CA1 CW 32, d 3 | CA2/CA3 CW 16, d 3\n"
+               "  stage 3: BPC>=3, CA0/CA1 CW 64, d 15| CA2/CA3 CW 32, d 15\n";
+  return 0;
+}

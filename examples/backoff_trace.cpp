@@ -1,0 +1,53 @@
+// Figure-1 style backoff trace: watch BC, DC and CW evolve for two
+// saturated stations, event by event, and see the short-term unfairness
+// mechanism with your own eyes — the winner re-enters stage 0 with CW 8
+// while the loser's deferral counter pushes it up the stages without a
+// single collision.
+//
+// Usage: ./build/examples/backoff_trace [num_events] [seed]
+#include <cstdio>
+#include <cstdlib>
+
+#include "mac/config.hpp"
+#include "sim/slot_simulator.hpp"
+
+int main(int argc, char** argv) {
+  using namespace plc;
+  const int num_events = argc > 1 ? std::atoi(argv[1]) : 35;
+  const std::uint64_t seed =
+      argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 0xF1;
+
+  sim::SlotSimulator simulator(
+      sim::make_1901_entities(2, mac::BackoffConfig::ca0_ca1(), seed),
+      sim::SlotTiming{});
+
+  std::printf("%10s  %-12s | %-18s | %-18s\n", "t (us)", "event",
+              "station A  CW DC BC", "station B  CW DC BC");
+  std::printf("%.*s\n", 70,
+              "----------------------------------------------------------"
+              "------------");
+  simulator.set_observer([&](const sim::SlotEvent& event) {
+    const char* kind = "idle";
+    if (event.type == sim::SlotEventType::kSuccess) {
+      kind = event.transmitters.front() == 0 ? "A transmits"
+                                             : "B transmits";
+    } else if (event.type == sim::SlotEventType::kCollision) {
+      kind = "collision!";
+    }
+    const mac::BackoffEntity& a = simulator.entity(0);
+    const mac::BackoffEntity& b = simulator.entity(1);
+    std::printf("%10.2f  %-12s | %8d %2d %2d      | %8d %2d %2d\n",
+                event.start.us(), kind, a.contention_window(),
+                a.deferral_counter(), a.backoff_counter(),
+                b.contention_window(), b.deferral_counter(),
+                b.backoff_counter());
+  });
+  simulator.run_events(num_events);
+
+  std::printf("\nNote how a success resets the winner to CW 8 / DC 0 "
+              "(stage 0), while the\nother station, sensing the busy "
+              "medium with DC = 0, redraws at the next stage\n(CW 16, "
+              "then 32, ...) without ever transmitting — Figure 1's "
+              "dynamics.\n");
+  return 0;
+}

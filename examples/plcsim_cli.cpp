@@ -1,0 +1,318 @@
+// plcsim — command-line driver for the framework.
+//
+//   plcsim sim     --n 4 [--time-s 50] [--cw 8,16,32,64] [--dc 0,1,3,15]
+//                  [--ts-us 2542.64] [--tc-us 2920.64] [--frame-us 2050]
+//                  [--seed 6401]
+//   plcsim model   --n 4 [--cw ...] [--dc ...]
+//   plcsim testbed --n 3 [--time-s 30] [--mme-ms 0] [--capture out.plcc]
+//   plcsim sweep   --n-max 10 [--time-s 20] [--csv]
+//   plcsim boost   --n 10
+//   plcsim delay   --n 5 --load 0.5
+//   plcsim capture --file out.plcc [--head 10]
+//
+// Every command prints human-readable tables; `sweep --csv` emits CSV for
+// plotting. Exit code 2 on usage errors.
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/delay.hpp"
+#include "util/error.hpp"
+#include "analysis/model_1901.hpp"
+#include "analysis/optimizer.hpp"
+#include "sim/sim_1901.hpp"
+#include "sim/unsaturated.hpp"
+#include "tools/capture.hpp"
+#include "tools/testbed.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace plc;
+
+/// Minimal --key value / --flag parser.
+class Args {
+ public:
+  Args(int argc, char** argv, int first) {
+    for (int i = first; i < argc; ++i) {
+      std::string key = argv[i];
+      if (key.rfind("--", 0) != 0) {
+        throw plc::Error("unexpected argument: " + key);
+      }
+      key = key.substr(2);
+      if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        values_[key] = argv[++i];
+      } else {
+        values_[key] = "";  // Boolean flag.
+      }
+    }
+  }
+
+  bool has(const std::string& key) const { return values_.count(key) > 0; }
+
+  int get_int(const std::string& key, int fallback) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback : std::stoi(it->second);
+  }
+
+  double get_double(const std::string& key, double fallback) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback : std::stod(it->second);
+  }
+
+  std::string get_string(const std::string& key,
+                         const std::string& fallback) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
+  }
+
+  std::vector<int> get_int_list(const std::string& key,
+                                std::vector<int> fallback) const {
+    const auto it = values_.find(key);
+    if (it == values_.end()) return fallback;
+    std::vector<int> out;
+    std::stringstream stream(it->second);
+    std::string piece;
+    while (std::getline(stream, piece, ',')) {
+      out.push_back(std::stoi(piece));
+    }
+    return out;
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+mac::BackoffConfig config_from(const Args& args) {
+  mac::BackoffConfig config;
+  config.name = "cli";
+  config.cw = args.get_int_list("cw", {8, 16, 32, 64});
+  config.dc = args.get_int_list("dc", {0, 1, 3, 15});
+  config.validate();
+  return config;
+}
+
+int cmd_sim(const Args& args) {
+  const int n = args.get_int("n", 2);
+  const auto result = sim::sim_1901(
+      n, args.get_double("time-s", 50.0) * 1e6,
+      args.get_double("tc-us", 2920.64), args.get_double("ts-us", 2542.64),
+      args.get_double("frame-us", 2050.0),
+      args.get_int_list("cw", {8, 16, 32, 64}),
+      args.get_int_list("dc", {0, 1, 3, 15}),
+      static_cast<std::uint64_t>(args.get_int("seed", 0x1901)));
+  std::printf("N=%d  collision_pr=%.4f  norm_throughput=%.4f\n", n,
+              result.collision_probability, result.normalized_throughput);
+  return 0;
+}
+
+int cmd_model(const Args& args) {
+  const int n = args.get_int("n", 2);
+  const mac::BackoffConfig config = config_from(args);
+  const analysis::Model1901Result model = analysis::solve_1901(n, config);
+  const sim::SlotTiming timing;
+  std::printf("N=%d  tau=%.5f  gamma=%.4f  throughput=%.4f\n", n,
+              model.tau, model.gamma,
+              model.normalized_throughput(timing,
+                                          des::SimTime::from_us(2050.0)));
+  util::TablePrinter table({"stage", "CW", "d", "attempt prob",
+                            "E[countdown]", "E[visits/cycle]"});
+  for (std::size_t i = 0; i < model.stages.size(); ++i) {
+    table.add_row({std::to_string(i), std::to_string(config.cw[i]),
+                   std::to_string(config.dc[i]),
+                   util::format_fixed(model.stages[i].attempt_probability, 4),
+                   util::format_fixed(model.stages[i].expected_countdown, 2),
+                   util::format_fixed(model.stages[i].expected_visits, 4)});
+  }
+  table.print(std::cout);
+  return 0;
+}
+
+int cmd_testbed(const Args& args) {
+  tools::TestbedConfig config;
+  config.stations = args.get_int("n", 3);
+  config.duration =
+      des::SimTime::from_seconds(args.get_double("time-s", 30.0));
+  const double mme_ms = args.get_double("mme-ms", 0.0);
+  if (mme_ms > 0.0) {
+    config.mme_interval = des::SimTime::from_us(mme_ms * 1000.0);
+  }
+  const std::string capture_path = args.get_string("capture", "");
+  config.sniff_at_destination = args.has("sniff") || !capture_path.empty();
+  const tools::TestbedResult result = tools::run_saturated_testbed(config);
+
+  util::TablePrinter table({"station", "acked (Ai)", "collided (Ci)"});
+  for (std::size_t i = 0; i < result.acknowledged.size(); ++i) {
+    table.add_row({std::to_string(i + 1),
+                   util::with_thousands(static_cast<std::int64_t>(
+                       result.acknowledged[i])),
+                   util::with_thousands(static_cast<std::int64_t>(
+                       result.collided[i]))});
+  }
+  table.print(std::cout);
+  std::printf("sum(Ci)/sum(Ai) = %.4f   normalized throughput = %.4f\n",
+              result.collision_probability,
+              result.domain.normalized_throughput());
+  if (config.sniff_at_destination) {
+    std::printf("sniffer: %zu data bursts, MME overhead %.4f\n",
+                result.data_burst_sources.size(), result.mme_overhead);
+  }
+  if (!capture_path.empty()) {
+    std::ofstream out(capture_path, std::ios::binary);
+    if (!out) throw plc::Error("cannot open " + capture_path);
+    tools::write_capture_file(out, result.captures);
+    std::printf("wrote %zu captures to %s\n", result.captures.size(),
+                capture_path.c_str());
+  }
+  return 0;
+}
+
+int cmd_sweep(const Args& args) {
+  const int n_max = args.get_int("n-max", 7);
+  const double time_s = args.get_double("time-s", 20.0);
+  const mac::BackoffConfig config = config_from(args);
+  const sim::SlotTiming timing;
+  util::TablePrinter table({"n", "sim_collision", "sim_throughput",
+                            "model_collision", "model_throughput"});
+  for (int n = 1; n <= n_max; ++n) {
+    const auto simulated =
+        sim::sim_1901(n, time_s * 1e6, 2920.64, 2542.64, 2050.0, config.cw,
+                      config.dc);
+    const auto model = analysis::solve_1901(n, config);
+    table.add_row(
+        {std::to_string(n),
+         util::format_fixed(simulated.collision_probability, 4),
+         util::format_fixed(simulated.normalized_throughput, 4),
+         util::format_fixed(model.gamma, 4),
+         util::format_fixed(model.normalized_throughput(
+                                timing, des::SimTime::from_us(2050.0)),
+                            4)});
+  }
+  if (args.has("csv")) {
+    table.print_csv(std::cout);
+  } else {
+    table.print(std::cout);
+  }
+  return 0;
+}
+
+int cmd_boost(const Args& args) {
+  const int n = args.get_int("n", 10);
+  const sim::SlotTiming timing;
+  const des::SimTime frame = des::SimTime::from_us(2050.0);
+  const auto ranked = analysis::rank_configurations(
+      n, timing, frame, analysis::default_candidate_pool());
+  const auto uniform = analysis::best_uniform_window(n, timing, frame);
+  util::TablePrinter table({"configuration", "model throughput",
+                            "model collision"});
+  for (std::size_t i = 0; i < ranked.size() && i < 5; ++i) {
+    table.add_row({ranked[i].config.name,
+                   util::format_fixed(ranked[i].throughput, 4),
+                   util::format_fixed(ranked[i].collision_probability, 4)});
+  }
+  table.add_row({"tuned " + uniform.config.name,
+                 util::format_fixed(uniform.throughput, 4),
+                 util::format_fixed(uniform.collision_probability, 4)});
+  table.print(std::cout);
+  return 0;
+}
+
+int cmd_delay(const Args& args) {
+  const int n = args.get_int("n", 5);
+  const double load = args.get_double("load", 0.5);
+  const mac::BackoffConfig config = config_from(args);
+  const sim::SlotTiming timing;
+  const des::SimTime frame = des::SimTime::from_us(2050.0);
+  const double capacity =
+      analysis::saturation_rate_fps(n, config, timing, frame);
+  const double lambda = load * capacity;
+  const auto model =
+      analysis::access_delay(n, config, timing, frame, lambda);
+  sim::PoissonMacSpec spec;
+  spec.stations = n;
+  spec.config = config;
+  spec.arrival_rate_fps = lambda;
+  spec.duration = des::SimTime::from_seconds(
+      args.get_double("time-s", 60.0));
+  const auto simulated = sim::run_poisson_mac(spec);
+  std::printf("N=%d  capacity=%.1f fps/station  lambda=%.1f fps "
+              "(load %.2f)\n",
+              n, capacity, lambda, load);
+  std::printf("model: E[T]=%.2f ms (rho=%.2f)   sim: mean=%.2f ms "
+              "p99=%.2f ms\n",
+              model.mean_sojourn_s * 1e3, model.utilization,
+              simulated.mean_delay_s * 1e3, simulated.p99_delay_s * 1e3);
+  return 0;
+}
+
+int cmd_capture(const Args& args) {
+  const std::string path = args.get_string("file", "");
+  if (path.empty()) throw plc::Error("capture: --file is required");
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw plc::Error("cannot open " + path);
+  const auto captures = tools::read_capture_file(in);
+  const auto bursts = tools::Faifa::segment_bursts(captures);
+  std::printf("%zu delimiters, %zu bursts, MME overhead %.4f\n",
+              captures.size(), bursts.size(),
+              tools::Faifa::mme_overhead_of(captures));
+  // Per-source burst shares (the §3.3 fairness trace, aggregated).
+  std::map<int, int> per_source;
+  for (const int tei : tools::Faifa::data_burst_sources_of(captures)) {
+    ++per_source[tei];
+  }
+  util::TablePrinter table({"source TEI", "data bursts", "share"});
+  std::int64_t total = 0;
+  for (const auto& [tei, count] : per_source) total += count;
+  for (const auto& [tei, count] : per_source) {
+    table.add_row({std::to_string(tei), std::to_string(count),
+                   util::format_fixed(
+                       total > 0 ? static_cast<double>(count) /
+                                       static_cast<double>(total)
+                                 : 0.0,
+                       4)});
+  }
+  table.print(std::cout);
+  const int head = args.get_int("head", 0);
+  for (int i = 0; i < head && i < static_cast<int>(captures.size()); ++i) {
+    std::printf("%s\n",
+                tools::Faifa::format_capture(
+                    captures[static_cast<std::size_t>(i)]).c_str());
+  }
+  return 0;
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: plcsim <sim|model|testbed|sweep|boost|delay|"
+               "capture> [--key value ...]\n"
+               "see the file header of examples/plcsim_cli.cpp for the "
+               "full option list\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string command = argv[1];
+  try {
+    const Args args(argc, argv, 2);
+    if (command == "sim") return cmd_sim(args);
+    if (command == "model") return cmd_model(args);
+    if (command == "testbed") return cmd_testbed(args);
+    if (command == "sweep") return cmd_sweep(args);
+    if (command == "boost") return cmd_boost(args);
+    if (command == "delay") return cmd_delay(args);
+    if (command == "capture") return cmd_capture(args);
+    return usage();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "plcsim: %s\n", e.what());
+    return 2;
+  }
+}

@@ -1,0 +1,80 @@
+#include "analysis/delay.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/error.hpp"
+
+namespace plc::analysis {
+
+namespace {
+
+/// Per-station completion rate (successes per second) when a backlogged
+/// station faces n_eff total backlogged stations.
+double service_rate(double n_eff, const mac::BackoffConfig& config,
+                    const sim::SlotTiming& timing,
+                    des::SimTime frame_length) {
+  (void)frame_length;
+  const Model1901Result model = solve_1901_continuous(n_eff, config);
+  return model.success_rate_per_second(timing) / n_eff;
+}
+
+}  // namespace
+
+double saturation_rate_fps(int n, const mac::BackoffConfig& config,
+                           const sim::SlotTiming& timing,
+                           des::SimTime frame_length) {
+  util::check_arg(n >= 1, "n", "need at least one station");
+  return service_rate(static_cast<double>(n), config, timing,
+                      frame_length);
+}
+
+DelayModelResult access_delay(int n, const mac::BackoffConfig& config,
+                              const sim::SlotTiming& timing,
+                              des::SimTime frame_length,
+                              double arrival_rate_fps) {
+  util::check_arg(n >= 1, "n", "need at least one station");
+  util::check_arg(arrival_rate_fps > 0.0, "arrival_rate_fps",
+                  "must be positive");
+  config.validate();
+
+  DelayModelResult result;
+  double q = 1.0;  // Start from saturation; iterate down.
+  constexpr double kDamping = 0.3;
+  constexpr int kMaxIterations = 500;
+  double mu = 0.0;
+  for (int i = 0; i < kMaxIterations; ++i) {
+    const double n_eff = 1.0 + (static_cast<double>(n) - 1.0) * q;
+    mu = service_rate(n_eff, config, timing, frame_length);
+    const double q_target = std::min(arrival_rate_fps / mu, 1.0);
+    const double q_next = (1.0 - kDamping) * q + kDamping * q_target;
+    result.iterations = i + 1;
+    if (std::abs(q_next - q) < 1e-12) {
+      q = q_next;
+      break;
+    }
+    q = q_next;
+  }
+
+  result.backlog_probability = q;
+  result.effective_contenders = 1.0 + (static_cast<double>(n) - 1.0) * q;
+  result.mean_service_s = 1.0 / mu;
+  result.utilization = arrival_rate_fps / mu;
+  result.stable = result.utilization < 1.0;
+  // Service variability: deterministic-ish without contention, growing
+  // with the per-attempt collision probability (geometric retry tail).
+  result.service_cv2 =
+      solve_1901_continuous(result.effective_contenders, config).gamma;
+  if (result.stable) {
+    const double waiting = result.utilization * result.mean_service_s *
+                           (1.0 + result.service_cv2) /
+                           (2.0 * (1.0 - result.utilization));
+    result.mean_sojourn_s = result.mean_service_s + waiting;
+  } else {
+    result.mean_sojourn_s = std::numeric_limits<double>::infinity();
+  }
+  return result;
+}
+
+}  // namespace plc::analysis

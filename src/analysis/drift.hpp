@@ -1,0 +1,63 @@
+// Coupled occupancy model of the 1901 backoff — the "analysis" leg of the
+// CoNEXT paper's title, which studies the *coupled* dynamics of the
+// deferral-counter MAC (the decoupling assumption of model_1901 treats
+// every station as independent; the deferral counter couples them, since
+// one station's transmissions push the others' stages up).
+//
+// We model the expected per-stage occupancy n = (n_0, ..., n_{m-1}),
+// sum n_i = N. A station sojourning at stage i attempts transmission with
+// per-event probability alpha_i = x_i / (S_i + x_i) (from the per-stage
+// quantities of model_1901, evaluated at the busy probability implied by
+// the occupancy). Between events, occupancy drifts:
+//   - up (i -> min(i+1, m-1)):  rate (1 - x_i + x_i * gamma) / V_i
+//   - reset (i -> 0):           rate x_i * (1 - gamma) / V_i
+// The equilibrium is a damped fixed point; drift_trajectory() integrates
+// the expected dynamics from any start state, exposing the transient that
+// couples stations after a burst of collisions.
+#pragma once
+
+#include <vector>
+
+#include "des/time.hpp"
+#include "mac/config.hpp"
+#include "sim/slot_simulator.hpp"
+
+namespace plc::analysis {
+
+/// Equilibrium of the coupled occupancy model.
+struct DriftResult {
+  /// Expected station count per backoff stage.
+  std::vector<double> occupancy;
+  /// Per-stage per-event attempt probability alpha_i.
+  std::vector<double> alpha;
+  double busy_probability = 0.0;   ///< p seen by a tagged station.
+  double gamma = 0.0;              ///< Per-attempt collision probability.
+  double p_idle = 0.0;
+  double p_success = 0.0;
+  double p_collision = 0.0;
+  int iterations = 0;
+  bool converged = false;
+
+  double normalized_throughput(const sim::SlotTiming& timing,
+                               des::SimTime frame_length) const;
+};
+
+/// Solves the coupled equilibrium for N saturated stations.
+DriftResult solve_drift(int n, const mac::BackoffConfig& config,
+                        int max_iterations = 10'000, double damping = 0.2,
+                        double tolerance = 1e-12);
+
+/// One snapshot of the expected-occupancy trajectory.
+struct DriftState {
+  double time_events = 0.0;        ///< In units of medium events.
+  std::vector<double> occupancy;
+  double busy_probability = 0.0;
+};
+
+/// Integrates the expected dynamics from `initial_occupancy` (must sum to
+/// N and have one entry per stage) with Euler steps of `dt` events.
+std::vector<DriftState> drift_trajectory(
+    int n, const mac::BackoffConfig& config,
+    const std::vector<double>& initial_occupancy, int steps, double dt);
+
+}  // namespace plc::analysis

@@ -1,0 +1,98 @@
+#include "analysis/heterogeneous.hpp"
+
+#include <cmath>
+
+#include "analysis/model_1901.hpp"
+#include "util/error.hpp"
+
+namespace plc::analysis {
+
+HeterogeneousResult solve_heterogeneous(
+    const std::vector<StationClass>& classes, int max_iterations,
+    double damping, double tolerance) {
+  util::check_arg(!classes.empty(), "classes", "need at least one class");
+  util::check_arg(damping > 0.0 && damping <= 1.0, "damping",
+                  "must be in (0, 1]");
+  int total = 0;
+  for (const StationClass& station_class : classes) {
+    station_class.config.validate();
+    util::check_arg(station_class.count >= 1, "classes",
+                    "every class needs at least one station");
+    total += station_class.count;
+  }
+  const std::size_t k = classes.size();
+
+  HeterogeneousResult result;
+  result.classes.resize(k);
+  std::vector<double> tau(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    tau[i] = transmission_probability_given_busy(classes[i].config, 0.0);
+  }
+  if (total == 1) {
+    // Single station: never busy.
+    result.converged = true;
+  } else {
+    for (int iteration = 0; iteration < max_iterations; ++iteration) {
+      double delta = 0.0;
+      for (std::size_t i = 0; i < k; ++i) {
+        // Busy probability seen by a class-i station: any of its n_i - 1
+        // siblings or any other class transmits.
+        double log_idle = (classes[i].count - 1) * std::log1p(-tau[i]);
+        for (std::size_t j = 0; j < k; ++j) {
+          if (j == i) continue;
+          log_idle += classes[j].count * std::log1p(-tau[j]);
+        }
+        const double p = 1.0 - std::exp(log_idle);
+        const double target =
+            transmission_probability_given_busy(classes[i].config, p);
+        const double updated =
+            (1.0 - damping) * tau[i] + damping * target;
+        delta += std::abs(updated - tau[i]);
+        tau[i] = updated;
+        result.classes[i].gamma = p;
+      }
+      result.iterations = iteration + 1;
+      if (delta < tolerance) {
+        result.converged = true;
+        break;
+      }
+    }
+  }
+
+  // Event probabilities and shares.
+  double log_idle_all = 0.0;
+  for (std::size_t i = 0; i < k; ++i) {
+    log_idle_all += classes[i].count * std::log1p(-tau[i]);
+  }
+  result.p_idle = std::exp(log_idle_all);
+  double success_sum = 0.0;
+  std::vector<double> class_success(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    // P(exactly one station, of class i, transmits).
+    class_success[i] = classes[i].count * tau[i] / (1.0 - tau[i]) *
+                       result.p_idle;
+    success_sum += class_success[i];
+  }
+  result.p_success = success_sum;
+  result.p_collision =
+      std::max(0.0, 1.0 - result.p_idle - result.p_success);
+  for (std::size_t i = 0; i < k; ++i) {
+    result.classes[i].tau = tau[i];
+    result.classes[i].success_share =
+        success_sum > 0.0 ? class_success[i] / success_sum : 0.0;
+    result.classes[i].per_station_share =
+        result.classes[i].success_share / classes[i].count;
+  }
+  return result;
+}
+
+double HeterogeneousResult::normalized_throughput(
+    const sim::SlotTiming& timing, des::SimTime frame_length) const {
+  const double expected_event_us = p_idle * timing.slot.us() +
+                                   p_success * timing.ts.us() +
+                                   p_collision * timing.tc.us();
+  if (expected_event_us <= 0.0) return 0.0;
+  return p_success * frame_length.us() / expected_event_us;
+}
+
+}  // namespace plc::analysis

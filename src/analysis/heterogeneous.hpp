@@ -1,0 +1,59 @@
+// Heterogeneous decoupling fixed point: stations with *different* backoff
+// configurations sharing one contention domain.
+//
+// Generalizes model_1901 to K classes, class k having n_k saturated
+// stations with configuration C_k. Under the decoupling assumption each
+// class has a per-event transmission probability tau_k; a station of
+// class k sees busy probability
+//   p_k = 1 - (1-tau_k)^(n_k - 1) * prod_{j != k} (1-tau_j)^(n_j),
+// and tau_k is the renewal-cycle ratio of model_1901 evaluated at p_k.
+// The coupled system is solved by damped fixed-point iteration.
+//
+// This answers the coexistence question (bench_ext_coexistence) at
+// arbitrary N, where the exact chain is limited to two stations: who gets
+// which share of the medium when tuned and default stations mix.
+#pragma once
+
+#include <vector>
+
+#include "des/time.hpp"
+#include "mac/config.hpp"
+#include "sim/slot_simulator.hpp"
+
+namespace plc::analysis {
+
+/// One class of identically-configured stations.
+struct StationClass {
+  mac::BackoffConfig config;
+  int count = 1;
+};
+
+/// Per-class solution.
+struct ClassResult {
+  double tau = 0.0;    ///< Per-event transmission probability.
+  double gamma = 0.0;  ///< Per-attempt collision probability.
+  /// This class's share of all successful transmissions.
+  double success_share = 0.0;
+  /// Per-station share within the network (success_share / count).
+  double per_station_share = 0.0;
+};
+
+struct HeterogeneousResult {
+  std::vector<ClassResult> classes;
+  double p_idle = 0.0;
+  double p_success = 0.0;
+  double p_collision = 0.0;
+  int iterations = 0;
+  bool converged = false;
+
+  double normalized_throughput(const sim::SlotTiming& timing,
+                               des::SimTime frame_length) const;
+};
+
+/// Solves the coupled fixed point. Requires at least one class, every
+/// count >= 1 and at least one station overall.
+HeterogeneousResult solve_heterogeneous(
+    const std::vector<StationClass>& classes, int max_iterations = 2'000,
+    double damping = 0.25, double tolerance = 1e-12);
+
+}  // namespace plc::analysis

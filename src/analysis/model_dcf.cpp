@@ -1,0 +1,71 @@
+#include "analysis/model_dcf.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/math.hpp"
+
+namespace plc::analysis {
+
+namespace {
+
+double tau_given_gamma(int cw_min, int cw_max, double gamma) {
+  // Sum the stage series until the geometric weight is negligible.
+  double numerator = 0.0;
+  double denominator = 0.0;
+  double weight = 1.0;
+  int window = cw_min;
+  const double busy = gamma;  // Decoupling: busy prob == collision prob.
+  const double events_per_decrement =
+      1.0 / std::max(1.0 - busy, 1e-12);
+  for (int i = 0; i < 4096 && weight > 1e-16; ++i) {
+    const double mean_backoff = static_cast<double>(window - 1) / 2.0;
+    numerator += weight;
+    denominator += weight * (1.0 + mean_backoff * events_per_decrement);
+    weight *= gamma;
+    window = std::min(window * 2, cw_max);
+  }
+  return numerator / denominator;
+}
+
+}  // namespace
+
+ModelDcfResult solve_dcf(int n, int cw_min, int cw_max) {
+  util::check_arg(n >= 1, "n", "need at least one station");
+  util::check_arg(cw_min >= 1, "cw_min", "must be >= 1");
+  util::check_arg(cw_max >= cw_min, "cw_max", "must be >= cw_min");
+
+  ModelDcfResult result;
+  if (n == 1) {
+    result.tau = tau_given_gamma(cw_min, cw_max, 0.0);
+    result.gamma = 0.0;
+  } else {
+    const auto gamma_of_tau = [n](double tau) {
+      return 1.0 - std::pow(1.0 - tau, n - 1);
+    };
+    const auto g = [&](double tau) {
+      return tau_given_gamma(cw_min, cw_max, gamma_of_tau(tau)) - tau;
+    };
+    result.tau = util::bisect(g, 1e-12, 1.0 - 1e-12, 1e-14, 200);
+    result.gamma = gamma_of_tau(result.tau);
+  }
+  const double tau = result.tau;
+  result.p_idle = std::pow(1.0 - tau, n);
+  result.p_success =
+      static_cast<double>(n) * tau * std::pow(1.0 - tau, n - 1);
+  result.p_collision =
+      std::max(0.0, 1.0 - result.p_idle - result.p_success);
+  return result;
+}
+
+double ModelDcfResult::normalized_throughput(
+    const sim::SlotTiming& timing, des::SimTime frame_length) const {
+  const double expected_event_us = p_idle * timing.slot.us() +
+                                   p_success * timing.ts.us() +
+                                   p_collision * timing.tc.us();
+  if (expected_event_us <= 0.0) return 0.0;
+  return p_success * frame_length.us() / expected_event_us;
+}
+
+}  // namespace plc::analysis

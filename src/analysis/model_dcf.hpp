@@ -1,0 +1,37 @@
+// Bianchi-style fixed-point model of 802.11 DCF, refined for the freeze
+// semantics of the real protocol.
+//
+// Classic Bianchi assumes the backoff counter decrements once per system
+// event (idle slot or busy period). Real 802.11 — and our BackoffDcf
+// entity — *freezes* the counter during busy events, so the number of
+// events consumed per decrement is geometric with mean 1/(1-p), where p is
+// the busy probability. The per-event transmission probability of a
+// station whose collision probability is gamma is therefore
+//
+//   tau = sum_i gamma^i / sum_i gamma^i * (1 + E[BC_i] / (1 - p))
+//
+// with E[BC_i] = (W_i - 1)/2, W_i = min(cw_min * 2^i, cw_max), infinite
+// retry limit, and the consistency equation p = gamma = 1-(1-tau)^(N-1).
+#pragma once
+
+#include "des/time.hpp"
+#include "sim/slot_simulator.hpp"
+
+namespace plc::analysis {
+
+struct ModelDcfResult {
+  double tau = 0.0;
+  double gamma = 0.0;
+  double p_idle = 0.0;
+  double p_success = 0.0;
+  double p_collision = 0.0;
+
+  double normalized_throughput(const sim::SlotTiming& timing,
+                               des::SimTime frame_length) const;
+};
+
+/// Solves the freeze-corrected Bianchi fixed point for N saturated DCF
+/// stations with windows cw_min..cw_max (binary doubling).
+ModelDcfResult solve_dcf(int n, int cw_min, int cw_max);
+
+}  // namespace plc::analysis

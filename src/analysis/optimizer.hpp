@@ -1,0 +1,48 @@
+// Configuration tuning — the "boosting" leg of the paper's title.
+//
+// 1901 trades backoff waste against collisions with two knobs per stage:
+// the contention window CW_i and the deferral counter d_i. The default
+// Table 1 values are static; this optimizer searches configuration
+// candidates with the analytical model (fast) so the best ones can be
+// validated by simulation (bench_ext_boosting_configs does exactly that).
+//
+// Candidate families:
+//   - uniform window, deferral disabled: classic p-persistent-like CSMA,
+//     the best possible *if* N were known (needs CW ~ N * sqrt(2*Tc/slot)
+//     to balance idle waste and collision cost);
+//   - scaled Table 1: multiply every CW by a factor, keep d_i;
+//   - deferral variants: Table 1 windows with more/less aggressive d_i.
+#pragma once
+
+#include <vector>
+
+#include "analysis/model_1901.hpp"
+#include "des/time.hpp"
+#include "mac/config.hpp"
+#include "sim/slot_simulator.hpp"
+
+namespace plc::analysis {
+
+/// A candidate with its model-predicted metrics at a given N.
+struct CandidateScore {
+  mac::BackoffConfig config;
+  double throughput = 0.0;
+  double collision_probability = 0.0;
+};
+
+/// Scores `candidates` for N saturated stations and returns them sorted
+/// by decreasing model throughput.
+std::vector<CandidateScore> rank_configurations(
+    int n, const sim::SlotTiming& timing, des::SimTime frame_length,
+    const std::vector<mac::BackoffConfig>& candidates);
+
+/// A candidate pool mixing the three families above (plus the defaults).
+std::vector<mac::BackoffConfig> default_candidate_pool();
+
+/// Best uniform-window configuration (single stage, deferral disabled)
+/// for N stations, found by scanning windows in [2, max_window].
+CandidateScore best_uniform_window(int n, const sim::SlotTiming& timing,
+                                   des::SimTime frame_length,
+                                   int max_window = 4096);
+
+}  // namespace plc::analysis

@@ -1,0 +1,13 @@
+#include "dcf/dcf.hpp"
+
+#include <utility>
+
+namespace plc::dcf {
+
+std::unique_ptr<mac::BackoffEntity> make_backoff(const DcfConfig& config,
+                                                 des::RandomStream rng) {
+  return std::make_unique<mac::BackoffDcf>(config.cw_min, config.cw_max,
+                                           std::move(rng));
+}
+
+}  // namespace plc::dcf

@@ -1,0 +1,36 @@
+// 802.11 DCF configuration presets.
+//
+// The paper contrasts 1901's deferral-counter design with 802.11's plain
+// binary exponential backoff: 802.11 uses a large CWmin to keep collisions
+// rare (wasting idle slots), 1901 a small CWmin plus the deferral counter
+// (reacting to congestion *before* collisions). These presets parameterize
+// the BackoffDcf entity for those comparisons; both MACs run on the same
+// contention-domain timing so the differences isolate the backoff logic.
+#pragma once
+
+#include <memory>
+
+#include "des/random.hpp"
+#include "mac/backoff.hpp"
+
+namespace plc::dcf {
+
+/// CWmin/CWmax pair for a DCF flavour.
+struct DcfConfig {
+  int cw_min = 16;
+  int cw_max = 1024;
+
+  /// 802.11a/g/n defaults: CW 16..1024.
+  static DcfConfig ieee80211ag() { return {16, 1024}; }
+  /// Legacy 802.11b (DSSS): CW 32..1024.
+  static DcfConfig ieee80211b() { return {32, 1024}; }
+  /// A "1901-like CWmin" DCF: CW 8..64, i.e. 1901's window range without
+  /// the deferral counter — the ablation showing why 1901 needs DC.
+  static DcfConfig plc_window_no_deferral() { return {8, 64}; }
+};
+
+/// Creates a DCF backoff entity drawing from `rng`.
+std::unique_ptr<mac::BackoffEntity> make_backoff(const DcfConfig& config,
+                                                 des::RandomStream rng);
+
+}  // namespace plc::dcf

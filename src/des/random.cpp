@@ -1,0 +1,54 @@
+#include "des/random.hpp"
+
+#include "util/error.hpp"
+
+namespace plc::des {
+
+std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9E3779B97F4A7C15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+RandomStream::RandomStream(std::uint64_t seed) : seed_(seed), engine_(seed) {}
+
+int RandomStream::uniform_int(int lo, int hi) {
+  util::require(lo <= hi, "RandomStream::uniform_int: lo must be <= hi");
+  return std::uniform_int_distribution<int>(lo, hi)(engine_);
+}
+
+int RandomStream::draw_backoff(int cw) {
+  util::require(cw >= 1, "RandomStream::draw_backoff: cw must be >= 1");
+  return uniform_int(0, cw - 1);
+}
+
+double RandomStream::uniform() {
+  return std::uniform_real_distribution<double>(0.0, 1.0)(engine_);
+}
+
+bool RandomStream::bernoulli(double p) {
+  util::require(p >= 0.0 && p <= 1.0,
+                "RandomStream::bernoulli: p must be in [0, 1]");
+  if (p == 0.0) return false;
+  if (p == 1.0) return true;
+  return uniform() < p;
+}
+
+double RandomStream::exponential(double mean) {
+  util::require(mean > 0.0, "RandomStream::exponential: mean must be > 0");
+  return std::exponential_distribution<double>(1.0 / mean)(engine_);
+}
+
+std::uint64_t RandomStream::derive_seed(std::string_view label) const {
+  std::uint64_t state = seed_;
+  std::uint64_t result = splitmix64(state);
+  for (const char c : label) {
+    state ^= static_cast<std::uint64_t>(static_cast<unsigned char>(c));
+    result ^= splitmix64(state);
+  }
+  return result;
+}
+
+}  // namespace plc::des

@@ -1,0 +1,52 @@
+// Deterministic random number streams.
+//
+// Every stochastic component (each station's backoff entity, each traffic
+// source, the channel error injector) draws from its own named stream so
+// that experiments are reproducible from a single root seed and adding a
+// component never perturbs the draws of the others.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <string_view>
+
+namespace plc::des {
+
+/// A self-contained PRNG stream (mt19937_64) with draw helpers matching
+/// the needs of the MAC simulators.
+class RandomStream {
+ public:
+  explicit RandomStream(std::uint64_t seed);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int uniform_int(int lo, int hi);
+
+  /// Draws a backoff counter exactly as the reference simulator does:
+  /// `unidrnd(cw) - 1`, i.e. uniform on {0, ..., cw - 1}. Requires cw >= 1.
+  int draw_backoff(int cw);
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Bernoulli trial with success probability p in [0, 1].
+  bool bernoulli(double p);
+
+  /// Exponentially distributed duration with the given mean (> 0).
+  double exponential(double mean);
+
+  /// Derives a child seed from this stream's seed and a label, without
+  /// consuming any draws from this stream. Used to fan out per-component
+  /// streams: `RandomStream(root.derive_seed("station-3"))`.
+  std::uint64_t derive_seed(std::string_view label) const;
+
+  std::uint64_t seed() const { return seed_; }
+
+ private:
+  std::uint64_t seed_;
+  std::mt19937_64 engine_;
+};
+
+/// SplitMix64 step; public so tests can pin the derivation scheme.
+std::uint64_t splitmix64(std::uint64_t& state);
+
+}  // namespace plc::des

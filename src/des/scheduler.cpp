@@ -1,0 +1,70 @@
+#include "des/scheduler.hpp"
+
+#include <utility>
+
+#include "util/error.hpp"
+
+namespace plc::des {
+
+EventHandle Scheduler::schedule(SimTime delay, Callback callback) {
+  util::require(delay >= SimTime::zero(),
+                "Scheduler::schedule: delay must be non-negative");
+  return schedule_at(now_ + delay, std::move(callback));
+}
+
+EventHandle Scheduler::schedule_at(SimTime when, Callback callback) {
+  util::require(when >= now_,
+                "Scheduler::schedule_at: cannot schedule in the past");
+  util::require(static_cast<bool>(callback),
+                "Scheduler::schedule_at: callback must not be empty");
+  const std::uint64_t id = next_id_++;
+  queue_.push(Entry{when, next_sequence_++, id});
+  callbacks_.emplace(id, std::move(callback));
+  return EventHandle(id);
+}
+
+bool Scheduler::cancel(EventHandle handle) {
+  if (handle.is_null()) return false;
+  const auto it = callbacks_.find(handle.id_);
+  if (it == callbacks_.end()) return false;
+  callbacks_.erase(it);
+  ++cancelled_pending_;
+  return true;
+}
+
+void Scheduler::purge_cancelled() {
+  while (!queue_.empty() &&
+         callbacks_.find(queue_.top().id) == callbacks_.end()) {
+    queue_.pop();
+    --cancelled_pending_;
+  }
+}
+
+bool Scheduler::step() {
+  purge_cancelled();
+  if (queue_.empty()) return false;
+  const Entry entry = queue_.top();
+  queue_.pop();
+  const auto it = callbacks_.find(entry.id);
+  Callback callback = std::move(it->second);
+  callbacks_.erase(it);
+  now_ = entry.when;
+  ++dispatched_;
+  callback();
+  return true;
+}
+
+void Scheduler::run_until(SimTime horizon) {
+  for (;;) {
+    purge_cancelled();
+    if (queue_.empty() || queue_.top().when > horizon) break;
+    step();
+  }
+  if (now_ < horizon) {
+    // Remaining events (if any) lie beyond the horizon; advancing the
+    // clock keeps duration-based statistics well defined.
+    now_ = horizon;
+  }
+}
+
+}  // namespace plc::des

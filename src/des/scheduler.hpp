@@ -1,0 +1,89 @@
+// Event scheduler: the core of the discrete-event engine.
+//
+// Events are callbacks ordered by (time, insertion sequence); ties in time
+// fire in insertion order, which makes runs fully deterministic. Events may
+// be cancelled through the handle returned at scheduling time.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "des/time.hpp"
+
+namespace plc::des {
+
+/// Identifies a scheduled event so it can be cancelled. Default-constructed
+/// handles are "null" and safe to cancel (no-op).
+class EventHandle {
+ public:
+  constexpr EventHandle() = default;
+  constexpr bool is_null() const { return id_ == 0; }
+
+ private:
+  friend class Scheduler;
+  constexpr explicit EventHandle(std::uint64_t id) : id_(id) {}
+  std::uint64_t id_ = 0;
+};
+
+/// Priority-queue event scheduler with integer-nanosecond timestamps.
+class Scheduler {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Current simulated time. Starts at zero.
+  SimTime now() const { return now_; }
+
+  /// Schedules `callback` to fire at now() + delay. Requires delay >= 0.
+  EventHandle schedule(SimTime delay, Callback callback);
+
+  /// Schedules `callback` at an absolute time >= now().
+  EventHandle schedule_at(SimTime when, Callback callback);
+
+  /// Cancels a pending event; no-op if the handle is null, already fired,
+  /// or already cancelled. Returns true if an event was actually cancelled.
+  bool cancel(EventHandle handle);
+
+  /// Runs events until the queue is empty or simulated time would exceed
+  /// `horizon`. Events scheduled exactly at the horizon still fire.
+  /// Afterwards now() is min(horizon, time of last fired event).
+  void run_until(SimTime horizon);
+
+  /// Runs a single event if one is pending; returns false when idle.
+  bool step();
+
+  /// Number of events dispatched so far.
+  std::int64_t events_dispatched() const { return dispatched_; }
+
+  /// Number of events currently pending (cancelled events are counted
+  /// until they are lazily discarded).
+  std::size_t pending() const { return queue_.size() - cancelled_pending_; }
+
+ private:
+  struct Entry {
+    SimTime when;
+    std::uint64_t sequence;
+    std::uint64_t id;
+    // Ordered as a max-heap by default; invert for earliest-first.
+    bool operator<(const Entry& other) const {
+      if (when != other.when) return when > other.when;
+      return sequence > other.sequence;
+    }
+  };
+
+  std::priority_queue<Entry> queue_;
+  std::unordered_map<std::uint64_t, Callback> callbacks_;
+  SimTime now_ = SimTime::zero();
+  std::uint64_t next_sequence_ = 1;
+  std::uint64_t next_id_ = 1;
+  std::int64_t dispatched_ = 0;
+  std::size_t cancelled_pending_ = 0;
+
+  /// Discards cancelled entries sitting at the top of the queue so that
+  /// queue_.top() always refers to a live event.
+  void purge_cancelled();
+};
+
+}  // namespace plc::des

@@ -1,0 +1,22 @@
+#include "des/time.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "util/strings.hpp"
+
+namespace plc::des {
+
+SimTime SimTime::from_us(double us) {
+  return SimTime(static_cast<std::int64_t>(std::llround(us * 1e3)));
+}
+
+SimTime SimTime::max() {
+  return SimTime(std::numeric_limits<std::int64_t>::max());
+}
+
+std::string SimTime::to_string() const {
+  return util::format_double(us()) + "us";
+}
+
+}  // namespace plc::des

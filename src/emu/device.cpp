@@ -1,0 +1,579 @@
+#include "emu/device.hpp"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+
+#include "emu/network.hpp"
+#include "mme/ampstat.hpp"
+#include "mme/sniffer.hpp"
+#include "mme/tonemap_update.hpp"
+#include "util/error.hpp"
+
+namespace plc::emu {
+
+namespace {
+
+/// Signed distance between 16-bit sequence numbers (wrap-aware).
+int ssn_distance(std::uint16_t a, std::uint16_t b) {
+  return static_cast<std::int16_t>(static_cast<std::uint16_t>(a - b));
+}
+
+}  // namespace
+
+const phy::ToneMap& tonemap_profile(int index) {
+  static const phy::ToneMap kLadder[kToneMapProfileCount] = {
+      phy::ToneMap::mini_robo(), phy::ToneMap::std_robo(),
+      phy::ToneMap::hs_robo(), phy::ToneMap::high_rate()};
+  util::check_arg(index >= 0 && index < kToneMapProfileCount, "index",
+                  "profile index out of range");
+  return kLadder[index];
+}
+
+HpavDevice::HpavDevice(Network& network, int tei, frames::MacAddress mac,
+                       DeviceConfig config, std::uint64_t seed)
+    : network_(network),
+      tei_(tei),
+      mac_(mac),
+      config_(std::move(config)),
+      rng_(seed) {
+  util::check_arg(tei >= 1 && tei <= 254, "tei", "must be in [1, 254]");
+  util::check_arg(config_.burst_mpdus >= 1 && config_.burst_mpdus <= 4,
+                  "burst_mpdus", "the standard allows 1..4 MPDUs per burst");
+  util::check_arg(config_.max_pbs_per_mpdu >= 1, "max_pbs_per_mpdu",
+                  "must be >= 1");
+  util::check_arg(
+      config_.pb_error_rate >= 0.0 && config_.pb_error_rate <= 1.0,
+      "pb_error_rate", "must be in [0, 1]");
+  if (!config_.tonemap.has_value()) {
+    util::check_arg(config_.pinned_mpdu_duration > des::SimTime::zero(),
+                    "pinned_mpdu_duration", "must be positive");
+  }
+  config_.ca01.validate();
+  config_.ca23.validate();
+  backoff_ca01_ = std::make_unique<mac::Backoff1901>(
+      config_.ca01, des::RandomStream(rng_.derive_seed("backoff-ca01")));
+  backoff_ca23_ = std::make_unique<mac::Backoff1901>(
+      config_.ca23, des::RandomStream(rng_.derive_seed("backoff-ca23")));
+}
+
+void HpavDevice::set_host_receive(HostReceiveFn callback) {
+  host_listeners_.clear();
+  add_host_listener(std::move(callback));
+}
+
+void HpavDevice::add_host_listener(HostReceiveFn callback) {
+  util::check_arg(static_cast<bool>(callback), "callback",
+                  "must not be empty");
+  host_listeners_.push_back(std::move(callback));
+}
+
+void HpavDevice::deliver_to_host(const frames::EthernetFrame& frame) {
+  for (const HostReceiveFn& listener : host_listeners_) {
+    listener(frame);
+  }
+}
+
+mac::Backoff1901& HpavDevice::entity_for(frames::Priority priority) {
+  return static_cast<int>(priority) >= 2 ? *backoff_ca23_ : *backoff_ca01_;
+}
+
+des::SimTime HpavDevice::mpdu_duration(const Link& link,
+                                       int pb_count) const {
+  if (config_.adaptation.enabled && config_.adaptation.profile_durations) {
+    return tonemap_profile(link.tx_profile).frame_duration(pb_count);
+  }
+  if (config_.tonemap.has_value()) {
+    return config_.tonemap->frame_duration(pb_count);
+  }
+  return config_.pinned_mpdu_duration;
+}
+
+int HpavDevice::max_pbs_for(const Link& link) const {
+  if (config_.adaptation.enabled && config_.adaptation.profile_durations) {
+    const int by_duration = tonemap_profile(link.tx_profile)
+                                .max_pb_count(
+                                    config_.adaptation.max_frame_duration);
+    return std::max(1, std::min(config_.max_pbs_per_mpdu, by_duration));
+  }
+  return config_.max_pbs_per_mpdu;
+}
+
+int HpavDevice::link_tx_profile(int dst_tei,
+                                frames::Priority priority) const {
+  const auto it = links_.find(LinkKey{dst_tei, priority});
+  return it == links_.end() ? kDefaultToneMapProfile
+                            : it->second.tx_profile;
+}
+
+// --- Host interface ---------------------------------------------------------
+
+void HpavDevice::host_send(const frames::EthernetFrame& frame) {
+  if (frame.ether_type == frames::kEtherTypeHomePlugAv &&
+      (frame.destination == mac_ || frame.destination.is_broadcast())) {
+    handle_local_mme(mme::Mme::from_ethernet(frame));
+    return;
+  }
+  const bool is_mme = frame.ether_type == frames::kEtherTypeHomePlugAv;
+  enqueue_for_wire(frame,
+                   is_mme ? frames::Priority::kCa2 : config_.data_priority,
+                   is_mme);
+}
+
+void HpavDevice::enqueue_for_wire(const frames::EthernetFrame& frame,
+                                  frames::Priority priority, bool is_mme) {
+  HpavDevice* destination = network_.device_by_mac(frame.destination);
+  util::require(destination != nullptr,
+                "HpavDevice: destination MAC not on this network");
+  util::require(destination != this,
+                "HpavDevice: frame addressed to the sending device");
+
+  const LinkKey key{destination->tei(), priority};
+  auto [it, inserted] = links_.try_emplace(key);
+  Link& link = it->second;
+  if (inserted) {
+    link.dst_tei = destination->tei();
+    link.dst_mac = frame.destination;
+    link.priority = priority;
+    link.is_mme = is_mme;
+  }
+  const bool was_ready = link_ready(link);
+  if (!link.segmenter.has_pending_bytes() && link.retx.empty()) {
+    link.oldest_arrival = network_.scheduler().now();
+  }
+  link.segmenter.push_frame(frame);
+  ++link.frames_enqueued;
+
+  if (!was_ready) {
+    if (link_ready(link)) {
+      network_.domain().notify_pending();
+    } else if (!link.is_mme) {
+      // Partial physical block: becomes sendable at the aggregation
+      // timeout; wake the domain then.
+      network_.scheduler().schedule(config_.aggregation_timeout, [this] {
+        network_.domain().notify_pending();
+      });
+    }
+  }
+}
+
+void HpavDevice::handle_local_mme(const mme::Mme& mme) {
+  if (const auto request = mme::AmpStatRequest::from_mme(mme)) {
+    if (request->action == mme::StatAction::kReset) {
+      counters_.reset_all();
+    }
+    const LinkCounters link = counters_.read(
+        request->peer, request->link_priority, request->direction);
+    mme::AmpStatConfirm confirm;
+    confirm.status = 0;
+    confirm.direction = request->direction;
+    confirm.acknowledged = link.acknowledged;
+    confirm.collided = link.collided;
+    confirm.fc_errors = link.fc_errors;
+    deliver_to_host(confirm.to_mme(mac_, mme.source).to_ethernet());
+    return;
+  }
+  if (const auto request = mme::SnifferRequest::from_mme(mme)) {
+    sniffer_enabled_ = request->enable;
+    mme::SnifferConfirm confirm;
+    confirm.status = 0;
+    confirm.enabled = sniffer_enabled_;
+    deliver_to_host(confirm.to_mme(mac_, mme.source).to_ethernet());
+    return;
+  }
+  // Unknown vendor MME: real firmware stays silent.
+}
+
+// --- Periodic device-to-device management traffic ---------------------------
+
+void HpavDevice::start_periodic_mme(des::SimTime interval,
+                                    const frames::MacAddress& peer,
+                                    frames::Priority priority,
+                                    int payload_bytes) {
+  util::check_arg(interval > des::SimTime::zero(), "interval",
+                  "must be positive");
+  util::check_arg(static_cast<int>(priority) >= 2, "priority",
+                  "management traffic uses CA2 or CA3 (paper §3.3)");
+  util::check_arg(payload_bytes >= 8 && payload_bytes <= 1400,
+                  "payload_bytes", "must be in [8, 1400]");
+  periodic_mmes_.push_back(
+      PeriodicMme{interval, peer, priority, payload_bytes, 0});
+  emit_periodic_mme(periodic_mmes_.size() - 1);
+}
+
+void HpavDevice::emit_periodic_mme(std::size_t index) {
+  PeriodicMme& schedule = periodic_mmes_[index];
+  frames::EthernetFrame frame;
+  frame.destination = schedule.peer;
+  frame.source = mac_;
+  frame.ether_type = frames::kEtherTypeHomePlugAv;
+  frame.payload.assign(static_cast<std::size_t>(schedule.payload_bytes), 0);
+  frame.payload[0] = mme::kVendorOui[0];
+  frame.payload[1] = mme::kVendorOui[1];
+  frame.payload[2] = mme::kVendorOui[2];
+  ++schedule.sequence;
+  enqueue_for_wire(frame, schedule.priority, /*is_mme=*/true);
+  network_.scheduler().schedule(schedule.interval,
+                                [this, index] { emit_periodic_mme(index); });
+}
+
+// --- Transmit path -----------------------------------------------------------
+
+bool HpavDevice::link_ready(const Link& link) const {
+  if (!link.retx.empty()) return true;
+  if (link.segmenter.complete_pb_count() > 0) return true;
+  if (!link.segmenter.has_pending_bytes()) return false;
+  if (link.is_mme) return true;  // Management frames ship immediately.
+  return network_.scheduler().now() - link.oldest_arrival >=
+         config_.aggregation_timeout;
+}
+
+HpavDevice::Link* HpavDevice::select_head_link() {
+  Link* best = nullptr;
+  for (auto& [key, link] : links_) {
+    if (!link_ready(link)) continue;
+    if (best == nullptr ||
+        static_cast<int>(link.priority) > static_cast<int>(best->priority)) {
+      best = &link;
+    }
+  }
+  return best;
+}
+
+const HpavDevice::Link* HpavDevice::select_head_link() const {
+  return const_cast<HpavDevice*>(this)->select_head_link();
+}
+
+bool HpavDevice::has_pending_frame() {
+  if (staged_.has_value()) return true;
+  return select_head_link() != nullptr;
+}
+
+frames::Priority HpavDevice::pending_priority() {
+  if (staged_.has_value()) {
+    const auto it = links_.find(staged_->link);
+    util::require(it != links_.end(), "HpavDevice: staged link vanished");
+    return it->second.priority;
+  }
+  const Link* head = select_head_link();
+  util::require(head != nullptr,
+                "HpavDevice::pending_priority: no pending frame");
+  const frames::Priority priority = head->priority;
+  // Starting (or switching) contention: (re-)arm the class's backoff
+  // entity for the new head frame.
+  if (!contending_.has_value() || *contending_ != priority) {
+    contending_ = priority;
+    entity_for(priority).start_new_frame();
+  }
+  return priority;
+}
+
+std::optional<medium::TxDescriptor> HpavDevice::poll_transmit() {
+  util::require(contending_.has_value(),
+                "HpavDevice::poll_transmit: not contending");
+  mac::Backoff1901& entity = entity_for(*contending_);
+  if (!entity.ready_to_transmit()) return std::nullopt;
+  return stage_and_describe(*contending_);
+}
+
+std::optional<medium::TxDescriptor> HpavDevice::poll_contention_free() {
+  // TDMA allocation: serve whatever is at the head, no backoff involved.
+  const Link* head = select_head_link();
+  if (head == nullptr && !staged_.has_value()) return std::nullopt;
+  return stage_and_describe(head != nullptr
+                                ? head->priority
+                                : frames::Priority::kCa1);
+}
+
+std::optional<medium::TxDescriptor> HpavDevice::stage_and_describe(
+    frames::Priority priority) {
+  // Assemble (or re-use) the staged burst: a burst whose earlier attempt
+  // collided went back to the retransmission queue and is rebuilt here
+  // with identical content at the queue head.
+  if (!staged_.has_value()) {
+    Link* link = select_head_link();
+    util::require(link != nullptr,
+                  "HpavDevice::poll_transmit: backoff expired with no data");
+    StagedBurst burst;
+    burst.link = LinkKey{link->dst_tei, link->priority};
+    const int pb_limit = max_pbs_for(*link);
+    for (int mpdu_index = 0; mpdu_index < config_.burst_mpdus;
+         ++mpdu_index) {
+      std::vector<frames::PhysicalBlock> pbs;
+      while (static_cast<int>(pbs.size()) < pb_limit &&
+             !link->retx.empty()) {
+        pbs.push_back(link->retx.front());
+        link->retx.pop_front();
+      }
+      if (static_cast<int>(pbs.size()) < pb_limit) {
+        const bool flush =
+            link->is_mme ||
+            (link->segmenter.has_pending_bytes() &&
+             network_.scheduler().now() - link->oldest_arrival >=
+                 config_.aggregation_timeout);
+        auto fresh = link->segmenter.pop_pbs(
+            pb_limit - static_cast<int>(pbs.size()), flush);
+        for (auto& pb : fresh) pbs.push_back(std::move(pb));
+      }
+      if (pbs.empty()) break;
+      frames::Mpdu mpdu;
+      mpdu.sof.src_tei = static_cast<std::uint8_t>(tei_);
+      mpdu.sof.dst_tei = static_cast<std::uint8_t>(link->dst_tei);
+      mpdu.sof.link_id = static_cast<std::uint8_t>(link->priority);
+      mpdu.sof.pb_count = static_cast<std::uint8_t>(pbs.size());
+      mpdu.sof.mme_flag = link->is_mme;
+      mpdu.sof.set_frame_duration(
+          mpdu_duration(*link, static_cast<int>(pbs.size())));
+      mpdu.blocks = std::move(pbs);
+      burst.mpdus.push_back(std::move(mpdu));
+    }
+    util::require(!burst.mpdus.empty(),
+                  "HpavDevice::poll_transmit: link ready but yielded no PBs");
+    // MPDUCnt counts the MPDUs *remaining* after this one (0 = last).
+    const int total = static_cast<int>(burst.mpdus.size());
+    for (int i = 0; i < total; ++i) {
+      burst.mpdus[static_cast<std::size_t>(i)].sof.mpdu_cnt =
+          static_cast<std::uint8_t>(total - 1 - i);
+    }
+    staged_ = std::move(burst);
+  }
+
+  medium::TxDescriptor descriptor;
+  descriptor.priority = priority;
+  descriptor.mpdu_count = static_cast<int>(staged_->mpdus.size());
+  // The domain charges one payload duration per MPDU; with heterogeneous
+  // MPDU sizes we charge the longest (conservative, only differs when a
+  // tail MPDU is short).
+  des::SimTime longest = des::SimTime::zero();
+  for (const frames::Mpdu& mpdu : staged_->mpdus) {
+    longest = std::max(longest, mpdu.sof.frame_duration());
+    descriptor.sofs.push_back(mpdu.sof);
+  }
+  descriptor.mpdu_duration = longest;
+  return descriptor;
+}
+
+void HpavDevice::on_idle_slot() {
+  util::require(contending_.has_value(),
+                "HpavDevice::on_idle_slot: not contending");
+  entity_for(*contending_).on_idle_slot();
+}
+
+void HpavDevice::on_busy(bool transmitted, bool success) {
+  util::require(contending_.has_value(),
+                "HpavDevice::on_busy: not contending");
+  entity_for(*contending_).on_busy(transmitted, success);
+}
+
+void HpavDevice::on_transmission_complete(bool success) {
+  util::require(staged_.has_value(),
+                "HpavDevice: transmission completed with nothing staged");
+  StagedBurst burst = std::move(*staged_);
+  staged_.reset();
+  auto link_it = links_.find(burst.link);
+  util::require(link_it != links_.end(), "HpavDevice: staged link vanished");
+  Link& link = link_it->second;
+  HpavDevice* destination = network_.device_by_tei(link.dst_tei);
+  util::require(destination != nullptr,
+                "HpavDevice: staged destination vanished");
+
+  if (!success) {
+    // Collision: the destination decodes only the delimiters and answers
+    // all-blocks-bad; every PB returns to the head of the retransmission
+    // queue, in order.
+    counters_.on_tx_collided(link.dst_mac, link.priority,
+                             burst.mpdus.size());
+    for (auto mpdu_it = burst.mpdus.rbegin(); mpdu_it != burst.mpdus.rend();
+         ++mpdu_it) {
+      destination->hear_collided_mpdu(mpdu_it->sof);
+      for (auto pb_it = mpdu_it->blocks.rbegin();
+           pb_it != mpdu_it->blocks.rend(); ++pb_it) {
+        link.retx.push_front(std::move(*pb_it));
+      }
+    }
+    return;
+  }
+
+  // Success: hand each MPDU to the destination, apply its SACK.
+  const double pb_error_rate =
+      network_.link_pb_error_rate(tei_, link.dst_tei, config_.pb_error_rate);
+  for (frames::Mpdu& mpdu : burst.mpdus) {
+    // Channel error injection happens on the receiver side of the wire.
+    for (frames::PhysicalBlock& pb : mpdu.blocks) {
+      pb.received_ok = !rng_.bernoulli(pb_error_rate);
+    }
+    const frames::SackDelimiter sack = destination->receive_mpdu(mpdu);
+    util::require(sack.pb_ok.size() == mpdu.blocks.size(),
+                  "HpavDevice: SACK bitmap size mismatch");
+    counters_.on_tx_acked(link.dst_mac, link.priority, 1);
+    // Blocks the receiver flagged bad go back for retransmission.
+    for (std::size_t i = 0; i < sack.pb_ok.size(); ++i) {
+      if (!sack.pb_ok[i]) {
+        frames::PhysicalBlock pb = mpdu.blocks[i];
+        pb.received_ok = true;
+        link.retx.push_back(std::move(pb));
+      }
+    }
+  }
+  // The frame exchange is over; if the queue drained, stop contending.
+  if (select_head_link() == nullptr) {
+    contending_.reset();
+  }
+}
+
+// --- Receive path ------------------------------------------------------------
+
+frames::SackDelimiter HpavDevice::receive_mpdu(const frames::Mpdu& mpdu) {
+  util::require(mpdu.sof.dst_tei == tei_,
+                "HpavDevice::receive_mpdu: MPDU not addressed to me");
+  const int src_tei = mpdu.sof.src_tei;
+  RxStream& stream = rx_streams_[{src_tei, mpdu.sof.link_id}];
+  if (!stream.started && !mpdu.blocks.empty()) {
+    stream.expected_ssn = mpdu.blocks.front().ssn;
+    stream.started = true;
+  }
+
+  std::vector<bool> pb_ok;
+  pb_ok.reserve(mpdu.blocks.size());
+  int bad_blocks = 0;
+  for (const frames::PhysicalBlock& pb : mpdu.blocks) {
+    pb_ok.push_back(pb.received_ok);
+    if (!pb.received_ok) {
+      ++bad_blocks;
+      continue;
+    }
+    if (ssn_distance(pb.ssn, stream.expected_ssn) < 0) {
+      // Duplicate (already delivered); acknowledge and drop.
+      continue;
+    }
+    stream.out_of_order[pb.ssn] = pb;
+  }
+  // Drain the in-order prefix into the reassembler.
+  for (auto it = stream.out_of_order.find(stream.expected_ssn);
+       it != stream.out_of_order.end();
+       it = stream.out_of_order.find(stream.expected_ssn)) {
+    for (const frames::EthernetFrame& frame :
+         stream.reassembler.push_pb(it->second)) {
+      if (consume_plc_mme(frame)) continue;
+      ++host_frames_delivered_;
+      deliver_to_host(frame);
+    }
+    stream.out_of_order.erase(it);
+    ++stream.expected_ssn;
+  }
+
+  if (config_.adaptation.enabled) {
+    update_rx_adaptation(stream, mpdu, bad_blocks);
+  }
+
+  const frames::Priority priority = mpdu.sof.priority();
+  HpavDevice* source = network_.device_by_tei(src_tei);
+  const frames::MacAddress src_mac =
+      source != nullptr ? source->mac() : frames::MacAddress{};
+  counters_.on_rx_acked(src_mac, priority, 1);
+  return frames::SackDelimiter::from_outcomes(
+      static_cast<std::uint8_t>(tei_), mpdu.sof.src_tei, pb_ok);
+}
+
+void HpavDevice::update_rx_adaptation(RxStream& stream,
+                                      const frames::Mpdu& mpdu,
+                                      int bad_blocks) {
+  if (mpdu.blocks.empty()) return;
+  const auto& adaptation = config_.adaptation;
+  const double bad_fraction = static_cast<double>(bad_blocks) /
+                              static_cast<double>(mpdu.blocks.size());
+  stream.ewma_error = (1.0 - adaptation.ewma_alpha) * stream.ewma_error +
+                      adaptation.ewma_alpha * bad_fraction;
+
+  int target = stream.believed_profile;
+  if (stream.ewma_error > adaptation.step_down_threshold && target > 0) {
+    --target;  // More robust modulation.
+  } else if (stream.ewma_error < adaptation.step_up_threshold &&
+             target + 1 < kToneMapProfileCount) {
+    ++target;  // Faster modulation.
+  }
+  if (target == stream.believed_profile) return;
+
+  const des::SimTime now = network_.scheduler().now();
+  if (stream.update_sent &&
+      now - stream.last_update < adaptation.min_update_interval) {
+    return;  // Hysteresis.
+  }
+  HpavDevice* transmitter = network_.device_by_tei(mpdu.sof.src_tei);
+  if (transmitter == nullptr) return;
+
+  stream.believed_profile = target;
+  stream.last_update = now;
+  stream.update_sent = true;
+  // Nudging the EWMA toward the thresholds' midpoint avoids immediately
+  // re-triggering on the very next MPDU.
+  stream.ewma_error = 0.5 * (adaptation.step_down_threshold +
+                             adaptation.step_up_threshold);
+
+  mme::ToneMapUpdate update;
+  update.link_id = mpdu.sof.link_id;
+  update.profile = static_cast<std::uint8_t>(target);
+  update.error_permille = mme::ToneMapUpdate::to_permille(
+      std::min(1.0, std::max(0.0, stream.ewma_error)));
+  ++tonemap_updates_sent_;
+  // The update itself is a management frame contending at CA2 (§3.3).
+  enqueue_for_wire(update.to_mme(mac_, transmitter->mac()).to_ethernet(),
+                   frames::Priority::kCa2, /*is_mme=*/true);
+}
+
+bool HpavDevice::consume_plc_mme(const frames::EthernetFrame& frame) {
+  if (frame.ether_type != frames::kEtherTypeHomePlugAv) return false;
+  if (frame.destination != mac_) return false;
+  const mme::Mme mme = mme::Mme::from_ethernet(frame);
+  if (const auto update = mme::ToneMapUpdate::from_mme(mme)) {
+    ++tonemap_updates_received_;
+    HpavDevice* receiver = network_.device_by_mac(mme.source);
+    if (receiver != nullptr) {
+      const LinkKey key{receiver->tei(),
+                        static_cast<frames::Priority>(update->link_id & 3)};
+      const auto it = links_.find(key);
+      if (it != links_.end()) {
+        it->second.tx_profile =
+            std::min(std::max(0, static_cast<int>(update->profile)),
+                     kToneMapProfileCount - 1);
+      }
+    }
+    return true;  // Consumed by the firmware, never reaches the host.
+  }
+  return false;
+}
+
+void HpavDevice::hear_collided_mpdu(const frames::SofDelimiter& sof) {
+  util::require(sof.dst_tei == tei_,
+                "HpavDevice::hear_collided_mpdu: not addressed to me");
+  HpavDevice* source = network_.device_by_tei(sof.src_tei);
+  const frames::MacAddress src_mac =
+      source != nullptr ? source->mac() : frames::MacAddress{};
+  counters_.on_rx_collided(src_mac, sof.priority(), 1);
+}
+
+// --- Sniffer tap --------------------------------------------------------------
+
+void HpavDevice::on_medium_event(const medium::MediumEventRecord& record) {
+  if (!sniffer_enabled_) return;
+  for (const frames::SofDelimiter& sof : record.sofs) {
+    mme::SnifferIndication indication;
+    indication.timestamp_10ns =
+        mme::SnifferIndication::to_timestamp_10ns(record.start);
+    indication.sof = sof;
+    deliver_to_host(indication.to_mme(mac_, mac_).to_ethernet());
+  }
+}
+
+// --- Introspection -------------------------------------------------------------
+
+std::size_t HpavDevice::tx_backlog_pbs() const {
+  std::size_t total = 0;
+  for (const auto& [key, link] : links_) {
+    total += static_cast<std::size_t>(link.segmenter.complete_pb_count());
+    total += link.retx.size();
+  }
+  return total;
+}
+
+}  // namespace plc::emu

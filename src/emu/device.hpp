@@ -1,0 +1,285 @@
+// An emulated HomePlug AV station: the device-under-test of the paper's
+// testbed, rebuilt in software.
+//
+// A device has two faces:
+//   - a *host* Ethernet interface: data frames enter/leave here, and the
+//     host tools (tools::AmpStat, tools::Faifa) talk to the firmware here
+//     with vendor MMEs (0xA030 statistics, 0xA034 sniffer);
+//   - a *power-line* interface: the device contends on the shared
+//     medium::ContentionDomain with the full 1901 CSMA/CA (per-priority
+//     backoff, priority resolution via the domain, MPDU bursting,
+//     selective acknowledgments, PB retransmission).
+//
+// Data path: host Ethernet frames are aggregated into 512-byte physical
+// blocks per (destination, priority) link; when the backoff expires the
+// device assembles a burst of up to `burst_mpdus` MPDUs from the link's
+// PBs (retransmissions first). The paper measured that its devices use
+// bursts of 2 MPDUs (§3.1) — the default here.
+//
+// Documented deviations from real silicon (vendor-secret areas, §4.1):
+// the aggregation timeout and bit-loading algorithm are unknowns, so the
+// frame duration is either pinned (reproduction mode) or derived from a
+// static tone map; the aggregation timeout is a plain config knob.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "des/random.hpp"
+#include "des/scheduler.hpp"
+#include "emu/firmware_counters.hpp"
+#include "frames/ethernet.hpp"
+#include "frames/mpdu.hpp"
+#include "frames/pb.hpp"
+#include "frames/sack.hpp"
+#include "mac/backoff.hpp"
+#include "medium/domain.hpp"
+#include "medium/participant.hpp"
+#include "mme/header.hpp"
+#include "phy/tonemap.hpp"
+
+namespace plc::emu {
+
+class Network;
+
+/// Tuning knobs of one emulated device.
+struct DeviceConfig {
+  /// MPDUs per burst (1..4 per the standard; the paper's devices use 2).
+  int burst_mpdus = 2;
+  /// Physical blocks per MPDU at most. The default is small enough that a
+  /// saturated backlog always fills every MPDU of the burst completely,
+  /// so bursts have a constant shape (the paper's devices consistently
+  /// used 2-MPDU bursts in the isolated experiments, §3.1).
+  int max_pbs_per_mpdu = 16;
+  /// Per-MPDU on-wire payload duration in reproduction mode. The default
+  /// makes a 2-MPDU burst occupy 2050 us of payload — the paper's
+  /// frame_length — so a successful burst costs exactly Ts = 2542.64 us.
+  des::SimTime pinned_mpdu_duration = des::SimTime::from_ns(1'025'000);
+  /// When set, MPDU durations come from the tone map instead (duration of
+  /// the MPDU's PB payload).
+  std::optional<phy::ToneMap> tonemap;
+  /// Priority for host data frames.
+  frames::Priority data_priority = frames::Priority::kCa1;
+  /// Aggregation timeout: a partly-filled physical block is shipped once
+  /// its oldest byte has waited this long (vendor-unknown; documented
+  /// default).
+  des::SimTime aggregation_timeout = des::SimTime::from_us(500);
+  /// Channel error injection: probability that a delivered PB arrives
+  /// corrupted (exercises selective retransmission; 0 = the paper's
+  /// ideal-channel setting). Per-link Gilbert-Elliott channels installed
+  /// on the Network override this flat rate.
+  double pb_error_rate = 0.0;
+  /// Backoff parameters per priority; defaults to Table 1.
+  mac::BackoffConfig ca01 = mac::BackoffConfig::ca0_ca1();
+  mac::BackoffConfig ca23 = mac::BackoffConfig::ca2_ca3();
+
+  /// Tone-map adaptation — our documented model of §4.1's "management
+  /// messages exchanged for updating the modulation scheme when the
+  /// error rate of the channel changes". The *receiver* tracks an EWMA
+  /// of the PB error rate per link and, on threshold crossings, sends a
+  /// ToneMapUpdate MME (0xA038) to the transmitter, which switches the
+  /// link's modulation profile in the standard ladder
+  /// (mini-ROBO / std-ROBO / HS-ROBO / high-rate).
+  struct AdaptationConfig {
+    bool enabled = false;
+    /// When true, MPDU durations follow the link's current profile
+    /// (payload duration of its PBs) instead of pinned_mpdu_duration.
+    bool profile_durations = true;
+    double step_down_threshold = 0.10;  ///< EWMA error to go more robust.
+    double step_up_threshold = 0.01;    ///< EWMA error to go faster.
+    double ewma_alpha = 0.05;
+    /// Hysteresis: minimum spacing between updates for one link.
+    des::SimTime min_update_interval = des::SimTime::from_us(50'000);
+    /// Cap on a single MPDU's on-wire duration (limits PBs per MPDU on
+    /// robust profiles, as the standard's max frame length does).
+    des::SimTime max_frame_duration = des::SimTime::from_us(2050.0);
+  } adaptation;
+};
+
+/// The modulation-profile ladder used by tone-map adaptation. Index 0 is
+/// the most robust (mini-ROBO), index 3 the fastest (high-rate).
+inline constexpr int kToneMapProfileCount = 4;
+inline constexpr int kDefaultToneMapProfile = 3;
+const phy::ToneMap& tonemap_profile(int index);
+
+/// Callback receiving frames on the device's host interface.
+using HostReceiveFn = std::function<void(const frames::EthernetFrame&)>;
+
+/// The emulated station.
+class HpavDevice final : public medium::Participant,
+                         public medium::MediumObserver {
+ public:
+  HpavDevice(Network& network, int tei, frames::MacAddress mac,
+             DeviceConfig config, std::uint64_t seed);
+
+  // --- Host interface ----------------------------------------------------
+  /// Sends a frame from the host into the device. MMEs addressed to the
+  /// device itself are served by the firmware; everything else is queued
+  /// for power-line transmission.
+  void host_send(const frames::EthernetFrame& frame);
+
+  /// Installs the host-side receive callback (delivered data frames, MME
+  /// confirms, sniffer indications), replacing any previous listeners.
+  void set_host_receive(HostReceiveFn callback);
+
+  /// Adds an additional host-side listener (host tools subscribe here
+  /// without displacing the application's callback).
+  void add_host_listener(HostReceiveFn callback);
+
+  // --- Device-to-device management traffic (§3.3 / E10) ------------------
+  /// Starts emitting a management frame of `payload_bytes` to `peer`
+  /// every `interval` (the standard leaves rates vendor-defined; this
+  /// models tone-map maintenance chatter). Priority must be CA2 or CA3.
+  void start_periodic_mme(des::SimTime interval,
+                          const frames::MacAddress& peer,
+                          frames::Priority priority, int payload_bytes);
+
+  // --- medium::Participant ------------------------------------------------
+  bool has_pending_frame() override;
+  frames::Priority pending_priority() override;
+  std::optional<medium::TxDescriptor> poll_transmit() override;
+  void on_idle_slot() override;
+  void on_busy(bool transmitted, bool success) override;
+  void on_transmission_complete(bool success) override;
+  /// Devices serve their head link in TDMA allocations they own,
+  /// bypassing the backoff entity entirely.
+  std::optional<medium::TxDescriptor> poll_contention_free() override;
+
+  // --- medium::MediumObserver (sniffer tap) -------------------------------
+  void on_medium_event(const medium::MediumEventRecord& record) override;
+
+  // --- Introspection -------------------------------------------------------
+  int tei() const { return tei_; }
+  const frames::MacAddress& mac() const { return mac_; }
+  const FirmwareCounters& counters() const { return counters_; }
+  bool sniffer_enabled() const { return sniffer_enabled_; }
+  /// Tone-map maintenance statistics (adaptation mode).
+  std::int64_t tonemap_updates_sent() const { return tonemap_updates_sent_; }
+  std::int64_t tonemap_updates_received() const {
+    return tonemap_updates_received_;
+  }
+  /// Current transmit profile for the link to `dst_tei` at `priority`
+  /// (kDefaultToneMapProfile if the link does not exist).
+  int link_tx_profile(int dst_tei, frames::Priority priority) const;
+  /// Transmit backlog in physical blocks (complete PBs + retransmissions).
+  std::size_t tx_backlog_pbs() const;
+  std::int64_t host_frames_delivered() const { return host_frames_delivered_; }
+
+  /// Called by a transmitting peer: the device receives one MPDU and
+  /// answers with a selective acknowledgment (success path; the SACK's
+  /// airtime lives in the domain's success overhead).
+  frames::SackDelimiter receive_mpdu(const frames::Mpdu& mpdu);
+
+  /// Called by a transmitting peer whose MPDU to this device collided:
+  /// the delimiter was decodable, the payload was not (all-bad SACK).
+  void hear_collided_mpdu(const frames::SofDelimiter& sof);
+
+ private:
+  /// One (destination, priority) aggregation link.
+  struct Link {
+    int dst_tei = 0;
+    frames::MacAddress dst_mac;
+    frames::Priority priority = frames::Priority::kCa1;
+    bool is_mme = false;             ///< Flush immediately (management).
+    frames::Segmenter segmenter;
+    std::deque<frames::PhysicalBlock> retx;  ///< PBs awaiting retransmit.
+    des::SimTime oldest_arrival = des::SimTime::zero();
+    std::int64_t frames_enqueued = 0;
+    /// Transmit modulation profile (adaptation mode).
+    int tx_profile = kDefaultToneMapProfile;
+  };
+
+  struct LinkKey {
+    int dst_tei;
+    frames::Priority priority;
+    friend bool operator<(const LinkKey& a, const LinkKey& b) {
+      if (a.dst_tei != b.dst_tei) return a.dst_tei < b.dst_tei;
+      return a.priority < b.priority;
+    }
+  };
+
+  /// Per-source reassembly state on the receive side.
+  struct RxStream {
+    frames::Reassembler reassembler;
+    std::uint16_t expected_ssn = 0;
+    bool started = false;
+    std::map<std::uint16_t, frames::PhysicalBlock> out_of_order;
+    /// Receiver-side adaptation state (§4.1 model).
+    double ewma_error = 0.0;
+    int believed_profile = kDefaultToneMapProfile;
+    des::SimTime last_update = des::SimTime::zero();
+    bool update_sent = false;
+  };
+
+  void handle_local_mme(const mme::Mme& mme);
+  void deliver_to_host(const frames::EthernetFrame& frame);
+  void enqueue_for_wire(const frames::EthernetFrame& frame,
+                        frames::Priority priority, bool is_mme);
+  bool link_ready(const Link& link) const;
+  Link* select_head_link();          ///< Highest-priority ready link.
+  const Link* select_head_link() const;
+  des::SimTime mpdu_duration(const Link& link, int pb_count) const;
+  /// Largest PB count allowed per MPDU on this link (profile- and
+  /// max-frame-duration-aware in adaptation mode).
+  int max_pbs_for(const Link& link) const;
+  mac::Backoff1901& entity_for(frames::Priority priority);
+  /// Assembles (or re-uses) the staged burst from the head link and
+  /// describes it for the medium.
+  std::optional<medium::TxDescriptor> stage_and_describe(
+      frames::Priority priority);
+  void emit_periodic_mme(std::size_t index);
+  /// Receiver-side adaptation step after one MPDU's outcomes.
+  void update_rx_adaptation(RxStream& stream, const frames::Mpdu& mpdu,
+                            int bad_blocks);
+  /// Firmware-level handling of an MME that arrived over the power line;
+  /// returns true when consumed (not delivered to the host).
+  bool consume_plc_mme(const frames::EthernetFrame& frame);
+
+  Network& network_;
+  int tei_;
+  frames::MacAddress mac_;
+  DeviceConfig config_;
+  des::RandomStream rng_;
+  std::vector<HostReceiveFn> host_listeners_;
+
+  std::map<LinkKey, Link> links_;
+  /// Receive-side reassembly, keyed by (source TEI, link id): each link
+  /// carries an independent SSN sequence, so streams must not mix.
+  std::map<std::pair<int, int>, RxStream> rx_streams_;
+
+  /// Per-priority-class backoff entities (CA0/CA1 share one config, as do
+  /// CA2/CA3, but each class keeps its own counters).
+  std::unique_ptr<mac::Backoff1901> backoff_ca01_;
+  std::unique_ptr<mac::Backoff1901> backoff_ca23_;
+  /// Priority class the device is currently contending at.
+  std::optional<frames::Priority> contending_;
+
+  /// The burst staged by the last poll_transmit, awaiting its outcome.
+  struct StagedBurst {
+    LinkKey link;
+    std::vector<frames::Mpdu> mpdus;
+  };
+  std::optional<StagedBurst> staged_;
+
+  FirmwareCounters counters_;
+  bool sniffer_enabled_ = false;
+  std::int64_t host_frames_delivered_ = 0;
+  std::int64_t tonemap_updates_sent_ = 0;
+  std::int64_t tonemap_updates_received_ = 0;
+
+  struct PeriodicMme {
+    des::SimTime interval;
+    frames::MacAddress peer;
+    frames::Priority priority;
+    int payload_bytes;
+    std::uint32_t sequence = 0;
+  };
+  std::vector<PeriodicMme> periodic_mmes_;
+};
+
+}  // namespace plc::emu

@@ -1,0 +1,58 @@
+#include "emu/firmware_counters.hpp"
+
+namespace plc::emu {
+
+void FirmwareCounters::on_tx_acked(const frames::MacAddress& peer,
+                                   frames::Priority priority,
+                                   std::uint64_t count) {
+  counters_[Key{peer, priority, mme::StatDirection::kTx}].acknowledged +=
+      count;
+}
+
+void FirmwareCounters::on_tx_collided(const frames::MacAddress& peer,
+                                      frames::Priority priority,
+                                      std::uint64_t count) {
+  LinkCounters& link =
+      counters_[Key{peer, priority, mme::StatDirection::kTx}];
+  // A collided MPDU is still acknowledged (all-blocks-bad SACK).
+  link.acknowledged += count;
+  link.collided += count;
+}
+
+void FirmwareCounters::on_rx_acked(const frames::MacAddress& peer,
+                                   frames::Priority priority,
+                                   std::uint64_t count) {
+  counters_[Key{peer, priority, mme::StatDirection::kRx}].acknowledged +=
+      count;
+}
+
+void FirmwareCounters::on_rx_collided(const frames::MacAddress& peer,
+                                      frames::Priority priority,
+                                      std::uint64_t count) {
+  LinkCounters& link =
+      counters_[Key{peer, priority, mme::StatDirection::kRx}];
+  link.acknowledged += count;
+  link.collided += count;
+}
+
+LinkCounters FirmwareCounters::read(const frames::MacAddress& peer,
+                                    frames::Priority priority,
+                                    mme::StatDirection direction) const {
+  const auto it = counters_.find(Key{peer, priority, direction});
+  return it == counters_.end() ? LinkCounters{} : it->second;
+}
+
+void FirmwareCounters::reset_all() { counters_.clear(); }
+
+LinkCounters FirmwareCounters::tx_totals() const {
+  LinkCounters totals;
+  for (const auto& [key, link] : counters_) {
+    if (key.direction != mme::StatDirection::kTx) continue;
+    totals.acknowledged += link.acknowledged;
+    totals.collided += link.collided;
+    totals.fc_errors += link.fc_errors;
+  }
+  return totals;
+}
+
+}  // namespace plc::emu

@@ -1,0 +1,38 @@
+#include "frames/ethernet.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace plc::frames {
+
+std::size_t EthernetFrame::wire_size() const {
+  return 14 + std::max(payload.size(), kMinEthernetPayload);
+}
+
+std::vector<std::uint8_t> EthernetFrame::serialize() const {
+  util::require(payload.size() <= kMaxEthernetPayload,
+                "EthernetFrame: payload exceeds 1500 bytes");
+  std::vector<std::uint8_t> bytes(wire_size(), 0);
+  destination.write_to(std::span(bytes).subspan(0, 6));
+  source.write_to(std::span(bytes).subspan(6, 6));
+  bytes[12] = static_cast<std::uint8_t>(ether_type >> 8);
+  bytes[13] = static_cast<std::uint8_t>(ether_type & 0xFF);
+  std::copy(payload.begin(), payload.end(), bytes.begin() + 14);
+  return bytes;
+}
+
+EthernetFrame EthernetFrame::deserialize(
+    std::span<const std::uint8_t> bytes) {
+  util::require(bytes.size() >= 14,
+                "EthernetFrame::deserialize: shorter than header");
+  EthernetFrame frame;
+  frame.destination = MacAddress::read_from(bytes.subspan(0, 6));
+  frame.source = MacAddress::read_from(bytes.subspan(6, 6));
+  frame.ether_type =
+      static_cast<std::uint16_t>(bytes[12] << 8 | bytes[13]);
+  frame.payload.assign(bytes.begin() + 14, bytes.end());
+  return frame;
+}
+
+}  // namespace plc::frames

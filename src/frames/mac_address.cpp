@@ -1,0 +1,62 @@
+#include "frames/mac_address.hpp"
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace plc::frames {
+
+namespace {
+int hex_digit(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+}  // namespace
+
+MacAddress MacAddress::parse(std::string_view text) {
+  util::check_arg(text.size() == 17, "mac",
+                  "expected aa:bb:cc:dd:ee:ff (17 chars)");
+  std::array<std::uint8_t, 6> bytes{};
+  for (int i = 0; i < 6; ++i) {
+    const std::size_t offset = static_cast<std::size_t>(i) * 3;
+    const int hi = hex_digit(text[offset]);
+    const int lo = hex_digit(text[offset + 1]);
+    util::check_arg(hi >= 0 && lo >= 0, "mac", "invalid hex digit");
+    if (i != 5) {
+      util::check_arg(text[offset + 2] == ':', "mac", "expected ':'");
+    }
+    bytes[static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(hi << 4 | lo);
+  }
+  return MacAddress(bytes);
+}
+
+MacAddress MacAddress::for_station(int index) {
+  util::check_arg(index >= 0 && index <= 0xFF, "index",
+                  "station index must be in [0, 255]");
+  return MacAddress(
+      {0x02, 0x19, 0x01, 0x00, 0x00, static_cast<std::uint8_t>(index)});
+}
+
+void MacAddress::write_to(std::span<std::uint8_t> out) const {
+  util::require(out.size() >= 6, "MacAddress::write_to: buffer too small");
+  for (int i = 0; i < 6; ++i) {
+    out[static_cast<std::size_t>(i)] = bytes_[static_cast<std::size_t>(i)];
+  }
+}
+
+MacAddress MacAddress::read_from(std::span<const std::uint8_t> in) {
+  util::require(in.size() >= 6, "MacAddress::read_from: buffer too small");
+  std::array<std::uint8_t, 6> bytes{};
+  for (int i = 0; i < 6; ++i) {
+    bytes[static_cast<std::size_t>(i)] = in[static_cast<std::size_t>(i)];
+  }
+  return MacAddress(bytes);
+}
+
+std::string MacAddress::to_string() const {
+  return util::to_hex(bytes_, ':');
+}
+
+}  // namespace plc::frames

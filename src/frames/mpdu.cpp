@@ -1,0 +1,78 @@
+#include "frames/mpdu.hpp"
+
+#include "util/error.hpp"
+
+namespace plc::frames {
+
+const char* to_string(Priority p) {
+  switch (p) {
+    case Priority::kCa0: return "CA0";
+    case Priority::kCa1: return "CA1";
+    case Priority::kCa2: return "CA2";
+    case Priority::kCa3: return "CA3";
+  }
+  return "CA?";
+}
+
+std::uint8_t crc8(std::span<const std::uint8_t> bytes) {
+  std::uint8_t crc = 0;
+  for (const std::uint8_t byte : bytes) {
+    crc ^= byte;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc & 0x80) != 0
+                ? static_cast<std::uint8_t>((crc << 1) ^ 0x07)
+                : static_cast<std::uint8_t>(crc << 1);
+    }
+  }
+  return crc;
+}
+
+void SofDelimiter::set_frame_duration(des::SimTime duration) {
+  util::check_arg(duration >= des::SimTime::zero(), "duration",
+                  "must be non-negative");
+  const std::int64_t units =
+      (duration.ns() + kFrameLengthUnitNs - 1) / kFrameLengthUnitNs;
+  util::check_arg(units <= 0xFFFF, "duration",
+                  "exceeds the SoF frame-length field range");
+  frame_length_units = static_cast<std::uint16_t>(units);
+}
+
+std::vector<std::uint8_t> SofDelimiter::encode() const {
+  std::vector<std::uint8_t> bytes(kSofWireBytes, 0);
+  bytes[0] = static_cast<std::uint8_t>(DelimiterType::kStartOfFrame);
+  bytes[1] = src_tei;
+  bytes[2] = dst_tei;
+  bytes[3] = link_id;
+  bytes[4] = mpdu_cnt;
+  bytes[5] = pb_count;
+  bytes[6] = static_cast<std::uint8_t>((sack_requested ? 0x01 : 0x00) |
+                                       (mme_flag ? 0x02 : 0x00));
+  bytes[7] = static_cast<std::uint8_t>(frame_length_units >> 8);
+  bytes[8] = static_cast<std::uint8_t>(frame_length_units & 0xFF);
+  // Bytes 9..14 reserved (zero).
+  bytes[15] = crc8(std::span(bytes).first(kSofWireBytes - 1));
+  return bytes;
+}
+
+SofDelimiter SofDelimiter::decode(std::span<const std::uint8_t> bytes) {
+  util::require(bytes.size() == kSofWireBytes,
+                "SofDelimiter::decode: wrong length");
+  util::require(bytes[15] == crc8(bytes.first(kSofWireBytes - 1)),
+                "SofDelimiter::decode: frame-control CRC mismatch");
+  util::require(bytes[0] ==
+                    static_cast<std::uint8_t>(DelimiterType::kStartOfFrame),
+                "SofDelimiter::decode: not a start-of-frame delimiter");
+  SofDelimiter sof;
+  sof.src_tei = bytes[1];
+  sof.dst_tei = bytes[2];
+  sof.link_id = bytes[3];
+  sof.mpdu_cnt = bytes[4];
+  sof.pb_count = bytes[5];
+  sof.sack_requested = (bytes[6] & 0x01) != 0;
+  sof.mme_flag = (bytes[6] & 0x02) != 0;
+  sof.frame_length_units =
+      static_cast<std::uint16_t>(bytes[7] << 8 | bytes[8]);
+  return sof;
+}
+
+}  // namespace plc::frames

@@ -1,0 +1,81 @@
+// MPDUs and their Start-of-Frame (SoF) delimiters.
+//
+// Every PLC frame on the wire opens with a delimiter (preamble + frame
+// control) that is modulated robustly enough to be decodable even when the
+// payload collides. The paper's sniffer methodology (§3.3) reads exactly
+// these SoF fields: the Link ID gives the priority (distinguishing CA1
+// data from CA2/CA3 management traffic), MPDUCnt marks the remaining
+// MPDUs of a burst (0 = last), and the source TEI identifies the
+// transmitter for fairness traces.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "des/time.hpp"
+#include "frames/pb.hpp"
+
+namespace plc::frames {
+
+/// Serialized SoF frame-control size in bytes.
+inline constexpr std::size_t kSofWireBytes = 16;
+
+/// Frame-length field unit: the SoF encodes the payload duration in
+/// multiples of 1.28 us, as HomePlug AV does.
+inline constexpr std::int64_t kFrameLengthUnitNs = 1'280;
+
+/// Delimiter types carried in the frame-control DT field.
+enum class DelimiterType : std::uint8_t {
+  kBeacon = 0,
+  kStartOfFrame = 1,
+  kSack = 2,
+  kRtsCts = 3,
+  kSound = 4,
+};
+
+/// Channel-access priority classes (Table 1). CA0/CA1 carry best-effort
+/// traffic (CA1 is the default), CA2/CA3 delay-sensitive traffic; MMEs are
+/// sent at CA2/CA3 (§3.3).
+enum class Priority : std::uint8_t { kCa0 = 0, kCa1 = 1, kCa2 = 2, kCa3 = 3 };
+
+/// Returns the two priority-resolution bits of a class: CA3 = 0b11 ...
+/// CA0 = 0b00 (bit 1 asserted in PRS0, bit 0 in PRS1).
+constexpr int priority_bits(Priority p) { return static_cast<int>(p); }
+
+const char* to_string(Priority p);
+
+/// The Start-of-Frame delimiter fields used by the framework.
+struct SofDelimiter {
+  std::uint8_t src_tei = 0;   ///< Transmitter's terminal equipment id.
+  std::uint8_t dst_tei = 0;   ///< Receiver's terminal equipment id.
+  std::uint8_t link_id = 0;   ///< Link/priority id; maps to Priority.
+  std::uint8_t mpdu_cnt = 0;  ///< MPDUs *remaining* in the burst (0=last).
+  std::uint8_t pb_count = 0;  ///< Physical blocks in this MPDU.
+  bool sack_requested = true; ///< Whether the receiver must respond.
+  bool mme_flag = false;      ///< Payload carries a management message.
+  std::uint16_t frame_length_units = 0;  ///< Payload duration / 1.28 us.
+
+  /// Priority class encoded in the link id.
+  Priority priority() const { return static_cast<Priority>(link_id & 0x03); }
+
+  des::SimTime frame_duration() const {
+    return des::SimTime::from_ns(frame_length_units * kFrameLengthUnitNs);
+  }
+  void set_frame_duration(des::SimTime duration);
+
+  /// Byte-level frame-control codec (16 bytes, CRC-8 in the last byte).
+  std::vector<std::uint8_t> encode() const;
+  static SofDelimiter decode(std::span<const std::uint8_t> bytes);
+};
+
+/// A MAC protocol data unit: SoF delimiter plus payload blocks.
+struct Mpdu {
+  SofDelimiter sof;
+  std::vector<PhysicalBlock> blocks;
+};
+
+/// CRC-8 (polynomial 0x07) over a byte span; used by the delimiter codecs.
+std::uint8_t crc8(std::span<const std::uint8_t> bytes);
+
+}  // namespace plc::frames

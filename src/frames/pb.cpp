@@ -1,0 +1,93 @@
+#include "frames/pb.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace plc::frames {
+
+void Segmenter::push_frame(const EthernetFrame& frame) {
+  const std::vector<std::uint8_t> bytes = frame.serialize();
+  util::require(bytes.size() <= 0xFFFF,
+                "Segmenter: serialized frame too large");
+  stream_.push_back(static_cast<std::uint8_t>(bytes.size() >> 8));
+  stream_.push_back(static_cast<std::uint8_t>(bytes.size() & 0xFF));
+  stream_.insert(stream_.end(), bytes.begin(), bytes.end());
+}
+
+int Segmenter::complete_pb_count() const {
+  return static_cast<int>(stream_.size() / kPbBytes);
+}
+
+std::vector<PhysicalBlock> Segmenter::pop_pbs(int max_pbs, bool flush) {
+  util::check_arg(max_pbs >= 0, "max_pbs", "must be non-negative");
+  std::vector<PhysicalBlock> pbs;
+  while (static_cast<int>(pbs.size()) < max_pbs) {
+    const std::size_t available = stream_.size();
+    if (available == 0) break;
+    if (available < kPbBytes && !flush) break;
+    PhysicalBlock pb;
+    pb.ssn = next_ssn_++;
+    const std::size_t take = std::min(available, kPbBytes);
+    pb.used = static_cast<std::uint16_t>(take);
+    for (std::size_t i = 0; i < take; ++i) {
+      pb.body[i] = stream_.front();
+      stream_.pop_front();
+    }
+    pbs.push_back(pb);
+  }
+  return pbs;
+}
+
+bool Reassembler::range_corrupt(std::size_t begin, std::size_t end) const {
+  for (const auto& [c_begin, c_end] : corrupt_ranges_) {
+    if (begin < c_end && c_begin < end) return true;
+  }
+  return false;
+}
+
+void Reassembler::compact() {
+  if (consumed_ == 0) return;
+  stream_.erase(stream_.begin(),
+                stream_.begin() + static_cast<std::ptrdiff_t>(consumed_));
+  std::vector<std::pair<std::size_t, std::size_t>> shifted;
+  for (const auto& [begin, end] : corrupt_ranges_) {
+    if (end > consumed_) {
+      shifted.emplace_back(begin > consumed_ ? begin - consumed_ : 0,
+                           end - consumed_);
+    }
+  }
+  corrupt_ranges_ = std::move(shifted);
+  consumed_ = 0;
+}
+
+std::vector<EthernetFrame> Reassembler::push_pb(const PhysicalBlock& pb) {
+  const std::size_t begin = stream_.size();
+  stream_.insert(stream_.end(), pb.body.begin(), pb.body.begin() + pb.used);
+  if (!pb.received_ok) {
+    corrupt_ranges_.emplace_back(begin, begin + pb.used);
+  }
+
+  std::vector<EthernetFrame> frames;
+  // Extract complete length-prefixed frames from the head of the stream.
+  while (stream_.size() - consumed_ >= 2) {
+    const std::size_t length =
+        static_cast<std::size_t>(stream_[consumed_]) << 8 |
+        stream_[consumed_ + 1];
+    if (stream_.size() - consumed_ - 2 < length) break;
+    const std::size_t frame_begin = consumed_;
+    const std::size_t frame_end = consumed_ + 2 + length;
+    if (range_corrupt(frame_begin, frame_end)) {
+      ++frames_dropped_;
+    } else {
+      frames.push_back(EthernetFrame::deserialize(
+          std::span(stream_).subspan(frame_begin + 2, length)));
+      ++frames_delivered_;
+    }
+    consumed_ = frame_end;
+  }
+  compact();
+  return frames;
+}
+
+}  // namespace plc::frames

@@ -1,0 +1,94 @@
+#include "mac/backoff.hpp"
+
+#include <utility>
+
+#include "util/error.hpp"
+
+namespace plc::mac {
+
+Backoff1901::Backoff1901(BackoffConfig config, des::RandomStream rng)
+    : config_(std::move(config)), rng_(std::move(rng)) {
+  config_.validate();
+  start_new_frame();
+}
+
+void Backoff1901::start_new_frame() {
+  bpc_ = 0;
+  redraw();
+}
+
+void Backoff1901::redraw() {
+  stage_ = config_.stage_for_bpc(bpc_);
+  cw_ = config_.cw[static_cast<std::size_t>(stage_)];
+  dc_ = config_.dc[static_cast<std::size_t>(stage_)];
+  bc_ = rng_.draw_backoff(cw_);
+  ++bpc_;
+}
+
+void Backoff1901::on_idle_slot() {
+  util::require(bc_ > 0,
+                "Backoff1901::on_idle_slot: entity was ready to transmit");
+  --bc_;
+}
+
+void Backoff1901::on_busy(bool transmitted, bool success) {
+  if (transmitted) {
+    util::require(bc_ == 0, "Backoff1901::on_busy: transmitted with BC != 0");
+    if (success) {
+      bpc_ = 0;  // The next redraw restarts from stage 0.
+    }
+    redraw();
+    return;
+  }
+  // Sensed the medium busy without transmitting.
+  if (dc_ == 0) {
+    // Deferral counter expired: jump to the next backoff stage without
+    // attempting a transmission.
+    redraw();
+    return;
+  }
+  --dc_;
+  --bc_;
+}
+
+BackoffDcf::BackoffDcf(int cw_min, int cw_max, des::RandomStream rng)
+    : cw_min_(cw_min), cw_max_(cw_max), rng_(std::move(rng)) {
+  util::check_arg(cw_min >= 1, "cw_min", "must be >= 1");
+  util::check_arg(cw_max >= cw_min, "cw_max", "must be >= cw_min");
+  start_new_frame();
+}
+
+void BackoffDcf::start_new_frame() {
+  retries_ = 0;
+  redraw();
+}
+
+void BackoffDcf::redraw() {
+  cw_ = cw_min_;
+  for (int i = 0; i < retries_ && cw_ < cw_max_; ++i) {
+    cw_ = std::min(cw_ * 2, cw_max_);
+  }
+  bc_ = rng_.draw_backoff(cw_);
+}
+
+void BackoffDcf::on_idle_slot() {
+  util::require(bc_ > 0,
+                "BackoffDcf::on_idle_slot: entity was ready to transmit");
+  --bc_;
+}
+
+void BackoffDcf::on_busy(bool transmitted, bool success) {
+  if (!transmitted) {
+    // 802.11 freezes the backoff counter during busy periods.
+    return;
+  }
+  util::require(bc_ == 0, "BackoffDcf::on_busy: transmitted with BC != 0");
+  if (success) {
+    retries_ = 0;
+  } else {
+    ++retries_;
+  }
+  redraw();
+}
+
+}  // namespace plc::mac

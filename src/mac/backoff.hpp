@@ -1,0 +1,127 @@
+// The IEEE 1901 backoff entity: the deferral-counter CSMA/CA state
+// machine of §2, exactly as the standard (and the paper's reference
+// simulator) specifies it.
+//
+// State: three counters.
+//   BC  (backoff counter)            slots left before transmitting;
+//   DC  (deferral counter)           busy events tolerated before jumping;
+//   BPC (backoff procedure counter)  number of redraws since the last
+//                                    success; selects the backoff stage.
+//
+// Transitions, per medium event:
+//   idle slot          -> BC--            (transmit when BC reaches 0)
+//   busy, DC > 0       -> BC--, DC--
+//   busy, DC == 0      -> jump: BPC++, redraw at stage min(BPC, m-1)
+//   own tx success     -> BPC = 0, redraw at stage 0
+//   own tx collision   -> BPC++, redraw at stage min(BPC, m-1)
+// where "redraw at stage i" sets CW = cw[i], DC = dc[i] and draws BC
+// uniformly from {0, ..., CW-1}.
+#pragma once
+
+#include <memory>
+
+#include "des/random.hpp"
+#include "mac/config.hpp"
+
+namespace plc::mac {
+
+/// Abstract CSMA/CA counter machine, driven by medium events.
+///
+/// The contention domain (or the slot simulator) calls exactly one of
+/// on_idle_slot()/on_busy() per medium event for every contending station,
+/// and polls ready_to_transmit() at each slot boundary.
+class BackoffEntity {
+ public:
+  virtual ~BackoffEntity() = default;
+
+  /// Starts contention for a fresh frame (stage 0, fresh draw). Also used
+  /// when a station becomes backlogged again after an idle period.
+  virtual void start_new_frame() = 0;
+
+  /// True when the entity transmits at the next slot boundary (BC == 0).
+  virtual bool ready_to_transmit() const = 0;
+
+  /// An idle backoff slot elapsed. Precondition: !ready_to_transmit().
+  virtual void on_idle_slot() = 0;
+
+  /// A busy medium event elapsed. `transmitted` tells whether this entity
+  /// was (one of) the transmitter(s); `success` is meaningful only when
+  /// `transmitted` is true.
+  virtual void on_busy(bool transmitted, bool success) = 0;
+
+  // Observability (used by traces, tests and the Figure 1 reproduction).
+  virtual int backoff_counter() const = 0;
+  virtual int deferral_counter() const = 0;
+  virtual int backoff_procedure_counter() const = 0;
+  virtual int contention_window() const = 0;
+  virtual int stage() const = 0;
+};
+
+/// The 1901 deferral-counter entity (Table 1 semantics).
+class Backoff1901 final : public BackoffEntity {
+ public:
+  /// `config` must satisfy BackoffConfig::validate(). The entity draws
+  /// from its own `rng` stream.
+  Backoff1901(BackoffConfig config, des::RandomStream rng);
+
+  void start_new_frame() override;
+  bool ready_to_transmit() const override { return bc_ == 0; }
+  void on_idle_slot() override;
+  void on_busy(bool transmitted, bool success) override;
+
+  int backoff_counter() const override { return bc_; }
+  int deferral_counter() const override { return dc_; }
+  int backoff_procedure_counter() const override { return bpc_; }
+  int contention_window() const override { return cw_; }
+  /// The stage whose (CW, d) parameters are currently in force.
+  int stage() const override { return stage_; }
+
+  const BackoffConfig& config() const { return config_; }
+
+ private:
+  /// Applies stage parameters for the current BPC and draws a fresh BC.
+  void redraw();
+
+  BackoffConfig config_;
+  des::RandomStream rng_;
+  int bpc_ = 0;
+  int stage_ = 0;
+  int bc_ = 0;
+  int dc_ = 0;
+  int cw_ = 0;
+};
+
+/// The 802.11 DCF entity (binary exponential backoff) on the same
+/// interface, for the paper's 1901-vs-802.11 comparisons.
+///
+/// Differences from Backoff1901: no deferral counter, and the backoff
+/// counter *freezes* during busy events (802.11 resumes the count after
+/// the medium clears instead of consuming one count per busy event).
+class BackoffDcf final : public BackoffEntity {
+ public:
+  /// Binary exponential backoff from cw_min doubling up to cw_max.
+  BackoffDcf(int cw_min, int cw_max, des::RandomStream rng);
+
+  void start_new_frame() override;
+  bool ready_to_transmit() const override { return bc_ == 0; }
+  void on_idle_slot() override;
+  void on_busy(bool transmitted, bool success) override;
+
+  int backoff_counter() const override { return bc_; }
+  int deferral_counter() const override { return kDeferralDisabled; }
+  int backoff_procedure_counter() const override { return retries_; }
+  int contention_window() const override { return cw_; }
+  int stage() const override { return retries_; }
+
+ private:
+  void redraw();
+
+  int cw_min_;
+  int cw_max_;
+  des::RandomStream rng_;
+  int retries_ = 0;
+  int cw_ = 0;
+  int bc_ = 0;
+};
+
+}  // namespace plc::mac

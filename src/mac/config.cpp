@@ -1,0 +1,64 @@
+#include "mac/config.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace plc::mac {
+
+int BackoffConfig::stage_for_bpc(int bpc) const {
+  util::require(bpc >= 0, "BackoffConfig::stage_for_bpc: bpc negative");
+  return std::min(bpc, stage_count() - 1);
+}
+
+void BackoffConfig::validate() const {
+  util::check_arg(!cw.empty(), "cw", "must have at least one stage");
+  util::check_arg(cw.size() == dc.size(), "dc",
+                  "must have the same number of stages as cw");
+  for (const int w : cw) {
+    util::check_arg(w >= 1, "cw", "every contention window must be >= 1");
+  }
+  for (const int d : dc) {
+    util::check_arg(d >= 0, "dc",
+                    "every deferral counter value must be >= 0");
+  }
+}
+
+BackoffConfig BackoffConfig::ca0_ca1() {
+  BackoffConfig config;
+  config.name = "CA0/CA1";
+  config.cw = {8, 16, 32, 64};
+  config.dc = {0, 1, 3, 15};
+  return config;
+}
+
+BackoffConfig BackoffConfig::ca2_ca3() {
+  BackoffConfig config;
+  config.name = "CA2/CA3";
+  config.cw = {8, 16, 16, 32};
+  config.dc = {0, 1, 3, 15};
+  return config;
+}
+
+BackoffConfig BackoffConfig::for_priority(int ca_priority) {
+  util::check_arg(ca_priority >= 0 && ca_priority <= 3, "ca_priority",
+                  "must be in [0, 3]");
+  return ca_priority >= 2 ? ca2_ca3() : ca0_ca1();
+}
+
+BackoffConfig BackoffConfig::dcf_like(int cw_min, int stages) {
+  util::check_arg(cw_min >= 1, "cw_min", "must be >= 1");
+  util::check_arg(stages >= 1, "stages", "must be >= 1");
+  BackoffConfig config;
+  config.name = "dcf-like";
+  config.cw.reserve(static_cast<std::size_t>(stages));
+  int window = cw_min;
+  for (int i = 0; i < stages; ++i) {
+    config.cw.push_back(window);
+    config.dc.push_back(kDeferralDisabled);
+    if (window <= (1 << 29)) window *= 2;
+  }
+  return config;
+}
+
+}  // namespace plc::mac

@@ -1,0 +1,58 @@
+// IEEE 1901 CSMA/CA backoff parameters (Table 1 of the paper).
+//
+// Each backoff stage i has a contention window CW_i and an initial
+// deferral-counter value d_i. The backoff procedure counter (BPC) selects
+// the stage: BPC values beyond the last stage re-use the last stage's
+// parameters ("re-enters the last backoff stage").
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace plc::mac {
+
+/// Per-stage CSMA/CA parameters for a priority class.
+///
+/// Invariants (checked by validate/constructors): cw and dc are non-empty,
+/// of equal length, every cw >= 1, every dc >= 0.
+struct BackoffConfig {
+  std::string name;
+  /// Contention window per backoff stage: BC is drawn uniformly from
+  /// {0, ..., cw[i]-1}.
+  std::vector<int> cw;
+  /// Initial deferral counter per backoff stage.
+  std::vector<int> dc;
+
+  int stage_count() const { return static_cast<int>(cw.size()); }
+
+  /// Stage index used for a given BPC value: min(bpc, stages-1).
+  int stage_for_bpc(int bpc) const;
+
+  /// Throws plc::Error when the invariants are violated.
+  void validate() const;
+
+  // --- Table 1 presets ----------------------------------------------------
+  /// CA0/CA1 (best-effort, the default for data): CW = {8,16,32,64},
+  /// d = {0,1,3,15}.
+  static BackoffConfig ca0_ca1();
+  /// CA2/CA3 (delay-sensitive; MMEs use these): CW = {8,16,16,32},
+  /// d = {0,1,3,15}.
+  static BackoffConfig ca2_ca3();
+
+  /// The Table 1 preset appropriate for a CA priority (0..3).
+  static BackoffConfig for_priority(int ca_priority);
+
+  /// An 802.11-like configuration expressed in 1901 terms: binary
+  /// exponential CW growth from cw_min over `stages` stages and deferral
+  /// counters disabled (effectively infinite, encoded as a large value),
+  /// so stations only change stage on collision. Used by the ablation
+  /// experiments isolating the deferral counter's effect.
+  static BackoffConfig dcf_like(int cw_min, int stages);
+};
+
+/// A value large enough that the deferral counter never reaches zero in
+/// any practical simulation; encodes "deferral disabled".
+inline constexpr int kDeferralDisabled = 1 << 30;
+
+}  // namespace plc::mac

@@ -1,0 +1,78 @@
+#include "medium/beacon.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace plc::medium {
+
+BeaconSchedule::BeaconSchedule(des::SimTime period,
+                               des::SimTime beacon_duration,
+                               std::vector<TdmaAllocation> allocations)
+    : period_(period),
+      beacon_duration_(beacon_duration),
+      allocations_(std::move(allocations)) {
+  util::check_arg(period > des::SimTime::zero(), "period",
+                  "must be positive");
+  util::check_arg(beacon_duration > des::SimTime::zero() &&
+                      beacon_duration < period,
+                  "beacon_duration", "must be within the period");
+  std::sort(allocations_.begin(), allocations_.end(),
+            [](const TdmaAllocation& a, const TdmaAllocation& b) {
+              return a.offset < b.offset;
+            });
+  des::SimTime previous_end = beacon_duration;
+  for (const TdmaAllocation& allocation : allocations_) {
+    util::check_arg(allocation.participant_id >= 0, "allocations",
+                    "participant_id must be set");
+    util::check_arg(allocation.duration > des::SimTime::zero(),
+                    "allocations", "durations must be positive");
+    util::check_arg(allocation.offset >= previous_end, "allocations",
+                    "allocations must not overlap the beacon or each other");
+    previous_end = allocation.offset + allocation.duration;
+    util::check_arg(previous_end <= period, "allocations",
+                    "allocations must fit inside the period");
+  }
+}
+
+BeaconSchedule BeaconSchedule::default_60hz(
+    std::vector<TdmaAllocation> allocations) {
+  // Two 60 Hz AC cycles; a 1 ms beacon region.
+  return BeaconSchedule(des::SimTime::from_us(33'333.33),
+                        des::SimTime::from_us(1'000.0),
+                        std::move(allocations));
+}
+
+BeaconSchedule::Region BeaconSchedule::region_at(des::SimTime t) const {
+  const std::int64_t period_ns = period_.ns();
+  const std::int64_t within =
+      ((t.ns() % period_ns) + period_ns) % period_ns;
+  const des::SimTime period_start = des::SimTime::from_ns(t.ns() - within);
+  const des::SimTime offset = des::SimTime::from_ns(within);
+
+  Region region;
+  if (offset < beacon_duration_) {
+    region.kind = RegionKind::kBeacon;
+    region.end = period_start + beacon_duration_;
+    return region;
+  }
+  for (const TdmaAllocation& allocation : allocations_) {
+    if (offset < allocation.offset) {
+      // CSMA gap before this allocation.
+      region.kind = RegionKind::kCsma;
+      region.end = period_start + allocation.offset;
+      return region;
+    }
+    if (offset < allocation.offset + allocation.duration) {
+      region.kind = RegionKind::kTdma;
+      region.owner = allocation.participant_id;
+      region.end = period_start + allocation.offset + allocation.duration;
+      return region;
+    }
+  }
+  region.kind = RegionKind::kCsma;
+  region.end = period_start + period_;
+  return region;
+}
+
+}  // namespace plc::medium

@@ -1,0 +1,66 @@
+// The IEEE 1901 beacon period: hybrid TDMA/CSMA medium structure.
+//
+// 1901 is not pure CSMA: a central coordinator (CCo) broadcasts a beacon
+// every beacon period (two AC line cycles, 33.33 ms at 60 Hz / 40 ms at
+// 50 Hz) that partitions the period into
+//   - the beacon region itself,
+//   - contention-free TDMA allocations granted to specific stations
+//     (used for QoS flows — no backoff, no collisions), and
+//   - the CSMA region, where the Section-2 CSMA/CA of the paper runs.
+// The paper studies the CSMA region in isolation (its §3.3 sniffer traces
+// show the beacons go by); this module adds the surrounding structure so
+// QoS experiments (TDMA jitter vs CSMA jitter) are possible.
+//
+// A frame exchange must fit inside its region: stations defer rather than
+// cross a boundary, so a region's tail can idle (accounted separately).
+#pragma once
+
+#include <vector>
+
+#include "des/time.hpp"
+
+namespace plc::medium {
+
+/// One contention-free allocation inside the beacon period.
+struct TdmaAllocation {
+  int participant_id = -1;              ///< The station that owns it.
+  des::SimTime offset = des::SimTime::zero();  ///< From period start.
+  des::SimTime duration = des::SimTime::zero();
+};
+
+/// The recurring layout of one beacon period.
+class BeaconSchedule {
+ public:
+  /// `allocations` must lie after the beacon region, within the period,
+  /// and must not overlap (validated; throws plc::Error otherwise).
+  BeaconSchedule(des::SimTime period, des::SimTime beacon_duration,
+                 std::vector<TdmaAllocation> allocations);
+
+  /// North-American default: 33.33 ms period with a 1 ms beacon.
+  static BeaconSchedule default_60hz(
+      std::vector<TdmaAllocation> allocations = {});
+
+  enum class RegionKind { kBeacon, kTdma, kCsma };
+
+  struct Region {
+    RegionKind kind = RegionKind::kCsma;
+    int owner = -1;          ///< Participant id for kTdma regions.
+    des::SimTime end;        ///< Absolute time at which the region ends.
+  };
+
+  /// The region containing absolute time `t`.
+  Region region_at(des::SimTime t) const;
+
+  des::SimTime period() const { return period_; }
+  des::SimTime beacon_duration() const { return beacon_duration_; }
+  const std::vector<TdmaAllocation>& allocations() const {
+    return allocations_;
+  }
+
+ private:
+  des::SimTime period_;
+  des::SimTime beacon_duration_;
+  std::vector<TdmaAllocation> allocations_;  ///< Sorted by offset.
+};
+
+}  // namespace plc::medium

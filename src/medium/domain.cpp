@@ -1,0 +1,278 @@
+#include "medium/domain.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/error.hpp"
+
+namespace plc::medium {
+
+double DomainStats::collision_probability() const {
+  const std::int64_t denominator = collided_tx + successes;
+  if (denominator == 0) return 0.0;
+  return static_cast<double>(collided_tx) /
+         static_cast<double>(denominator);
+}
+
+double DomainStats::normalized_throughput() const {
+  const des::SimTime total = total_time();
+  if (total == des::SimTime::zero()) return 0.0;
+  return static_cast<double>(success_payload_time.ns()) /
+         static_cast<double>(total.ns());
+}
+
+ContentionDomain::ContentionDomain(des::Scheduler& scheduler,
+                                   phy::TimingConfig timing)
+    : scheduler_(scheduler), timing_(timing) {
+  util::check_arg(timing.slot > des::SimTime::zero(), "timing",
+                  "slot duration must be positive");
+}
+
+int ContentionDomain::add_participant(Participant& participant) {
+  util::require(!started_,
+                "ContentionDomain: cannot add participants after start()");
+  participants_.push_back(&participant);
+  return static_cast<int>(participants_.size()) - 1;
+}
+
+void ContentionDomain::add_observer(MediumObserver& observer) {
+  observers_.push_back(&observer);
+}
+
+void ContentionDomain::start() {
+  util::require(!started_, "ContentionDomain::start: already started");
+  started_ = true;
+  schedule_slot(des::SimTime::zero());
+}
+
+void ContentionDomain::notify_pending() {
+  if (!started_ || !sleeping_) return;
+  sleeping_ = false;
+  schedule_slot(des::SimTime::zero());
+}
+
+void ContentionDomain::reset_stats() { stats_ = DomainStats{}; }
+
+void ContentionDomain::set_beacon_schedule(BeaconSchedule schedule) {
+  util::require(!started_,
+                "ContentionDomain: set the schedule before start()");
+  schedule_ = std::move(schedule);
+}
+
+void ContentionDomain::schedule_slot(des::SimTime delay) {
+  scheduler_.schedule(delay, [this] { slot_boundary(); });
+}
+
+void ContentionDomain::emit_record(MediumEventRecord record) {
+  ++event_seq_;
+  for (MediumObserver* observer : observers_) {
+    observer->on_medium_event(record);
+  }
+}
+
+void ContentionDomain::slot_boundary() {
+  // Determine the backlogged set and the winning priority (the logical
+  // outcome of the priority-resolution busy tones).
+  frames::Priority winning = frames::Priority::kCa0;
+  bool any_pending = false;
+  for (Participant* p : participants_) {
+    if (!p->has_pending_frame()) continue;
+    const frames::Priority prio = p->pending_priority();
+    if (!any_pending || static_cast<int>(prio) > static_cast<int>(winning)) {
+      winning = prio;
+    }
+    any_pending = true;
+  }
+  if (!any_pending) {
+    // Nothing to send anywhere: the medium goes quiet until a source
+    // delivers a frame and calls notify_pending(). (Beacon airtime is
+    // not accounted while the whole network is idle.)
+    sleeping_ = true;
+    return;
+  }
+
+  // Hybrid mode: follow the beacon period's regions.
+  des::SimTime csma_region_end = des::SimTime::max();
+  if (schedule_.has_value()) {
+    const BeaconSchedule::Region region =
+        schedule_->region_at(scheduler_.now());
+    switch (region.kind) {
+      case BeaconSchedule::RegionKind::kBeacon: {
+        const des::SimTime duration = region.end - scheduler_.now();
+        stats_.beacon_time += duration;
+        MediumEventRecord record;
+        record.type = MediumEventType::kBeacon;
+        record.start = scheduler_.now();
+        record.duration = duration;
+        emit_record(std::move(record));
+        schedule_slot(duration);
+        return;
+      }
+      case BeaconSchedule::RegionKind::kTdma:
+        tdma_region(region);
+        return;
+      case BeaconSchedule::RegionKind::kCsma:
+        csma_region_end = region.end;
+        break;
+    }
+  }
+
+  // Poll the contenders; lower-priority backlogged stations defer.
+  std::vector<int> transmitter_ids;
+  std::vector<int> contender_ids;
+  std::vector<TxDescriptor> descriptors;
+  for (int id = 0; id < static_cast<int>(participants_.size()); ++id) {
+    Participant* p = participants_[static_cast<std::size_t>(id)];
+    if (!p->has_pending_frame()) continue;
+    if (p->pending_priority() != winning) {
+      p->on_priority_deferral();
+      continue;
+    }
+    contender_ids.push_back(id);
+    if (auto descriptor = p->poll_transmit()) {
+      util::require(descriptor->mpdu_count >= 1,
+                    "ContentionDomain: burst must have >= 1 MPDU");
+      transmitter_ids.push_back(id);
+      descriptors.push_back(std::move(*descriptor));
+    }
+  }
+
+  if (transmitter_ids.empty()) {
+    if (scheduler_.now() + timing_.slot > csma_region_end) {
+      // The slot would cross the region boundary: everyone freezes until
+      // the next CSMA opportunity.
+      stats_.boundary_wait_time += csma_region_end - scheduler_.now();
+      schedule_slot(csma_region_end - scheduler_.now());
+      return;
+    }
+    // Idle slot: every contender counts it down.
+    ++stats_.idle_slots;
+    stats_.idle_time += timing_.slot;
+    for (const int id : contender_ids) {
+      participants_[static_cast<std::size_t>(id)]->on_idle_slot();
+    }
+    schedule_slot(timing_.slot);
+    return;
+  }
+
+  const bool success = transmitter_ids.size() == 1;
+
+  // Busy-period duration: the winner's burst for a success, the longest
+  // involved burst for a collision.
+  des::SimTime payload = des::SimTime::zero();
+  for (const TxDescriptor& d : descriptors) {
+    payload = std::max(payload, d.payload_duration(timing_.burst_gap));
+  }
+  des::SimTime busy =
+      payload +
+      (success ? timing_.success_overhead : timing_.collision_overhead);
+  if (scheduler_.now() + busy > csma_region_end) {
+    // The exchange would cross the region boundary: nobody transmits
+    // (counters frozen); contention resumes in the next CSMA region.
+    stats_.boundary_wait_time += csma_region_end - scheduler_.now();
+    schedule_slot(csma_region_end - scheduler_.now());
+    return;
+  }
+  if (success) {
+    ++stats_.successes;
+    stats_.success_mpdus += descriptors.front().mpdu_count;
+    stats_.success_time += busy;
+    stats_.success_payload_time += payload;
+  } else {
+    ++stats_.collision_events;
+    stats_.collided_tx += static_cast<std::int64_t>(transmitter_ids.size());
+    for (const TxDescriptor& d : descriptors) {
+      stats_.collided_mpdus += d.mpdu_count;
+    }
+    stats_.collision_time += busy;
+  }
+
+  // Notify contenders of the busy event (transmitters learn their
+  // outcome; the rest consume a busy decrement).
+  {
+    std::size_t tx_index = 0;
+    for (const int id : contender_ids) {
+      const bool transmitted =
+          tx_index < transmitter_ids.size() && transmitter_ids[tx_index] == id;
+      if (transmitted) ++tx_index;
+      participants_[static_cast<std::size_t>(id)]->on_busy(transmitted,
+                                                           success);
+    }
+  }
+
+  // Observers see every delimiter on the wire.
+  MediumEventRecord record;
+  record.type = success ? MediumEventType::kSuccess : MediumEventType::kCollision;
+  record.start = scheduler_.now();
+  record.duration = busy;
+  record.transmitters = transmitter_ids;
+  record.priority = winning;
+  for (const TxDescriptor& d : descriptors) {
+    record.sofs.insert(record.sofs.end(), d.sofs.begin(), d.sofs.end());
+  }
+  emit_record(std::move(record));
+
+  // Completion callbacks fire when the exchange (including SACK) ends.
+  scheduler_.schedule(busy, [this, ids = std::move(transmitter_ids),
+                             success]() mutable {
+    finish_exchange(std::move(ids), success);
+  });
+}
+
+void ContentionDomain::finish_exchange(std::vector<int> transmitter_ids,
+                                       bool success) {
+  for (const int id : transmitter_ids) {
+    participants_[static_cast<std::size_t>(id)]->on_transmission_complete(
+        success);
+  }
+  slot_boundary();
+}
+
+void ContentionDomain::tdma_region(const BeaconSchedule::Region& region) {
+  const des::SimTime now = scheduler_.now();
+  Participant* owner =
+      region.owner >= 0 &&
+              region.owner < static_cast<int>(participants_.size())
+          ? participants_[static_cast<std::size_t>(region.owner)]
+          : nullptr;
+  if (owner != nullptr && owner->has_pending_frame()) {
+    if (auto descriptor = owner->poll_contention_free()) {
+      util::require(descriptor->mpdu_count >= 1,
+                    "ContentionDomain: TDMA burst must have >= 1 MPDU");
+      const des::SimTime busy =
+          descriptor->payload_duration(timing_.burst_gap) +
+          timing_.success_overhead;
+      if (now + busy <= region.end) {
+        ++stats_.tdma_successes;
+        stats_.tdma_mpdus += descriptor->mpdu_count;
+        stats_.tdma_time += busy;
+
+        MediumEventRecord record;
+        record.type = MediumEventType::kSuccess;
+        record.contention_free = true;
+        record.start = now;
+        record.duration = busy;
+        record.transmitters = {region.owner};
+        record.priority = descriptor->priority;
+        record.sofs = descriptor->sofs;
+        emit_record(std::move(record));
+
+        scheduler_.schedule(busy, [this, owner_id = region.owner] {
+          finish_tdma_exchange(owner_id);
+        });
+        return;
+      }
+    }
+  }
+  // Nothing to send (or it would not fit): the allocation idles out.
+  stats_.tdma_idle_time += region.end - now;
+  schedule_slot(region.end - now);
+}
+
+void ContentionDomain::finish_tdma_exchange(int owner_id) {
+  participants_[static_cast<std::size_t>(owner_id)]
+      ->on_transmission_complete(true);
+  slot_boundary();
+}
+
+}  // namespace plc::medium

@@ -1,0 +1,163 @@
+// The single contention domain all stations share.
+//
+// The paper's testbed plugs every device into one power strip: one
+// collision domain, ideal channel, globally aligned backoff slots. The
+// domain therefore advances in *medium events*, each of which is exactly
+// one of:
+//   - an idle backoff slot (35.84 us),
+//   - a successful exchange (one transmitter; costs burst payload time
+//     plus the success overhead: priority resolution, preamble, RIFS,
+//     SACK, CIFS),
+//   - a collision (>= 2 transmitters; costs the longest burst payload
+//     plus the collision overhead).
+// This is the event structure of the paper's reference simulator, embedded
+// in a discrete-event scheduler so that full-stack stations (bursting,
+// MMEs, queues) and wall-clock timestamps work too.
+//
+// Priority resolution is logical: at each slot boundary the domain
+// computes the highest priority among backlogged stations and only those
+// stations contend; the others' counters freeze (on_priority_deferral).
+// The airtime of the two PRS slots is part of the success/collision
+// overheads, exactly as the paper folds them into Ts and Tc.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include <optional>
+
+#include "des/scheduler.hpp"
+#include "des/time.hpp"
+#include "medium/beacon.hpp"
+#include "medium/participant.hpp"
+#include "phy/timing.hpp"
+
+namespace plc::medium {
+
+/// What happened on the medium during one event.
+enum class MediumEventType : std::uint8_t {
+  kIdleSlot = 0,
+  kSuccess = 1,
+  kCollision = 2,
+  kBeacon = 3,  ///< The coordinator's beacon region (hybrid mode).
+};
+
+/// A record of one busy medium event, delivered to observers (sniffer
+/// taps, fairness traces, statistics).
+struct MediumEventRecord {
+  MediumEventType type = MediumEventType::kIdleSlot;
+  des::SimTime start = des::SimTime::zero();
+  des::SimTime duration = des::SimTime::zero();
+  /// Participant ids of all transmitters in this event.
+  std::vector<int> transmitters;
+  /// SoF delimiters of every MPDU heard (all transmitters' bursts,
+  /// concatenated in transmitter order). Delimiters survive collisions.
+  std::vector<frames::SofDelimiter> sofs;
+  frames::Priority priority = frames::Priority::kCa1;
+  /// True when the success happened inside a TDMA allocation.
+  bool contention_free = false;
+};
+
+/// Passive listener on the medium (sniffers, metrics).
+class MediumObserver {
+ public:
+  virtual ~MediumObserver() = default;
+  virtual void on_medium_event(const MediumEventRecord& record) = 0;
+};
+
+/// Aggregate statistics over the domain's lifetime.
+struct DomainStats {
+  std::int64_t idle_slots = 0;
+  std::int64_t successes = 0;        ///< Successful exchange events.
+  std::int64_t collision_events = 0; ///< Collision events.
+  std::int64_t collided_tx = 0;      ///< Transmissions involved in
+                                     ///< collisions (the MATLAB
+                                     ///< `collisions += counter` count).
+  std::int64_t success_mpdus = 0;    ///< MPDUs delivered in successes.
+  std::int64_t collided_mpdus = 0;   ///< MPDUs lost to collisions.
+  des::SimTime idle_time = des::SimTime::zero();
+  des::SimTime success_time = des::SimTime::zero();
+  des::SimTime collision_time = des::SimTime::zero();
+  /// Payload-on-wire time inside successful exchanges (for normalized
+  /// throughput, the paper's succ * frame_length / t).
+  des::SimTime success_payload_time = des::SimTime::zero();
+
+  // Hybrid (beacon-period) mode accounting.
+  std::int64_t tdma_successes = 0;  ///< Contention-free exchanges.
+  std::int64_t tdma_mpdus = 0;
+  des::SimTime beacon_time = des::SimTime::zero();
+  des::SimTime tdma_time = des::SimTime::zero();      ///< TDMA busy time.
+  des::SimTime tdma_idle_time = des::SimTime::zero(); ///< Unused TDMA.
+  /// CSMA time lost at region tails (an exchange would have crossed the
+  /// boundary, so everyone deferred).
+  des::SimTime boundary_wait_time = des::SimTime::zero();
+
+  des::SimTime busy_time() const { return success_time + collision_time; }
+  des::SimTime total_time() const {
+    return idle_time + busy_time() + beacon_time + tdma_time +
+           tdma_idle_time + boundary_wait_time;
+  }
+
+  /// The paper's collision-probability estimator sum(Ci)/sum(Ai) at the
+  /// event level: collided_tx / (collided_tx + successes).
+  double collision_probability() const;
+
+  /// Normalized throughput: successful payload time / total time.
+  double normalized_throughput() const;
+};
+
+/// The contention domain. Participants and observers are registered
+/// non-owning; they must outlive the domain's run.
+class ContentionDomain {
+ public:
+  ContentionDomain(des::Scheduler& scheduler, phy::TimingConfig timing);
+
+  /// Registers a station; returns its participant id (dense, from 0).
+  int add_participant(Participant& participant);
+
+  /// Registers a passive observer.
+  void add_observer(MediumObserver& observer);
+
+  /// Enables hybrid beacon-period mode: the medium follows `schedule`'s
+  /// recurring beacon/TDMA/CSMA layout. Call before start().
+  void set_beacon_schedule(BeaconSchedule schedule);
+
+  /// Begins operation: schedules the first slot at the current time.
+  /// Call exactly once, before Scheduler::run_until.
+  void start();
+
+  /// Wakes the domain when a frame arrives at an idle station. Safe to
+  /// call at any time, including re-entrantly from callbacks.
+  void notify_pending();
+
+  const DomainStats& stats() const { return stats_; }
+  const phy::TimingConfig& timing() const { return timing_; }
+
+  /// Resets the statistics counters (not the stations). Used by the
+  /// testbed harness to discard warm-up transients, mirroring the
+  /// paper's "reset the statistics at the beginning of each test".
+  void reset_stats();
+
+ private:
+  void slot_boundary();
+  void finish_exchange(std::vector<int> transmitter_ids, bool success);
+  /// Handles the TDMA region owned by `region.owner`; returns having
+  /// scheduled the next step.
+  void tdma_region(const BeaconSchedule::Region& region);
+  void finish_tdma_exchange(int owner_id);
+  void schedule_slot(des::SimTime delay);
+  void emit_record(MediumEventRecord record);
+
+  des::Scheduler& scheduler_;
+  phy::TimingConfig timing_;
+  std::vector<Participant*> participants_;
+  std::vector<MediumObserver*> observers_;
+  std::optional<BeaconSchedule> schedule_;
+  DomainStats stats_;
+  bool started_ = false;
+  bool sleeping_ = false;   ///< No backlogged station; waiting for work.
+  std::int64_t event_seq_ = 0;
+};
+
+}  // namespace plc::medium

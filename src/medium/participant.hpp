@@ -1,0 +1,85 @@
+// Interfaces between the contention domain and the stations on it.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "des/time.hpp"
+#include "frames/mpdu.hpp"
+
+namespace plc::medium {
+
+/// What a station puts on the wire when its backoff counter expires: a
+/// burst of one or more MPDUs (§3.1 — bursts contend for the medium, not
+/// individual MPDUs).
+struct TxDescriptor {
+  /// On-wire duration of each MPDU's payload.
+  des::SimTime mpdu_duration = des::SimTime::zero();
+  /// Number of MPDUs in the burst (>= 1, standard allows up to 4).
+  int mpdu_count = 1;
+  frames::Priority priority = frames::Priority::kCa1;
+  /// SoF delimiters, one per MPDU, in transmission order. Delimiters are
+  /// robustly modulated: observers (sniffers) and the destination decode
+  /// them even when the payload collides. May be empty for pure-MAC
+  /// stations that carry no real payload.
+  std::vector<frames::SofDelimiter> sofs;
+
+  /// Total payload-on-wire time of the burst (excluding fixed overheads,
+  /// which the domain charges from its TimingConfig).
+  des::SimTime payload_duration(des::SimTime burst_gap) const {
+    return mpdu_count * mpdu_duration + (mpdu_count - 1) * burst_gap;
+  }
+};
+
+/// A station attached to the contention domain.
+///
+/// The domain drives each contending participant with exactly one callback
+/// per medium event: on_idle_slot() for an idle backoff slot, on_busy()
+/// for a busy period (someone transmitted). Stations that are not
+/// backlogged, or that lost priority resolution, receive no callbacks for
+/// that event (their counters freeze).
+class Participant {
+ public:
+  virtual ~Participant() = default;
+
+  /// True when the station has a frame (burst) waiting for the medium.
+  virtual bool has_pending_frame() = 0;
+
+  /// Priority the station would contend at; only meaningful when
+  /// has_pending_frame() is true.
+  virtual frames::Priority pending_priority() = 0;
+
+  /// Polled at each backoff slot boundary (only for stations contending
+  /// at the winning priority). Returns the burst to transmit when the
+  /// backoff counter has expired, nullopt to keep waiting.
+  virtual std::optional<TxDescriptor> poll_transmit() = 0;
+
+  /// An idle backoff slot elapsed.
+  virtual void on_idle_slot() = 0;
+
+  /// A busy medium event elapsed. `transmitted` marks this station as one
+  /// of the transmitters; `success` is the exchange outcome (meaningful
+  /// for transmitters; for observers it distinguishes success from
+  /// collision but must not affect their counters).
+  virtual void on_busy(bool transmitted, bool success) = 0;
+
+  /// The station held a pending frame but a higher priority won the
+  /// resolution phase this slot; its counters freeze.
+  virtual void on_priority_deferral() {}
+
+  /// Called on transmitters at the *end* of the busy period, when the
+  /// exchange (burst + SACK) completes; full-stack stations deliver their
+  /// MPDUs to the destination here.
+  virtual void on_transmission_complete(bool success) { (void)success; }
+
+  /// Polled when the station owns the current contention-free (TDMA)
+  /// allocation of the beacon period: return the next burst to send
+  /// without any backoff, or nullopt to leave the allocation idle.
+  /// Stations that never use TDMA keep the default.
+  virtual std::optional<TxDescriptor> poll_contention_free() {
+    return std::nullopt;
+  }
+};
+
+}  // namespace plc::medium

@@ -1,0 +1,75 @@
+#include "metrics/fairness.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+#include "util/math.hpp"
+
+namespace plc::metrics {
+
+util::RunningStats sliding_window_jain(const std::vector<int>& winners,
+                                       int station_count, int window_size) {
+  util::check_arg(station_count >= 1, "station_count", "must be >= 1");
+  util::check_arg(window_size >= 1, "window_size", "must be >= 1");
+  util::RunningStats stats;
+  if (static_cast<int>(winners.size()) < window_size) return stats;
+
+  std::vector<double> counts(static_cast<std::size_t>(station_count), 0.0);
+  const auto check_winner = [&](int w) {
+    util::require(w >= 0 && w < station_count,
+                  "sliding_window_jain: winner id out of range");
+  };
+  for (int i = 0; i < window_size; ++i) {
+    check_winner(winners[static_cast<std::size_t>(i)]);
+    counts[static_cast<std::size_t>(winners[static_cast<std::size_t>(i)])] +=
+        1.0;
+  }
+  stats.add(util::jain_index(counts));
+  for (std::size_t i = static_cast<std::size_t>(window_size);
+       i < winners.size(); ++i) {
+    check_winner(winners[i]);
+    counts[static_cast<std::size_t>(winners[i])] += 1.0;
+    counts[static_cast<std::size_t>(
+        winners[i - static_cast<std::size_t>(window_size)])] -= 1.0;
+    stats.add(util::jain_index(counts));
+  }
+  return stats;
+}
+
+ReignStats reign_lengths(const std::vector<int>& winners) {
+  ReignStats stats;
+  if (winners.empty()) return stats;
+  std::int64_t current = 1;
+  for (std::size_t i = 1; i < winners.size(); ++i) {
+    if (winners[i] == winners[i - 1]) {
+      ++current;
+    } else {
+      stats.length.add(static_cast<double>(current));
+      stats.longest = std::max(stats.longest, current);
+      ++stats.total_reigns;
+      current = 1;
+    }
+  }
+  stats.length.add(static_cast<double>(current));
+  stats.longest = std::max(stats.longest, current);
+  ++stats.total_reigns;
+  return stats;
+}
+
+std::vector<double> success_shares(const std::vector<int>& winners,
+                                   int station_count) {
+  util::check_arg(station_count >= 1, "station_count", "must be >= 1");
+  std::vector<double> shares(static_cast<std::size_t>(station_count), 0.0);
+  if (winners.empty()) return shares;
+  for (const int w : winners) {
+    util::require(w >= 0 && w < station_count,
+                  "success_shares: winner id out of range");
+    shares[static_cast<std::size_t>(w)] += 1.0;
+  }
+  for (double& share : shares) {
+    share /= static_cast<double>(winners.size());
+  }
+  return shares;
+}
+
+}  // namespace plc::metrics

@@ -1,0 +1,43 @@
+// Fairness metrics over transmission traces.
+//
+// §3.3 of the paper: the sniffer trace of SoF source ids gives, per
+// successful burst, which station won the medium; short-term fairness is
+// studied over that trace (the method behind the authors' 1901-vs-802.11
+// fairness comparison [4]). Figure 1 illustrates the mechanism: a winning
+// station re-enters stage 0 with CW=8 while the losers climb to larger
+// CWs, so the winner tends to keep the channel — short-term unfairness.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/stats.hpp"
+
+namespace plc::metrics {
+
+/// Sliding-window Jain fairness over a winner trace.
+///
+/// For every window of `window_size` consecutive successes, computes the
+/// Jain index of the per-station success counts within the window, and
+/// aggregates over all (overlapping, stride-1) windows.
+///
+/// A perfectly round-robin trace scores 1; a trace where one station
+/// monopolizes each window scores 1/min(n, window churn).
+util::RunningStats sliding_window_jain(const std::vector<int>& winners,
+                                       int station_count, int window_size);
+
+/// Distribution of "reign lengths": numbers of consecutive successes by
+/// the same station. Long reigns are the signature of 1901's short-term
+/// unfairness at small N.
+struct ReignStats {
+  util::RunningStats length;            ///< Over all reigns.
+  std::int64_t total_reigns = 0;
+  std::int64_t longest = 0;
+};
+ReignStats reign_lengths(const std::vector<int>& winners);
+
+/// Per-station success shares of a winner trace (sums to 1 unless empty).
+std::vector<double> success_shares(const std::vector<int>& winners,
+                                   int station_count);
+
+}  // namespace plc::metrics

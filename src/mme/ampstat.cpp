@@ -1,0 +1,81 @@
+#include "mme/ampstat.hpp"
+
+#include "util/error.hpp"
+
+namespace plc::mme {
+
+namespace {
+void put_oui(std::vector<std::uint8_t>& payload) {
+  payload[0] = kVendorOui[0];
+  payload[1] = kVendorOui[1];
+  payload[2] = kVendorOui[2];
+}
+}  // namespace
+
+Mme AmpStatRequest::to_mme(const frames::MacAddress& host,
+                           const frames::MacAddress& device) const {
+  Mme mme;
+  mme.destination = device;
+  mme.source = host;
+  mme.header.mmtype = mm_type(kMmTypeAmpStat, MmeOp::kRequest);
+  mme.payload.resize(12, 0);
+  put_oui(mme.payload);
+  mme.payload[3] = static_cast<std::uint8_t>(action);
+  mme.payload[4] = static_cast<std::uint8_t>(direction);
+  mme.payload[5] = static_cast<std::uint8_t>(link_priority);
+  peer.write_to(std::span(mme.payload).subspan(6, 6));
+  return mme;
+}
+
+std::optional<AmpStatRequest> AmpStatRequest::from_mme(const Mme& mme) {
+  if (mme.header.mmtype != mm_type(kMmTypeAmpStat, MmeOp::kRequest)) {
+    return std::nullopt;
+  }
+  util::require(mme.payload.size() >= 12,
+                "AmpStatRequest: truncated payload");
+  util::require(mme.has_vendor_oui(), "AmpStatRequest: missing vendor OUI");
+  AmpStatRequest request;
+  request.action = static_cast<StatAction>(mme.payload[3]);
+  request.direction = static_cast<StatDirection>(mme.payload[4]);
+  request.link_priority = static_cast<frames::Priority>(mme.payload[5] & 3);
+  request.peer = frames::MacAddress::read_from(
+      std::span(mme.payload).subspan(6, 6));
+  return request;
+}
+
+Mme AmpStatConfirm::to_mme(const frames::MacAddress& device,
+                           const frames::MacAddress& host) const {
+  Mme mme;
+  mme.destination = host;
+  mme.source = device;
+  mme.header.mmtype = mm_type(kMmTypeAmpStat, MmeOp::kConfirm);
+  // Payload bytes are 0-based here; adding the 19 bytes of Ethernet + MME
+  // header in front yields the paper's 1-based frame offsets: payload[5]
+  // is frame byte 25.
+  mme.payload.resize(29, 0);
+  put_oui(mme.payload);
+  mme.payload[3] = status;
+  mme.payload[4] = static_cast<std::uint8_t>(direction);
+  put_le64(mme.payload, 5, acknowledged);
+  put_le64(mme.payload, 13, collided);
+  put_le64(mme.payload, 21, fc_errors);
+  return mme;
+}
+
+std::optional<AmpStatConfirm> AmpStatConfirm::from_mme(const Mme& mme) {
+  if (mme.header.mmtype != mm_type(kMmTypeAmpStat, MmeOp::kConfirm)) {
+    return std::nullopt;
+  }
+  util::require(mme.payload.size() >= 29,
+                "AmpStatConfirm: truncated payload");
+  util::require(mme.has_vendor_oui(), "AmpStatConfirm: missing vendor OUI");
+  AmpStatConfirm confirm;
+  confirm.status = mme.payload[3];
+  confirm.direction = static_cast<StatDirection>(mme.payload[4]);
+  confirm.acknowledged = get_le64(mme.payload, 5);
+  confirm.collided = get_le64(mme.payload, 13);
+  confirm.fc_errors = get_le64(mme.payload, 21);
+  return confirm;
+}
+
+}  // namespace plc::mme

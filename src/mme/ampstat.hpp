@@ -1,0 +1,78 @@
+// The vendor statistics MME (MMTYPE base 0xA030) behind the ampstat
+// command of the Atheros Open PLC Toolkit.
+//
+// §3.2 of the paper: "To obtain these statistics ampstat sends an MME with
+// MMType 0xA030. [...] the bytes 25-32 of this reply represent the number
+// of acknowledged frames and the bytes 33-40 represent the number of
+// collided frames."
+//
+// Byte numbering in that sentence is 1-based over the full Ethernet reply:
+//   bytes  1-14  Ethernet header (ODA, OSA, EtherType 0x88E1)
+//   byte   15    MMV
+//   bytes 16-17  MMTYPE (little-endian)
+//   bytes 18-19  FMI
+//   bytes 20-22  vendor OUI 00:B0:52
+//   byte   23    status (0 = success)
+//   byte   24    direction echoed from the request
+//   bytes 25-32  acknowledged MPDUs, unsigned 64-bit little-endian
+//   bytes 33-40  collided MPDUs,     unsigned 64-bit little-endian
+//   bytes 41-48  frame-control errors (extra field; not used by the paper)
+//
+// The "acknowledged" counter includes collided MPDUs: a collided frame's
+// delimiter is still decodable, so the destination answers with an
+// all-blocks-bad SACK and the transmitting firmware counts the frame as
+// acknowledged *and* collided. The paper verifies this on real hardware
+// (sum Ai grows with N) and the emulated firmware reproduces it.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "frames/mpdu.hpp"
+#include "mme/header.hpp"
+
+namespace plc::mme {
+
+/// Direction of the link whose counters are queried.
+enum class StatDirection : std::uint8_t { kTx = 0, kRx = 1 };
+
+/// What the request should do.
+enum class StatAction : std::uint8_t { kRead = 0, kReset = 1 };
+
+/// ampstat request (MMTYPE 0xA030): read or reset the MPDU counters of
+/// the link to `peer` at priority `link_priority`.
+struct AmpStatRequest {
+  StatAction action = StatAction::kRead;
+  StatDirection direction = StatDirection::kTx;
+  frames::Priority link_priority = frames::Priority::kCa1;
+  frames::MacAddress peer;
+
+  /// Builds the full MME addressed from `host` to `device`.
+  Mme to_mme(const frames::MacAddress& host,
+             const frames::MacAddress& device) const;
+
+  /// Parses an 0xA030 request; returns nullopt when the MME is not an
+  /// ampstat request.
+  static std::optional<AmpStatRequest> from_mme(const Mme& mme);
+};
+
+/// ampstat confirm (MMTYPE 0xA031) carrying the counters.
+struct AmpStatConfirm {
+  std::uint8_t status = 0;  ///< 0 = success.
+  StatDirection direction = StatDirection::kTx;
+  std::uint64_t acknowledged = 0;  ///< MPDUs acked (collided included).
+  std::uint64_t collided = 0;      ///< MPDUs that collided.
+  std::uint64_t fc_errors = 0;     ///< Delimiter decode failures seen.
+
+  Mme to_mme(const frames::MacAddress& device,
+             const frames::MacAddress& host) const;
+
+  static std::optional<AmpStatConfirm> from_mme(const Mme& mme);
+
+  /// Offsets (0-based, within the serialized Ethernet frame) of the two
+  /// counter fields — the paper's "bytes 25-32" and "bytes 33-40".
+  static constexpr std::size_t kAckedFrameOffset = 24;
+  static constexpr std::size_t kCollidedFrameOffset = 32;
+};
+
+}  // namespace plc::mme

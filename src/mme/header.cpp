@@ -1,0 +1,72 @@
+#include "mme/header.hpp"
+
+#include "util/error.hpp"
+
+namespace plc::mme {
+
+void put_le16(std::span<std::uint8_t> out, std::size_t offset,
+              std::uint16_t value) {
+  util::require(offset + 2 <= out.size(), "put_le16: out of bounds");
+  out[offset] = static_cast<std::uint8_t>(value & 0xFF);
+  out[offset + 1] = static_cast<std::uint8_t>(value >> 8);
+}
+
+void put_le64(std::span<std::uint8_t> out, std::size_t offset,
+              std::uint64_t value) {
+  util::require(offset + 8 <= out.size(), "put_le64: out of bounds");
+  for (int i = 0; i < 8; ++i) {
+    out[offset + static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(value >> (8 * i));
+  }
+}
+
+std::uint16_t get_le16(std::span<const std::uint8_t> in, std::size_t offset) {
+  util::require(offset + 2 <= in.size(), "get_le16: out of bounds");
+  return static_cast<std::uint16_t>(in[offset] | in[offset + 1] << 8);
+}
+
+std::uint64_t get_le64(std::span<const std::uint8_t> in, std::size_t offset) {
+  util::require(offset + 8 <= in.size(), "get_le64: out of bounds");
+  std::uint64_t value = 0;
+  for (int i = 7; i >= 0; --i) {
+    value = value << 8 | in[offset + static_cast<std::size_t>(i)];
+  }
+  return value;
+}
+
+frames::EthernetFrame Mme::to_ethernet() const {
+  frames::EthernetFrame frame;
+  frame.destination = destination;
+  frame.source = source;
+  frame.ether_type = frames::kEtherTypeHomePlugAv;
+  frame.payload.resize(MmeHeader::kWireBytes + payload.size());
+  frame.payload[0] = header.mmv;
+  put_le16(frame.payload, 1, header.mmtype);
+  put_le16(frame.payload, 3, header.fmi);
+  std::copy(payload.begin(), payload.end(),
+            frame.payload.begin() + MmeHeader::kWireBytes);
+  return frame;
+}
+
+Mme Mme::from_ethernet(const frames::EthernetFrame& frame) {
+  util::require(frame.ether_type == frames::kEtherTypeHomePlugAv,
+                "Mme::from_ethernet: EtherType is not 0x88E1");
+  util::require(frame.payload.size() >= MmeHeader::kWireBytes,
+                "Mme::from_ethernet: truncated MME header");
+  Mme mme;
+  mme.destination = frame.destination;
+  mme.source = frame.source;
+  mme.header.mmv = frame.payload[0];
+  mme.header.mmtype = get_le16(frame.payload, 1);
+  mme.header.fmi = get_le16(frame.payload, 3);
+  mme.payload.assign(frame.payload.begin() + MmeHeader::kWireBytes,
+                     frame.payload.end());
+  return mme;
+}
+
+bool Mme::has_vendor_oui() const {
+  return payload.size() >= 3 && payload[0] == kVendorOui[0] &&
+         payload[1] == kVendorOui[1] && payload[2] == kVendorOui[2];
+}
+
+}  // namespace plc::mme

@@ -1,0 +1,87 @@
+// Management message (MME) framing.
+//
+// HomePlug AV management messages are Ethernet frames with EtherType
+// 0x88E1. After the 14-byte Ethernet header come the MME version (MMV),
+// the 16-bit message type (MMTYPE, little-endian on the wire) and the
+// fragmentation field (FMI). Vendor-specific messages — the ones the
+// paper's tools use — additionally open their payload with the 3-byte
+// vendor OUI.
+//
+// MMTYPE encodes the operation in its two low bits:
+//   base | 0 = request (REQ), | 1 = confirm (CNF), | 2 = indication (IND),
+//   | 3 = response (RSP).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "frames/ethernet.hpp"
+
+namespace plc::mme {
+
+/// MME version used by HomePlug AV 1.1 devices.
+inline constexpr std::uint8_t kMmv = 0x00;
+
+/// Vendor OUI of the INT6300-family chips (Intellon/Atheros): 00:B0:52.
+inline constexpr std::uint8_t kVendorOui[3] = {0x00, 0xB0, 0x52};
+
+/// Vendor MMTYPE bases used by the paper's tools.
+inline constexpr std::uint16_t kMmTypeAmpStat = 0xA030;  ///< ampstat (§3.2)
+inline constexpr std::uint16_t kMmTypeSniffer = 0xA034;  ///< faifa (§3.3)
+
+/// Operation carried by the two low MMTYPE bits.
+enum class MmeOp : std::uint8_t {
+  kRequest = 0,
+  kConfirm = 1,
+  kIndication = 2,
+  kResponse = 3,
+};
+
+constexpr std::uint16_t mm_type(std::uint16_t base, MmeOp op) {
+  return static_cast<std::uint16_t>(base | static_cast<std::uint16_t>(op));
+}
+constexpr std::uint16_t mm_base(std::uint16_t mmtype) {
+  return static_cast<std::uint16_t>(mmtype & ~std::uint16_t{0x0003});
+}
+constexpr MmeOp mm_op(std::uint16_t mmtype) {
+  return static_cast<MmeOp>(mmtype & 0x0003);
+}
+
+/// The fields between the Ethernet header and the MME payload.
+struct MmeHeader {
+  std::uint8_t mmv = kMmv;
+  std::uint16_t mmtype = 0;
+  std::uint16_t fmi = 0;
+
+  static constexpr std::size_t kWireBytes = 5;
+};
+
+/// A decoded management message: header plus entry payload.
+struct Mme {
+  frames::MacAddress destination;
+  frames::MacAddress source;
+  MmeHeader header;
+  std::vector<std::uint8_t> payload;
+
+  /// Wraps the MME into an Ethernet frame (EtherType 0x88E1). The MMTYPE
+  /// is serialized little-endian per the standard.
+  frames::EthernetFrame to_ethernet() const;
+
+  /// Parses an Ethernet frame; throws plc::Error if the frame is not an
+  /// MME (wrong EtherType) or truncated.
+  static Mme from_ethernet(const frames::EthernetFrame& frame);
+
+  /// True when the payload opens with the vendor OUI.
+  bool has_vendor_oui() const;
+};
+
+/// Little-endian integer helpers for MME payload fields.
+void put_le16(std::span<std::uint8_t> out, std::size_t offset,
+              std::uint16_t value);
+void put_le64(std::span<std::uint8_t> out, std::size_t offset,
+              std::uint64_t value);
+std::uint16_t get_le16(std::span<const std::uint8_t> in, std::size_t offset);
+std::uint64_t get_le64(std::span<const std::uint8_t> in, std::size_t offset);
+
+}  // namespace plc::mme

@@ -1,0 +1,94 @@
+#include "mme/sniffer.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace plc::mme {
+
+namespace {
+void put_oui(std::vector<std::uint8_t>& payload) {
+  payload[0] = kVendorOui[0];
+  payload[1] = kVendorOui[1];
+  payload[2] = kVendorOui[2];
+}
+}  // namespace
+
+Mme SnifferRequest::to_mme(const frames::MacAddress& host,
+                           const frames::MacAddress& device) const {
+  Mme mme;
+  mme.destination = device;
+  mme.source = host;
+  mme.header.mmtype = mm_type(kMmTypeSniffer, MmeOp::kRequest);
+  mme.payload.resize(4, 0);
+  put_oui(mme.payload);
+  mme.payload[3] = enable ? 0x01 : 0x00;
+  return mme;
+}
+
+std::optional<SnifferRequest> SnifferRequest::from_mme(const Mme& mme) {
+  if (mme.header.mmtype != mm_type(kMmTypeSniffer, MmeOp::kRequest)) {
+    return std::nullopt;
+  }
+  util::require(mme.payload.size() >= 4, "SnifferRequest: truncated");
+  util::require(mme.has_vendor_oui(), "SnifferRequest: missing vendor OUI");
+  SnifferRequest request;
+  request.enable = mme.payload[3] != 0;
+  return request;
+}
+
+Mme SnifferConfirm::to_mme(const frames::MacAddress& device,
+                           const frames::MacAddress& host) const {
+  Mme mme;
+  mme.destination = host;
+  mme.source = device;
+  mme.header.mmtype = mm_type(kMmTypeSniffer, MmeOp::kConfirm);
+  mme.payload.resize(5, 0);
+  put_oui(mme.payload);
+  mme.payload[3] = status;
+  mme.payload[4] = enabled ? 0x01 : 0x00;
+  return mme;
+}
+
+std::optional<SnifferConfirm> SnifferConfirm::from_mme(const Mme& mme) {
+  if (mme.header.mmtype != mm_type(kMmTypeSniffer, MmeOp::kConfirm)) {
+    return std::nullopt;
+  }
+  util::require(mme.payload.size() >= 5, "SnifferConfirm: truncated");
+  util::require(mme.has_vendor_oui(), "SnifferConfirm: missing vendor OUI");
+  SnifferConfirm confirm;
+  confirm.status = mme.payload[3];
+  confirm.enabled = mme.payload[4] != 0;
+  return confirm;
+}
+
+Mme SnifferIndication::to_mme(const frames::MacAddress& device,
+                              const frames::MacAddress& host) const {
+  Mme mme;
+  mme.destination = host;
+  mme.source = device;
+  mme.header.mmtype = mm_type(kMmTypeSniffer, MmeOp::kIndication);
+  const std::vector<std::uint8_t> sof_bytes = sof.encode();
+  mme.payload.resize(3 + 8 + sof_bytes.size(), 0);
+  put_oui(mme.payload);
+  put_le64(mme.payload, 3, timestamp_10ns);
+  std::copy(sof_bytes.begin(), sof_bytes.end(), mme.payload.begin() + 11);
+  return mme;
+}
+
+std::optional<SnifferIndication> SnifferIndication::from_mme(const Mme& mme) {
+  if (mme.header.mmtype != mm_type(kMmTypeSniffer, MmeOp::kIndication)) {
+    return std::nullopt;
+  }
+  util::require(mme.payload.size() >= 11 + frames::kSofWireBytes,
+                "SnifferIndication: truncated");
+  util::require(mme.has_vendor_oui(),
+                "SnifferIndication: missing vendor OUI");
+  SnifferIndication indication;
+  indication.timestamp_10ns = get_le64(mme.payload, 3);
+  indication.sof = frames::SofDelimiter::decode(
+      std::span(mme.payload).subspan(11, frames::kSofWireBytes));
+  return indication;
+}
+
+}  // namespace plc::mme

@@ -1,0 +1,59 @@
+// The sniffer MME (MMTYPE base 0xA034) behind faifa's "sniffer mode".
+//
+// §3.3 of the paper: faifa activates the sniffer mode of a device (option
+// 0xA034), after which the device reports the Start-of-Frame delimiter of
+// *every* PLC frame it hears — data, beacons, management — as indication
+// MMEs on its host interface. Only delimiters are visible, never payload,
+// which is why the paper identifies MMEs by their Link ID (priority) and
+// burst boundaries by the MPDUCnt field.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "des/time.hpp"
+#include "frames/mpdu.hpp"
+#include "mme/header.hpp"
+
+namespace plc::mme {
+
+/// Sniffer control request (MMTYPE 0xA034).
+struct SnifferRequest {
+  bool enable = true;
+
+  Mme to_mme(const frames::MacAddress& host,
+             const frames::MacAddress& device) const;
+  static std::optional<SnifferRequest> from_mme(const Mme& mme);
+};
+
+/// Sniffer control confirm (MMTYPE 0xA035).
+struct SnifferConfirm {
+  std::uint8_t status = 0;  ///< 0 = success.
+  bool enabled = false;
+
+  Mme to_mme(const frames::MacAddress& device,
+             const frames::MacAddress& host) const;
+  static std::optional<SnifferConfirm> from_mme(const Mme& mme);
+};
+
+/// Sniffer indication (MMTYPE 0xA036): one captured SoF delimiter.
+struct SnifferIndication {
+  /// Device timestamp of the capture, in 10 ns units since device boot.
+  std::uint64_t timestamp_10ns = 0;
+  /// The captured delimiter, re-encoded verbatim (16 bytes).
+  frames::SofDelimiter sof;
+
+  Mme to_mme(const frames::MacAddress& device,
+             const frames::MacAddress& host) const;
+  static std::optional<SnifferIndication> from_mme(const Mme& mme);
+
+  des::SimTime timestamp() const {
+    return des::SimTime::from_ns(
+        static_cast<std::int64_t>(timestamp_10ns) * 10);
+  }
+  static std::uint64_t to_timestamp_10ns(des::SimTime t) {
+    return static_cast<std::uint64_t>(t.ns() / 10);
+  }
+};
+
+}  // namespace plc::mme

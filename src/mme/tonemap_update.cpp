@@ -1,0 +1,44 @@
+#include "mme/tonemap_update.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace plc::mme {
+
+std::uint16_t ToneMapUpdate::to_permille(double rate) {
+  util::check_arg(rate >= 0.0 && rate <= 1.0, "rate", "must be in [0, 1]");
+  return static_cast<std::uint16_t>(std::lround(rate * 1000.0));
+}
+
+Mme ToneMapUpdate::to_mme(const frames::MacAddress& receiver_device,
+                          const frames::MacAddress& transmitter_device) const {
+  Mme mme;
+  mme.destination = transmitter_device;
+  mme.source = receiver_device;
+  mme.header.mmtype = mm_type(kMmTypeToneMap, MmeOp::kIndication);
+  mme.payload.resize(8, 0);
+  mme.payload[0] = kVendorOui[0];
+  mme.payload[1] = kVendorOui[1];
+  mme.payload[2] = kVendorOui[2];
+  mme.payload[3] = link_id;
+  mme.payload[4] = profile;
+  put_le16(mme.payload, 5, error_permille);
+  return mme;
+}
+
+std::optional<ToneMapUpdate> ToneMapUpdate::from_mme(const Mme& mme) {
+  if (mme.header.mmtype != mm_type(kMmTypeToneMap, MmeOp::kIndication)) {
+    return std::nullopt;
+  }
+  util::require(mme.payload.size() >= 8, "ToneMapUpdate: truncated");
+  util::require(mme.has_vendor_oui(), "ToneMapUpdate: missing vendor OUI");
+  ToneMapUpdate update;
+  update.link_id = mme.payload[3];
+  update.profile = mme.payload[4];
+  update.error_permille = get_le16(mme.payload, 5);
+  return update;
+}
+
+}  // namespace plc::mme

@@ -1,0 +1,39 @@
+// Tone-map maintenance MME (vendor base 0xA038).
+//
+// §4.1 of the paper: "some of these [vendor] management messages are
+// exchanged for updating the modulation scheme when the error rate of
+// the channel changes. Hence, their arrival rate depends also on the
+// channel conditions." This message is our documented model of that
+// mechanism: the *receiver* of a link measures its physical-block error
+// rate and, when it drifts across thresholds, tells the transmitter
+// which modulation profile to use — consuming CSMA/CA airtime at CA2
+// like any management burst.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "mme/header.hpp"
+
+namespace plc::mme {
+
+/// Vendor MMTYPE base for tone-map maintenance.
+inline constexpr std::uint16_t kMmTypeToneMap = 0xA038;
+
+/// Unsolicited tone-map update (MMTYPE 0xA03A, the indication op).
+struct ToneMapUpdate {
+  std::uint8_t link_id = 0;       ///< Link the update applies to.
+  std::uint8_t profile = 0;       ///< Target modulation profile index.
+  std::uint16_t error_permille = 0;  ///< Measured PB error rate x1000.
+
+  Mme to_mme(const frames::MacAddress& receiver_device,
+             const frames::MacAddress& transmitter_device) const;
+  static std::optional<ToneMapUpdate> from_mme(const Mme& mme);
+
+  double error_rate() const {
+    return static_cast<double>(error_permille) / 1000.0;
+  }
+  static std::uint16_t to_permille(double rate);
+};
+
+}  // namespace plc::mme

@@ -1,0 +1,58 @@
+#include "phy/channel.hpp"
+
+#include <utility>
+
+#include "util/error.hpp"
+
+namespace plc::phy {
+
+void GilbertElliottParams::validate() const {
+  util::check_arg(mean_good > des::SimTime::zero(), "mean_good",
+                  "must be positive");
+  util::check_arg(mean_bad > des::SimTime::zero(), "mean_bad",
+                  "must be positive");
+  util::check_arg(good_pb_error >= 0.0 && good_pb_error <= 1.0,
+                  "good_pb_error", "must be in [0, 1]");
+  util::check_arg(bad_pb_error >= 0.0 && bad_pb_error <= 1.0,
+                  "bad_pb_error", "must be in [0, 1]");
+}
+
+GilbertElliottChannel::GilbertElliottChannel(GilbertElliottParams params,
+                                             des::RandomStream rng)
+    : params_(params), rng_(std::move(rng)) {
+  params_.validate();
+}
+
+void GilbertElliottChannel::start(des::Scheduler& scheduler) {
+  util::require(!started_, "GilbertElliottChannel: already started");
+  started_ = true;
+  started_at_ = scheduler.now();
+  entered_state_at_ = scheduler.now();
+  schedule_flip(scheduler);
+}
+
+void GilbertElliottChannel::schedule_flip(des::Scheduler& scheduler) {
+  const des::SimTime mean = bad_ ? params_.mean_bad : params_.mean_good;
+  const double sojourn_s = rng_.exponential(mean.seconds());
+  scheduler.schedule(des::SimTime::from_seconds(sojourn_s),
+                     [this, &scheduler] {
+                       const des::SimTime now = scheduler.now();
+                       if (bad_) {
+                         bad_time_ += now - entered_state_at_;
+                       }
+                       bad_ = !bad_;
+                       entered_state_at_ = now;
+                       schedule_flip(scheduler);
+                     });
+}
+
+double GilbertElliottChannel::fraction_bad(des::SimTime now) const {
+  const des::SimTime elapsed = now - started_at_;
+  if (elapsed <= des::SimTime::zero()) return 0.0;
+  des::SimTime bad_total = bad_time_;
+  if (bad_) bad_total += now - entered_state_at_;
+  return static_cast<double>(bad_total.ns()) /
+         static_cast<double>(elapsed.ns());
+}
+
+}  // namespace plc::phy

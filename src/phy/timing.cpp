@@ -1,0 +1,56 @@
+#include "phy/timing.hpp"
+
+#include "util/error.hpp"
+
+namespace plc::phy {
+
+des::SimTime TimingConfig::success_duration(des::SimTime frame,
+                                            int mpdu_count) const {
+  util::require(mpdu_count >= 1,
+                "TimingConfig::success_duration: mpdu_count must be >= 1");
+  return mpdu_count * frame + (mpdu_count - 1) * burst_gap +
+         success_overhead;
+}
+
+des::SimTime TimingConfig::collision_duration(des::SimTime frame,
+                                              int mpdu_count) const {
+  util::require(mpdu_count >= 1,
+                "TimingConfig::collision_duration: mpdu_count must be >= 1");
+  return mpdu_count * frame + (mpdu_count - 1) * burst_gap +
+         collision_overhead;
+}
+
+TimingConfig TimingConfig::paper_default() {
+  // sim_1901(N, sim_time, Tc=2920.64, Ts=2542.64, 2050, ...): overheads
+  // are the residuals over the 2050 us frame.
+  return from_ts_tc(des::SimTime::from_ns(35'840),
+                    des::SimTime::from_ns(2'542'640),
+                    des::SimTime::from_ns(2'920'640),
+                    des::SimTime::from_ns(2'050'000));
+}
+
+TimingConfig TimingConfig::from_ts_tc(des::SimTime slot, des::SimTime ts,
+                                      des::SimTime tc, des::SimTime frame) {
+  util::check_arg(slot > des::SimTime::zero(), "slot", "must be positive");
+  util::check_arg(ts >= frame, "ts", "must be >= frame duration");
+  util::check_arg(tc >= frame, "tc", "must be >= frame duration");
+  // Note: no ordering is imposed between Ts and Tc — in 1901 the
+  // post-collision EIFS makes Tc the *longer* one.
+  TimingConfig config;
+  config.slot = slot;
+  config.success_overhead = ts - frame;
+  config.collision_overhead = tc - frame;
+  return config;
+}
+
+TimingConfig TimingComponents::to_config() const {
+  TimingConfig config;
+  config.slot = slot;
+  const des::SimTime prs = prs_slot_count * prs_slot;
+  config.success_overhead = prs + preamble + rifs + sack + cifs;
+  config.collision_overhead = prs + preamble + eifs;
+  config.burst_gap = rifs;
+  return config;
+}
+
+}  // namespace plc::phy

@@ -1,0 +1,75 @@
+#include "phy/tonemap.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace plc::phy {
+
+namespace {
+// HomePlug AV OFDM symbol: 40.96 us FFT interval + 5.56 us guard interval.
+constexpr std::int64_t kSymbolNs = 46'520;
+}  // namespace
+
+ToneMap::ToneMap(std::string name, double bits_per_symbol,
+                 des::SimTime symbol_duration)
+    : name_(std::move(name)),
+      bits_per_symbol_(bits_per_symbol),
+      symbol_duration_(symbol_duration) {
+  util::check_arg(bits_per_symbol > 0.0, "bits_per_symbol",
+                  "must be positive");
+  util::check_arg(symbol_duration > des::SimTime::zero(), "symbol_duration",
+                  "must be positive");
+}
+
+double ToneMap::bit_rate_bps() const {
+  return bits_per_symbol_ / symbol_duration_.seconds();
+}
+
+des::SimTime ToneMap::payload_duration(int payload_bytes) const {
+  util::check_arg(payload_bytes >= 0, "payload_bytes",
+                  "must be non-negative");
+  const double bits = static_cast<double>(payload_bytes) * 8.0;
+  const auto symbols =
+      static_cast<std::int64_t>(std::ceil(bits / bits_per_symbol_));
+  return symbols * symbol_duration_;
+}
+
+des::SimTime ToneMap::frame_duration(int pb_count) const {
+  util::check_arg(pb_count >= 1, "pb_count", "must be >= 1");
+  return payload_duration(pb_count * kPhysicalBlockBytes);
+}
+
+int ToneMap::max_pb_count(des::SimTime max_frame) const {
+  int count = 0;
+  while (frame_duration(count + 1) <= max_frame) {
+    ++count;
+  }
+  return count;
+}
+
+ToneMap ToneMap::mini_robo() {
+  // ~3.8 Mb/s PHY rate.
+  return ToneMap("mini-robo", 3.8e6 * 46'520e-9,
+                 des::SimTime::from_ns(kSymbolNs));
+}
+
+ToneMap ToneMap::std_robo() {
+  // ~4.9 Mb/s PHY rate.
+  return ToneMap("std-robo", 4.9e6 * 46'520e-9,
+                 des::SimTime::from_ns(kSymbolNs));
+}
+
+ToneMap ToneMap::hs_robo() {
+  // ~9.8 Mb/s PHY rate.
+  return ToneMap("hs-robo", 9.8e6 * 46'520e-9,
+                 des::SimTime::from_ns(kSymbolNs));
+}
+
+ToneMap ToneMap::high_rate() {
+  // ~150 Mb/s PHY rate: a clean in-home link.
+  return ToneMap("high-rate", 150e6 * 46'520e-9,
+                 des::SimTime::from_ns(kSymbolNs));
+}
+
+}  // namespace plc::phy

@@ -1,0 +1,66 @@
+// A static tone-map / bit-loading model.
+//
+// HomePlug AV negotiates per-carrier modulation ("tone maps") between each
+// station pair; the resulting PHY rate determines how many OFDM symbols a
+// payload needs and therefore the frame duration. The adaptation algorithm
+// is vendor-secret (paper §4.1), so this module provides *static* tone
+// maps: a fixed bits-per-symbol figure per profile, with the standard ROBO
+// fallback profiles and a configurable high-rate profile. That is enough
+// to translate "k physical blocks" into an on-wire frame duration, which
+// is the only PHY input the MAC experiments need.
+#pragma once
+
+#include <string>
+
+#include "des/time.hpp"
+
+namespace plc::phy {
+
+/// Bytes of payload carried by one physical block (PB), fixed by 1901.
+inline constexpr int kPhysicalBlockBytes = 512;
+
+/// A fixed modulation profile mapping payload size to on-wire duration.
+class ToneMap {
+ public:
+  /// `bits_per_symbol`: total payload bits carried by one OFDM symbol
+  /// across all loaded carriers. `symbol_duration`: OFDM symbol length
+  /// including guard interval (HomePlug AV: 40.96 us + GI 5.56 us).
+  ToneMap(std::string name, double bits_per_symbol,
+          des::SimTime symbol_duration);
+
+  const std::string& name() const { return name_; }
+  double bits_per_symbol() const { return bits_per_symbol_; }
+  des::SimTime symbol_duration() const { return symbol_duration_; }
+
+  /// PHY data rate in bits per second.
+  double bit_rate_bps() const;
+
+  /// On-wire duration of `payload_bytes` of data (whole symbols).
+  des::SimTime payload_duration(int payload_bytes) const;
+
+  /// On-wire duration of a frame carrying `pb_count` physical blocks.
+  des::SimTime frame_duration(int pb_count) const;
+
+  /// Largest number of physical blocks that fits within `max_frame`.
+  /// Returns 0 when not even one PB fits.
+  int max_pb_count(des::SimTime max_frame) const;
+
+  // --- Standard profiles -------------------------------------------------
+  /// Mini-ROBO: most robust fallback, ~3.8 Mb/s.
+  static ToneMap mini_robo();
+  /// Standard ROBO, ~4.9 Mb/s.
+  static ToneMap std_robo();
+  /// High-speed ROBO, ~9.8 Mb/s.
+  static ToneMap hs_robo();
+  /// A typical negotiated high-rate map on a clean in-home link
+  /// (~150 Mb/s PHY rate), representative of the paper's power-strip
+  /// testbed where channel conditions are ideal.
+  static ToneMap high_rate();
+
+ private:
+  std::string name_;
+  double bits_per_symbol_;
+  des::SimTime symbol_duration_;
+};
+
+}  // namespace plc::phy

@@ -1,0 +1,45 @@
+#include "sim/runner.hpp"
+
+#include <string>
+
+#include "des/random.hpp"
+#include "util/error.hpp"
+#include "util/math.hpp"
+
+namespace plc::sim {
+
+SlotSimulator make_simulator(const RunSpec& spec, int repetition) {
+  util::check_arg(spec.stations >= 1, "stations", "must be >= 1");
+  des::RandomStream root(spec.seed);
+  const std::uint64_t rep_seed =
+      root.derive_seed("rep-" + std::to_string(repetition));
+  std::vector<std::unique_ptr<mac::BackoffEntity>> entities;
+  if (spec.mac == MacKind::k1901) {
+    entities = make_1901_entities(spec.stations, spec.config, rep_seed);
+  } else {
+    entities = make_dcf_entities(spec.stations, spec.dcf_cw_min,
+                                 spec.dcf_cw_max, rep_seed);
+  }
+  return SlotSimulator(std::move(entities), spec.timing);
+}
+
+RunSummary run_point(const RunSpec& spec) {
+  util::check_arg(spec.repetitions >= 1, "repetitions", "must be >= 1");
+  RunSummary summary;
+  for (int rep = 0; rep < spec.repetitions; ++rep) {
+    SlotSimulator simulator = make_simulator(spec, rep);
+    const SlotSimResults results = simulator.run(spec.duration);
+    summary.collision_probability.add(results.collision_probability());
+    summary.normalized_throughput.add(
+        results.normalized_throughput(spec.frame_length));
+    std::vector<double> shares;
+    shares.reserve(results.tx_success.size());
+    for (const std::int64_t s : results.tx_success) {
+      shares.push_back(static_cast<double>(s));
+    }
+    summary.jain_index.add(util::jain_index(shares));
+  }
+  return summary;
+}
+
+}  // namespace plc::sim

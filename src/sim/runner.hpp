@@ -1,0 +1,53 @@
+// Experiment runner: repeated slot-simulator runs with aggregation.
+//
+// The paper reports averages over repeated tests (Figure 2 averages 10
+// testbed runs); this runner mirrors that: a sweep point is simulated
+// `repetitions` times with independent derived seeds and the mean and
+// sample standard deviation of each metric are reported.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "mac/config.hpp"
+#include "sim/slot_simulator.hpp"
+#include "util/stats.hpp"
+
+namespace plc::sim {
+
+/// Which MAC the runner instantiates.
+enum class MacKind : std::uint8_t { k1901 = 0, kDcf = 1 };
+
+/// One sweep point's configuration.
+struct RunSpec {
+  MacKind mac = MacKind::k1901;
+  int stations = 2;
+  /// 1901 parameters (used when mac == k1901).
+  mac::BackoffConfig config = mac::BackoffConfig::ca0_ca1();
+  /// DCF parameters (used when mac == kDcf).
+  int dcf_cw_min = 16;
+  int dcf_cw_max = 1024;
+  SlotTiming timing;
+  des::SimTime frame_length = des::SimTime::from_ns(2'050'000);
+  des::SimTime duration = des::SimTime::from_seconds(50.0);
+  int repetitions = 10;
+  std::uint64_t seed = 0x1901;
+};
+
+/// Aggregated metrics over the repetitions of one sweep point.
+struct RunSummary {
+  util::RunningStats collision_probability;
+  util::RunningStats normalized_throughput;
+  util::RunningStats jain_index;  ///< Long-term fairness of success shares.
+};
+
+/// Runs one sweep point.
+RunSummary run_point(const RunSpec& spec);
+
+/// Builds the simulator for a spec with the given repetition index
+/// (exposed for harnesses needing traces/observers).
+SlotSimulator make_simulator(const RunSpec& spec, int repetition);
+
+}  // namespace plc::sim

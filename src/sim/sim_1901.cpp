@@ -1,0 +1,40 @@
+#include "sim/sim_1901.hpp"
+
+#include "mac/config.hpp"
+#include "sim/slot_simulator.hpp"
+#include "util/error.hpp"
+
+namespace plc::sim {
+
+Sim1901Result sim_1901(int n, double sim_time_us, double tc_us, double ts_us,
+                       double frame_length_us, const std::vector<int>& cw,
+                       const std::vector<int>& dc, std::uint64_t seed) {
+  util::check_arg(n >= 1, "n", "need at least one station");
+  util::check_arg(sim_time_us > 0.0, "sim_time", "must be positive");
+  util::check_arg(ts_us > 0.0, "ts", "must be positive");
+  util::check_arg(tc_us > 0.0, "tc", "must be positive");
+  util::check_arg(frame_length_us > 0.0, "frame_length",
+                  "must be positive");
+
+  mac::BackoffConfig config;
+  config.name = "custom";
+  config.cw = cw;
+  config.dc = dc;
+  config.validate();
+
+  SlotTiming timing;
+  timing.ts = des::SimTime::from_us(ts_us);
+  timing.tc = des::SimTime::from_us(tc_us);
+
+  SlotSimulator simulator(make_1901_entities(n, config, seed), timing);
+  const SlotSimResults results =
+      simulator.run(des::SimTime::from_us(sim_time_us));
+
+  Sim1901Result out;
+  out.collision_probability = results.collision_probability();
+  out.normalized_throughput =
+      results.normalized_throughput(des::SimTime::from_us(frame_length_us));
+  return out;
+}
+
+}  // namespace plc::sim

@@ -1,0 +1,43 @@
+// The paper's simulator entry point, mirroring Table 3:
+//
+//   sim_1901(N, sim_time, Tc, Ts, frame_length, cw, dc)
+//
+// e.g. the default 1901 configuration of the paper:
+//   sim_1901(2, 5e8, 2920.64, 2542.64, 2050, {8,16,32,64}, {0,1,3,15})
+//
+// Inputs are in microseconds, exactly as the reference MATLAB function
+// takes them; outputs are the pair (collision probability, normalized
+// throughput). Note the reference signature lists Tc *before* Ts — kept
+// here verbatim to honour the published interface.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace plc::sim {
+
+/// Outputs of sim_1901 (MATLAB: [collision_pr, norm_thoughput]).
+struct Sim1901Result {
+  double collision_probability = 0.0;
+  double normalized_throughput = 0.0;
+};
+
+/// Runs the 1901 slot simulator with the paper's interface and
+/// assumptions: saturated stations, infinite retry limit, one contention
+/// domain.
+///
+/// @param n             number of saturated stations (>= 1)
+/// @param sim_time_us   total simulated time in microseconds
+/// @param tc_us         collision duration Tc in microseconds
+/// @param ts_us         successful-transmission duration Ts in microseconds
+/// @param frame_length_us  frame duration (payload only) in microseconds
+/// @param cw            contention window per backoff stage
+/// @param dc            initial deferral counter per backoff stage
+/// @param seed          RNG seed (the MATLAB original is seeded globally;
+///                      explicit here for reproducibility)
+Sim1901Result sim_1901(int n, double sim_time_us, double tc_us, double ts_us,
+                       double frame_length_us, const std::vector<int>& cw,
+                       const std::vector<int>& dc,
+                       std::uint64_t seed = 0x1901);
+
+}  // namespace plc::sim

@@ -1,0 +1,127 @@
+// The slot-level MAC simulator: a faithful C++ port of the paper's
+// finite-state-machine simulator (§4.2), generalized to arbitrary
+// BackoffEntity implementations so the same event loop drives 1901,
+// 802.11 DCF, and any tuned configuration.
+//
+// Model (identical to the reference MATLAB code):
+//   - N saturated stations in one contention domain, ideal channel,
+//     infinite retry limit;
+//   - time advances per medium event: idle slot (`slot`), success (Ts),
+//     collision (Tc);
+//   - outputs: normalized throughput succ * frame_length / t, and the
+//     collision probability collisions / (collisions + successes) where a
+//     collision of k stations contributes k (the per-MPDU firmware
+//     counting of §3.2).
+//
+// This simulator deliberately bypasses the discrete-event scheduler — it
+// is a tight loop used for long statistical runs and for cross-validating
+// the event-driven ContentionDomain (tests assert the two agree).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "des/time.hpp"
+#include "mac/backoff.hpp"
+
+namespace plc::sim {
+
+/// What one station did during one medium event (for trace observers).
+enum class SlotEventType : std::uint8_t {
+  kIdle = 0,
+  kSuccess = 1,
+  kCollision = 2,
+};
+
+/// A medium event, exposed to trace observers (Figure 1 reproductions,
+/// fairness traces).
+struct SlotEvent {
+  SlotEventType type = SlotEventType::kIdle;
+  des::SimTime start = des::SimTime::zero();
+  des::SimTime duration = des::SimTime::zero();
+  /// Stations that transmitted in this event (empty for idle slots).
+  std::vector<int> transmitters;
+};
+
+/// Aggregate results of a run.
+struct SlotSimResults {
+  std::int64_t idle_slots = 0;
+  std::int64_t successes = 0;
+  std::int64_t collision_events = 0;
+  /// MATLAB `collisions`: transmissions involved in collisions.
+  std::int64_t collided_tx = 0;
+  des::SimTime elapsed = des::SimTime::zero();
+
+  /// Per-station counters.
+  std::vector<std::int64_t> tx_success;
+  std::vector<std::int64_t> tx_collision;
+
+  /// collisions / (collisions + successes), the paper's estimator.
+  double collision_probability() const;
+  /// successes * frame_length / elapsed.
+  double normalized_throughput(des::SimTime frame_length) const;
+};
+
+/// Timing triple of the paper's simulator (Table 3). Defaults are the
+/// paper's: Ts = 2542.64 us, Tc = 2920.64 us (collisions end with the
+/// long EIFS, so they cost more than successes in 1901).
+struct SlotTiming {
+  des::SimTime slot = des::SimTime::from_ns(35'840);
+  des::SimTime ts = des::SimTime::from_ns(2'542'640);
+  des::SimTime tc = des::SimTime::from_ns(2'920'640);
+};
+
+/// The generalized slot simulator.
+class SlotSimulator {
+ public:
+  /// Takes ownership of one backoff entity per station (all saturated).
+  SlotSimulator(std::vector<std::unique_ptr<mac::BackoffEntity>> entities,
+                SlotTiming timing);
+
+  /// Installs a per-event observer (may be called millions of times; keep
+  /// it cheap). Entities are observable through entity() during the call.
+  void set_observer(std::function<void(const SlotEvent&)> observer);
+
+  /// When enabled, results keep the ordered list of winning station ids —
+  /// the input to short-term fairness analysis (§3.3 / [4]).
+  void enable_winner_trace(bool enable) { record_winners_ = enable; }
+
+  /// Runs until simulated time reaches `duration`.
+  SlotSimResults run(des::SimTime duration);
+
+  /// Runs until `max_events` medium events have elapsed.
+  SlotSimResults run_events(std::int64_t max_events);
+
+  int station_count() const { return static_cast<int>(entities_.size()); }
+  const mac::BackoffEntity& entity(int station) const;
+
+  /// Winner ids recorded when the winner trace is enabled (one per
+  /// success, in order).
+  const std::vector<int>& winners() const { return winners_; }
+
+ private:
+  /// Advances one medium event; returns its type.
+  SlotEventType step();
+
+  std::vector<std::unique_ptr<mac::BackoffEntity>> entities_;
+  SlotTiming timing_;
+  std::function<void(const SlotEvent&)> observer_;
+  bool record_winners_ = false;
+  std::vector<int> winners_;
+  SlotSimResults results_;
+  des::SimTime now_ = des::SimTime::zero();
+  std::vector<int> scratch_transmitters_;
+};
+
+/// Convenience: builds N identical 1901 entities with per-station derived
+/// RNG streams.
+std::vector<std::unique_ptr<mac::BackoffEntity>> make_1901_entities(
+    int n, const mac::BackoffConfig& config, std::uint64_t seed);
+
+/// Convenience: builds N identical DCF entities.
+std::vector<std::unique_ptr<mac::BackoffEntity>> make_dcf_entities(
+    int n, int cw_min, int cw_max, std::uint64_t seed);
+
+}  // namespace plc::sim

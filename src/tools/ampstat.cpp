@@ -1,0 +1,50 @@
+#include "tools/ampstat.hpp"
+
+#include "util/error.hpp"
+
+namespace plc::tools {
+
+AmpStat::AmpStat(emu::HpavDevice& device, frames::MacAddress host_mac)
+    : device_(device), host_mac_(host_mac) {
+  device_.add_host_listener([this](const frames::EthernetFrame& frame) {
+    if (frame.ether_type != frames::kEtherTypeHomePlugAv) return;
+    if (frame.destination != host_mac_) return;
+    const mme::Mme mme = mme::Mme::from_ethernet(frame);
+    if (auto confirm = mme::AmpStatConfirm::from_mme(mme)) {
+      last_confirm_ = *confirm;
+    }
+  });
+}
+
+mme::AmpStatConfirm AmpStat::exchange(const mme::AmpStatRequest& request) {
+  last_confirm_.reset();
+  device_.host_send(request.to_mme(host_mac_, device_.mac()).to_ethernet());
+  // The firmware answers synchronously on the host interface.
+  util::require(last_confirm_.has_value(),
+                "AmpStat: device did not confirm the 0xA030 request");
+  return *last_confirm_;
+}
+
+mme::AmpStatConfirm AmpStat::query(const frames::MacAddress& peer,
+                                   frames::Priority priority,
+                                   mme::StatDirection direction) {
+  mme::AmpStatRequest request;
+  request.action = mme::StatAction::kRead;
+  request.direction = direction;
+  request.link_priority = priority;
+  request.peer = peer;
+  return exchange(request);
+}
+
+mme::AmpStatConfirm AmpStat::reset(const frames::MacAddress& peer,
+                                   frames::Priority priority,
+                                   mme::StatDirection direction) {
+  mme::AmpStatRequest request;
+  request.action = mme::StatAction::kReset;
+  request.direction = direction;
+  request.link_priority = priority;
+  request.peer = peer;
+  return exchange(request);
+}
+
+}  // namespace plc::tools

@@ -1,0 +1,48 @@
+// The ampstat host tool (Atheros Open PLC Toolkit), emulated.
+//
+// §3.2: "With the command ampstat [...] we can reset to 0 or retrieve the
+// number of acknowledged and collided PLC frames (MPDUs) given the
+// destination MAC address, the priority, and the direction [...] of a
+// specific link." The tool sends a 0xA030 MME to the local device over
+// the host interface and parses the confirm's counter fields (the frame
+// bytes 25-32 / 33-40 the paper points at).
+#pragma once
+
+#include <optional>
+
+#include "emu/device.hpp"
+#include "mme/ampstat.hpp"
+
+namespace plc::tools {
+
+/// Host-side statistics client bound to one device.
+class AmpStat {
+ public:
+  /// `host_mac` is the MAC the host "NIC" uses as MME source address.
+  explicit AmpStat(emu::HpavDevice& device,
+                   frames::MacAddress host_mac =
+                       frames::MacAddress::parse("02:19:01:ff:ff:01"));
+
+  /// Reads the TX counters of the link to `peer` at `priority`.
+  mme::AmpStatConfirm query(const frames::MacAddress& peer,
+                            frames::Priority priority,
+                            mme::StatDirection direction =
+                                mme::StatDirection::kTx);
+
+  /// Resets the device's statistics (the paper resets every station at
+  /// the start of a test); the confirm carries the freshly zeroed
+  /// counters of `peer`.
+  mme::AmpStatConfirm reset(const frames::MacAddress& peer,
+                            frames::Priority priority,
+                            mme::StatDirection direction =
+                                mme::StatDirection::kTx);
+
+ private:
+  mme::AmpStatConfirm exchange(const mme::AmpStatRequest& request);
+
+  emu::HpavDevice& device_;
+  frames::MacAddress host_mac_;
+  std::optional<mme::AmpStatConfirm> last_confirm_;
+};
+
+}  // namespace plc::tools

@@ -1,0 +1,90 @@
+#include "tools/capture.hpp"
+
+#include <array>
+#include <cstring>
+
+#include "util/error.hpp"
+
+namespace plc::tools {
+
+namespace {
+
+constexpr char kMagic[4] = {'P', 'L', 'C', 'C'};
+constexpr std::uint16_t kVersion = 1;
+
+void put_u16(std::ostream& out, std::uint16_t value) {
+  const char bytes[2] = {static_cast<char>(value & 0xFF),
+                         static_cast<char>(value >> 8)};
+  out.write(bytes, 2);
+}
+
+void put_u64(std::ostream& out, std::uint64_t value) {
+  char bytes[8];
+  for (int i = 0; i < 8; ++i) {
+    bytes[i] = static_cast<char>(value >> (8 * i));
+  }
+  out.write(bytes, 8);
+}
+
+std::uint16_t get_u16(std::istream& in) {
+  unsigned char bytes[2];
+  in.read(reinterpret_cast<char*>(bytes), 2);
+  util::require(in.gcount() == 2, "capture file: truncated");
+  return static_cast<std::uint16_t>(bytes[0] | bytes[1] << 8);
+}
+
+std::uint64_t get_u64(std::istream& in) {
+  unsigned char bytes[8];
+  in.read(reinterpret_cast<char*>(bytes), 8);
+  util::require(in.gcount() == 8, "capture file: truncated");
+  std::uint64_t value = 0;
+  for (int i = 7; i >= 0; --i) {
+    value = value << 8 | bytes[i];
+  }
+  return value;
+}
+
+}  // namespace
+
+void write_capture_file(
+    std::ostream& out,
+    const std::vector<mme::SnifferIndication>& captures) {
+  out.write(kMagic, 4);
+  put_u16(out, kVersion);
+  put_u64(out, captures.size());
+  for (const mme::SnifferIndication& capture : captures) {
+    put_u64(out, capture.timestamp_10ns);
+    const std::vector<std::uint8_t> sof = capture.sof.encode();
+    out.write(reinterpret_cast<const char*>(sof.data()),
+              static_cast<std::streamsize>(sof.size()));
+  }
+  util::require(out.good(), "capture file: write failed");
+}
+
+std::vector<mme::SnifferIndication> read_capture_file(std::istream& in) {
+  char magic[4];
+  in.read(magic, 4);
+  util::require(in.gcount() == 4 && std::memcmp(magic, kMagic, 4) == 0,
+                "capture file: bad magic");
+  const std::uint16_t version = get_u16(in);
+  util::require(version == kVersion,
+                "capture file: unsupported version");
+  const std::uint64_t count = get_u64(in);
+  std::vector<mme::SnifferIndication> captures;
+  captures.reserve(static_cast<std::size_t>(count));
+  std::array<std::uint8_t, frames::kSofWireBytes> sof_bytes{};
+  for (std::uint64_t i = 0; i < count; ++i) {
+    mme::SnifferIndication capture;
+    capture.timestamp_10ns = get_u64(in);
+    in.read(reinterpret_cast<char*>(sof_bytes.data()),
+            static_cast<std::streamsize>(sof_bytes.size()));
+    util::require(in.gcount() ==
+                      static_cast<std::streamsize>(sof_bytes.size()),
+                  "capture file: truncated record");
+    capture.sof = frames::SofDelimiter::decode(sof_bytes);  // CRC check.
+    captures.push_back(capture);
+  }
+  return captures;
+}
+
+}  // namespace plc::tools

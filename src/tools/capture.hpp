@@ -1,0 +1,33 @@
+// Sniffer capture files.
+//
+// The real faifa can dump captures for offline analysis; this is the
+// emulated counterpart: a compact binary stream of (timestamp, SoF
+// delimiter) records that Faifa instances can save and any tool can
+// re-load — so fairness/burst/overhead analyses can run long after the
+// simulation finished.
+//
+// Format (little-endian):
+//   magic   "PLCC" (4 bytes)
+//   version u16 (currently 1)
+//   count   u64
+//   records count x { timestamp_10ns u64, sof[16] }
+// Integrity: decoding re-validates each delimiter's CRC-8; truncated or
+// corrupted files raise plc::Error.
+#pragma once
+
+#include <istream>
+#include <ostream>
+#include <vector>
+
+#include "mme/sniffer.hpp"
+
+namespace plc::tools {
+
+/// Serializes sniffer captures into the capture-file format.
+void write_capture_file(std::ostream& out,
+                        const std::vector<mme::SnifferIndication>& captures);
+
+/// Parses a capture file; throws plc::Error on malformed input.
+std::vector<mme::SnifferIndication> read_capture_file(std::istream& in);
+
+}  // namespace plc::tools

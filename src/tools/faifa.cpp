@@ -1,0 +1,104 @@
+#include "tools/faifa.hpp"
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace plc::tools {
+
+Faifa::Faifa(emu::HpavDevice& device, frames::MacAddress host_mac)
+    : device_(device), host_mac_(host_mac) {
+  device_.add_host_listener([this](const frames::EthernetFrame& frame) {
+    if (frame.ether_type != frames::kEtherTypeHomePlugAv) return;
+    const mme::Mme mme = mme::Mme::from_ethernet(frame);
+    if (auto indication = mme::SnifferIndication::from_mme(mme)) {
+      captures_.push_back(*indication);
+      return;
+    }
+    if (frame.destination != host_mac_) return;
+    if (auto confirm = mme::SnifferConfirm::from_mme(mme)) {
+      confirm_seen_ = true;
+      enabled_ = confirm->enabled;
+    }
+  });
+}
+
+void Faifa::set_sniffer(bool enable) {
+  mme::SnifferRequest request;
+  request.enable = enable;
+  confirm_seen_ = false;
+  device_.host_send(request.to_mme(host_mac_, device_.mac()).to_ethernet());
+  util::require(confirm_seen_,
+                "Faifa: device did not confirm the 0xA034 request");
+}
+
+void Faifa::enable_sniffer() { set_sniffer(true); }
+void Faifa::disable_sniffer() { set_sniffer(false); }
+
+std::vector<Faifa::BurstInfo> Faifa::segment_bursts(
+    const std::vector<mme::SnifferIndication>& captures) {
+  std::vector<BurstInfo> result;
+  BurstInfo current;
+  bool in_burst = false;
+  for (const mme::SnifferIndication& capture : captures) {
+    if (!in_burst) {
+      current = BurstInfo{};
+      current.start = capture.timestamp();
+      current.src_tei = capture.sof.src_tei;
+      current.dst_tei = capture.sof.dst_tei;
+      current.priority = capture.sof.priority();
+      current.mme = capture.sof.mme_flag;
+      in_burst = true;
+    }
+    ++current.mpdu_count;
+    current.mme = current.mme || capture.sof.mme_flag;
+    // MPDUCnt counts the MPDUs still to come: 0 closes the burst.
+    if (capture.sof.mpdu_cnt == 0) {
+      result.push_back(current);
+      in_burst = false;
+    }
+  }
+  // A trailing truncated burst (capture stopped mid-burst) is dropped, as
+  // the real tool's post-processing would.
+  return result;
+}
+
+double Faifa::mme_overhead_of(
+    const std::vector<mme::SnifferIndication>& captures) {
+  std::int64_t mme_bursts = 0;
+  std::int64_t data_bursts = 0;
+  for (const BurstInfo& burst : segment_bursts(captures)) {
+    if (burst.mme) {
+      ++mme_bursts;
+    } else {
+      ++data_bursts;
+    }
+  }
+  if (data_bursts == 0) return 0.0;
+  return static_cast<double>(mme_bursts) / static_cast<double>(data_bursts);
+}
+
+std::vector<int> Faifa::data_burst_sources_of(
+    const std::vector<mme::SnifferIndication>& captures) {
+  std::vector<int> sources;
+  for (const BurstInfo& burst : segment_bursts(captures)) {
+    if (!burst.mme) sources.push_back(burst.src_tei);
+  }
+  return sources;
+}
+
+std::string Faifa::format_capture(const mme::SnifferIndication& capture) {
+  std::string line = "SOF t=";
+  line += capture.timestamp().to_string();
+  line += " stei=" + std::to_string(capture.sof.src_tei);
+  line += " dtei=" + std::to_string(capture.sof.dst_tei);
+  line += " lid=";
+  line += frames::to_string(capture.sof.priority());
+  line += " mpducnt=" + std::to_string(capture.sof.mpdu_cnt);
+  line += " pbs=" + std::to_string(capture.sof.pb_count);
+  line += " fl=" + util::format_double(capture.sof.frame_duration().us()) +
+          "us";
+  if (capture.sof.mme_flag) line += " [mme]";
+  return line;
+}
+
+}  // namespace plc::tools

@@ -1,0 +1,83 @@
+// The faifa host tool, emulated.
+//
+// §3.3: faifa switches a device into "sniffer" mode (MMType 0xA034); the
+// device then reports the Start-of-Frame delimiter of every PLC frame it
+// hears. Only delimiters are visible — never payloads — so analyses use
+// the SoF fields: Link ID (priority) separates data from management
+// traffic, MPDUCnt == 0 marks the last MPDU of a burst, and the source
+// TEI yields per-burst fairness traces.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "emu/device.hpp"
+#include "mme/sniffer.hpp"
+
+namespace plc::tools {
+
+/// Sniffer client bound to one device.
+class Faifa {
+ public:
+  explicit Faifa(emu::HpavDevice& device,
+                 frames::MacAddress host_mac =
+                     frames::MacAddress::parse("02:19:01:ff:ff:02"));
+
+  /// Enables/disables the device's sniffer mode (0xA034 exchange).
+  void enable_sniffer();
+  void disable_sniffer();
+  bool sniffer_enabled() const { return enabled_; }
+
+  /// Every SoF captured so far, in order.
+  const std::vector<mme::SnifferIndication>& captures() const {
+    return captures_;
+  }
+  void clear_captures() { captures_.clear(); }
+
+  /// One burst as reconstructed from the capture (MPDUCnt countdown).
+  struct BurstInfo {
+    des::SimTime start = des::SimTime::zero();
+    int src_tei = 0;
+    int dst_tei = 0;
+    frames::Priority priority = frames::Priority::kCa1;
+    bool mme = false;
+    int mpdu_count = 0;
+  };
+
+  /// Segments the capture into bursts: a burst ends at the delimiter
+  /// whose MPDUCnt field is 0 (§3.3).
+  std::vector<BurstInfo> bursts() const { return segment_bursts(captures_); }
+
+  /// Management overhead as the paper computes it: bursts carrying MMEs
+  /// divided by bursts carrying data.
+  double mme_overhead() const { return mme_overhead_of(captures_); }
+
+  /// Source TEIs of the data bursts, in order — the fairness trace.
+  std::vector<int> data_burst_sources() const {
+    return data_burst_sources_of(captures_);
+  }
+
+  // Static variants operating on any capture sequence (e.g. one re-loaded
+  // from a capture file, tools/capture.hpp).
+  static std::vector<BurstInfo> segment_bursts(
+      const std::vector<mme::SnifferIndication>& captures);
+  static double mme_overhead_of(
+      const std::vector<mme::SnifferIndication>& captures);
+  static std::vector<int> data_burst_sources_of(
+      const std::vector<mme::SnifferIndication>& captures);
+
+  /// faifa-style one-line rendering of a captured delimiter.
+  static std::string format_capture(const mme::SnifferIndication& capture);
+
+ private:
+  void set_sniffer(bool enable);
+
+  emu::HpavDevice& device_;
+  frames::MacAddress host_mac_;
+  bool enabled_ = false;
+  bool confirm_seen_ = false;
+  std::vector<mme::SnifferIndication> captures_;
+};
+
+}  // namespace plc::tools

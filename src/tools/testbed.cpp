@@ -1,0 +1,111 @@
+#include "tools/testbed.hpp"
+
+#include <memory>
+#include <string>
+
+#include "des/random.hpp"
+#include "tools/ampstat.hpp"
+#include "util/error.hpp"
+#include "workload/sources.hpp"
+
+namespace plc::tools {
+
+TestbedResult run_saturated_testbed(const TestbedConfig& config) {
+  util::check_arg(config.stations >= 1, "stations", "must be >= 1");
+  util::check_arg(config.duration > des::SimTime::zero(), "duration",
+                  "must be positive");
+
+  emu::Network network(config.seed, config.timing);
+  std::vector<emu::HpavDevice*> stations;
+  stations.reserve(static_cast<std::size_t>(config.stations));
+  for (int i = 0; i < config.stations; ++i) {
+    stations.push_back(&network.add_device(config.device));
+  }
+  emu::HpavDevice& destination = network.add_device(config.device);
+
+  // Saturating sources, one per station, all towards D (§3).
+  std::vector<std::unique_ptr<workload::SaturatedSource>> sources;
+  for (emu::HpavDevice* station : stations) {
+    workload::FrameTemplate frame_template;
+    frame_template.destination = destination.mac();
+    frame_template.source = station->mac();
+    auto sink = [station](frames::EthernetFrame frame) {
+      station->host_send(frame);
+      return station->tx_backlog_pbs();
+    };
+    // Keep at least two full bursts' worth of physical blocks queued so
+    // every burst has the full shape (saturation).
+    const std::size_t backlog_pbs = static_cast<std::size_t>(
+        4 * config.device.burst_mpdus * config.device.max_pbs_per_mpdu);
+    sources.push_back(std::make_unique<workload::SaturatedSource>(
+        network.scheduler(), frame_template, sink, backlog_pbs));
+    sources.back()->start();
+  }
+
+  // Optional management chatter (MME-overhead methodology, §3.3).
+  if (config.mme_interval > des::SimTime::zero()) {
+    for (emu::HpavDevice* station : stations) {
+      station->start_periodic_mme(config.mme_interval, destination.mac(),
+                                  frames::Priority::kCa2,
+                                  config.mme_payload_bytes);
+    }
+  }
+
+  // One ampstat client per station, like one shell per testbed host.
+  std::vector<std::unique_ptr<AmpStat>> ampstats;
+  for (emu::HpavDevice* station : stations) {
+    ampstats.push_back(std::make_unique<AmpStat>(*station));
+  }
+  std::unique_ptr<Faifa> faifa;
+  if (config.sniff_at_destination) {
+    faifa = std::make_unique<Faifa>(destination);
+  }
+
+  network.start();
+  network.run_for(config.warmup);
+
+  // "We reset the statistics of the frames transmitted at all the
+  // stations at the beginning of each test."
+  for (std::size_t i = 0; i < ampstats.size(); ++i) {
+    ampstats[i]->reset(destination.mac(), config.device.data_priority);
+    if (config.mme_interval > des::SimTime::zero()) {
+      ampstats[i]->reset(destination.mac(), frames::Priority::kCa2);
+    }
+  }
+  network.domain().reset_stats();
+  if (faifa) {
+    faifa->enable_sniffer();
+    faifa->clear_captures();
+  }
+
+  network.run_for(config.duration);
+
+  TestbedResult result;
+  result.acknowledged.reserve(ampstats.size());
+  result.collided.reserve(ampstats.size());
+  for (std::size_t i = 0; i < ampstats.size(); ++i) {
+    const mme::AmpStatConfirm confirm = ampstats[i]->query(
+        destination.mac(), config.device.data_priority);
+    result.acknowledged.push_back(confirm.acknowledged);
+    result.collided.push_back(confirm.collided);
+    result.total_acknowledged += confirm.acknowledged;
+    result.total_collided += confirm.collided;
+  }
+  result.collision_probability =
+      result.total_acknowledged == 0
+          ? 0.0
+          : static_cast<double>(result.total_collided) /
+                static_cast<double>(result.total_acknowledged);
+  result.domain = network.domain().stats();
+  result.frames_delivered_to_destination =
+      destination.host_frames_delivered();
+  if (faifa) {
+    faifa->disable_sniffer();
+    result.mme_overhead = faifa->mme_overhead();
+    result.data_burst_sources = faifa->data_burst_sources();
+    result.captures = faifa->captures();
+  }
+  return result;
+}
+
+}  // namespace plc::tools

@@ -1,0 +1,60 @@
+// The paper's measurement procedure (§3), end to end, on the emulated
+// testbed: N saturated stations send UDP-like traffic at CA1 to one
+// destination D on a single power strip; every station's counters are
+// reset via ampstat at the start of the test; at the end, ampstat reads
+// per-station acknowledged (Ai) and collided (Ci) MPDUs and the network
+// collision probability is sum(Ci)/sum(Ai). Optionally the destination
+// runs faifa's sniffer for burst/fairness/MME-overhead traces.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "emu/network.hpp"
+#include "medium/domain.hpp"
+#include "tools/faifa.hpp"
+
+namespace plc::tools {
+
+/// Configuration of one testbed run.
+struct TestbedConfig {
+  int stations = 2;                 ///< N transmitting stations (plus D).
+  des::SimTime duration = des::SimTime::from_seconds(240.0);  ///< §3.2.
+  des::SimTime warmup = des::SimTime::from_seconds(2.0);
+  std::uint64_t seed = 0x1901;
+  emu::DeviceConfig device;         ///< Applied to every device.
+  phy::TimingConfig timing = phy::TimingConfig::paper_default();
+  bool sniff_at_destination = false;
+  /// When positive, every station also emits periodic management frames
+  /// to the destination at CA2 (E10, the MME-overhead methodology).
+  des::SimTime mme_interval = des::SimTime::zero();
+  int mme_payload_bytes = 100;
+};
+
+/// Results of one run.
+struct TestbedResult {
+  std::vector<std::uint64_t> acknowledged;  ///< Ai per station.
+  std::vector<std::uint64_t> collided;      ///< Ci per station.
+  std::uint64_t total_acknowledged = 0;     ///< sum Ai.
+  std::uint64_t total_collided = 0;         ///< sum Ci.
+  /// The paper's estimator sum(Ci)/sum(Ai).
+  double collision_probability = 0.0;
+  /// Ground truth from the medium (cross-check; the tests assert it
+  /// agrees with the MME-reported estimator).
+  medium::DomainStats domain;
+  /// Sniffer-derived metrics (when sniff_at_destination).
+  double mme_overhead = 0.0;
+  std::vector<int> data_burst_sources;
+  /// Raw sniffer captures (when sniff_at_destination) — can be persisted
+  /// with tools::write_capture_file for offline analysis.
+  std::vector<mme::SnifferIndication> captures;
+  std::int64_t frames_delivered_to_destination = 0;
+};
+
+/// Runs the procedure. Builds N station devices plus the destination,
+/// saturates the stations, resets statistics after warm-up, measures for
+/// `duration`, and reads everything back through the MME tools — the
+/// whole §3 code path, byte-encoded MMEs included.
+TestbedResult run_saturated_testbed(const TestbedConfig& config);
+
+}  // namespace plc::tools

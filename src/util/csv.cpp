@@ -1,0 +1,57 @@
+#include "util/csv.hpp"
+
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace plc::util {
+
+CsvWriter::CsvWriter(std::ostream& out) : out_(out) {}
+
+CsvWriter::CsvWriter(std::ostream& out, const std::vector<std::string>& header)
+    : out_(out), header_width_(header.size()) {
+  require(!header.empty(), "CsvWriter: header must not be empty");
+  for (std::size_t i = 0; i < header.size(); ++i) {
+    if (i != 0) out_ << ',';
+    out_ << quote(header[i]);
+  }
+  out_ << '\n';
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& cells) {
+  if (header_width_ != 0) {
+    require(cells.size() == header_width_,
+            "CsvWriter: row width does not match header width");
+  }
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i != 0) out_ << ',';
+    out_ << quote(cells[i]);
+  }
+  out_ << '\n';
+  ++rows_written_;
+}
+
+void CsvWriter::write_row(const std::vector<double>& cells) {
+  std::vector<std::string> text;
+  text.reserve(cells.size());
+  for (const double v : cells) {
+    text.push_back(format_double(v));
+  }
+  write_row(text);
+}
+
+std::string CsvWriter::quote(std::string_view cell) {
+  const bool needs_quoting =
+      cell.find_first_of(",\"\n\r") != std::string_view::npos;
+  if (!needs_quoting) return std::string(cell);
+  std::string quoted = "\"";
+  for (const char c : cell) {
+    if (c == '"') quoted += '"';
+    quoted += c;
+  }
+  quoted += '"';
+  return quoted;
+}
+
+}  // namespace plc::util

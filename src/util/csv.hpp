@@ -1,0 +1,46 @@
+// Minimal CSV emitter used by the experiment harnesses to dump the series
+// behind each reproduced table/figure in a plot-ready form.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace plc::util {
+
+/// Streams rows of comma-separated values with RFC-4180-style quoting.
+///
+/// The writer does not own the output stream; keep the stream alive for the
+/// writer's lifetime. A header row is written on construction when column
+/// names are supplied, and every subsequent row is checked against the
+/// header width.
+class CsvWriter {
+ public:
+  /// Creates a writer without a header; rows may have any width.
+  explicit CsvWriter(std::ostream& out);
+
+  /// Creates a writer and immediately emits the header row.
+  CsvWriter(std::ostream& out, const std::vector<std::string>& header);
+
+  /// Writes one row of string cells. Throws plc::Error if the row width
+  /// does not match the header width (when a header was given).
+  void write_row(const std::vector<std::string>& cells);
+
+  /// Writes one row of numeric cells formatted with max_digits10 precision.
+  void write_row(const std::vector<double>& cells);
+
+  /// Quotes a single cell per RFC 4180 (doubles embedded quotes, wraps
+  /// cells containing comma/quote/newline).
+  static std::string quote(std::string_view cell);
+
+  /// Number of rows written so far, excluding the header.
+  int rows_written() const { return rows_written_; }
+
+ private:
+  std::ostream& out_;
+  std::size_t header_width_ = 0;  // 0 means "no header, any width".
+  int rows_written_ = 0;
+};
+
+}  // namespace plc::util

@@ -1,0 +1,71 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace plc::util {
+
+void RunningStats::add(double value) {
+  ++count_;
+  if (count_ == 1) {
+    mean_ = value;
+    m2_ = 0.0;
+    min_ = value;
+    max_ = value;
+    return;
+  }
+  const double delta = value - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (value - mean_);
+  min_ = std::min(min_, value);
+  max_ = std::max(max_, value);
+}
+
+double RunningStats::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+void RunningStats::merge(const RunningStats& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double total = static_cast<double>(count_ + other.count_);
+  const double delta = other.mean_ - mean_;
+  m2_ += other.m2_ + delta * delta *
+                         (static_cast<double>(count_) *
+                          static_cast<double>(other.count_)) /
+                         total;
+  mean_ += delta * static_cast<double>(other.count_) / total;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  count_ += other.count_;
+}
+
+void QuantileEstimator::add(double value) {
+  samples_.push_back(value);
+  sorted_ = false;
+}
+
+double QuantileEstimator::quantile(double q) const {
+  require(!samples_.empty(), "QuantileEstimator: no samples");
+  require(q >= 0.0 && q <= 1.0, "QuantileEstimator: q must be in [0, 1]");
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+  if (samples_.size() == 1) return samples_.front();
+  const double position = q * static_cast<double>(samples_.size() - 1);
+  const auto lower = static_cast<std::size_t>(position);
+  if (lower + 1 >= samples_.size()) return samples_.back();
+  const double fraction = position - static_cast<double>(lower);
+  return samples_[lower] * (1.0 - fraction) + samples_[lower + 1] * fraction;
+}
+
+}  // namespace plc::util

@@ -1,0 +1,58 @@
+// Streaming statistics accumulators.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace plc::util {
+
+/// Single-pass mean/variance accumulator (Welford's algorithm).
+///
+/// Numerically stable for long simulation runs where naive sum-of-squares
+/// accumulation would cancel.
+class RunningStats {
+ public:
+  void add(double value);
+
+  std::int64_t count() const { return count_; }
+  double mean() const { return count_ > 0 ? mean_ : 0.0; }
+  /// Unbiased sample variance; 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return count_ > 0 ? min_ : 0.0; }
+  double max() const { return count_ > 0 ? max_ : 0.0; }
+
+  /// Merges another accumulator into this one (parallel Welford).
+  void merge(const RunningStats& other);
+
+ private:
+  std::int64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Stores samples and answers quantile queries.
+///
+/// The simulation runs here produce at most a few million delay samples,
+/// so an exact (store-and-sort) implementation is both simplest and
+/// adequate; `quantile` sorts lazily and caches.
+class QuantileEstimator {
+ public:
+  void add(double value);
+
+  std::int64_t count() const { return static_cast<std::int64_t>(samples_.size()); }
+
+  /// Returns the q-quantile (0 <= q <= 1) by linear interpolation between
+  /// order statistics. Throws plc::Error when empty or q out of range.
+  double quantile(double q) const;
+
+  double median() const { return quantile(0.5); }
+
+ private:
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = true;
+};
+
+}  // namespace plc::util

@@ -1,0 +1,66 @@
+#include "util/strings.hpp"
+
+#include <array>
+#include <charconv>
+#include <cstdio>
+
+#include "util/error.hpp"
+
+namespace plc::util {
+
+std::string format_double(double value) {
+  std::array<char, 64> buffer{};
+  const auto [ptr, ec] =
+      std::to_chars(buffer.data(), buffer.data() + buffer.size(), value);
+  require(ec == std::errc(), "format_double: conversion failed");
+  return std::string(buffer.data(), ptr);
+}
+
+std::string format_fixed(double value, int digits) {
+  require(digits >= 0 && digits <= 17, "format_fixed: digits out of range");
+  std::array<char, 64> buffer{};
+  const int written = std::snprintf(buffer.data(), buffer.size(), "%.*f",
+                                    digits, value);
+  require(written > 0 && static_cast<std::size_t>(written) < buffer.size(),
+          "format_fixed: conversion failed");
+  return std::string(buffer.data(), static_cast<std::size_t>(written));
+}
+
+std::string to_hex(std::span<const std::uint8_t> bytes, char separator) {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(bytes.size() * (separator == '\0' ? 2 : 3));
+  for (std::size_t i = 0; i < bytes.size(); ++i) {
+    if (i != 0 && separator != '\0') out += separator;
+    out += kDigits[bytes[i] >> 4];
+    out += kDigits[bytes[i] & 0x0F];
+  }
+  return out;
+}
+
+std::string join(const std::vector<std::string>& pieces,
+                 std::string_view separator) {
+  std::string out;
+  for (std::size_t i = 0; i < pieces.size(); ++i) {
+    if (i != 0) out += separator;
+    out += pieces[i];
+  }
+  return out;
+}
+
+std::string with_thousands(std::int64_t value) {
+  const bool negative = value < 0;
+  std::string digits = std::to_string(negative ? -value : value);
+  std::string out;
+  out.reserve(digits.size() + digits.size() / 3 + 1);
+  int count = 0;
+  for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+    if (count != 0 && count % 3 == 0) out += ',';
+    out += *it;
+    ++count;
+  }
+  if (negative) out += '-';
+  return std::string(out.rbegin(), out.rend());
+}
+
+}  // namespace plc::util

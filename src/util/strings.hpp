@@ -1,0 +1,30 @@
+// Small string-formatting helpers shared across the framework.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace plc::util {
+
+/// Formats a double with enough digits to round-trip, trimming trailing
+/// zeros ("2920.64", not "2920.640000000000").
+std::string format_double(double value);
+
+/// Formats a double with a fixed number of fraction digits.
+std::string format_fixed(double value, int digits);
+
+/// Formats bytes as lowercase hex, optionally separated ("00:1f:2e").
+std::string to_hex(std::span<const std::uint8_t> bytes, char separator = '\0');
+
+/// Joins string pieces with a separator.
+std::string join(const std::vector<std::string>& pieces,
+                 std::string_view separator);
+
+/// Formats an integer with thousands separators ("1 622 220" style uses
+/// a narrow space; here we use ',').
+std::string with_thousands(std::int64_t value);
+
+}  // namespace plc::util

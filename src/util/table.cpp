@@ -1,0 +1,65 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+
+#include "util/csv.hpp"
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace plc::util {
+
+TablePrinter::TablePrinter(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  require(!header_.empty(), "TablePrinter: header must not be empty");
+}
+
+void TablePrinter::add_row(std::vector<std::string> cells) {
+  require(cells.size() <= header_.size(),
+          "TablePrinter: row wider than header");
+  cells.resize(header_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void TablePrinter::add_row(const std::vector<double>& cells, int digits) {
+  std::vector<std::string> text;
+  text.reserve(cells.size());
+  for (const double v : cells) {
+    text.push_back(format_fixed(v, digits));
+  }
+  add_row(std::move(text));
+}
+
+void TablePrinter::print(std::ostream& out) const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+    for (const auto& row : rows_) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  const auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out << (c == 0 ? "| " : " | ");
+      out << row[c];
+      out << std::string(widths[c] - row[c].size(), ' ');
+    }
+    out << " |\n";
+  };
+  print_row(header_);
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    out << (c == 0 ? "|-" : "-|-") << std::string(widths[c], '-');
+  }
+  out << "-|\n";
+  for (const auto& row : rows_) {
+    print_row(row);
+  }
+}
+
+void TablePrinter::print_csv(std::ostream& out) const {
+  CsvWriter writer(out, header_);
+  for (const auto& row : rows_) {
+    writer.write_row(row);
+  }
+}
+
+}  // namespace plc::util

@@ -1,0 +1,39 @@
+// Console table printer used by the bench harnesses to render reproduced
+// paper tables with aligned columns.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace plc::util {
+
+/// Accumulates rows and prints an aligned ASCII table.
+///
+/// Intended use: the bench binaries print exactly the rows/series a paper
+/// table reports, so the operator can diff against the paper by eye.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  /// Appends a row. Rows narrower than the header are right-padded with
+  /// empty cells; wider rows throw plc::Error.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats numeric cells with `digits` fraction digits.
+  void add_row(const std::vector<double>& cells, int digits = 4);
+
+  /// Renders the table: header, separator, rows.
+  void print(std::ostream& out) const;
+
+  /// Emits the same table as CSV (header + rows), for plotting scripts.
+  void print_csv(std::ostream& out) const;
+
+  int row_count() const { return static_cast<int>(rows_.size()); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace plc::util

@@ -1,0 +1,321 @@
+#include <memory>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "dcf/dcf.hpp"
+#include "mac/backoff.hpp"
+#include "mac/config.hpp"
+#include "util/error.hpp"
+
+namespace plc::mac {
+namespace {
+
+Backoff1901 make_1901(std::uint64_t seed = 1,
+                      BackoffConfig config = BackoffConfig::ca0_ca1()) {
+  return Backoff1901(std::move(config), des::RandomStream(seed));
+}
+
+/// Drives the entity to a transmission attempt through idle slots;
+/// returns the number of idle slots consumed.
+int drain_to_attempt(BackoffEntity& entity, int limit = 100000) {
+  int slots = 0;
+  while (!entity.ready_to_transmit()) {
+    entity.on_idle_slot();
+    ++slots;
+    if (slots > limit) ADD_FAILURE() << "entity never became ready";
+  }
+  return slots;
+}
+
+// --- Table 1 presets --------------------------------------------------------------
+
+TEST(Config, Table1Ca0Ca1) {
+  const BackoffConfig config = BackoffConfig::ca0_ca1();
+  EXPECT_EQ(config.cw, (std::vector<int>{8, 16, 32, 64}));
+  EXPECT_EQ(config.dc, (std::vector<int>{0, 1, 3, 15}));
+}
+
+TEST(Config, Table1Ca2Ca3) {
+  const BackoffConfig config = BackoffConfig::ca2_ca3();
+  EXPECT_EQ(config.cw, (std::vector<int>{8, 16, 16, 32}));
+  EXPECT_EQ(config.dc, (std::vector<int>{0, 1, 3, 15}));
+}
+
+TEST(Config, ForPriorityMapsClasses) {
+  EXPECT_EQ(BackoffConfig::for_priority(0).cw, BackoffConfig::ca0_ca1().cw);
+  EXPECT_EQ(BackoffConfig::for_priority(1).cw, BackoffConfig::ca0_ca1().cw);
+  EXPECT_EQ(BackoffConfig::for_priority(2).cw, BackoffConfig::ca2_ca3().cw);
+  EXPECT_EQ(BackoffConfig::for_priority(3).cw, BackoffConfig::ca2_ca3().cw);
+  EXPECT_THROW(BackoffConfig::for_priority(4), plc::Error);
+}
+
+TEST(Config, StageForBpcSaturatesAtLastStage) {
+  const BackoffConfig config = BackoffConfig::ca0_ca1();
+  EXPECT_EQ(config.stage_for_bpc(0), 0);
+  EXPECT_EQ(config.stage_for_bpc(2), 2);
+  EXPECT_EQ(config.stage_for_bpc(3), 3);
+  EXPECT_EQ(config.stage_for_bpc(99), 3);
+}
+
+TEST(Config, ValidateRejectsBadShapes) {
+  BackoffConfig config;
+  EXPECT_THROW(config.validate(), plc::Error);  // Empty.
+  config.cw = {8, 16};
+  config.dc = {0};
+  EXPECT_THROW(config.validate(), plc::Error);  // Length mismatch.
+  config.dc = {0, -1};
+  EXPECT_THROW(config.validate(), plc::Error);  // Negative dc.
+  config.dc = {0, 1};
+  config.cw = {8, 0};
+  EXPECT_THROW(config.validate(), plc::Error);  // Zero window.
+}
+
+TEST(Config, DcfLikeDoublesWindowsAndDisablesDeferral) {
+  const BackoffConfig config = BackoffConfig::dcf_like(16, 4);
+  EXPECT_EQ(config.cw, (std::vector<int>{16, 32, 64, 128}));
+  for (const int d : config.dc) EXPECT_EQ(d, kDeferralDisabled);
+}
+
+// --- Backoff1901 fundamentals ---------------------------------------------------------
+
+TEST(Backoff1901Test, StartsAtStageZeroWithTable1Values) {
+  Backoff1901 entity = make_1901();
+  EXPECT_EQ(entity.stage(), 0);
+  EXPECT_EQ(entity.contention_window(), 8);
+  EXPECT_EQ(entity.deferral_counter(), 0);  // d_0 = 0.
+  EXPECT_GE(entity.backoff_counter(), 0);
+  EXPECT_LT(entity.backoff_counter(), 8);
+}
+
+TEST(Backoff1901Test, BcDrawAlwaysInWindow) {
+  // Property: across many redraws at every stage, BC in {0, .., CW-1}.
+  Backoff1901 entity = make_1901(77);
+  for (int i = 0; i < 2000; ++i) {
+    EXPECT_GE(entity.backoff_counter(), 0);
+    EXPECT_LT(entity.backoff_counter(), entity.contention_window());
+    drain_to_attempt(entity);
+    entity.on_busy(true, /*success=*/i % 3 == 0);
+  }
+}
+
+TEST(Backoff1901Test, IdleSlotsCountDownToTransmission) {
+  Backoff1901 entity = make_1901();
+  const int initial_bc = entity.backoff_counter();
+  const int slots = drain_to_attempt(entity);
+  EXPECT_EQ(slots, initial_bc);
+  EXPECT_TRUE(entity.ready_to_transmit());
+}
+
+TEST(Backoff1901Test, SuccessRestartsAtStageZero) {
+  Backoff1901 entity = make_1901();
+  // Climb to a higher stage first via collisions.
+  for (int i = 0; i < 3; ++i) {
+    drain_to_attempt(entity);
+    entity.on_busy(true, false);
+  }
+  EXPECT_GT(entity.stage(), 0);
+  drain_to_attempt(entity);
+  entity.on_busy(true, true);
+  EXPECT_EQ(entity.stage(), 0);
+  EXPECT_EQ(entity.contention_window(), 8);
+}
+
+TEST(Backoff1901Test, CollisionsClimbStagesAndSaturate) {
+  Backoff1901 entity = make_1901();
+  const std::vector<int> expected_cw = {16, 32, 64, 64, 64};
+  for (std::size_t i = 0; i < expected_cw.size(); ++i) {
+    drain_to_attempt(entity);
+    entity.on_busy(true, false);
+    EXPECT_EQ(entity.contention_window(), expected_cw[i])
+        << "after collision " << i + 1;
+  }
+}
+
+TEST(Backoff1901Test, DeferralExpiryJumpsWithoutTransmitting) {
+  // Stage 0 has d_0 = 0: the *first* busy event already jumps the station
+  // to stage 1 (the mechanism of Figure 1).
+  Backoff1901 entity = make_1901();
+  EXPECT_EQ(entity.deferral_counter(), 0);
+  entity.on_busy(false, false);
+  EXPECT_EQ(entity.stage(), 1);
+  EXPECT_EQ(entity.contention_window(), 16);
+  EXPECT_EQ(entity.deferral_counter(), 1);  // d_1 = 1.
+}
+
+TEST(Backoff1901Test, BusyDecrementsBothCounters) {
+  // At stage 1 (d=1, CW=16) a busy event with DC>0 decrements BC and DC.
+  Backoff1901 entity = make_1901(5);
+  entity.on_busy(false, false);  // Jump to stage 1.
+  ASSERT_EQ(entity.stage(), 1);
+  // Ensure BC > 0 so the decrement is observable.
+  while (entity.backoff_counter() == 0) {
+    entity.on_busy(true, false);  // Won't happen: bc==0 means ready...
+  }
+  const int bc = entity.backoff_counter();
+  const int dc = entity.deferral_counter();
+  ASSERT_GT(dc, 0);
+  entity.on_busy(false, false);
+  EXPECT_EQ(entity.backoff_counter(), bc - 1);
+  EXPECT_EQ(entity.deferral_counter(), dc - 1);
+}
+
+TEST(Backoff1901Test, DeferralChainFollowsTable1) {
+  // Keep the medium busy forever; the station must climb 0->1->2->3 and
+  // then keep re-entering stage 3, exactly per Table 1's d_i tolerances:
+  // 1 busy at stage 0, 2 at stage 1 (d=1 tolerated + 1 jump), 4 at
+  // stage 2, 16 at stage 3 per re-entry.
+  Backoff1901 entity = make_1901(9);
+  EXPECT_EQ(entity.stage(), 0);
+  entity.on_busy(false, false);
+  EXPECT_EQ(entity.stage(), 1);
+  // Stage 1: needs d_1 + 1 = 2 busy events to jump (BC permitting).
+  int busy_events = 0;
+  while (entity.stage() == 1) {
+    ASSERT_FALSE(entity.ready_to_transmit())
+        << "BC expired before DC at this seed; test assumes otherwise";
+    entity.on_busy(false, false);
+    ++busy_events;
+  }
+  EXPECT_EQ(busy_events, 2);
+  EXPECT_EQ(entity.stage(), 2);
+}
+
+TEST(Backoff1901Test, LastStageReentersItself) {
+  Backoff1901 entity = make_1901(3);
+  for (int i = 0; i < 4; ++i) {
+    drain_to_attempt(entity);
+    entity.on_busy(true, false);
+  }
+  EXPECT_EQ(entity.stage(), 3);
+  // Sixteen tolerated busy events, then a jump that stays at stage 3.
+  for (int i = 0; i < 200; ++i) {
+    if (entity.ready_to_transmit()) {
+      entity.on_busy(true, false);
+    } else {
+      entity.on_busy(false, false);
+    }
+    EXPECT_EQ(entity.stage(), 3);
+  }
+}
+
+TEST(Backoff1901Test, StartNewFrameResets) {
+  Backoff1901 entity = make_1901();
+  for (int i = 0; i < 3; ++i) {
+    drain_to_attempt(entity);
+    entity.on_busy(true, false);
+  }
+  EXPECT_GT(entity.backoff_procedure_counter(), 1);
+  entity.start_new_frame();
+  EXPECT_EQ(entity.stage(), 0);
+  EXPECT_EQ(entity.contention_window(), 8);
+  EXPECT_EQ(entity.backoff_procedure_counter(), 1);  // One redraw done.
+}
+
+TEST(Backoff1901Test, OnIdleSlotWhenReadyIsAnError) {
+  Backoff1901 entity = make_1901();
+  drain_to_attempt(entity);
+  EXPECT_THROW(entity.on_idle_slot(), plc::Error);
+}
+
+TEST(Backoff1901Test, TransmitWithNonzeroBcIsAnError) {
+  Backoff1901 entity = make_1901(123);
+  // Find a state with BC > 0.
+  while (entity.backoff_counter() == 0) {
+    entity.on_busy(true, true);
+  }
+  EXPECT_THROW(entity.on_busy(true, true), plc::Error);
+}
+
+TEST(Backoff1901Test, CustomSingleStageConfig) {
+  BackoffConfig config;
+  config.cw = {4};
+  config.dc = {2};
+  Backoff1901 entity(config, des::RandomStream(17));
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(entity.stage(), 0);
+    EXPECT_EQ(entity.contention_window(), 4);
+    if (entity.ready_to_transmit()) {
+      entity.on_busy(true, i % 2 == 0);
+    } else {
+      entity.on_busy(false, false);
+    }
+  }
+}
+
+// --- BackoffDcf ------------------------------------------------------------------------
+
+TEST(BackoffDcfTest, FreezesDuringBusy) {
+  BackoffDcf entity(16, 1024, des::RandomStream(2));
+  while (entity.backoff_counter() == 0) {
+    entity.on_busy(true, true);
+  }
+  const int bc = entity.backoff_counter();
+  for (int i = 0; i < 10; ++i) entity.on_busy(false, false);
+  EXPECT_EQ(entity.backoff_counter(), bc);  // 802.11: frozen, not drained.
+}
+
+TEST(BackoffDcfTest, CollisionDoublesWindowUpToMax) {
+  BackoffDcf entity(16, 128, des::RandomStream(4));
+  const std::vector<int> expected = {32, 64, 128, 128};
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    drain_to_attempt(entity);
+    entity.on_busy(true, false);
+    EXPECT_EQ(entity.contention_window(), expected[i]);
+  }
+}
+
+TEST(BackoffDcfTest, SuccessResetsToCwMin) {
+  BackoffDcf entity(16, 1024, des::RandomStream(4));
+  drain_to_attempt(entity);
+  entity.on_busy(true, false);
+  drain_to_attempt(entity);
+  entity.on_busy(true, true);
+  EXPECT_EQ(entity.contention_window(), 16);
+  EXPECT_EQ(entity.stage(), 0);
+}
+
+TEST(BackoffDcfTest, DeferralCounterReportsDisabled) {
+  BackoffDcf entity(16, 1024, des::RandomStream(4));
+  EXPECT_EQ(entity.deferral_counter(), kDeferralDisabled);
+}
+
+TEST(BackoffDcfTest, FactoryAndPresets) {
+  const dcf::DcfConfig config = dcf::DcfConfig::ieee80211ag();
+  EXPECT_EQ(config.cw_min, 16);
+  EXPECT_EQ(config.cw_max, 1024);
+  auto entity = dcf::make_backoff(config, des::RandomStream(1));
+  ASSERT_NE(entity, nullptr);
+  EXPECT_EQ(entity->contention_window(), 16);
+  EXPECT_EQ(dcf::DcfConfig::plc_window_no_deferral().cw_min, 8);
+}
+
+TEST(BackoffDcfTest, RejectsBadWindows) {
+  EXPECT_THROW(BackoffDcf(0, 16, des::RandomStream(1)), plc::Error);
+  EXPECT_THROW(BackoffDcf(32, 16, des::RandomStream(1)), plc::Error);
+}
+
+// --- Figure 1 mechanism: winner keeps small CW, loser climbs ---------------------------
+
+TEST(Backoff1901Test, WinnerLoserAsymmetryOfFigure1) {
+  // Station A wins twice in a row; B (sensing busy with d=0, then d=1)
+  // must sit at a higher stage with a larger CW — the short-term
+  // unfairness mechanism the paper's Figure 1 illustrates.
+  Backoff1901 a = make_1901(100);
+  Backoff1901 b = make_1901(200);
+  // A counts down and transmits; B senses the busy medium.
+  drain_to_attempt(a);
+  a.on_busy(true, true);
+  b.on_busy(false, false);
+  EXPECT_EQ(a.stage(), 0);
+  EXPECT_EQ(b.stage(), 1);
+  drain_to_attempt(a);
+  a.on_busy(true, true);
+  b.on_busy(false, false);
+  EXPECT_EQ(a.contention_window(), 8);
+  EXPECT_GE(b.stage(), 1);
+  EXPECT_GE(b.contention_window(), 16);
+}
+
+}  // namespace
+}  // namespace plc::mac

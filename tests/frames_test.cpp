@@ -1,0 +1,289 @@
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+#include "frames/ethernet.hpp"
+#include "frames/mac_address.hpp"
+#include "frames/mpdu.hpp"
+#include "frames/pb.hpp"
+#include "frames/sack.hpp"
+#include "util/error.hpp"
+
+namespace plc::frames {
+namespace {
+
+EthernetFrame make_frame(int payload_bytes, std::uint8_t fill = 0xAB) {
+  EthernetFrame frame;
+  frame.destination = MacAddress::for_station(2);
+  frame.source = MacAddress::for_station(1);
+  frame.ether_type = kEtherTypeIpv4;
+  frame.payload.assign(static_cast<std::size_t>(payload_bytes), fill);
+  return frame;
+}
+
+// --- MacAddress -----------------------------------------------------------------
+
+TEST(MacAddress, ParseFormatRoundTrip) {
+  const MacAddress mac = MacAddress::parse("02:19:01:aa:BB:cc");
+  EXPECT_EQ(mac.to_string(), "02:19:01:aa:bb:cc");
+}
+
+TEST(MacAddress, ParseRejectsMalformed) {
+  EXPECT_THROW(MacAddress::parse("0219:01:aa:bb:cc"), plc::Error);
+  EXPECT_THROW(MacAddress::parse("02:19:01:aa:bb"), plc::Error);
+  EXPECT_THROW(MacAddress::parse("02:19:01:aa:bb:cg"), plc::Error);
+}
+
+TEST(MacAddress, Broadcast) {
+  EXPECT_TRUE(MacAddress::broadcast().is_broadcast());
+  EXPECT_FALSE(MacAddress::for_station(1).is_broadcast());
+}
+
+TEST(MacAddress, ForStationIsUniqueAndLocal) {
+  const MacAddress a = MacAddress::for_station(1);
+  const MacAddress b = MacAddress::for_station(2);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(a.bytes()[0] & 0x02, 0x02);  // Locally administered bit.
+  EXPECT_THROW(MacAddress::for_station(-1), plc::Error);
+  EXPECT_THROW(MacAddress::for_station(256), plc::Error);
+}
+
+TEST(MacAddress, WriteReadRoundTrip) {
+  const MacAddress mac = MacAddress::parse("12:34:56:78:9a:bc");
+  std::uint8_t buffer[6];
+  mac.write_to(buffer);
+  EXPECT_EQ(MacAddress::read_from(buffer), mac);
+}
+
+// --- EthernetFrame -------------------------------------------------------------
+
+TEST(Ethernet, SerializeDeserializeRoundTrip) {
+  const EthernetFrame frame = make_frame(300, 0x5C);
+  const EthernetFrame parsed = EthernetFrame::deserialize(frame.serialize());
+  EXPECT_EQ(parsed.destination, frame.destination);
+  EXPECT_EQ(parsed.source, frame.source);
+  EXPECT_EQ(parsed.ether_type, frame.ether_type);
+  EXPECT_EQ(parsed.payload, frame.payload);
+}
+
+TEST(Ethernet, ShortPayloadIsPadded) {
+  const EthernetFrame frame = make_frame(10);
+  EXPECT_EQ(frame.wire_size(), 14 + kMinEthernetPayload);
+  const auto bytes = frame.serialize();
+  EXPECT_EQ(bytes.size(), 14 + kMinEthernetPayload);
+  // Padding bytes are zero.
+  for (std::size_t i = 14 + 10; i < bytes.size(); ++i) {
+    EXPECT_EQ(bytes[i], 0);
+  }
+}
+
+TEST(Ethernet, RejectsOversizedPayload) {
+  const EthernetFrame frame = make_frame(1501);
+  EXPECT_THROW(frame.serialize(), plc::Error);
+}
+
+TEST(Ethernet, DeserializeRejectsTruncated) {
+  const std::vector<std::uint8_t> tiny(13, 0);
+  EXPECT_THROW(EthernetFrame::deserialize(tiny), plc::Error);
+}
+
+// --- Segmenter / Reassembler -----------------------------------------------------
+
+TEST(Segmentation, FramesSurviveTheConvergenceLayer) {
+  Segmenter segmenter;
+  Reassembler reassembler;
+  std::vector<EthernetFrame> sent;
+  for (int i = 0; i < 20; ++i) {
+    sent.push_back(make_frame(100 + i * 37,
+                              static_cast<std::uint8_t>(i)));
+    segmenter.push_frame(sent.back());
+  }
+  std::vector<EthernetFrame> received;
+  for (const PhysicalBlock& pb : segmenter.pop_pbs(1000, /*flush=*/true)) {
+    for (const EthernetFrame& frame : reassembler.push_pb(pb)) {
+      received.push_back(frame);
+    }
+  }
+  ASSERT_EQ(received.size(), sent.size());
+  for (std::size_t i = 0; i < sent.size(); ++i) {
+    EXPECT_EQ(received[i].payload, sent[i].payload) << "frame " << i;
+    EXPECT_EQ(received[i].source, sent[i].source);
+  }
+  EXPECT_EQ(reassembler.frames_delivered(), 20);
+  EXPECT_EQ(reassembler.frames_dropped(), 0);
+}
+
+TEST(Segmentation, PbsAreFixedSizeWithSequentialSsns) {
+  Segmenter segmenter;
+  for (int i = 0; i < 10; ++i) segmenter.push_frame(make_frame(1400));
+  const auto pbs = segmenter.pop_pbs(1000, false);
+  ASSERT_GT(pbs.size(), 2u);
+  for (std::size_t i = 0; i < pbs.size(); ++i) {
+    EXPECT_EQ(pbs[i].ssn, static_cast<std::uint16_t>(i));
+    EXPECT_EQ(pbs[i].used, kPbBytes);
+  }
+}
+
+TEST(Segmentation, WithoutFlushKeepsPartialTail) {
+  Segmenter segmenter;
+  segmenter.push_frame(make_frame(100));  // ~116 bytes < 512.
+  EXPECT_EQ(segmenter.complete_pb_count(), 0);
+  EXPECT_TRUE(segmenter.has_pending_bytes());
+  EXPECT_TRUE(segmenter.pop_pbs(10, false).empty());
+  const auto flushed = segmenter.pop_pbs(10, true);
+  ASSERT_EQ(flushed.size(), 1u);
+  EXPECT_LT(flushed[0].used, kPbBytes);
+  EXPECT_FALSE(segmenter.has_pending_bytes());
+}
+
+TEST(Segmentation, PopRespectsMaxCount) {
+  Segmenter segmenter;
+  for (int i = 0; i < 20; ++i) segmenter.push_frame(make_frame(1400));
+  const int total = segmenter.complete_pb_count();
+  const auto first = segmenter.pop_pbs(3, false);
+  EXPECT_EQ(first.size(), 3u);
+  EXPECT_EQ(segmenter.complete_pb_count(), total - 3);
+}
+
+TEST(Segmentation, CorruptPbDropsOnlyOverlappingFrames) {
+  Segmenter segmenter;
+  std::vector<EthernetFrame> sent;
+  for (int i = 0; i < 12; ++i) {
+    sent.push_back(make_frame(400, static_cast<std::uint8_t>(0x10 + i)));
+    segmenter.push_frame(sent.back());
+  }
+  auto pbs = segmenter.pop_pbs(1000, true);
+  ASSERT_GE(pbs.size(), 3u);
+  pbs[1].received_ok = false;  // Corrupt the second physical block.
+  Reassembler reassembler;
+  std::vector<EthernetFrame> received;
+  for (const PhysicalBlock& pb : pbs) {
+    for (const EthernetFrame& frame : reassembler.push_pb(pb)) {
+      received.push_back(frame);
+    }
+  }
+  EXPECT_GT(reassembler.frames_dropped(), 0);
+  EXPECT_EQ(reassembler.frames_delivered() + reassembler.frames_dropped(),
+            static_cast<std::int64_t>(sent.size()));
+  // Delivered frames are intact copies of some sent frames.
+  for (const EthernetFrame& frame : received) {
+    bool found = false;
+    for (const EthernetFrame& original : sent) {
+      if (original.payload == frame.payload) {
+        found = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(found);
+  }
+}
+
+// --- SoF delimiter ----------------------------------------------------------------
+
+TEST(Sof, EncodeDecodeRoundTrip) {
+  SofDelimiter sof;
+  sof.src_tei = 3;
+  sof.dst_tei = 8;
+  sof.link_id = static_cast<std::uint8_t>(Priority::kCa2);
+  sof.mpdu_cnt = 1;
+  sof.pb_count = 16;
+  sof.sack_requested = true;
+  sof.mme_flag = true;
+  sof.set_frame_duration(des::SimTime::from_us(1025.0));
+  const SofDelimiter parsed = SofDelimiter::decode(sof.encode());
+  EXPECT_EQ(parsed.src_tei, 3);
+  EXPECT_EQ(parsed.dst_tei, 8);
+  EXPECT_EQ(parsed.priority(), Priority::kCa2);
+  EXPECT_EQ(parsed.mpdu_cnt, 1);
+  EXPECT_EQ(parsed.pb_count, 16);
+  EXPECT_TRUE(parsed.sack_requested);
+  EXPECT_TRUE(parsed.mme_flag);
+  EXPECT_EQ(parsed.frame_length_units, sof.frame_length_units);
+}
+
+TEST(Sof, FrameDurationQuantizedToUnits) {
+  SofDelimiter sof;
+  sof.set_frame_duration(des::SimTime::from_us(2050.0));
+  // 2050 us / 1.28 us per unit = 1601.56... -> rounds up to 1602 units.
+  EXPECT_EQ(sof.frame_length_units, 1602);
+  EXPECT_GE(sof.frame_duration(), des::SimTime::from_us(2050.0));
+}
+
+TEST(Sof, DecodeRejectsCorruptedCrc) {
+  SofDelimiter sof;
+  sof.src_tei = 1;
+  auto bytes = sof.encode();
+  bytes[1] ^= 0xFF;
+  EXPECT_THROW(SofDelimiter::decode(bytes), plc::Error);
+}
+
+TEST(Sof, DecodeRejectsWrongLengthOrType) {
+  SofDelimiter sof;
+  auto bytes = sof.encode();
+  bytes.push_back(0);
+  EXPECT_THROW(SofDelimiter::decode(bytes), plc::Error);
+  auto wrong_type = sof.encode();
+  wrong_type[0] = static_cast<std::uint8_t>(DelimiterType::kSack);
+  wrong_type[15] = crc8(std::span(wrong_type).first(15));
+  EXPECT_THROW(SofDelimiter::decode(wrong_type), plc::Error);
+}
+
+TEST(Sof, PriorityNames) {
+  EXPECT_STREQ(to_string(Priority::kCa0), "CA0");
+  EXPECT_STREQ(to_string(Priority::kCa3), "CA3");
+  EXPECT_EQ(priority_bits(Priority::kCa3), 3);
+  EXPECT_EQ(priority_bits(Priority::kCa1), 1);
+}
+
+// --- SACK -----------------------------------------------------------------------------
+
+TEST(Sack, FromOutcomesClassifies) {
+  EXPECT_EQ(SackDelimiter::from_outcomes(1, 2, {true, true}).result,
+            SackResult::kAllGood);
+  EXPECT_EQ(SackDelimiter::from_outcomes(1, 2, {false, false}).result,
+            SackResult::kAllBad);
+  EXPECT_EQ(SackDelimiter::from_outcomes(1, 2, {true, false}).result,
+            SackResult::kPartial);
+}
+
+TEST(Sack, EncodeDecodeRoundTrip) {
+  std::vector<bool> pb_ok;
+  for (int i = 0; i < 19; ++i) pb_ok.push_back(i % 3 != 0);
+  const SackDelimiter sack = SackDelimiter::from_outcomes(7, 9, pb_ok);
+  const SackDelimiter parsed = SackDelimiter::decode(sack.encode());
+  EXPECT_EQ(parsed.src_tei, 7);
+  EXPECT_EQ(parsed.dst_tei, 9);
+  EXPECT_EQ(parsed.result, SackResult::kPartial);
+  EXPECT_EQ(parsed.pb_ok, pb_ok);
+  EXPECT_EQ(parsed.good_count(), sack.good_count());
+  EXPECT_EQ(parsed.bad_count(), sack.bad_count());
+}
+
+TEST(Sack, DecodeRejectsCorruption) {
+  const SackDelimiter sack =
+      SackDelimiter::from_outcomes(1, 2, {true, false, true});
+  auto bytes = sack.encode();
+  bytes[2] ^= 0x01;
+  EXPECT_THROW(SackDelimiter::decode(bytes), plc::Error);
+}
+
+TEST(Sack, EmptyBitmapRoundTrips) {
+  const SackDelimiter sack = SackDelimiter::from_outcomes(1, 2, {});
+  const SackDelimiter parsed = SackDelimiter::decode(sack.encode());
+  EXPECT_TRUE(parsed.pb_ok.empty());
+  EXPECT_EQ(parsed.result, SackResult::kAllGood);
+}
+
+// --- CRC-8 -----------------------------------------------------------------------------
+
+TEST(Crc8, KnownProperties) {
+  const std::vector<std::uint8_t> empty;
+  EXPECT_EQ(crc8(empty), 0);
+  const std::vector<std::uint8_t> a = {0x01, 0x02, 0x03};
+  std::vector<std::uint8_t> b = a;
+  b[1] ^= 0x10;
+  EXPECT_NE(crc8(a), crc8(b));
+}
+
+}  // namespace
+}  // namespace plc::frames

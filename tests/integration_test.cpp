@@ -1,0 +1,172 @@
+// Cross-validation of the framework's three legs (the content of the
+// paper's Figure 2): the slot-level simulator (the paper's FSM), the
+// event-driven contention domain (pure-MAC stations), the emulated
+// HomePlug AV testbed measured through MME tools, and the analytical
+// models must all tell the same story.
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "analysis/exact_chain.hpp"
+#include "analysis/model_1901.hpp"
+#include "mac/station.hpp"
+#include "medium/domain.hpp"
+#include "metrics/fairness.hpp"
+#include "sim/sim_1901.hpp"
+#include "sim/slot_simulator.hpp"
+#include "tools/testbed.hpp"
+
+namespace plc {
+namespace {
+
+const mac::BackoffConfig kCa1 = mac::BackoffConfig::ca0_ca1();
+
+struct PureMacResult {
+  double collision_probability;
+  double normalized_throughput;
+};
+
+PureMacResult run_pure_mac_domain(int n, double seconds,
+                                  std::uint64_t seed) {
+  des::Scheduler scheduler;
+  medium::ContentionDomain domain(scheduler,
+                                  phy::TimingConfig::paper_default());
+  des::RandomStream root(seed);
+  std::vector<std::unique_ptr<mac::SaturatedStation>> stations;
+  for (int i = 0; i < n; ++i) {
+    stations.push_back(std::make_unique<mac::SaturatedStation>(
+        std::make_unique<mac::Backoff1901>(
+            kCa1, des::RandomStream(
+                      root.derive_seed("st-" + std::to_string(i)))),
+        frames::Priority::kCa1, des::SimTime::from_us(2050.0), 1));
+    domain.add_participant(*stations.back());
+  }
+  domain.start();
+  scheduler.run_until(des::SimTime::from_seconds(seconds));
+  return {domain.stats().collision_probability(),
+          domain.stats().normalized_throughput()};
+}
+
+// --- Slot simulator vs event-driven domain ------------------------------------------
+
+class SlotVsDomain : public ::testing::TestWithParam<int> {};
+
+TEST_P(SlotVsDomain, CollisionProbabilityAndThroughputAgree) {
+  const int n = GetParam();
+  const sim::Sim1901Result slot = sim::sim_1901(
+      n, 4e7, 2920.64, 2542.64, 2050.0, kCa1.cw, kCa1.dc, /*seed=*/101);
+  const PureMacResult domain = run_pure_mac_domain(n, 40.0, /*seed=*/202);
+  EXPECT_NEAR(slot.collision_probability, domain.collision_probability,
+              0.015)
+      << "n=" << n;
+  EXPECT_NEAR(slot.normalized_throughput, domain.normalized_throughput,
+              0.015)
+      << "n=" << n;
+}
+
+INSTANTIATE_TEST_SUITE_P(Stations, SlotVsDomain,
+                         ::testing::Values(1, 2, 3, 5, 7));
+
+// --- Slot simulator vs emulated testbed ----------------------------------------------
+
+class SlotVsTestbed : public ::testing::TestWithParam<int> {};
+
+TEST_P(SlotVsTestbed, MmeMeasuredCollisionProbabilityAgrees) {
+  const int n = GetParam();
+  const sim::Sim1901Result slot = sim::sim_1901(
+      n, 4e7, 2920.64, 2542.64, 2050.0, kCa1.cw, kCa1.dc, /*seed=*/303);
+  tools::TestbedConfig config;
+  config.stations = n;
+  config.duration = des::SimTime::from_seconds(40.0);
+  config.seed = 404;
+  const tools::TestbedResult testbed = tools::run_saturated_testbed(config);
+  EXPECT_NEAR(slot.collision_probability, testbed.collision_probability,
+              0.015)
+      << "n=" << n;
+}
+
+INSTANTIATE_TEST_SUITE_P(Stations, SlotVsTestbed, ::testing::Values(2, 5));
+
+// --- Simulation vs analysis -----------------------------------------------------------
+
+TEST(Figure2, AllSeriesTellTheSameStory) {
+  // Collision probability grows concavely with N in every series, and
+  // analysis tracks simulation within a few points of probability for
+  // N >= 3 (exactly for N = 2 via the coupled chain).
+  double previous_sim = -1.0;
+  for (const int n : {1, 2, 3, 5, 7}) {
+    const sim::Sim1901Result slot = sim::sim_1901(
+        n, 3e7, 2920.64, 2542.64, 2050.0, kCa1.cw, kCa1.dc);
+    EXPECT_GT(slot.collision_probability, previous_sim);
+    previous_sim = slot.collision_probability;
+    if (n >= 3) {
+      const analysis::Model1901Result model = analysis::solve_1901(n, kCa1);
+      EXPECT_NEAR(model.gamma, slot.collision_probability, 0.035)
+          << "n=" << n;
+    }
+  }
+  const analysis::ExactPairResult exact =
+      analysis::solve_exact_pair(kCa1, 3000, 1e-9);
+  const sim::Sim1901Result slot2 = sim::sim_1901(
+      2, 5e7, 2920.64, 2542.64, 2050.0, kCa1.cw, kCa1.dc);
+  EXPECT_NEAR(exact.collision_probability, slot2.collision_probability,
+              0.008);
+}
+
+TEST(Figure2, PaperMeasurementsAreWithinShapeTolerance) {
+  // Paper Table 2 collision probabilities (sum Ci / sum Ai, one 240 s
+  // test): our simulation must land near them — same shape, same
+  // ballpark (the paper's own Figure 2 shows measurement/simulation
+  // agreement at this scale).
+  const double paper_cp[] = {0.0002, 0.0741, 0.1339, 0.1779,
+                             0.2176, 0.2443, 0.2669};
+  for (int n = 1; n <= 7; ++n) {
+    const sim::Sim1901Result slot = sim::sim_1901(
+        n, 4e7, 2920.64, 2542.64, 2050.0, kCa1.cw, kCa1.dc);
+    EXPECT_NEAR(slot.collision_probability, paper_cp[n - 1], 0.015)
+        << "n=" << n;
+  }
+}
+
+// --- Short-term fairness (Figure 1's phenomenon, quantified) ----------------------------
+
+TEST(Fairness, N2ShortTermUnfairnessAppearsAtSmallWindows) {
+  sim::SlotSimulator simulator(sim::make_1901_entities(2, kCa1, 55),
+                               sim::SlotTiming{});
+  simulator.enable_winner_trace(true);
+  simulator.run(des::SimTime::from_seconds(60.0));
+  const std::vector<int>& winners = simulator.winners();
+  ASSERT_GT(winners.size(), 1000u);
+  const double short_jain =
+      metrics::sliding_window_jain(winners, 2, 10).mean();
+  const double long_jain =
+      metrics::sliding_window_jain(winners, 2, 1000).mean();
+  // Short windows are dominated by single-station reigns; long windows
+  // approach perfect fairness.
+  EXPECT_LT(short_jain, 0.85);
+  EXPECT_GT(long_jain, 0.98);
+  EXPECT_GT(long_jain, short_jain + 0.1);
+  // Reigns longer than a handful of transmissions exist (Figure 1).
+  const metrics::ReignStats reigns = metrics::reign_lengths(winners);
+  EXPECT_GT(reigns.longest, 5);
+  EXPECT_GT(reigns.length.mean(), 1.2);
+}
+
+// --- Throughput cross-check ----------------------------------------------------------------
+
+TEST(Throughput, TestbedMatchesSlotSimulatorNormalizedThroughput) {
+  tools::TestbedConfig config;
+  config.stations = 3;
+  config.duration = des::SimTime::from_seconds(30.0);
+  const tools::TestbedResult testbed = tools::run_saturated_testbed(config);
+  const sim::Sim1901Result slot = sim::sim_1901(
+      3, 3e7, 2920.64, 2542.64, 2050.0, kCa1.cw, kCa1.dc);
+  // The domain's normalized throughput counts burst payload time (2 MPDUs
+  // x 1025 us per success); the slot simulator counts frame_length per
+  // success — same 2050 us of payload per Ts.
+  EXPECT_NEAR(testbed.domain.normalized_throughput(),
+              slot.normalized_throughput, 0.015);
+}
+
+}  // namespace
+}  // namespace plc

@@ -1,0 +1,82 @@
+#include <gtest/gtest.h>
+
+#include "metrics/fairness.hpp"
+#include "util/error.hpp"
+
+namespace plc::metrics {
+namespace {
+
+TEST(SlidingJain, RoundRobinIsPerfectlyFair) {
+  std::vector<int> winners;
+  for (int i = 0; i < 100; ++i) winners.push_back(i % 4);
+  const util::RunningStats stats = sliding_window_jain(winners, 4, 4);
+  EXPECT_NEAR(stats.mean(), 1.0, 1e-12);
+  EXPECT_NEAR(stats.min(), 1.0, 1e-12);
+}
+
+TEST(SlidingJain, MonopolyScoresOneOverChurn) {
+  const std::vector<int> winners(50, 0);
+  const util::RunningStats stats = sliding_window_jain(winners, 5, 10);
+  // One station takes every slot in every window: Jain = 1/5.
+  EXPECT_NEAR(stats.mean(), 0.2, 1e-12);
+}
+
+TEST(SlidingJain, AlternatingBlocksAreUnfairAtShortWindows) {
+  // Long reigns: AAAA...BBBB... is fair in the long run but unfair at
+  // window scales below the reign length — the 1901 signature.
+  std::vector<int> winners;
+  for (int block = 0; block < 10; ++block) {
+    for (int i = 0; i < 20; ++i) winners.push_back(block % 2);
+  }
+  const double short_window = sliding_window_jain(winners, 2, 4).mean();
+  const double long_window = sliding_window_jain(winners, 2, 100).mean();
+  EXPECT_LT(short_window, 0.7);
+  EXPECT_GT(long_window, 0.9);
+}
+
+TEST(SlidingJain, WindowCountIsCorrect) {
+  std::vector<int> winners = {0, 1, 0, 1, 0};
+  const util::RunningStats stats = sliding_window_jain(winners, 2, 3);
+  EXPECT_EQ(stats.count(), 3);  // 5 - 3 + 1 sliding positions.
+}
+
+TEST(SlidingJain, ShortTraceYieldsNoWindows) {
+  const util::RunningStats stats = sliding_window_jain({0, 1}, 2, 10);
+  EXPECT_EQ(stats.count(), 0);
+}
+
+TEST(SlidingJain, ValidatesInput) {
+  EXPECT_THROW(sliding_window_jain({0, 1}, 0, 1), plc::Error);
+  EXPECT_THROW(sliding_window_jain({0, 1}, 2, 0), plc::Error);
+  EXPECT_THROW(sliding_window_jain({0, 5}, 2, 1), plc::Error);
+}
+
+TEST(Reigns, CountsRunsCorrectly) {
+  const ReignStats stats = reign_lengths({0, 0, 0, 1, 1, 0, 2, 2, 2, 2});
+  EXPECT_EQ(stats.total_reigns, 4);
+  EXPECT_EQ(stats.longest, 4);
+  EXPECT_NEAR(stats.length.mean(), 10.0 / 4.0, 1e-12);
+}
+
+TEST(Reigns, EmptyAndSingle) {
+  EXPECT_EQ(reign_lengths({}).total_reigns, 0);
+  const ReignStats one = reign_lengths({7});
+  EXPECT_EQ(one.total_reigns, 1);
+  EXPECT_EQ(one.longest, 1);
+}
+
+TEST(Shares, SumToOneAndMatchCounts) {
+  const std::vector<double> shares = success_shares({0, 1, 1, 2}, 4);
+  EXPECT_DOUBLE_EQ(shares[0], 0.25);
+  EXPECT_DOUBLE_EQ(shares[1], 0.5);
+  EXPECT_DOUBLE_EQ(shares[2], 0.25);
+  EXPECT_DOUBLE_EQ(shares[3], 0.0);
+}
+
+TEST(Shares, EmptyTraceIsAllZero) {
+  const std::vector<double> shares = success_shares({}, 3);
+  for (const double share : shares) EXPECT_DOUBLE_EQ(share, 0.0);
+}
+
+}  // namespace
+}  // namespace plc::metrics

@@ -1,0 +1,193 @@
+#include <gtest/gtest.h>
+
+#include "mme/ampstat.hpp"
+#include "mme/header.hpp"
+#include "mme/sniffer.hpp"
+#include "util/error.hpp"
+
+namespace plc::mme {
+namespace {
+
+const frames::MacAddress kHost = frames::MacAddress::parse("02:19:01:ff:ff:01");
+const frames::MacAddress kDevice = frames::MacAddress::for_station(1);
+const frames::MacAddress kPeer = frames::MacAddress::for_station(9);
+
+// --- MMTYPE helpers ---------------------------------------------------------------
+
+TEST(MmType, OperationEncoding) {
+  EXPECT_EQ(mm_type(0xA030, MmeOp::kRequest), 0xA030);
+  EXPECT_EQ(mm_type(0xA030, MmeOp::kConfirm), 0xA031);
+  EXPECT_EQ(mm_type(0xA034, MmeOp::kIndication), 0xA036);
+  EXPECT_EQ(mm_base(0xA031), 0xA030);
+  EXPECT_EQ(mm_base(0xA036), 0xA034);
+  EXPECT_EQ(mm_op(0xA033), MmeOp::kResponse);
+}
+
+// --- little-endian helpers ----------------------------------------------------------
+
+TEST(LittleEndian, RoundTrip16And64) {
+  std::vector<std::uint8_t> buffer(16, 0);
+  put_le16(buffer, 1, 0xA030);
+  EXPECT_EQ(buffer[1], 0x30);
+  EXPECT_EQ(buffer[2], 0xA0);
+  EXPECT_EQ(get_le16(buffer, 1), 0xA030);
+  put_le64(buffer, 4, 0x1122334455667788ULL);
+  EXPECT_EQ(buffer[4], 0x88);  // Least significant byte first.
+  EXPECT_EQ(buffer[11], 0x11);
+  EXPECT_EQ(get_le64(buffer, 4), 0x1122334455667788ULL);
+}
+
+TEST(LittleEndian, BoundsChecked) {
+  std::vector<std::uint8_t> buffer(4, 0);
+  EXPECT_THROW(put_le64(buffer, 0, 1), plc::Error);
+  EXPECT_THROW(get_le16(buffer, 3), plc::Error);
+}
+
+// --- MME framing ----------------------------------------------------------------------
+
+TEST(MmeFraming, EthernetRoundTrip) {
+  Mme mme;
+  mme.destination = kDevice;
+  mme.source = kHost;
+  mme.header.mmtype = 0xA031;
+  mme.header.fmi = 0;
+  mme.payload = {kVendorOui[0], kVendorOui[1], kVendorOui[2], 0x42};
+  const frames::EthernetFrame frame = mme.to_ethernet();
+  EXPECT_EQ(frame.ether_type, frames::kEtherTypeHomePlugAv);
+  const Mme parsed = Mme::from_ethernet(frame);
+  EXPECT_EQ(parsed.header.mmtype, 0xA031);
+  EXPECT_TRUE(parsed.has_vendor_oui());
+  EXPECT_EQ(parsed.destination, kDevice);
+  EXPECT_EQ(parsed.source, kHost);
+}
+
+TEST(MmeFraming, MmTypeIsLittleEndianOnTheWire) {
+  Mme mme;
+  mme.header.mmtype = 0xA030;
+  const frames::EthernetFrame frame = mme.to_ethernet();
+  // Frame payload layout: [0]=MMV, [1..2]=MMTYPE little-endian.
+  EXPECT_EQ(frame.payload[1], 0x30);
+  EXPECT_EQ(frame.payload[2], 0xA0);
+}
+
+TEST(MmeFraming, RejectsWrongEtherTypeAndTruncation) {
+  frames::EthernetFrame frame;
+  frame.ether_type = frames::kEtherTypeIpv4;
+  frame.payload.assign(32, 0);
+  EXPECT_THROW(Mme::from_ethernet(frame), plc::Error);
+}
+
+// --- ampstat (0xA030) --------------------------------------------------------------------
+
+TEST(AmpStat, RequestRoundTrip) {
+  AmpStatRequest request;
+  request.action = StatAction::kReset;
+  request.direction = StatDirection::kRx;
+  request.link_priority = frames::Priority::kCa2;
+  request.peer = kPeer;
+  const Mme mme = request.to_mme(kHost, kDevice);
+  EXPECT_EQ(mme.header.mmtype, 0xA030);
+  const auto parsed = AmpStatRequest::from_mme(mme);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->action, StatAction::kReset);
+  EXPECT_EQ(parsed->direction, StatDirection::kRx);
+  EXPECT_EQ(parsed->link_priority, frames::Priority::kCa2);
+  EXPECT_EQ(parsed->peer, kPeer);
+}
+
+TEST(AmpStat, ConfirmRoundTrip) {
+  AmpStatConfirm confirm;
+  confirm.status = 0;
+  confirm.direction = StatDirection::kTx;
+  confirm.acknowledged = 162'220;
+  confirm.collided = 12'012;
+  confirm.fc_errors = 3;
+  const Mme mme = confirm.to_mme(kDevice, kHost);
+  EXPECT_EQ(mme.header.mmtype, 0xA031);
+  const auto parsed = AmpStatConfirm::from_mme(mme);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->acknowledged, 162'220u);
+  EXPECT_EQ(parsed->collided, 12'012u);
+  EXPECT_EQ(parsed->fc_errors, 3u);
+}
+
+// The paper's exact parsing rule: "the bytes 25-32 of this reply represent
+// the number of acknowledged frames and the bytes 33-40 represent the
+// number of collided frames" — 1-based over the serialized Ethernet frame.
+TEST(AmpStat, PaperByteOffsetsHoldOnTheWire) {
+  AmpStatConfirm confirm;
+  confirm.acknowledged = 0x1122334455667788ULL;
+  confirm.collided = 0x99AABBCCDDEEFF00ULL;
+  const std::vector<std::uint8_t> wire =
+      confirm.to_mme(kDevice, kHost).to_ethernet().serialize();
+  ASSERT_GE(wire.size(), 40u);
+  // 1-based bytes 25..32 == 0-based offsets 24..31.
+  std::uint64_t acked = 0;
+  for (int i = 7; i >= 0; --i) {
+    acked = acked << 8 | wire[AmpStatConfirm::kAckedFrameOffset +
+                              static_cast<std::size_t>(i)];
+  }
+  std::uint64_t collided = 0;
+  for (int i = 7; i >= 0; --i) {
+    collided = collided << 8 | wire[AmpStatConfirm::kCollidedFrameOffset +
+                                    static_cast<std::size_t>(i)];
+  }
+  EXPECT_EQ(AmpStatConfirm::kAckedFrameOffset, 24u);    // byte 25, 1-based
+  EXPECT_EQ(AmpStatConfirm::kCollidedFrameOffset, 32u); // byte 33, 1-based
+  EXPECT_EQ(acked, confirm.acknowledged);
+  EXPECT_EQ(collided, confirm.collided);
+}
+
+TEST(AmpStat, FromMmeRejectsOtherTypes) {
+  SnifferRequest sniffer;
+  const Mme mme = sniffer.to_mme(kHost, kDevice);
+  EXPECT_FALSE(AmpStatRequest::from_mme(mme).has_value());
+  EXPECT_FALSE(AmpStatConfirm::from_mme(mme).has_value());
+}
+
+// --- sniffer (0xA034) -----------------------------------------------------------------------
+
+TEST(Sniffer, RequestConfirmRoundTrip) {
+  SnifferRequest request;
+  request.enable = true;
+  const auto parsed_req =
+      SnifferRequest::from_mme(request.to_mme(kHost, kDevice));
+  ASSERT_TRUE(parsed_req.has_value());
+  EXPECT_TRUE(parsed_req->enable);
+
+  SnifferConfirm confirm;
+  confirm.enabled = true;
+  const auto parsed_cnf =
+      SnifferConfirm::from_mme(confirm.to_mme(kDevice, kHost));
+  ASSERT_TRUE(parsed_cnf.has_value());
+  EXPECT_TRUE(parsed_cnf->enabled);
+  EXPECT_EQ(parsed_cnf->status, 0);
+}
+
+TEST(Sniffer, IndicationCarriesSofVerbatim) {
+  SnifferIndication indication;
+  indication.timestamp_10ns =
+      SnifferIndication::to_timestamp_10ns(des::SimTime::from_us(123.45));
+  indication.sof.src_tei = 5;
+  indication.sof.dst_tei = 8;
+  indication.sof.link_id = static_cast<std::uint8_t>(frames::Priority::kCa3);
+  indication.sof.mpdu_cnt = 1;
+  indication.sof.set_frame_duration(des::SimTime::from_us(1025.0));
+  const auto parsed =
+      SnifferIndication::from_mme(indication.to_mme(kDevice, kHost));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->sof.src_tei, 5);
+  EXPECT_EQ(parsed->sof.dst_tei, 8);
+  EXPECT_EQ(parsed->sof.priority(), frames::Priority::kCa3);
+  EXPECT_EQ(parsed->sof.mpdu_cnt, 1);
+  EXPECT_EQ(parsed->timestamp().ns(), des::SimTime::from_us(123.45).ns());
+}
+
+TEST(Sniffer, MmTypesMatchPaperOption) {
+  // faifa activates sniffer mode "using the option 0xA034 for the MMType".
+  SnifferRequest request;
+  EXPECT_EQ(request.to_mme(kHost, kDevice).header.mmtype, 0xA034);
+}
+
+}  // namespace
+}  // namespace plc::mme

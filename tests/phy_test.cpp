@@ -1,0 +1,138 @@
+#include <gtest/gtest.h>
+
+#include "phy/timing.hpp"
+#include "phy/tonemap.hpp"
+#include "util/error.hpp"
+
+namespace plc::phy {
+namespace {
+
+// --- TimingConfig -------------------------------------------------------------
+
+TEST(Timing, PaperDefaultPinsTsAndTc) {
+  const TimingConfig timing = TimingConfig::paper_default();
+  const des::SimTime frame = des::SimTime::from_us(2050.0);
+  EXPECT_EQ(timing.slot.ns(), 35'840);
+  EXPECT_EQ(timing.ts(frame).ns(), 2'542'640);   // Ts = 2542.64 us.
+  EXPECT_EQ(timing.tc(frame).ns(), 2'920'640);   // Tc = 2920.64 us.
+  // 1901 signature: the post-collision EIFS makes collisions dearer.
+  EXPECT_GT(timing.collision_overhead, timing.success_overhead);
+}
+
+TEST(Timing, OverheadsScaleWithFrameDuration) {
+  const TimingConfig timing = TimingConfig::paper_default();
+  const des::SimTime small = des::SimTime::from_us(1000.0);
+  const des::SimTime large = des::SimTime::from_us(3000.0);
+  EXPECT_EQ((timing.ts(large) - timing.ts(small)).ns(),
+            (large - small).ns());
+  EXPECT_EQ((timing.tc(large) - timing.tc(small)).ns(),
+            (large - small).ns());
+}
+
+TEST(Timing, BurstChargesPerMpdu) {
+  TimingConfig timing = TimingConfig::paper_default();
+  timing.burst_gap = des::SimTime::from_us(10.0);
+  const des::SimTime mpdu = des::SimTime::from_us(1025.0);
+  // 2 MPDUs + 1 gap + overhead.
+  EXPECT_EQ(timing.success_duration(mpdu, 2).ns(),
+            2 * mpdu.ns() + 10'000 + timing.success_overhead.ns());
+}
+
+TEST(Timing, PaperDefaultTwoMpduBurstEqualsTs) {
+  // The emulated testbed's default: 2 MPDUs of 1025 us payload each make
+  // the paper's 2050 us frame; a successful burst costs exactly Ts.
+  const TimingConfig timing = TimingConfig::paper_default();
+  EXPECT_EQ(
+      timing.success_duration(des::SimTime::from_us(1025.0), 2).ns(),
+      2'542'640);
+}
+
+TEST(Timing, FromTsTcValidates) {
+  EXPECT_THROW(TimingConfig::from_ts_tc(des::SimTime::zero(),
+                                        des::SimTime::from_us(100),
+                                        des::SimTime::from_us(100),
+                                        des::SimTime::from_us(50)),
+               plc::Error);
+  EXPECT_THROW(TimingConfig::from_ts_tc(des::SimTime::from_us(35.84),
+                                        des::SimTime::from_us(40),
+                                        des::SimTime::from_us(100),
+                                        des::SimTime::from_us(50)),
+               plc::Error);
+}
+
+TEST(Timing, ComponentsReproducePaperTsAndTcExactly) {
+  // PRS + preamble + RIFS + SACK + CIFS = 492.64 us and PRS + preamble +
+  // EIFS = 870.64 us: the component breakdown behind the paper's
+  // Ts = 2542.64 us and Tc = 2920.64 us for a 2050 us frame.
+  const TimingConfig config = TimingComponents::homeplug_av().to_config();
+  const TimingConfig paper = TimingConfig::paper_default();
+  EXPECT_EQ(config.slot.ns(), 35'840);
+  EXPECT_EQ(config.success_overhead.ns(), paper.success_overhead.ns());
+  EXPECT_EQ(config.collision_overhead.ns(), paper.collision_overhead.ns());
+  EXPECT_EQ(config.success_overhead.ns(), 492'640);
+  EXPECT_EQ(config.collision_overhead.ns(), 870'640);
+}
+
+TEST(Timing, RejectsInvalidBurst) {
+  const TimingConfig timing = TimingConfig::paper_default();
+  EXPECT_THROW(timing.success_duration(des::SimTime::from_us(100), 0),
+               plc::Error);
+  EXPECT_THROW(timing.collision_duration(des::SimTime::from_us(100), -1),
+               plc::Error);
+}
+
+// --- ToneMap --------------------------------------------------------------------
+
+TEST(ToneMap, BitRateMatchesProfile) {
+  EXPECT_NEAR(ToneMap::mini_robo().bit_rate_bps(), 3.8e6, 1e3);
+  EXPECT_NEAR(ToneMap::std_robo().bit_rate_bps(), 4.9e6, 1e3);
+  EXPECT_NEAR(ToneMap::hs_robo().bit_rate_bps(), 9.8e6, 1e3);
+  EXPECT_NEAR(ToneMap::high_rate().bit_rate_bps(), 150e6, 1e5);
+}
+
+TEST(ToneMap, PayloadDurationIsWholeSymbols) {
+  const ToneMap map = ToneMap::high_rate();
+  const des::SimTime one_byte = map.payload_duration(1);
+  EXPECT_EQ(one_byte.ns() % map.symbol_duration().ns(), 0);
+  EXPECT_EQ(map.payload_duration(0).ns(), 0);
+}
+
+TEST(ToneMap, DurationMonotoneInPayload) {
+  const ToneMap map = ToneMap::std_robo();
+  des::SimTime previous = des::SimTime::zero();
+  for (int bytes = 0; bytes <= 4096; bytes += 512) {
+    const des::SimTime duration = map.payload_duration(bytes);
+    EXPECT_GE(duration, previous);
+    previous = duration;
+  }
+}
+
+TEST(ToneMap, FrameDurationUsesPbSize) {
+  const ToneMap map = ToneMap::high_rate();
+  EXPECT_EQ(map.frame_duration(2).ns(),
+            map.payload_duration(2 * kPhysicalBlockBytes).ns());
+}
+
+TEST(ToneMap, MaxPbCountInverseOfFrameDuration) {
+  const ToneMap map = ToneMap::high_rate();
+  const int count = map.max_pb_count(des::SimTime::from_us(2050.0));
+  EXPECT_GT(count, 0);
+  EXPECT_LE(map.frame_duration(count), des::SimTime::from_us(2050.0));
+  EXPECT_GT(map.frame_duration(count + 1), des::SimTime::from_us(2050.0));
+}
+
+TEST(ToneMap, RoboFitsFewerBlocksThanHighRate) {
+  const des::SimTime budget = des::SimTime::from_us(2050.0);
+  EXPECT_LT(ToneMap::mini_robo().max_pb_count(budget),
+            ToneMap::high_rate().max_pb_count(budget));
+}
+
+TEST(ToneMap, RejectsInvalidArguments) {
+  EXPECT_THROW(ToneMap("bad", 0.0, des::SimTime::from_ns(1)), plc::Error);
+  const ToneMap map = ToneMap::high_rate();
+  EXPECT_THROW(map.payload_duration(-1), plc::Error);
+  EXPECT_THROW(map.frame_duration(0), plc::Error);
+}
+
+}  // namespace
+}  // namespace plc::phy

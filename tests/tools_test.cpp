@@ -1,0 +1,290 @@
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "emu/network.hpp"
+#include "tools/ampstat.hpp"
+#include "tools/capture.hpp"
+#include "tools/faifa.hpp"
+#include "tools/testbed.hpp"
+#include "util/error.hpp"
+#include "workload/sources.hpp"
+
+namespace plc::tools {
+namespace {
+
+// --- AmpStat -----------------------------------------------------------------------
+
+TEST(AmpStatTool, ReadsCountersThroughTheMmePath) {
+  emu::Network network(1);
+  emu::HpavDevice& sender = network.add_device();
+  emu::HpavDevice& receiver = network.add_device();
+  AmpStat ampstat(sender);
+  network.start();
+  for (int i = 0; i < 32; ++i) {
+    frames::EthernetFrame frame;
+    frame.destination = receiver.mac();
+    frame.source = sender.mac();
+    frame.ether_type = frames::kEtherTypeIpv4;
+    frame.payload.assign(1400, 0);
+    sender.host_send(frame);
+  }
+  network.run_for(des::SimTime::from_seconds(1.0));
+  const mme::AmpStatConfirm confirm =
+      ampstat.query(receiver.mac(), frames::Priority::kCa1);
+  EXPECT_EQ(confirm.status, 0);
+  EXPECT_GT(confirm.acknowledged, 0u);
+  EXPECT_EQ(confirm.collided, 0u);  // Single sender: no collisions.
+  // The MME-reported value equals the firmware's internal counter.
+  EXPECT_EQ(confirm.acknowledged,
+            sender.counters()
+                .read(receiver.mac(), frames::Priority::kCa1,
+                      mme::StatDirection::kTx)
+                .acknowledged);
+}
+
+TEST(AmpStatTool, ResetZeroesCounters) {
+  emu::Network network(2);
+  emu::HpavDevice& sender = network.add_device();
+  emu::HpavDevice& receiver = network.add_device();
+  AmpStat ampstat(sender);
+  network.start();
+  frames::EthernetFrame frame;
+  frame.destination = receiver.mac();
+  frame.source = sender.mac();
+  frame.ether_type = frames::kEtherTypeIpv4;
+  frame.payload.assign(1400, 0);
+  for (int i = 0; i < 8; ++i) sender.host_send(frame);
+  network.run_for(des::SimTime::from_seconds(1.0));
+  EXPECT_GT(ampstat.query(receiver.mac(), frames::Priority::kCa1)
+                .acknowledged, 0u);
+  const mme::AmpStatConfirm after_reset =
+      ampstat.reset(receiver.mac(), frames::Priority::kCa1);
+  EXPECT_EQ(after_reset.acknowledged, 0u);
+  EXPECT_EQ(after_reset.collided, 0u);
+}
+
+// --- Faifa -------------------------------------------------------------------------
+
+TEST(FaifaTool, EnableDisableThroughTheMmePath) {
+  emu::Network network(3);
+  emu::HpavDevice& device = network.add_device();
+  Faifa faifa(device);
+  EXPECT_FALSE(device.sniffer_enabled());
+  faifa.enable_sniffer();
+  EXPECT_TRUE(device.sniffer_enabled());
+  EXPECT_TRUE(faifa.sniffer_enabled());
+  faifa.disable_sniffer();
+  EXPECT_FALSE(device.sniffer_enabled());
+}
+
+TEST(FaifaTool, SegmentsBurstsByMpduCnt) {
+  emu::Network network(4);
+  emu::HpavDevice& sender = network.add_device();
+  emu::HpavDevice& destination = network.add_device();
+  Faifa faifa(destination);
+  faifa.enable_sniffer();
+  network.start();
+  for (int i = 0; i < 64; ++i) {
+    frames::EthernetFrame frame;
+    frame.destination = destination.mac();
+    frame.source = sender.mac();
+    frame.ether_type = frames::kEtherTypeIpv4;
+    frame.payload.assign(1400, 0);
+    sender.host_send(frame);
+  }
+  network.run_for(des::SimTime::from_seconds(1.0));
+  const auto bursts = faifa.bursts();
+  ASSERT_GT(bursts.size(), 0u);
+  const auto& stats = network.domain().stats();
+  EXPECT_EQ(static_cast<std::int64_t>(bursts.size()),
+            stats.successes + stats.collision_events);
+  for (const Faifa::BurstInfo& burst : bursts) {
+    EXPECT_EQ(burst.src_tei, sender.tei());
+    EXPECT_EQ(burst.priority, frames::Priority::kCa1);
+    EXPECT_FALSE(burst.mme);
+    EXPECT_GE(burst.mpdu_count, 1);
+    EXPECT_LE(burst.mpdu_count, 2);
+  }
+}
+
+TEST(FaifaTool, FormatCaptureIsHumanReadable) {
+  mme::SnifferIndication indication;
+  indication.sof.src_tei = 3;
+  indication.sof.dst_tei = 4;
+  indication.sof.link_id = static_cast<std::uint8_t>(frames::Priority::kCa1);
+  indication.sof.mpdu_cnt = 1;
+  indication.sof.pb_count = 16;
+  const std::string line = Faifa::format_capture(indication);
+  EXPECT_NE(line.find("stei=3"), std::string::npos);
+  EXPECT_NE(line.find("dtei=4"), std::string::npos);
+  EXPECT_NE(line.find("lid=CA1"), std::string::npos);
+  EXPECT_NE(line.find("mpducnt=1"), std::string::npos);
+}
+
+// --- Capture files --------------------------------------------------------------------
+
+std::vector<mme::SnifferIndication> sample_captures(int count) {
+  std::vector<mme::SnifferIndication> captures;
+  for (int i = 0; i < count; ++i) {
+    mme::SnifferIndication capture;
+    capture.timestamp_10ns = static_cast<std::uint64_t>(i) * 100;
+    capture.sof.src_tei = static_cast<std::uint8_t>(1 + i % 3);
+    capture.sof.dst_tei = 9;
+    capture.sof.link_id =
+        static_cast<std::uint8_t>(i % 5 == 0 ? frames::Priority::kCa2
+                                             : frames::Priority::kCa1);
+    capture.sof.mme_flag = i % 5 == 0;
+    capture.sof.mpdu_cnt = static_cast<std::uint8_t>(i % 2);
+    capture.sof.set_frame_duration(des::SimTime::from_us(1025.0));
+    captures.push_back(capture);
+  }
+  return captures;
+}
+
+TEST(CaptureFile, RoundTripPreservesEverything) {
+  const auto original = sample_captures(37);
+  std::stringstream buffer;
+  write_capture_file(buffer, original);
+  const auto parsed = read_capture_file(buffer);
+  ASSERT_EQ(parsed.size(), original.size());
+  for (std::size_t i = 0; i < parsed.size(); ++i) {
+    EXPECT_EQ(parsed[i].timestamp_10ns, original[i].timestamp_10ns);
+    EXPECT_EQ(parsed[i].sof.src_tei, original[i].sof.src_tei);
+    EXPECT_EQ(parsed[i].sof.mme_flag, original[i].sof.mme_flag);
+    EXPECT_EQ(parsed[i].sof.mpdu_cnt, original[i].sof.mpdu_cnt);
+  }
+}
+
+TEST(CaptureFile, EmptyFileRoundTrips) {
+  std::stringstream buffer;
+  write_capture_file(buffer, {});
+  EXPECT_TRUE(read_capture_file(buffer).empty());
+}
+
+TEST(CaptureFile, RejectsBadMagicTruncationAndCorruption) {
+  {
+    std::stringstream buffer("not a capture");
+    EXPECT_THROW(read_capture_file(buffer), plc::Error);
+  }
+  {
+    std::stringstream buffer;
+    write_capture_file(buffer, sample_captures(5));
+    std::string bytes = buffer.str();
+    bytes.resize(bytes.size() - 7);  // Truncate mid-record.
+    std::stringstream truncated(bytes);
+    EXPECT_THROW(read_capture_file(truncated), plc::Error);
+  }
+  {
+    std::stringstream buffer;
+    write_capture_file(buffer, sample_captures(5));
+    std::string bytes = buffer.str();
+    bytes[bytes.size() - 5] ^= 0x40;  // Corrupt a SoF byte: CRC trips.
+    std::stringstream corrupted(bytes);
+    EXPECT_THROW(read_capture_file(corrupted), plc::Error);
+  }
+}
+
+TEST(CaptureFile, ReloadedCapturesAnalyzeIdentically) {
+  const auto original = sample_captures(40);
+  std::stringstream buffer;
+  write_capture_file(buffer, original);
+  const auto reloaded = read_capture_file(buffer);
+  EXPECT_EQ(Faifa::segment_bursts(original).size(),
+            Faifa::segment_bursts(reloaded).size());
+  EXPECT_DOUBLE_EQ(Faifa::mme_overhead_of(original),
+                   Faifa::mme_overhead_of(reloaded));
+  EXPECT_EQ(Faifa::data_burst_sources_of(original),
+            Faifa::data_burst_sources_of(reloaded));
+}
+
+// --- Testbed harness (the §3 procedure) -----------------------------------------------
+
+TEST(Testbed, AmpstatEstimatorEqualsGroundTruth) {
+  TestbedConfig config;
+  config.stations = 3;
+  config.duration = des::SimTime::from_seconds(10.0);
+  const TestbedResult result = run_saturated_testbed(config);
+  // The MME-reported estimator must agree exactly with the medium's MPDU
+  // accounting: collided/acked == collided_mpdus/(success+collided MPDUs).
+  EXPECT_EQ(result.total_collided,
+            static_cast<std::uint64_t>(result.domain.collided_mpdus));
+  EXPECT_EQ(result.total_acknowledged,
+            static_cast<std::uint64_t>(result.domain.success_mpdus +
+                                       result.domain.collided_mpdus));
+  EXPECT_GT(result.collision_probability, 0.05);
+  EXPECT_LT(result.collision_probability, 0.25);
+}
+
+TEST(Testbed, AcknowledgedFramesGrowWithN) {
+  // The paper's §3.2 observation on real hardware: sum(Ai) *increases*
+  // with N because collided frames are acknowledged too and less total
+  // time is spent in backoff.
+  TestbedConfig config;
+  config.duration = des::SimTime::from_seconds(10.0);
+  config.stations = 1;
+  const std::uint64_t a1 =
+      run_saturated_testbed(config).total_acknowledged;
+  config.stations = 4;
+  const std::uint64_t a4 =
+      run_saturated_testbed(config).total_acknowledged;
+  EXPECT_GT(a4, a1);
+}
+
+TEST(Testbed, PerStationCountersRoughlyBalanced) {
+  TestbedConfig config;
+  config.stations = 3;
+  config.duration = des::SimTime::from_seconds(20.0);
+  const TestbedResult result = run_saturated_testbed(config);
+  ASSERT_EQ(result.acknowledged.size(), 3u);
+  for (const std::uint64_t acked : result.acknowledged) {
+    const double share = static_cast<double>(acked) /
+                         static_cast<double>(result.total_acknowledged);
+    EXPECT_NEAR(share, 1.0 / 3.0, 0.08);  // Long-term fairness.
+  }
+}
+
+TEST(Testbed, SnifferTraceCoversDataBursts) {
+  TestbedConfig config;
+  config.stations = 2;
+  config.duration = des::SimTime::from_seconds(5.0);
+  config.sniff_at_destination = true;
+  const TestbedResult result = run_saturated_testbed(config);
+  EXPECT_FALSE(result.data_burst_sources.empty());
+  for (const int tei : result.data_burst_sources) {
+    EXPECT_GE(tei, 1);
+    EXPECT_LE(tei, 2);
+  }
+  EXPECT_DOUBLE_EQ(result.mme_overhead, 0.0);  // No MME chatter enabled.
+}
+
+TEST(Testbed, MmeChatterShowsUpAsOverhead) {
+  TestbedConfig config;
+  config.stations = 2;
+  config.duration = des::SimTime::from_seconds(5.0);
+  config.sniff_at_destination = true;
+  config.mme_interval = des::SimTime::from_us(50'000.0);  // 20 MME/s.
+  const TestbedResult result = run_saturated_testbed(config);
+  EXPECT_GT(result.mme_overhead, 0.0);
+  EXPECT_LT(result.mme_overhead, 0.5);
+}
+
+TEST(Testbed, DataKeepsFlowingToDestination) {
+  TestbedConfig config;
+  config.stations = 2;
+  config.duration = des::SimTime::from_seconds(5.0);
+  const TestbedResult result = run_saturated_testbed(config);
+  EXPECT_GT(result.frames_delivered_to_destination, 1000);
+}
+
+TEST(Testbed, RejectsBadConfig) {
+  TestbedConfig config;
+  config.stations = 0;
+  EXPECT_THROW(run_saturated_testbed(config), plc::Error);
+  config.stations = 1;
+  config.duration = des::SimTime::zero();
+  EXPECT_THROW(run_saturated_testbed(config), plc::Error);
+}
+
+}  // namespace
+}  // namespace plc::tools

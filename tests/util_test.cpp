@@ -1,0 +1,293 @@
+#include <cmath>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "util/csv.hpp"
+#include "util/error.hpp"
+#include "util/math.hpp"
+#include "util/stats.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+namespace plc::util {
+namespace {
+
+// --- error ------------------------------------------------------------------
+
+TEST(Error, RequirePassesOnTrue) {
+  EXPECT_NO_THROW(require(true, "never"));
+}
+
+TEST(Error, RequireThrowsWithMessage) {
+  try {
+    require(false, "the message");
+    FAIL() << "expected plc::Error";
+  } catch (const Error& e) {
+    EXPECT_STREQ(e.what(), "the message");
+  }
+}
+
+TEST(Error, CheckArgPrefixesArgumentName) {
+  try {
+    check_arg(false, "cw", "must be positive");
+    FAIL() << "expected plc::Error";
+  } catch (const Error& e) {
+    EXPECT_STREQ(e.what(), "invalid argument 'cw': must be positive");
+  }
+}
+
+// --- math: binomial ----------------------------------------------------------
+
+TEST(Binomial, LogFactorialMatchesSmallValues) {
+  EXPECT_DOUBLE_EQ(log_factorial(0), 0.0);
+  EXPECT_DOUBLE_EQ(log_factorial(1), 0.0);
+  EXPECT_NEAR(log_factorial(5), std::log(120.0), 1e-12);
+  EXPECT_NEAR(log_factorial(10), std::log(3628800.0), 1e-9);
+}
+
+TEST(Binomial, CoefficientMatchesPascal) {
+  EXPECT_NEAR(std::exp(log_binomial_coefficient(5, 2)), 10.0, 1e-9);
+  EXPECT_NEAR(std::exp(log_binomial_coefficient(10, 5)), 252.0, 1e-9);
+  EXPECT_EQ(log_binomial_coefficient(5, 6),
+            -std::numeric_limits<double>::infinity());
+  EXPECT_EQ(log_binomial_coefficient(5, -1),
+            -std::numeric_limits<double>::infinity());
+}
+
+TEST(Binomial, PmfSumsToOne) {
+  for (const double p : {0.0, 0.1, 0.5, 0.9, 1.0}) {
+    for (const int n : {0, 1, 5, 20, 100}) {
+      double sum = 0.0;
+      for (int k = 0; k <= n; ++k) sum += binomial_pmf(n, k, p);
+      EXPECT_NEAR(sum, 1.0, 1e-9) << "n=" << n << " p=" << p;
+    }
+  }
+}
+
+TEST(Binomial, PmfDegenerateP) {
+  EXPECT_DOUBLE_EQ(binomial_pmf(7, 0, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(binomial_pmf(7, 3, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(binomial_pmf(7, 7, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(binomial_pmf(7, 6, 1.0), 0.0);
+}
+
+TEST(Binomial, CdfBoundaries) {
+  EXPECT_DOUBLE_EQ(binomial_cdf(10, -1, 0.3), 0.0);
+  EXPECT_DOUBLE_EQ(binomial_cdf(10, 10, 0.3), 1.0);
+  EXPECT_DOUBLE_EQ(binomial_cdf(10, 99, 0.3), 1.0);
+  EXPECT_DOUBLE_EQ(binomial_cdf(0, 0, 0.3), 1.0);
+}
+
+TEST(Binomial, CdfMonotoneInK) {
+  double previous = 0.0;
+  for (int k = 0; k <= 20; ++k) {
+    const double value = binomial_cdf(20, k, 0.35);
+    EXPECT_GE(value, previous - 1e-15);
+    previous = value;
+  }
+}
+
+TEST(Binomial, CdfDecreasingInP) {
+  double previous = 1.0;
+  for (double p = 0.0; p <= 1.0; p += 0.05) {
+    const double value = binomial_cdf(30, 7, p);
+    EXPECT_LE(value, previous + 1e-12);
+    previous = value;
+  }
+}
+
+TEST(Binomial, LargeNStaysFinite) {
+  const double value = binomial_cdf(100000, 15, 0.2);
+  EXPECT_GE(value, 0.0);
+  EXPECT_LE(value, 1.0);
+  EXPECT_FALSE(std::isnan(value));
+}
+
+TEST(Binomial, RejectsInvalidArguments) {
+  EXPECT_THROW(binomial_pmf(-1, 0, 0.5), Error);
+  EXPECT_THROW(binomial_pmf(5, 0, -0.1), Error);
+  EXPECT_THROW(binomial_cdf(5, 0, 1.1), Error);
+}
+
+// --- math: bisect -------------------------------------------------------------
+
+TEST(Bisect, FindsSqrtTwo) {
+  const double root =
+      bisect([](double x) { return x * x - 2.0; }, 0.0, 2.0);
+  EXPECT_NEAR(root, std::sqrt(2.0), 1e-10);
+}
+
+TEST(Bisect, HandlesRootAtBracketEnd) {
+  EXPECT_DOUBLE_EQ(bisect([](double x) { return x; }, 0.0, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(bisect([](double x) { return x - 1.0; }, 0.0, 1.0), 1.0);
+}
+
+TEST(Bisect, DecreasingFunction) {
+  const double root =
+      bisect([](double x) { return 1.0 - x * x * x; }, 0.0, 2.0);
+  EXPECT_NEAR(root, 1.0, 1e-10);
+}
+
+// --- math: jain ----------------------------------------------------------------
+
+TEST(Jain, PerfectFairnessIsOne) {
+  EXPECT_DOUBLE_EQ(jain_index({3.0, 3.0, 3.0, 3.0}), 1.0);
+}
+
+TEST(Jain, MonopolyIsOneOverN) {
+  EXPECT_NEAR(jain_index({10.0, 0.0, 0.0, 0.0, 0.0}), 0.2, 1e-12);
+}
+
+TEST(Jain, EmptyAndZeroAreFair) {
+  EXPECT_DOUBLE_EQ(jain_index({}), 1.0);
+  EXPECT_DOUBLE_EQ(jain_index({0.0, 0.0}), 1.0);
+}
+
+TEST(Jain, ScaleInvariant) {
+  const std::vector<double> x = {1.0, 2.0, 3.0};
+  std::vector<double> scaled;
+  for (const double v : x) scaled.push_back(v * 7.5);
+  EXPECT_NEAR(jain_index(x), jain_index(scaled), 1e-12);
+}
+
+// --- csv -------------------------------------------------------------------------
+
+TEST(Csv, WritesHeaderAndRows) {
+  std::ostringstream out;
+  CsvWriter writer(out, {"n", "value"});
+  writer.write_row(std::vector<std::string>{"1", "2.5"});
+  EXPECT_EQ(out.str(), "n,value\n1,2.5\n");
+  EXPECT_EQ(writer.rows_written(), 1);
+}
+
+TEST(Csv, QuotesSpecialCharacters) {
+  EXPECT_EQ(CsvWriter::quote("plain"), "plain");
+  EXPECT_EQ(CsvWriter::quote("a,b"), "\"a,b\"");
+  EXPECT_EQ(CsvWriter::quote("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(CsvWriter::quote("line\nbreak"), "\"line\nbreak\"");
+}
+
+TEST(Csv, RejectsWrongWidth) {
+  std::ostringstream out;
+  CsvWriter writer(out, {"a", "b"});
+  EXPECT_THROW(writer.write_row(std::vector<std::string>{"only-one"}),
+               Error);
+}
+
+TEST(Csv, NumericRowsRoundTrip) {
+  std::ostringstream out;
+  CsvWriter writer(out);
+  writer.write_row(std::vector<double>{2920.64, 35.84});
+  EXPECT_EQ(out.str(), "2920.64,35.84\n");
+}
+
+// --- strings ----------------------------------------------------------------------
+
+TEST(Strings, FormatDoubleTrimsZeros) {
+  EXPECT_EQ(format_double(2920.64), "2920.64");
+  EXPECT_EQ(format_double(1.0), "1");
+}
+
+TEST(Strings, FormatFixed) {
+  EXPECT_EQ(format_fixed(0.07415, 4), "0.0741");
+  EXPECT_EQ(format_fixed(1.0, 2), "1.00");
+}
+
+TEST(Strings, ToHex) {
+  const std::uint8_t bytes[] = {0x00, 0xB0, 0x52};
+  EXPECT_EQ(to_hex(bytes), "00b052");
+  EXPECT_EQ(to_hex(bytes, ':'), "00:b0:52");
+}
+
+TEST(Strings, Join) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({}, ", "), "");
+}
+
+TEST(Strings, WithThousands) {
+  EXPECT_EQ(with_thousands(162220), "162,220");
+  EXPECT_EQ(with_thousands(-1234567), "-1,234,567");
+  EXPECT_EQ(with_thousands(42), "42");
+}
+
+// --- stats ------------------------------------------------------------------------
+
+TEST(RunningStats, MeanAndVariance) {
+  RunningStats stats;
+  for (const double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+    stats.add(v);
+  }
+  EXPECT_EQ(stats.count(), 8);
+  EXPECT_NEAR(stats.mean(), 5.0, 1e-12);
+  EXPECT_NEAR(stats.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(stats.min(), 2.0);
+  EXPECT_DOUBLE_EQ(stats.max(), 9.0);
+}
+
+TEST(RunningStats, MergeEqualsSequential) {
+  RunningStats all;
+  RunningStats left;
+  RunningStats right;
+  for (int i = 0; i < 100; ++i) {
+    const double v = std::sin(i * 0.7) * 10.0;
+    all.add(v);
+    (i < 37 ? left : right).add(v);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), all.count());
+  EXPECT_NEAR(left.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(left.variance(), all.variance(), 1e-9);
+}
+
+TEST(RunningStats, EmptyIsZero) {
+  const RunningStats stats;
+  EXPECT_EQ(stats.count(), 0);
+  EXPECT_DOUBLE_EQ(stats.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.variance(), 0.0);
+}
+
+TEST(Quantiles, MedianAndInterpolation) {
+  QuantileEstimator q;
+  for (const double v : {1.0, 2.0, 3.0, 4.0}) q.add(v);
+  EXPECT_NEAR(q.median(), 2.5, 1e-12);
+  EXPECT_DOUBLE_EQ(q.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(q.quantile(1.0), 4.0);
+}
+
+TEST(Quantiles, RejectsEmptyAndOutOfRange) {
+  QuantileEstimator q;
+  EXPECT_THROW(q.quantile(0.5), Error);
+  q.add(1.0);
+  EXPECT_THROW(q.quantile(1.5), Error);
+  EXPECT_THROW(q.quantile(-0.5), Error);
+}
+
+// --- table -------------------------------------------------------------------------
+
+TEST(Table, AlignsColumns) {
+  TablePrinter table({"N", "collision"});
+  table.add_row(std::vector<std::string>{"1", "0.0002"});
+  std::ostringstream out;
+  table.print(out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("| N | collision |"), std::string::npos);
+  EXPECT_NE(text.find("| 1 | 0.0002    |"), std::string::npos);
+  EXPECT_EQ(table.row_count(), 1);
+}
+
+TEST(Table, RejectsWideRows) {
+  TablePrinter table({"only"});
+  EXPECT_THROW(table.add_row(std::vector<std::string>{"a", "b"}), Error);
+}
+
+TEST(Table, CsvExportQuotesAndAligns) {
+  TablePrinter table({"name", "value"});
+  table.add_row(std::vector<std::string>{"a,b", "1"});
+  std::ostringstream out;
+  table.print_csv(out);
+  EXPECT_EQ(out.str(), "name,value\n\"a,b\",1\n");
+}
+
+}  // namespace
+}  // namespace plc::util
