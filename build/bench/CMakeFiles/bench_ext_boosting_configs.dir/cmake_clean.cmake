@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_boosting_configs.dir/bench_ext_boosting_configs.cpp.o"
+  "CMakeFiles/bench_ext_boosting_configs.dir/bench_ext_boosting_configs.cpp.o.d"
+  "bench_ext_boosting_configs"
+  "bench_ext_boosting_configs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_boosting_configs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_coexistence.dir/bench_ext_coexistence.cpp.o"
+  "CMakeFiles/bench_ext_coexistence.dir/bench_ext_coexistence.cpp.o.d"
+  "bench_ext_coexistence"
+  "bench_ext_coexistence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_coexistence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_ext_deferral_ablation.cpp" "bench/CMakeFiles/bench_ext_deferral_ablation.dir/bench_ext_deferral_ablation.cpp.o" "gcc" "bench/CMakeFiles/bench_ext_deferral_ablation.dir/bench_ext_deferral_ablation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tools/CMakeFiles/plc_tools.dir/DependInfo.cmake"
+  "/root/repo/build/src/emu/CMakeFiles/plc_emu.dir/DependInfo.cmake"
+  "/root/repo/build/src/mme/CMakeFiles/plc_mme.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/plc_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/plc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/dcf/CMakeFiles/plc_dcf.dir/DependInfo.cmake"
+  "/root/repo/build/src/mac/CMakeFiles/plc_mac.dir/DependInfo.cmake"
+  "/root/repo/build/src/medium/CMakeFiles/plc_medium.dir/DependInfo.cmake"
+  "/root/repo/build/src/phy/CMakeFiles/plc_phy.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/plc_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/frames/CMakeFiles/plc_frames.dir/DependInfo.cmake"
+  "/root/repo/build/src/des/CMakeFiles/plc_des.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/plc_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/plc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

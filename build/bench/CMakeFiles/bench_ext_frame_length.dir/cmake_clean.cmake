@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_frame_length.dir/bench_ext_frame_length.cpp.o"
+  "CMakeFiles/bench_ext_frame_length.dir/bench_ext_frame_length.cpp.o.d"
+  "bench_ext_frame_length"
+  "bench_ext_frame_length.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_frame_length.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

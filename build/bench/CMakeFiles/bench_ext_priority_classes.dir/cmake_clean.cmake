@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_priority_classes.dir/bench_ext_priority_classes.cpp.o"
+  "CMakeFiles/bench_ext_priority_classes.dir/bench_ext_priority_classes.cpp.o.d"
+  "bench_ext_priority_classes"
+  "bench_ext_priority_classes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_priority_classes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

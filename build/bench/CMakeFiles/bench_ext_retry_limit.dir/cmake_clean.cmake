@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_retry_limit.dir/bench_ext_retry_limit.cpp.o"
+  "CMakeFiles/bench_ext_retry_limit.dir/bench_ext_retry_limit.cpp.o.d"
+  "bench_ext_retry_limit"
+  "bench_ext_retry_limit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_retry_limit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_tdma_qos.dir/bench_ext_tdma_qos.cpp.o"
+  "CMakeFiles/bench_ext_tdma_qos.dir/bench_ext_tdma_qos.cpp.o.d"
+  "bench_ext_tdma_qos"
+  "bench_ext_tdma_qos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_tdma_qos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_tonemap_adaptation.dir/bench_ext_tonemap_adaptation.cpp.o"
+  "CMakeFiles/bench_ext_tonemap_adaptation.dir/bench_ext_tonemap_adaptation.cpp.o.d"
+  "bench_ext_tonemap_adaptation"
+  "bench_ext_tonemap_adaptation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_tonemap_adaptation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

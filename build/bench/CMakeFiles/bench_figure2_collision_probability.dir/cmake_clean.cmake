@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_figure2_collision_probability.dir/bench_figure2_collision_probability.cpp.o"
+  "CMakeFiles/bench_figure2_collision_probability.dir/bench_figure2_collision_probability.cpp.o.d"
+  "bench_figure2_collision_probability"
+  "bench_figure2_collision_probability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_figure2_collision_probability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

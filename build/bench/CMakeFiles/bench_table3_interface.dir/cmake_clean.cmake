@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_interface.dir/bench_table3_interface.cpp.o"
+  "CMakeFiles/bench_table3_interface.dir/bench_table3_interface.cpp.o.d"
+  "bench_table3_interface"
+  "bench_table3_interface.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_interface.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

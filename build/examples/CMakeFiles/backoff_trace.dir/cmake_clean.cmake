@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/backoff_trace.dir/backoff_trace.cpp.o"
+  "CMakeFiles/backoff_trace.dir/backoff_trace.cpp.o.d"
+  "backoff_trace"
+  "backoff_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/backoff_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

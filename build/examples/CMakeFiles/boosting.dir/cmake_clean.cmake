@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/boosting.dir/boosting.cpp.o"
+  "CMakeFiles/boosting.dir/boosting.cpp.o.d"
+  "boosting"
+  "boosting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/boosting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

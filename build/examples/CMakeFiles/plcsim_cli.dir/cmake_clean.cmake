@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plcsim_cli.dir/plcsim_cli.cpp.o"
+  "CMakeFiles/plcsim_cli.dir/plcsim_cli.cpp.o.d"
+  "plcsim"
+  "plcsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plcsim_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

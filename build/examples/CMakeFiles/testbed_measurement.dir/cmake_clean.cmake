@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/testbed_measurement.dir/testbed_measurement.cpp.o"
+  "CMakeFiles/testbed_measurement.dir/testbed_measurement.cpp.o.d"
+  "testbed_measurement"
+  "testbed_measurement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/testbed_measurement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build/examples/quickstart")
+set_tests_properties(example_quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;14;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_backoff_trace "/root/repo/build/examples/backoff_trace" "20" "7")
+set_tests_properties(example_backoff_trace PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;15;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_boosting "/root/repo/build/examples/boosting" "8")
+set_tests_properties(example_boosting PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;16;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(cli_sim "plcsim" "sim" "--n" "3" "--time-s" "5")
+set_tests_properties(cli_sim PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;17;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(cli_model "plcsim" "model" "--n" "4")
+set_tests_properties(cli_model PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;18;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(cli_sweep_csv "plcsim" "sweep" "--n-max" "3" "--time-s" "2" "--csv")
+set_tests_properties(cli_sweep_csv PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;19;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(cli_boost "plcsim" "boost" "--n" "8")
+set_tests_properties(cli_boost PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;20;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(cli_delay "plcsim" "delay" "--n" "2" "--load" "0.3" "--time-s" "10")
+set_tests_properties(cli_delay PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;21;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(cli_usage_error "plcsim" "nonsense")
+set_tests_properties(cli_usage_error PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;22;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(cli_capture_roundtrip "sh" "-c" "./plcsim testbed --n 2 --time-s 3 --capture cap_test.plcc > /dev/null && ./plcsim capture --file cap_test.plcc --head 2 && rm cap_test.plcc")
+set_tests_properties(cli_capture_roundtrip PROPERTIES  WORKING_DIRECTORY "/root/repo/build/examples" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;24;add_test;/root/repo/examples/CMakeLists.txt;0;")

@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("des")
+subdirs("phy")
+subdirs("frames")
+subdirs("mme")
+subdirs("medium")
+subdirs("mac")
+subdirs("dcf")
+subdirs("emu")
+subdirs("tools")
+subdirs("sim")
+subdirs("analysis")
+subdirs("workload")
+subdirs("metrics")

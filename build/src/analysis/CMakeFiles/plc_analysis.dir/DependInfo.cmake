@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/delay.cpp" "src/analysis/CMakeFiles/plc_analysis.dir/delay.cpp.o" "gcc" "src/analysis/CMakeFiles/plc_analysis.dir/delay.cpp.o.d"
+  "/root/repo/src/analysis/drift.cpp" "src/analysis/CMakeFiles/plc_analysis.dir/drift.cpp.o" "gcc" "src/analysis/CMakeFiles/plc_analysis.dir/drift.cpp.o.d"
+  "/root/repo/src/analysis/exact_chain.cpp" "src/analysis/CMakeFiles/plc_analysis.dir/exact_chain.cpp.o" "gcc" "src/analysis/CMakeFiles/plc_analysis.dir/exact_chain.cpp.o.d"
+  "/root/repo/src/analysis/heterogeneous.cpp" "src/analysis/CMakeFiles/plc_analysis.dir/heterogeneous.cpp.o" "gcc" "src/analysis/CMakeFiles/plc_analysis.dir/heterogeneous.cpp.o.d"
+  "/root/repo/src/analysis/model_1901.cpp" "src/analysis/CMakeFiles/plc_analysis.dir/model_1901.cpp.o" "gcc" "src/analysis/CMakeFiles/plc_analysis.dir/model_1901.cpp.o.d"
+  "/root/repo/src/analysis/model_dcf.cpp" "src/analysis/CMakeFiles/plc_analysis.dir/model_dcf.cpp.o" "gcc" "src/analysis/CMakeFiles/plc_analysis.dir/model_dcf.cpp.o.d"
+  "/root/repo/src/analysis/optimizer.cpp" "src/analysis/CMakeFiles/plc_analysis.dir/optimizer.cpp.o" "gcc" "src/analysis/CMakeFiles/plc_analysis.dir/optimizer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mac/CMakeFiles/plc_mac.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/plc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/des/CMakeFiles/plc_des.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/plc_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/dcf/CMakeFiles/plc_dcf.dir/DependInfo.cmake"
+  "/root/repo/build/src/medium/CMakeFiles/plc_medium.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/plc_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/phy/CMakeFiles/plc_phy.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/plc_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/frames/CMakeFiles/plc_frames.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

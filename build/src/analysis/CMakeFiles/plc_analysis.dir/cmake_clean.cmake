@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plc_analysis.dir/delay.cpp.o"
+  "CMakeFiles/plc_analysis.dir/delay.cpp.o.d"
+  "CMakeFiles/plc_analysis.dir/drift.cpp.o"
+  "CMakeFiles/plc_analysis.dir/drift.cpp.o.d"
+  "CMakeFiles/plc_analysis.dir/exact_chain.cpp.o"
+  "CMakeFiles/plc_analysis.dir/exact_chain.cpp.o.d"
+  "CMakeFiles/plc_analysis.dir/heterogeneous.cpp.o"
+  "CMakeFiles/plc_analysis.dir/heterogeneous.cpp.o.d"
+  "CMakeFiles/plc_analysis.dir/model_1901.cpp.o"
+  "CMakeFiles/plc_analysis.dir/model_1901.cpp.o.d"
+  "CMakeFiles/plc_analysis.dir/model_dcf.cpp.o"
+  "CMakeFiles/plc_analysis.dir/model_dcf.cpp.o.d"
+  "CMakeFiles/plc_analysis.dir/optimizer.cpp.o"
+  "CMakeFiles/plc_analysis.dir/optimizer.cpp.o.d"
+  "libplc_analysis.a"
+  "libplc_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plc_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

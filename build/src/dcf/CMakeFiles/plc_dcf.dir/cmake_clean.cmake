@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plc_dcf.dir/dcf.cpp.o"
+  "CMakeFiles/plc_dcf.dir/dcf.cpp.o.d"
+  "libplc_dcf.a"
+  "libplc_dcf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plc_dcf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

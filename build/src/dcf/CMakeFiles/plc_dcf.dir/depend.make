@@ -1,0 +1,2 @@
+# Empty dependencies file for plc_dcf.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plc_des.dir/random.cpp.o"
+  "CMakeFiles/plc_des.dir/random.cpp.o.d"
+  "CMakeFiles/plc_des.dir/scheduler.cpp.o"
+  "CMakeFiles/plc_des.dir/scheduler.cpp.o.d"
+  "CMakeFiles/plc_des.dir/time.cpp.o"
+  "CMakeFiles/plc_des.dir/time.cpp.o.d"
+  "libplc_des.a"
+  "libplc_des.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plc_des.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

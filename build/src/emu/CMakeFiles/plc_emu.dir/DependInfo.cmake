@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/emu/device.cpp" "src/emu/CMakeFiles/plc_emu.dir/device.cpp.o" "gcc" "src/emu/CMakeFiles/plc_emu.dir/device.cpp.o.d"
+  "/root/repo/src/emu/firmware_counters.cpp" "src/emu/CMakeFiles/plc_emu.dir/firmware_counters.cpp.o" "gcc" "src/emu/CMakeFiles/plc_emu.dir/firmware_counters.cpp.o.d"
+  "/root/repo/src/emu/network.cpp" "src/emu/CMakeFiles/plc_emu.dir/network.cpp.o" "gcc" "src/emu/CMakeFiles/plc_emu.dir/network.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mac/CMakeFiles/plc_mac.dir/DependInfo.cmake"
+  "/root/repo/build/src/medium/CMakeFiles/plc_medium.dir/DependInfo.cmake"
+  "/root/repo/build/src/mme/CMakeFiles/plc_mme.dir/DependInfo.cmake"
+  "/root/repo/build/src/frames/CMakeFiles/plc_frames.dir/DependInfo.cmake"
+  "/root/repo/build/src/phy/CMakeFiles/plc_phy.dir/DependInfo.cmake"
+  "/root/repo/build/src/des/CMakeFiles/plc_des.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/plc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

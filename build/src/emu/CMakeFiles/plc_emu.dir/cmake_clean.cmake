@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plc_emu.dir/device.cpp.o"
+  "CMakeFiles/plc_emu.dir/device.cpp.o.d"
+  "CMakeFiles/plc_emu.dir/firmware_counters.cpp.o"
+  "CMakeFiles/plc_emu.dir/firmware_counters.cpp.o.d"
+  "CMakeFiles/plc_emu.dir/network.cpp.o"
+  "CMakeFiles/plc_emu.dir/network.cpp.o.d"
+  "libplc_emu.a"
+  "libplc_emu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plc_emu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

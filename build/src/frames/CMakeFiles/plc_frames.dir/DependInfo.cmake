@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/frames/ethernet.cpp" "src/frames/CMakeFiles/plc_frames.dir/ethernet.cpp.o" "gcc" "src/frames/CMakeFiles/plc_frames.dir/ethernet.cpp.o.d"
+  "/root/repo/src/frames/mac_address.cpp" "src/frames/CMakeFiles/plc_frames.dir/mac_address.cpp.o" "gcc" "src/frames/CMakeFiles/plc_frames.dir/mac_address.cpp.o.d"
+  "/root/repo/src/frames/mpdu.cpp" "src/frames/CMakeFiles/plc_frames.dir/mpdu.cpp.o" "gcc" "src/frames/CMakeFiles/plc_frames.dir/mpdu.cpp.o.d"
+  "/root/repo/src/frames/pb.cpp" "src/frames/CMakeFiles/plc_frames.dir/pb.cpp.o" "gcc" "src/frames/CMakeFiles/plc_frames.dir/pb.cpp.o.d"
+  "/root/repo/src/frames/sack.cpp" "src/frames/CMakeFiles/plc_frames.dir/sack.cpp.o" "gcc" "src/frames/CMakeFiles/plc_frames.dir/sack.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/des/CMakeFiles/plc_des.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/plc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plc_frames.dir/ethernet.cpp.o"
+  "CMakeFiles/plc_frames.dir/ethernet.cpp.o.d"
+  "CMakeFiles/plc_frames.dir/mac_address.cpp.o"
+  "CMakeFiles/plc_frames.dir/mac_address.cpp.o.d"
+  "CMakeFiles/plc_frames.dir/mpdu.cpp.o"
+  "CMakeFiles/plc_frames.dir/mpdu.cpp.o.d"
+  "CMakeFiles/plc_frames.dir/pb.cpp.o"
+  "CMakeFiles/plc_frames.dir/pb.cpp.o.d"
+  "CMakeFiles/plc_frames.dir/sack.cpp.o"
+  "CMakeFiles/plc_frames.dir/sack.cpp.o.d"
+  "libplc_frames.a"
+  "libplc_frames.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plc_frames.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mac/backoff.cpp" "src/mac/CMakeFiles/plc_mac.dir/backoff.cpp.o" "gcc" "src/mac/CMakeFiles/plc_mac.dir/backoff.cpp.o.d"
+  "/root/repo/src/mac/config.cpp" "src/mac/CMakeFiles/plc_mac.dir/config.cpp.o" "gcc" "src/mac/CMakeFiles/plc_mac.dir/config.cpp.o.d"
+  "/root/repo/src/mac/station.cpp" "src/mac/CMakeFiles/plc_mac.dir/station.cpp.o" "gcc" "src/mac/CMakeFiles/plc_mac.dir/station.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/medium/CMakeFiles/plc_medium.dir/DependInfo.cmake"
+  "/root/repo/build/src/frames/CMakeFiles/plc_frames.dir/DependInfo.cmake"
+  "/root/repo/build/src/des/CMakeFiles/plc_des.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/plc_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/phy/CMakeFiles/plc_phy.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

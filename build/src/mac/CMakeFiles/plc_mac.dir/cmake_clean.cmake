@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plc_mac.dir/backoff.cpp.o"
+  "CMakeFiles/plc_mac.dir/backoff.cpp.o.d"
+  "CMakeFiles/plc_mac.dir/config.cpp.o"
+  "CMakeFiles/plc_mac.dir/config.cpp.o.d"
+  "CMakeFiles/plc_mac.dir/station.cpp.o"
+  "CMakeFiles/plc_mac.dir/station.cpp.o.d"
+  "libplc_mac.a"
+  "libplc_mac.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plc_mac.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/medium/beacon.cpp" "src/medium/CMakeFiles/plc_medium.dir/beacon.cpp.o" "gcc" "src/medium/CMakeFiles/plc_medium.dir/beacon.cpp.o.d"
+  "/root/repo/src/medium/domain.cpp" "src/medium/CMakeFiles/plc_medium.dir/domain.cpp.o" "gcc" "src/medium/CMakeFiles/plc_medium.dir/domain.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/phy/CMakeFiles/plc_phy.dir/DependInfo.cmake"
+  "/root/repo/build/src/frames/CMakeFiles/plc_frames.dir/DependInfo.cmake"
+  "/root/repo/build/src/des/CMakeFiles/plc_des.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/plc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

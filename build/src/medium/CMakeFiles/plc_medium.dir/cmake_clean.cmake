@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plc_medium.dir/beacon.cpp.o"
+  "CMakeFiles/plc_medium.dir/beacon.cpp.o.d"
+  "CMakeFiles/plc_medium.dir/domain.cpp.o"
+  "CMakeFiles/plc_medium.dir/domain.cpp.o.d"
+  "libplc_medium.a"
+  "libplc_medium.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plc_medium.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

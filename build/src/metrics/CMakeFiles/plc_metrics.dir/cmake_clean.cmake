@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plc_metrics.dir/fairness.cpp.o"
+  "CMakeFiles/plc_metrics.dir/fairness.cpp.o.d"
+  "libplc_metrics.a"
+  "libplc_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plc_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

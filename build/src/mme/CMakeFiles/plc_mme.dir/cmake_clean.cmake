@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plc_mme.dir/ampstat.cpp.o"
+  "CMakeFiles/plc_mme.dir/ampstat.cpp.o.d"
+  "CMakeFiles/plc_mme.dir/header.cpp.o"
+  "CMakeFiles/plc_mme.dir/header.cpp.o.d"
+  "CMakeFiles/plc_mme.dir/sniffer.cpp.o"
+  "CMakeFiles/plc_mme.dir/sniffer.cpp.o.d"
+  "CMakeFiles/plc_mme.dir/tonemap_update.cpp.o"
+  "CMakeFiles/plc_mme.dir/tonemap_update.cpp.o.d"
+  "libplc_mme.a"
+  "libplc_mme.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plc_mme.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

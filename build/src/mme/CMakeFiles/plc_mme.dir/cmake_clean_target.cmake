@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libplc_mme.a"
+)

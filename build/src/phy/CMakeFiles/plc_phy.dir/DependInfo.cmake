@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/phy/channel.cpp" "src/phy/CMakeFiles/plc_phy.dir/channel.cpp.o" "gcc" "src/phy/CMakeFiles/plc_phy.dir/channel.cpp.o.d"
+  "/root/repo/src/phy/timing.cpp" "src/phy/CMakeFiles/plc_phy.dir/timing.cpp.o" "gcc" "src/phy/CMakeFiles/plc_phy.dir/timing.cpp.o.d"
+  "/root/repo/src/phy/tonemap.cpp" "src/phy/CMakeFiles/plc_phy.dir/tonemap.cpp.o" "gcc" "src/phy/CMakeFiles/plc_phy.dir/tonemap.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/des/CMakeFiles/plc_des.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/plc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plc_phy.dir/channel.cpp.o"
+  "CMakeFiles/plc_phy.dir/channel.cpp.o.d"
+  "CMakeFiles/plc_phy.dir/timing.cpp.o"
+  "CMakeFiles/plc_phy.dir/timing.cpp.o.d"
+  "CMakeFiles/plc_phy.dir/tonemap.cpp.o"
+  "CMakeFiles/plc_phy.dir/tonemap.cpp.o.d"
+  "libplc_phy.a"
+  "libplc_phy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plc_phy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

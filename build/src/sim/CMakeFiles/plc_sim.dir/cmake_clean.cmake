@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plc_sim.dir/runner.cpp.o"
+  "CMakeFiles/plc_sim.dir/runner.cpp.o.d"
+  "CMakeFiles/plc_sim.dir/sim_1901.cpp.o"
+  "CMakeFiles/plc_sim.dir/sim_1901.cpp.o.d"
+  "CMakeFiles/plc_sim.dir/slot_simulator.cpp.o"
+  "CMakeFiles/plc_sim.dir/slot_simulator.cpp.o.d"
+  "CMakeFiles/plc_sim.dir/unsaturated.cpp.o"
+  "CMakeFiles/plc_sim.dir/unsaturated.cpp.o.d"
+  "libplc_sim.a"
+  "libplc_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plc_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tools/ampstat.cpp" "src/tools/CMakeFiles/plc_tools.dir/ampstat.cpp.o" "gcc" "src/tools/CMakeFiles/plc_tools.dir/ampstat.cpp.o.d"
+  "/root/repo/src/tools/capture.cpp" "src/tools/CMakeFiles/plc_tools.dir/capture.cpp.o" "gcc" "src/tools/CMakeFiles/plc_tools.dir/capture.cpp.o.d"
+  "/root/repo/src/tools/faifa.cpp" "src/tools/CMakeFiles/plc_tools.dir/faifa.cpp.o" "gcc" "src/tools/CMakeFiles/plc_tools.dir/faifa.cpp.o.d"
+  "/root/repo/src/tools/testbed.cpp" "src/tools/CMakeFiles/plc_tools.dir/testbed.cpp.o" "gcc" "src/tools/CMakeFiles/plc_tools.dir/testbed.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/emu/CMakeFiles/plc_emu.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/plc_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/plc_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/mme/CMakeFiles/plc_mme.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/plc_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/mac/CMakeFiles/plc_mac.dir/DependInfo.cmake"
+  "/root/repo/build/src/medium/CMakeFiles/plc_medium.dir/DependInfo.cmake"
+  "/root/repo/build/src/phy/CMakeFiles/plc_phy.dir/DependInfo.cmake"
+  "/root/repo/build/src/frames/CMakeFiles/plc_frames.dir/DependInfo.cmake"
+  "/root/repo/build/src/des/CMakeFiles/plc_des.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plc_tools.dir/ampstat.cpp.o"
+  "CMakeFiles/plc_tools.dir/ampstat.cpp.o.d"
+  "CMakeFiles/plc_tools.dir/capture.cpp.o"
+  "CMakeFiles/plc_tools.dir/capture.cpp.o.d"
+  "CMakeFiles/plc_tools.dir/faifa.cpp.o"
+  "CMakeFiles/plc_tools.dir/faifa.cpp.o.d"
+  "CMakeFiles/plc_tools.dir/testbed.cpp.o"
+  "CMakeFiles/plc_tools.dir/testbed.cpp.o.d"
+  "libplc_tools.a"
+  "libplc_tools.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plc_tools.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

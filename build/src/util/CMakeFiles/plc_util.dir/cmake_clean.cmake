@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plc_util.dir/csv.cpp.o"
+  "CMakeFiles/plc_util.dir/csv.cpp.o.d"
+  "CMakeFiles/plc_util.dir/error.cpp.o"
+  "CMakeFiles/plc_util.dir/error.cpp.o.d"
+  "CMakeFiles/plc_util.dir/math.cpp.o"
+  "CMakeFiles/plc_util.dir/math.cpp.o.d"
+  "CMakeFiles/plc_util.dir/stats.cpp.o"
+  "CMakeFiles/plc_util.dir/stats.cpp.o.d"
+  "CMakeFiles/plc_util.dir/strings.cpp.o"
+  "CMakeFiles/plc_util.dir/strings.cpp.o.d"
+  "CMakeFiles/plc_util.dir/table.cpp.o"
+  "CMakeFiles/plc_util.dir/table.cpp.o.d"
+  "libplc_util.a"
+  "libplc_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plc_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plc_workload.dir/sources.cpp.o"
+  "CMakeFiles/plc_workload.dir/sources.cpp.o.d"
+  "libplc_workload.a"
+  "libplc_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plc_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/backoff_test.dir/backoff_test.cpp.o"
+  "CMakeFiles/backoff_test.dir/backoff_test.cpp.o.d"
+  "backoff_test"
+  "backoff_test.pdb"
+  "backoff_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/backoff_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

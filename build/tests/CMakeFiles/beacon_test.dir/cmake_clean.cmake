@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/beacon_test.dir/beacon_test.cpp.o"
+  "CMakeFiles/beacon_test.dir/beacon_test.cpp.o.d"
+  "beacon_test"
+  "beacon_test.pdb"
+  "beacon_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/beacon_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

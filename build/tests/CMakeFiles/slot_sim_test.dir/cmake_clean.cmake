@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slot_sim_test.dir/slot_sim_test.cpp.o"
+  "CMakeFiles/slot_sim_test.dir/slot_sim_test.cpp.o.d"
+  "slot_sim_test"
+  "slot_sim_test.pdb"
+  "slot_sim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slot_sim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/des_test[1]_include.cmake")
+include("/root/repo/build/tests/phy_test[1]_include.cmake")
+include("/root/repo/build/tests/frames_test[1]_include.cmake")
+include("/root/repo/build/tests/mme_test[1]_include.cmake")
+include("/root/repo/build/tests/backoff_test[1]_include.cmake")
+include("/root/repo/build/tests/medium_mac_test[1]_include.cmake")
+include("/root/repo/build/tests/slot_sim_test[1]_include.cmake")
+include("/root/repo/build/tests/analysis_test[1]_include.cmake")
+include("/root/repo/build/tests/emu_test[1]_include.cmake")
+include("/root/repo/build/tests/tools_test[1]_include.cmake")
+include("/root/repo/build/tests/metrics_test[1]_include.cmake")
+include("/root/repo/build/tests/workload_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/adaptation_test[1]_include.cmake")
+include("/root/repo/build/tests/beacon_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
