@@ -5,10 +5,13 @@
 //   (3) HomePlug AV measurements (the emulated testbed via ampstat MMEs,
 //       averaged over 10 tests as in the paper).
 #include <iostream>
+#include <string>
 
 #include "analysis/exact_chain.hpp"
 #include "analysis/model_1901.hpp"
 #include "mac/config.hpp"
+#include "obs/metrics.hpp"
+#include "obs/report.hpp"
 #include "sim/sim_1901.hpp"
 #include "tools/testbed.hpp"
 #include "util/stats.hpp"
@@ -18,6 +21,15 @@
 int main() {
   using namespace plc;
   const mac::BackoffConfig ca1 = mac::BackoffConfig::ca0_ca1();
+
+  // Run report accumulated across the sweep: one metrics registry is
+  // bound into all 7 x 10 testbed runs (counters add up), the scalars
+  // carry the per-N headline numbers, and the JSON lands next to the
+  // binary so BENCH_*.json files accumulate a perf trajectory.
+  obs::Stopwatch stopwatch;
+  obs::Registry registry;
+  obs::RunReport report;
+  report.name = "figure2_collision_probability";
 
   // Paper Table 2's measured collision probabilities (the markers of
   // Figure 2).
@@ -43,8 +55,11 @@ int main() {
       config.stations = n;
       config.duration = des::SimTime::from_seconds(60.0);
       config.seed = 0xBEEF + static_cast<std::uint64_t>(100 * n + test);
+      config.registry = &registry;
       measured.add(
           tools::run_saturated_testbed(config).collision_probability);
+      report.simulated_seconds +=
+          (config.warmup + config.duration).seconds();
     }
 
     const analysis::Model1901Result model = analysis::solve_1901(n, ca1);
@@ -64,8 +79,27 @@ int main() {
                    util::format_fixed(measured.stddev(), 4),
                    util::format_fixed(model.gamma, 4), exact_cell,
                    util::format_fixed(paper_measured[n - 1], 4)});
+
+    const std::string prefix = "n" + std::to_string(n) + ".";
+    report.scalars[prefix + "simulation"] = slot.collision_probability;
+    report.scalars[prefix + "measured_mean"] = measured.mean();
+    report.scalars[prefix + "measured_stddev"] = measured.stddev();
+    report.scalars[prefix + "analysis"] = model.gamma;
+    report.scalars[prefix + "paper_measured"] = paper_measured[n - 1];
   }
   table.print(std::cout);
+
+  report.wall_seconds = stopwatch.elapsed_seconds();
+  report.metrics = registry.snapshot();
+  if (const obs::MetricSample* dispatched =
+          report.metrics.find("des.events_dispatched")) {
+    report.events = static_cast<std::int64_t>(dispatched->value);
+  }
+  report.save("BENCH_figure2_collision_probability.json");
+  std::cout << "\nwrote BENCH_figure2_collision_probability.json ("
+            << report.events << " scheduler events, "
+            << util::format_fixed(report.sim_seconds_per_wall_second(), 1)
+            << " sim-s/wall-s)\n";
 
   std::cout
       << "\nShape checks (paper Figure 2): all series grow concavely with "

@@ -3,13 +3,24 @@
 // simulator processes millions of medium events per second, the full
 // event-driven testbed runs hundreds of simulated seconds per wall
 // second, and the analytical solvers are microseconds per point.
+//
+// Besides the console table, the binary writes every per-iteration result
+// into BENCH_kernel_microbench.json (schema plc-run-report/1) so repeated
+// runs accumulate a perf trajectory; the BM_SlotSimulatorEvents* family
+// measures the observability overhead (no instrumentation vs null
+// observer vs bound metrics vs tracing) on the hottest loop.
 #include <benchmark/benchmark.h>
+
+#include <cstdio>
 
 #include "analysis/exact_chain.hpp"
 #include "analysis/model_1901.hpp"
 #include "des/scheduler.hpp"
 #include "mac/config.hpp"
 #include "mme/ampstat.hpp"
+#include "obs/metrics.hpp"
+#include "obs/report.hpp"
+#include "obs/trace.hpp"
 #include "sim/slot_simulator.hpp"
 #include "tools/testbed.hpp"
 
@@ -17,17 +28,59 @@ namespace {
 
 using namespace plc;
 
-void BM_SlotSimulatorEvents(benchmark::State& state) {
-  const int n = static_cast<int>(state.range(0));
-  sim::SlotSimulator simulator(
+constexpr std::int64_t kEventsPerIteration = 10'000;
+
+sim::SlotSimulator make_bench_simulator(int n) {
+  return sim::SlotSimulator(
       sim::make_1901_entities(n, mac::BackoffConfig::ca0_ca1(), 42),
       sim::SlotTiming{});
+}
+
+void run_slot_sim_loop(benchmark::State& state,
+                       sim::SlotSimulator& simulator) {
   for (auto _ : state) {
-    simulator.run_events(10'000);
+    simulator.run_events(kEventsPerIteration);
   }
-  state.SetItemsProcessed(state.iterations() * 10'000);
+  state.SetItemsProcessed(state.iterations() * kEventsPerIteration);
+}
+
+void BM_SlotSimulatorEvents(benchmark::State& state) {
+  sim::SlotSimulator simulator =
+      make_bench_simulator(static_cast<int>(state.range(0)));
+  run_slot_sim_loop(state, simulator);
 }
 BENCHMARK(BM_SlotSimulatorEvents)->Arg(2)->Arg(10)->Arg(50);
+
+// Observer overhead: a bound std::function that does nothing — the cost
+// of the indirect call per medium event (the pre-obs observer path).
+void BM_SlotSimulatorEventsNullObserver(benchmark::State& state) {
+  sim::SlotSimulator simulator =
+      make_bench_simulator(static_cast<int>(state.range(0)));
+  simulator.set_observer([](const sim::SlotEvent&) {});
+  run_slot_sim_loop(state, simulator);
+}
+BENCHMARK(BM_SlotSimulatorEventsNullObserver)->Arg(10);
+
+// Metrics overhead: registry bound, so every event does the pre-resolved
+// counter adds. The acceptance budget is <= 10% vs BM_SlotSimulatorEvents.
+void BM_SlotSimulatorEventsMetrics(benchmark::State& state) {
+  obs::Registry registry;
+  sim::SlotSimulator simulator =
+      make_bench_simulator(static_cast<int>(state.range(0)));
+  simulator.bind_metrics(registry);
+  run_slot_sim_loop(state, simulator);
+}
+BENCHMARK(BM_SlotSimulatorEventsMetrics)->Arg(10);
+
+// Tracing overhead: every event records a span into the bounded ring.
+void BM_SlotSimulatorEventsTraced(benchmark::State& state) {
+  obs::TraceSink trace;
+  sim::SlotSimulator simulator =
+      make_bench_simulator(static_cast<int>(state.range(0)));
+  simulator.set_trace(&trace);
+  run_slot_sim_loop(state, simulator);
+}
+BENCHMARK(BM_SlotSimulatorEventsTraced)->Arg(10);
 
 void BM_SchedulerChurn(benchmark::State& state) {
   for (auto _ : state) {
@@ -92,4 +145,50 @@ void BM_EmulatedTestbedSecond(benchmark::State& state) {
 }
 BENCHMARK(BM_EmulatedTestbedSecond);
 
+/// Prints the usual console table AND collects every per-iteration run
+/// into a RunReport, so the binary leaves a machine-readable perf record
+/// behind (BENCH_kernel_microbench.json).
+class TrendReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit TrendReporter(obs::RunReport& report) : report_(report) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    ConsoleReporter::ReportRuns(runs);
+    for (const Run& run : runs) {
+      if (run.error_occurred || run.run_type != Run::RT_Iteration) continue;
+      const std::string name = run.benchmark_name();
+      if (run.iterations > 0) {
+        report_.scalars[name + ".real_time_s_per_iter"] =
+            run.real_accumulated_time /
+            static_cast<double>(run.iterations);
+      }
+      const auto items = run.counters.find("items_per_second");
+      if (items != run.counters.end()) {
+        report_.scalars[name + ".items_per_second"] =
+            static_cast<double>(items->second);
+      }
+    }
+  }
+
+ private:
+  obs::RunReport& report_;
+};
+
 }  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+
+  obs::Stopwatch stopwatch;
+  obs::RunReport report;
+  report.name = "kernel_microbench";
+  TrendReporter reporter(report);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  report.wall_seconds = stopwatch.elapsed_seconds();
+  report.save("BENCH_kernel_microbench.json");
+  std::printf("wrote BENCH_kernel_microbench.json (%zu scalars)\n",
+              report.scalars.size());
+  benchmark::Shutdown();
+  return 0;
+}

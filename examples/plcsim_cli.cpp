@@ -1,14 +1,21 @@
 // plcsim — command-line driver for the framework.
 //
-//   plcsim sim     --n 4 [--time-s 50] [--cw 8,16,32,64] [--dc 0,1,3,15]
-//                  [--ts-us 2542.64] [--tc-us 2920.64] [--frame-us 2050]
-//                  [--seed 6401]
+//   plcsim sim     --n 4 [--time-s 50] [--reps 1] [--cw 8,16,32,64]
+//                  [--dc 0,1,3,15] [--ts-us 2542.64] [--tc-us 2920.64]
+//                  [--frame-us 2050] [--seed 6401]
 //   plcsim model   --n 4 [--cw ...] [--dc ...]
 //   plcsim testbed --n 3 [--time-s 30] [--mme-ms 0] [--capture out.plcc]
 //   plcsim sweep   --n-max 10 [--time-s 20] [--csv]
 //   plcsim boost   --n 10
 //   plcsim delay   --n 5 --load 0.5
 //   plcsim capture --file out.plcc [--head 10]
+//
+// Observability (sim and testbed): --trace=<file> writes a Chrome
+// trace_event JSON (open in about://tracing or ui.perfetto.dev;
+// --trace-counters adds per-station BC/DC/BPC counter series),
+// --metrics=<file> writes the metric-registry snapshot, and
+// --report=<file> writes a "plc-run-report/1" JSON (see EXPERIMENTS.md).
+// Options accept both "--key value" and "--key=value".
 //
 // Every command prints human-readable tables; `sweep --csv` emits CSV for
 // plotting. Exit code 2 on usage errors.
@@ -25,6 +32,10 @@
 #include "util/error.hpp"
 #include "analysis/model_1901.hpp"
 #include "analysis/optimizer.hpp"
+#include "obs/metrics.hpp"
+#include "obs/report.hpp"
+#include "obs/trace.hpp"
+#include "sim/runner.hpp"
 #include "sim/sim_1901.hpp"
 #include "sim/unsaturated.hpp"
 #include "tools/capture.hpp"
@@ -46,6 +57,11 @@ class Args {
         throw plc::Error("unexpected argument: " + key);
       }
       key = key.substr(2);
+      // "--key=value" form.
+      if (const auto eq = key.find('='); eq != std::string::npos) {
+        values_[key.substr(0, eq)] = key.substr(eq + 1);
+        continue;
+      }
       if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
         values_[key] = argv[++i];
       } else {
@@ -98,17 +114,66 @@ mac::BackoffConfig config_from(const Args& args) {
   return config;
 }
 
+/// Opens `path` for writing and runs `fn(stream)`; throws on failure.
+template <typename Fn>
+void write_file(const std::string& path, Fn&& fn) {
+  std::ofstream out(path);
+  if (!out) throw plc::Error("cannot open " + path);
+  fn(out);
+}
+
 int cmd_sim(const Args& args) {
-  const int n = args.get_int("n", 2);
-  const auto result = sim::sim_1901(
-      n, args.get_double("time-s", 50.0) * 1e6,
-      args.get_double("tc-us", 2920.64), args.get_double("ts-us", 2542.64),
-      args.get_double("frame-us", 2050.0),
-      args.get_int_list("cw", {8, 16, 32, 64}),
-      args.get_int_list("dc", {0, 1, 3, 15}),
-      static_cast<std::uint64_t>(args.get_int("seed", 0x1901)));
-  std::printf("N=%d  collision_pr=%.4f  norm_throughput=%.4f\n", n,
-              result.collision_probability, result.normalized_throughput);
+  sim::RunSpec spec;
+  spec.stations = args.get_int("n", 2);
+  spec.config = config_from(args);
+  spec.timing.ts = des::SimTime::from_us(args.get_double("ts-us", 2542.64));
+  spec.timing.tc = des::SimTime::from_us(args.get_double("tc-us", 2920.64));
+  spec.frame_length =
+      des::SimTime::from_us(args.get_double("frame-us", 2050.0));
+  spec.duration =
+      des::SimTime::from_seconds(args.get_double("time-s", 50.0));
+  spec.repetitions = args.get_int("reps", 1);
+  spec.seed = static_cast<std::uint64_t>(args.get_int("seed", 0x1901));
+
+  obs::Registry registry;
+  obs::TraceSink trace;
+  sim::RunObservability observability;
+  observability.registry = &registry;
+  const std::string trace_path = args.get_string("trace", "");
+  if (!trace_path.empty()) {
+    observability.trace = &trace;
+    observability.trace_counter_samples = args.has("trace-counters");
+  }
+
+  const obs::RunReport report =
+      sim::run_point_report(spec, "plcsim-sim", observability);
+  std::printf("N=%d  collision_pr=%.4f  norm_throughput=%.4f\n",
+              spec.stations,
+              report.scalars.at("collision_probability_mean"),
+              report.scalars.at("normalized_throughput_mean"));
+  std::printf("%.2fM medium events in %.2f s wall (%.1f sim-s/wall-s)\n",
+              static_cast<double>(report.events) / 1e6, report.wall_seconds,
+              report.sim_seconds_per_wall_second());
+
+  if (!trace_path.empty()) {
+    write_file(trace_path,
+               [&](std::ostream& out) { trace.write_chrome_trace(out); });
+    std::printf("wrote trace (%zu events, %lld dropped) to %s\n",
+                trace.size(), static_cast<long long>(trace.dropped()),
+                trace_path.c_str());
+  }
+  const std::string metrics_path = args.get_string("metrics", "");
+  if (!metrics_path.empty()) {
+    write_file(metrics_path, [&](std::ostream& out) {
+      registry.snapshot().write_json(out);
+    });
+    std::printf("wrote metrics snapshot to %s\n", metrics_path.c_str());
+  }
+  const std::string report_path = args.get_string("report", "");
+  if (!report_path.empty()) {
+    report.save(report_path);
+    std::printf("wrote run report to %s\n", report_path.c_str());
+  }
   return 0;
 }
 
@@ -145,7 +210,18 @@ int cmd_testbed(const Args& args) {
   }
   const std::string capture_path = args.get_string("capture", "");
   config.sniff_at_destination = args.has("sniff") || !capture_path.empty();
+
+  obs::Registry registry;
+  obs::TraceSink trace;
+  config.registry = &registry;
+  const std::string trace_path = args.get_string("trace", "");
+  if (!trace_path.empty()) config.trace = &trace;
+  const std::string report_path = args.get_string("report", "");
+  const std::string metrics_path = args.get_string("metrics", "");
+
+  obs::Stopwatch stopwatch;
   const tools::TestbedResult result = tools::run_saturated_testbed(config);
+  const double wall_seconds = stopwatch.elapsed_seconds();
 
   util::TablePrinter table({"station", "acked (Ai)", "collided (Ci)"});
   for (std::size_t i = 0; i < result.acknowledged.size(); ++i) {
@@ -169,6 +245,37 @@ int cmd_testbed(const Args& args) {
     tools::write_capture_file(out, result.captures);
     std::printf("wrote %zu captures to %s\n", result.captures.size(),
                 capture_path.c_str());
+  }
+
+  if (!trace_path.empty()) {
+    write_file(trace_path,
+               [&](std::ostream& out) { trace.write_chrome_trace(out); });
+    std::printf("wrote trace (%zu events, %lld dropped) to %s\n",
+                trace.size(), static_cast<long long>(trace.dropped()),
+                trace_path.c_str());
+  }
+  if (!metrics_path.empty()) {
+    write_file(metrics_path, [&](std::ostream& out) {
+      registry.snapshot().write_json(out);
+    });
+    std::printf("wrote metrics snapshot to %s\n", metrics_path.c_str());
+  }
+  if (!report_path.empty()) {
+    obs::RunReport report;
+    report.name = "plcsim-testbed";
+    report.wall_seconds = wall_seconds;
+    report.simulated_seconds = (config.warmup + config.duration).seconds();
+    report.metrics = registry.snapshot();
+    if (const obs::MetricSample* dispatched =
+            report.metrics.find("des.events_dispatched")) {
+      report.events = static_cast<std::int64_t>(dispatched->value);
+    }
+    report.scalars["stations"] = static_cast<double>(config.stations);
+    report.scalars["collision_probability"] = result.collision_probability;
+    report.scalars["normalized_throughput"] =
+        result.domain.normalized_throughput();
+    report.save(report_path);
+    std::printf("wrote run report to %s\n", report_path.c_str());
   }
   return 0;
 }

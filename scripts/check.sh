@@ -1,0 +1,15 @@
+#!/bin/sh
+# Sanitizer gate: configure a separate build tree with AddressSanitizer +
+# UBSan (the PLC_SANITIZE CMake option), build everything, and run the
+# full test suite under the sanitizers. Any leak, overflow, or UB aborts
+# the affected test and fails the script.
+#
+# Usage: scripts/check.sh [build-dir]      (default: build-sanitize)
+set -eu
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build-sanitize}"
+
+cmake -B "$BUILD_DIR" -S . -DPLC_SANITIZE=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "$BUILD_DIR" -j "$(nproc)"
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"

@@ -50,6 +50,9 @@ bool Scheduler::step() {
   callbacks_.erase(it);
   now_ = entry.when;
   ++dispatched_;
+  if (observer_ != nullptr) {
+    observer_->on_event_dispatched(now_, dispatched_, pending());
+  }
   callback();
   return true;
 }

@@ -28,6 +28,20 @@ class EventHandle {
   std::uint64_t id_ = 0;
 };
 
+/// Passive tap on the scheduler's dispatch loop (metrics and tracing;
+/// see obs::SchedulerMetrics). Installed non-owning: the observer must
+/// outlive the scheduler or detach itself via set_observer(nullptr).
+class SchedulerObserver {
+ public:
+  virtual ~SchedulerObserver() = default;
+
+  /// Fires once per dispatched event, after the clock has advanced to the
+  /// event's time and before its callback runs. `pending` excludes the
+  /// event being dispatched.
+  virtual void on_event_dispatched(SimTime when, std::int64_t dispatched,
+                                   std::size_t pending) = 0;
+};
+
 /// Priority-queue event scheduler with integer-nanosecond timestamps.
 class Scheduler {
  public:
@@ -61,6 +75,10 @@ class Scheduler {
   /// until they are lazily discarded).
   std::size_t pending() const { return queue_.size() - cancelled_pending_; }
 
+  /// Installs (or, with nullptr, removes) the dispatch-loop observer.
+  void set_observer(SchedulerObserver* observer) { observer_ = observer; }
+  SchedulerObserver* observer() const { return observer_; }
+
  private:
   struct Entry {
     SimTime when;
@@ -80,6 +98,7 @@ class Scheduler {
   std::uint64_t next_id_ = 1;
   std::int64_t dispatched_ = 0;
   std::size_t cancelled_pending_ = 0;
+  SchedulerObserver* observer_ = nullptr;
 
   /// Discards cancelled entries sitting at the top of the queue so that
   /// queue_.top() always refers to a live event.

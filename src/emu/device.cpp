@@ -57,6 +57,25 @@ HpavDevice::HpavDevice(Network& network, int tei, frames::MacAddress mac,
       config_.ca23, des::RandomStream(rng_.derive_seed("backoff-ca23")));
 }
 
+void HpavDevice::bind_metrics(obs::Registry& registry) {
+  const obs::Labels station{{"station", std::to_string(tei_)}};
+  Metrics metrics;
+  metrics.bursts_acked = &registry.counter(
+      "emu.bursts", {{"station", std::to_string(tei_)}, {"outcome", "acked"}});
+  metrics.bursts_collided = &registry.counter(
+      "emu.bursts",
+      {{"station", std::to_string(tei_)}, {"outcome", "collided"}});
+  metrics.host_frames =
+      &registry.counter("emu.host_frames_delivered", station);
+  metrics.tonemap_sent = &registry.counter(
+      "emu.tonemap_updates",
+      {{"station", std::to_string(tei_)}, {"direction", "sent"}});
+  metrics.tonemap_received = &registry.counter(
+      "emu.tonemap_updates",
+      {{"station", std::to_string(tei_)}, {"direction", "received"}});
+  metrics_ = metrics;
+}
+
 void HpavDevice::set_host_receive(HostReceiveFn callback) {
   host_listeners_.clear();
   add_host_listener(std::move(callback));
@@ -383,6 +402,7 @@ void HpavDevice::on_transmission_complete(bool success) {
     // queue, in order.
     counters_.on_tx_collided(link.dst_mac, link.priority,
                              burst.mpdus.size());
+    if (metrics_) metrics_->bursts_collided->add();
     for (auto mpdu_it = burst.mpdus.rbegin(); mpdu_it != burst.mpdus.rend();
          ++mpdu_it) {
       destination->hear_collided_mpdu(mpdu_it->sof);
@@ -395,6 +415,7 @@ void HpavDevice::on_transmission_complete(bool success) {
   }
 
   // Success: hand each MPDU to the destination, apply its SACK.
+  if (metrics_) metrics_->bursts_acked->add();
   const double pb_error_rate =
       network_.link_pb_error_rate(tei_, link.dst_tei, config_.pb_error_rate);
   for (frames::Mpdu& mpdu : burst.mpdus) {
@@ -456,6 +477,7 @@ frames::SackDelimiter HpavDevice::receive_mpdu(const frames::Mpdu& mpdu) {
          stream.reassembler.push_pb(it->second)) {
       if (consume_plc_mme(frame)) continue;
       ++host_frames_delivered_;
+      if (metrics_) metrics_->host_frames->add();
       deliver_to_host(frame);
     }
     stream.out_of_order.erase(it);
@@ -516,6 +538,7 @@ void HpavDevice::update_rx_adaptation(RxStream& stream,
   update.error_permille = mme::ToneMapUpdate::to_permille(
       std::min(1.0, std::max(0.0, stream.ewma_error)));
   ++tonemap_updates_sent_;
+  if (metrics_) metrics_->tonemap_sent->add();
   // The update itself is a management frame contending at CA2 (§3.3).
   enqueue_for_wire(update.to_mme(mac_, transmitter->mac()).to_ethernet(),
                    frames::Priority::kCa2, /*is_mme=*/true);
@@ -527,6 +550,7 @@ bool HpavDevice::consume_plc_mme(const frames::EthernetFrame& frame) {
   const mme::Mme mme = mme::Mme::from_ethernet(frame);
   if (const auto update = mme::ToneMapUpdate::from_mme(mme)) {
     ++tonemap_updates_received_;
+    if (metrics_) metrics_->tonemap_received->add();
     HpavDevice* receiver = network_.device_by_mac(mme.source);
     if (receiver != nullptr) {
       const LinkKey key{receiver->tei(),

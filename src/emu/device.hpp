@@ -41,6 +41,7 @@
 #include "medium/domain.hpp"
 #include "medium/participant.hpp"
 #include "mme/header.hpp"
+#include "obs/metrics.hpp"
 #include "phy/tonemap.hpp"
 
 namespace plc::emu {
@@ -152,6 +153,12 @@ class HpavDevice final : public medium::Participant,
 
   // --- medium::MediumObserver (sniffer tap) -------------------------------
   void on_medium_event(const medium::MediumEventRecord& record) override;
+
+  // --- Observability -------------------------------------------------------
+  /// Registers this device's firmware-level counters into `registry`
+  /// (labels station=<tei>): burst outcomes, host deliveries, tone-map
+  /// update traffic.
+  void bind_metrics(obs::Registry& registry);
 
   // --- Introspection -------------------------------------------------------
   int tei() const { return tei_; }
@@ -265,6 +272,16 @@ class HpavDevice final : public medium::Participant,
     std::vector<frames::Mpdu> mpdus;
   };
   std::optional<StagedBurst> staged_;
+
+  /// Pre-resolved registry instruments (optional; see bind_metrics).
+  struct Metrics {
+    obs::Counter* bursts_acked = nullptr;
+    obs::Counter* bursts_collided = nullptr;
+    obs::Counter* host_frames = nullptr;
+    obs::Counter* tonemap_sent = nullptr;
+    obs::Counter* tonemap_received = nullptr;
+  };
+  std::optional<Metrics> metrics_;
 
   FirmwareCounters counters_;
   bool sniffer_enabled_ = false;

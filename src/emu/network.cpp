@@ -53,6 +53,15 @@ const phy::GilbertElliottChannel* Network::link_channel(
   return it == channels_.end() ? nullptr : it->second.get();
 }
 
+void Network::bind_metrics(obs::Registry& registry) {
+  domain_.bind_metrics(registry);
+  for (const auto& device : devices_) {
+    device->bind_metrics(registry);
+  }
+  scheduler_metrics_ =
+      std::make_unique<obs::SchedulerMetrics>(scheduler_, registry);
+}
+
 void Network::start() {
   util::require(!started_, "Network::start: already started");
   started_ = true;

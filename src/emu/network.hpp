@@ -11,6 +11,7 @@
 #include "des/scheduler.hpp"
 #include "emu/device.hpp"
 #include "medium/domain.hpp"
+#include "obs/metrics.hpp"
 #include "phy/channel.hpp"
 #include "phy/timing.hpp"
 
@@ -42,6 +43,11 @@ class Network {
   const phy::GilbertElliottChannel* link_channel(int src_tei,
                                                  int dst_tei) const;
 
+  /// Registers the whole network into `registry`: the contention domain,
+  /// every device, and the scheduler's dispatch loop. Call after all
+  /// devices have been added (typically right before start()).
+  void bind_metrics(obs::Registry& registry);
+
   /// Starts the contention domain (and any channel processes). Call once
   /// after adding devices.
   void start();
@@ -65,6 +71,7 @@ class Network {
   std::vector<std::unique_ptr<HpavDevice>> devices_;
   std::map<std::pair<int, int>, std::unique_ptr<phy::GilbertElliottChannel>>
       channels_;
+  std::unique_ptr<obs::SchedulerMetrics> scheduler_metrics_;
   bool started_ = false;
 };
 

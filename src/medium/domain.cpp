@@ -1,11 +1,26 @@
 #include "medium/domain.hpp"
 
 #include <algorithm>
+#include <string>
 #include <utility>
 
 #include "util/error.hpp"
 
 namespace plc::medium {
+
+namespace {
+
+const char* event_type_name(MediumEventType type) {
+  switch (type) {
+    case MediumEventType::kIdleSlot: return "idle";
+    case MediumEventType::kSuccess: return "success";
+    case MediumEventType::kCollision: return "collision";
+    case MediumEventType::kBeacon: return "beacon";
+  }
+  return "unknown";
+}
+
+}  // namespace
 
 double DomainStats::collision_probability() const {
   const std::int64_t denominator = collided_tx + successes;
@@ -53,6 +68,70 @@ void ContentionDomain::notify_pending() {
 
 void ContentionDomain::reset_stats() { stats_ = DomainStats{}; }
 
+void ContentionDomain::bind_metrics(obs::Registry& registry) {
+  Metrics metrics;
+  for (int t = 0; t < 4; ++t) {
+    const char* name = event_type_name(static_cast<MediumEventType>(t));
+    metrics.events[t] = &registry.counter("medium.events", {{"type", name}});
+    metrics.airtime_ns[t] =
+        &registry.counter("medium.airtime_ns", {{"type", name}});
+  }
+  metrics.success_mpdus =
+      &registry.counter("medium.mpdus", {{"outcome", "success"}});
+  metrics.collided_mpdus =
+      &registry.counter("medium.mpdus", {{"outcome", "collided"}});
+  for (int id = 0; id < static_cast<int>(participants_.size()); ++id) {
+    metrics.station_success.push_back(&registry.counter(
+        "medium.tx",
+        {{"station", std::to_string(id)}, {"outcome", "success"}}));
+    metrics.station_collision.push_back(&registry.counter(
+        "medium.tx",
+        {{"station", std::to_string(id)}, {"outcome", "collision"}}));
+  }
+  metrics_ = std::move(metrics);
+}
+
+void ContentionDomain::observe_event(MediumEventType type, des::SimTime start,
+                                     des::SimTime duration,
+                                     const std::vector<int>& transmitters,
+                                     int mpdus) {
+  if (metrics_) {
+    const auto t = static_cast<std::size_t>(type);
+    metrics_->events[t]->add();
+    metrics_->airtime_ns[t]->add(duration.ns());
+    if (type == MediumEventType::kSuccess) {
+      metrics_->success_mpdus->add(mpdus);
+      for (const int id : transmitters) {
+        if (id < static_cast<int>(metrics_->station_success.size())) {
+          metrics_->station_success[static_cast<std::size_t>(id)]->add();
+        }
+      }
+    } else if (type == MediumEventType::kCollision) {
+      metrics_->collided_mpdus->add(mpdus);
+      for (const int id : transmitters) {
+        if (id < static_cast<int>(metrics_->station_collision.size())) {
+          metrics_->station_collision[static_cast<std::size_t>(id)]->add();
+        }
+      }
+    }
+  }
+  if (trace_ != nullptr) {
+    obs::TraceEvent span;
+    span.name = event_type_name(type);
+    span.start = start;
+    span.duration = duration;
+    if (transmitters.empty()) {
+      span.track = obs::kMediumTrack;
+      trace_->record(span);
+    } else {
+      for (const int id : transmitters) {
+        span.track = obs::station_track(id);
+        trace_->record(span);
+      }
+    }
+  }
+}
+
 void ContentionDomain::set_beacon_schedule(BeaconSchedule schedule) {
   util::require(!started_,
                 "ContentionDomain: set the schedule before start()");
@@ -65,6 +144,8 @@ void ContentionDomain::schedule_slot(des::SimTime delay) {
 
 void ContentionDomain::emit_record(MediumEventRecord record) {
   ++event_seq_;
+  observe_event(record.type, record.start, record.duration,
+                record.transmitters, static_cast<int>(record.sofs.size()));
   for (MediumObserver* observer : observers_) {
     observer->on_medium_event(record);
   }
@@ -148,6 +229,11 @@ void ContentionDomain::slot_boundary() {
     // Idle slot: every contender counts it down.
     ++stats_.idle_slots;
     stats_.idle_time += timing_.slot;
+    if (metrics_ || trace_ != nullptr) {
+      static const std::vector<int> kNoTransmitters;
+      observe_event(MediumEventType::kIdleSlot, scheduler_.now(),
+                    timing_.slot, kNoTransmitters, 0);
+    }
     for (const int id : contender_ids) {
       participants_[static_cast<std::size_t>(id)]->on_idle_slot();
     }

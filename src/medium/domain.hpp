@@ -31,6 +31,8 @@
 #include "des/time.hpp"
 #include "medium/beacon.hpp"
 #include "medium/participant.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "phy/timing.hpp"
 
 namespace plc::medium {
@@ -134,6 +136,17 @@ class ContentionDomain {
   const DomainStats& stats() const { return stats_; }
   const phy::TimingConfig& timing() const { return timing_; }
 
+  /// Registers the domain's counters into `registry` (event counts,
+  /// airtime, MPDU outcomes, per-station tx outcomes labeled
+  /// station=<participant id>). Call after every participant has been
+  /// added; safe to call again to rebind.
+  void bind_metrics(obs::Registry& registry);
+
+  /// Installs a trace sink (non-owning; nullptr detaches): every medium
+  /// event records a span — idle slots and beacons on the medium track,
+  /// success/collision spans on the transmitting stations' tracks.
+  void set_trace_sink(obs::TraceSink* sink) { trace_ = sink; }
+
   /// Resets the statistics counters (not the stations). Used by the
   /// testbed harness to discard warm-up transients, mirroring the
   /// paper's "reset the statistics at the beginning of each test".
@@ -148,12 +161,28 @@ class ContentionDomain {
   void finish_tdma_exchange(int owner_id);
   void schedule_slot(des::SimTime delay);
   void emit_record(MediumEventRecord record);
+  /// Observability taps shared by the idle path and emit_record.
+  void observe_event(MediumEventType type, des::SimTime start,
+                     des::SimTime duration,
+                     const std::vector<int>& transmitters, int mpdus);
+
+  /// Pre-resolved registry instruments (indexed by MediumEventType).
+  struct Metrics {
+    obs::Counter* events[4] = {nullptr, nullptr, nullptr, nullptr};
+    obs::Counter* airtime_ns[4] = {nullptr, nullptr, nullptr, nullptr};
+    obs::Counter* success_mpdus = nullptr;
+    obs::Counter* collided_mpdus = nullptr;
+    std::vector<obs::Counter*> station_success;
+    std::vector<obs::Counter*> station_collision;
+  };
 
   des::Scheduler& scheduler_;
   phy::TimingConfig timing_;
   std::vector<Participant*> participants_;
   std::vector<MediumObserver*> observers_;
   std::optional<BeaconSchedule> schedule_;
+  std::optional<Metrics> metrics_;
+  obs::TraceSink* trace_ = nullptr;
   DomainStats stats_;
   bool started_ = false;
   bool sleeping_ = false;   ///< No backlogged station; waiting for work.

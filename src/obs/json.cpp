@@ -1,0 +1,106 @@
+#include "obs/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+#include "util/strings.hpp"
+
+namespace plc::obs {
+
+std::string json_escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void JsonWriter::element_prefix() {
+  if (after_key_) {
+    after_key_ = false;
+    return;
+  }
+  if (!has_elements_.empty()) {
+    if (has_elements_.back()) out_ << ',';
+    has_elements_.back() = true;
+  }
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  element_prefix();
+  has_elements_.push_back(false);
+  out_ << '{';
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  has_elements_.pop_back();
+  out_ << '}';
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  element_prefix();
+  has_elements_.push_back(false);
+  out_ << '[';
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  has_elements_.pop_back();
+  out_ << ']';
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(std::string_view name) {
+  element_prefix();
+  out_ << '"' << json_escape(name) << "\": ";
+  after_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::string_view text) {
+  element_prefix();
+  out_ << '"' << json_escape(text) << '"';
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double number) {
+  element_prefix();
+  if (!std::isfinite(number)) {
+    out_ << "null";
+  } else {
+    out_ << util::format_double(number);
+  }
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t number) {
+  element_prefix();
+  out_ << number;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool flag) {
+  element_prefix();
+  out_ << (flag ? "true" : "false");
+  return *this;
+}
+
+}  // namespace plc::obs

@@ -1,0 +1,58 @@
+// Minimal streaming JSON writer for the observability layer's exporters
+// (metric snapshots, trace files, run reports).
+//
+// Scope is deliberately tiny: comma and nesting bookkeeping plus string
+// escaping. The caller drives structure (begin/end calls must balance);
+// numbers are emitted with round-trip precision and non-finite doubles
+// degrade to null, since JSON has no representation for them.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace plc::obs {
+
+/// Escapes `text` for inclusion inside a JSON string literal (the
+/// surrounding quotes are not added).
+std::string json_escape(std::string_view text);
+
+/// Streaming writer over a caller-owned ostream.
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream& out) : out_(out) {}
+
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Emits an object key; the next begin_*/value call supplies its value.
+  JsonWriter& key(std::string_view name);
+
+  JsonWriter& value(std::string_view text);
+  JsonWriter& value(const char* text) { return value(std::string_view(text)); }
+  JsonWriter& value(double number);
+  JsonWriter& value(std::int64_t number);
+  JsonWriter& value(int number) { return value(static_cast<std::int64_t>(number)); }
+  JsonWriter& value(bool flag);
+
+  /// Shorthand for key(name) followed by value(v).
+  template <typename T>
+  JsonWriter& field(std::string_view name, T v) {
+    key(name);
+    return value(v);
+  }
+
+ private:
+  /// Writes the separator owed before a new element and updates state.
+  void element_prefix();
+
+  std::ostream& out_;
+  std::vector<bool> has_elements_;  ///< One flag per open container.
+  bool after_key_ = false;
+};
+
+}  // namespace plc::obs

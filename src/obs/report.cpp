@@ -1,0 +1,39 @@
+#include "obs/report.hpp"
+
+#include <fstream>
+#include <ostream>
+
+#include "obs/json.hpp"
+#include "util/error.hpp"
+
+namespace plc::obs {
+
+void RunReport::write_json(std::ostream& out) const {
+  JsonWriter json(out);
+  json.begin_object();
+  json.field("schema", kSchema);
+  json.field("name", name);
+  json.field("wall_seconds", wall_seconds);
+  json.field("simulated_seconds", simulated_seconds);
+  json.field("events", events);
+  json.field("events_per_second", events_per_second());
+  json.field("sim_seconds_per_wall_second", sim_seconds_per_wall_second());
+  json.key("scalars").begin_object();
+  for (const auto& [key, value] : scalars) {
+    json.field(key, value);
+  }
+  json.end_object();
+  json.key("metrics");
+  metrics.write_into(json);
+  json.end_object();
+  out << '\n';
+}
+
+void RunReport::save(const std::string& path) const {
+  std::ofstream out(path);
+  util::require(static_cast<bool>(out),
+                "RunReport::save: cannot open " + path);
+  write_json(out);
+}
+
+}  // namespace plc::obs

@@ -1,0 +1,69 @@
+// Machine-readable run reports.
+//
+// Every harness (the CLI, the bench binaries, sweep drivers) can package
+// one execution into a RunReport: wall time, simulated time, event
+// throughput, free-form scalar results and a metrics snapshot — and emit
+// it as JSON under the "plc-run-report/1" schema documented in
+// EXPERIMENTS.md. Reports are the unit the BENCH_*.json perf trajectory
+// accumulates, so every future optimisation PR can prove itself against
+// the same fields.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+
+#include "obs/metrics.hpp"
+
+namespace plc::obs {
+
+/// Wall-clock stopwatch (steady clock).
+class Stopwatch {
+ public:
+  Stopwatch() : start_(std::chrono::steady_clock::now()) {}
+
+  void reset() { start_ = std::chrono::steady_clock::now(); }
+
+  double elapsed_seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// One run's machine-readable summary (schema "plc-run-report/1").
+struct RunReport {
+  static constexpr const char* kSchema = "plc-run-report/1";
+
+  std::string name;
+  double wall_seconds = 0.0;
+  double simulated_seconds = 0.0;
+  /// Medium/scheduler events processed (harness-defined; 0 when unknown).
+  std::int64_t events = 0;
+  /// Free-form named results (collision probabilities, throughputs,
+  /// items/sec of individual benchmarks, ...).
+  std::map<std::string, double> scalars;
+  /// Metric snapshot of the run (possibly merged over repetitions).
+  Snapshot metrics;
+
+  double events_per_second() const {
+    return wall_seconds > 0.0 ? static_cast<double>(events) / wall_seconds
+                              : 0.0;
+  }
+  double sim_seconds_per_wall_second() const {
+    return wall_seconds > 0.0 ? simulated_seconds / wall_seconds : 0.0;
+  }
+
+  void write_json(std::ostream& out) const;
+
+  /// Writes the report to `path`; throws plc::Error when the file cannot
+  /// be opened.
+  void save(const std::string& path) const;
+};
+
+}  // namespace plc::obs

@@ -24,11 +24,26 @@ SlotSimulator make_simulator(const RunSpec& spec, int repetition) {
 }
 
 RunSummary run_point(const RunSpec& spec) {
+  return run_point(spec, RunObservability{});
+}
+
+RunSummary run_point(const RunSpec& spec, const RunObservability& obs) {
   util::check_arg(spec.repetitions >= 1, "repetitions", "must be >= 1");
   RunSummary summary;
   for (int rep = 0; rep < spec.repetitions; ++rep) {
     SlotSimulator simulator = make_simulator(spec, rep);
+    if (obs.registry != nullptr) {
+      // One registry across every repetition: counters and histograms
+      // accumulate, which is the repeated-run aggregation story.
+      simulator.bind_metrics(*obs.registry);
+    }
+    if (obs.trace != nullptr && rep == 0) {
+      simulator.set_trace(obs.trace, obs.trace_counter_samples);
+    }
     const SlotSimResults results = simulator.run(spec.duration);
+    summary.medium_events +=
+        results.idle_slots + results.successes + results.collision_events;
+    summary.simulated = summary.simulated + results.elapsed;
     summary.collision_probability.add(results.collision_probability());
     summary.normalized_throughput.add(
         results.normalized_throughput(spec.frame_length));
@@ -40,6 +55,35 @@ RunSummary run_point(const RunSpec& spec) {
     summary.jain_index.add(util::jain_index(shares));
   }
   return summary;
+}
+
+obs::RunReport run_point_report(const RunSpec& spec, std::string name,
+                                const RunObservability& obs) {
+  obs::Registry local_registry;
+  RunObservability effective = obs;
+  if (effective.registry == nullptr) effective.registry = &local_registry;
+
+  obs::Stopwatch stopwatch;
+  const RunSummary summary = run_point(spec, effective);
+
+  obs::RunReport report;
+  report.name = std::move(name);
+  report.wall_seconds = stopwatch.elapsed_seconds();
+  report.simulated_seconds = summary.simulated.seconds();
+  report.events = summary.medium_events;
+  report.scalars["stations"] = static_cast<double>(spec.stations);
+  report.scalars["repetitions"] = static_cast<double>(spec.repetitions);
+  report.scalars["collision_probability_mean"] =
+      summary.collision_probability.mean();
+  report.scalars["collision_probability_stddev"] =
+      summary.collision_probability.stddev();
+  report.scalars["normalized_throughput_mean"] =
+      summary.normalized_throughput.mean();
+  report.scalars["normalized_throughput_stddev"] =
+      summary.normalized_throughput.stddev();
+  report.scalars["jain_index_mean"] = summary.jain_index.mean();
+  report.metrics = effective.registry->snapshot();
+  return report;
 }
 
 }  // namespace plc::sim

@@ -9,9 +9,11 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "mac/config.hpp"
+#include "obs/report.hpp"
 #include "sim/slot_simulator.hpp"
 #include "util/stats.hpp"
 
@@ -41,10 +43,36 @@ struct RunSummary {
   util::RunningStats collision_probability;
   util::RunningStats normalized_throughput;
   util::RunningStats jain_index;  ///< Long-term fairness of success shares.
+  /// Medium events and simulated time, summed over all repetitions.
+  std::int64_t medium_events = 0;
+  des::SimTime simulated = des::SimTime::zero();
+};
+
+/// Observability attachments for a sweep point (all optional,
+/// non-owning; they must outlive the run).
+struct RunObservability {
+  /// Bound into every repetition's simulator, so counters and histograms
+  /// accumulate across repetitions — the repeated-run aggregation path.
+  obs::Registry* registry = nullptr;
+  /// Records the event trace of repetition 0 only (repetitions are
+  /// statistically identical; one trace window is the useful artifact).
+  obs::TraceSink* trace = nullptr;
+  /// Also sample per-station BC/DC/BPC counter series into the trace.
+  bool trace_counter_samples = false;
 };
 
 /// Runs one sweep point.
 RunSummary run_point(const RunSpec& spec);
+
+/// Runs one sweep point with observability attachments.
+RunSummary run_point(const RunSpec& spec, const RunObservability& obs);
+
+/// Runs one sweep point and packages the outcome as a RunReport: wall
+/// time, simulated-vs-wall speed, event counts, the summary statistics as
+/// scalars, and a metric snapshot (from `obs.registry` when supplied,
+/// otherwise from an internal registry).
+obs::RunReport run_point_report(const RunSpec& spec, std::string name,
+                                const RunObservability& obs = {});
 
 /// Builds the simulator for a spec with the given repetition index
 /// (exposed for harnesses needing traces/observers).

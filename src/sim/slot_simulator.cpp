@@ -1,5 +1,6 @@
 #include "sim/slot_simulator.hpp"
 
+#include <string>
 #include <utility>
 
 #include "dcf/dcf.hpp"
@@ -39,6 +40,72 @@ SlotSimulator::SlotSimulator(
 void SlotSimulator::set_observer(
     std::function<void(const SlotEvent&)> observer) {
   observer_ = std::move(observer);
+}
+
+void SlotSimulator::bind_metrics(obs::Registry& registry) {
+  Metrics metrics;
+  static constexpr const char* kTypes[3] = {"idle", "success", "collision"};
+  for (int t = 0; t < 3; ++t) {
+    metrics.events[t] =
+        &registry.counter("slot_sim.events", {{"type", kTypes[t]}});
+    metrics.airtime_ns[t] =
+        &registry.counter("slot_sim.airtime_ns", {{"type", kTypes[t]}});
+  }
+  for (int i = 0; i < station_count(); ++i) {
+    metrics.station_success.push_back(&registry.counter(
+        "slot_sim.tx",
+        {{"station", std::to_string(i)}, {"outcome", "success"}}));
+    metrics.station_collision.push_back(&registry.counter(
+        "slot_sim.tx",
+        {{"station", std::to_string(i)}, {"outcome", "collision"}}));
+  }
+  metrics_ = std::move(metrics);
+}
+
+void SlotSimulator::set_trace(obs::TraceSink* sink, bool counter_samples) {
+  trace_ = sink;
+  trace_counter_samples_ = counter_samples;
+}
+
+void SlotSimulator::record_trace(SlotEventType type, des::SimTime duration) {
+  obs::TraceEvent span;
+  span.start = now_;
+  span.duration = duration;
+  switch (type) {
+    case SlotEventType::kIdle:
+      span.name = "idle";
+      span.track = obs::kMediumTrack;
+      trace_->record(span);
+      break;
+    case SlotEventType::kSuccess:
+      span.name = "success";
+      span.track = obs::station_track(scratch_transmitters_.front());
+      trace_->record(span);
+      break;
+    case SlotEventType::kCollision:
+      span.name = "collision";
+      for (const int station : scratch_transmitters_) {
+        span.track = obs::station_track(station);
+        trace_->record(span);
+      }
+      break;
+  }
+  if (trace_counter_samples_) {
+    // BC/DC/BPC trajectories: one counter sample per station per event —
+    // the §3/§4 trace-level statistics (backoff drift, stage occupancy).
+    for (int i = 0; i < station_count(); ++i) {
+      const mac::BackoffEntity& entity = *entities_[static_cast<std::size_t>(i)];
+      obs::TraceEvent sample;
+      sample.phase = obs::TracePhase::kCounter;
+      sample.track = obs::station_track(i);
+      sample.name = "backoff";
+      sample.start = now_;
+      sample.add_arg("bc", entity.backoff_counter());
+      sample.add_arg("dc", entity.deferral_counter());
+      sample.add_arg("bpc", entity.backoff_procedure_counter());
+      trace_->record(sample);
+    }
+  }
 }
 
 const mac::BackoffEntity& SlotSimulator::entity(int station) const {
@@ -95,6 +162,23 @@ SlotEventType SlotSimulator::step() {
     }
   }
 
+  if (metrics_) {
+    const auto t = static_cast<std::size_t>(type);
+    metrics_->events[t]->add();
+    metrics_->airtime_ns[t]->add(duration.ns());
+    if (type == SlotEventType::kSuccess) {
+      metrics_->station_success[static_cast<std::size_t>(
+                                    scratch_transmitters_.front())]
+          ->add();
+    } else if (type == SlotEventType::kCollision) {
+      for (const int station : scratch_transmitters_) {
+        metrics_->station_collision[static_cast<std::size_t>(station)]->add();
+      }
+    }
+  }
+  if (trace_ != nullptr) {
+    record_trace(type, duration);
+  }
   if (observer_) {
     SlotEvent event;
     event.type = type;

@@ -21,10 +21,13 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "des/time.hpp"
 #include "mac/backoff.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace plc::sim {
 
@@ -88,6 +91,19 @@ class SlotSimulator {
   /// the input to short-term fairness analysis (§3.3 / [4]).
   void enable_winner_trace(bool enable) { record_winners_ = enable; }
 
+  /// Registers this simulator's counters into `registry` (event counts,
+  /// airtime, and per-station tx outcomes labeled station=<id>). The
+  /// hot-path cost is a handful of pre-resolved integer adds per event;
+  /// with no registry bound the cost is one branch.
+  void bind_metrics(obs::Registry& registry);
+
+  /// Installs a trace sink (non-owning; nullptr detaches). Every medium
+  /// event records a span — idle slots on the medium track, success and
+  /// collision spans on the transmitting stations' tracks. When
+  /// `counter_samples` is set, each event additionally samples every
+  /// station's BC/DC/BPC as counter series (heavier; ring-bounded).
+  void set_trace(obs::TraceSink* sink, bool counter_samples = false);
+
   /// Runs until simulated time reaches `duration`.
   SlotSimResults run(des::SimTime duration);
 
@@ -105,9 +121,22 @@ class SlotSimulator {
   /// Advances one medium event; returns its type.
   SlotEventType step();
 
+  /// Pre-resolved registry instruments (indexing by SlotEventType).
+  struct Metrics {
+    obs::Counter* events[3] = {nullptr, nullptr, nullptr};
+    obs::Counter* airtime_ns[3] = {nullptr, nullptr, nullptr};
+    std::vector<obs::Counter*> station_success;
+    std::vector<obs::Counter*> station_collision;
+  };
+
+  void record_trace(SlotEventType type, des::SimTime duration);
+
   std::vector<std::unique_ptr<mac::BackoffEntity>> entities_;
   SlotTiming timing_;
   std::function<void(const SlotEvent&)> observer_;
+  std::optional<Metrics> metrics_;
+  obs::TraceSink* trace_ = nullptr;
+  bool trace_counter_samples_ = false;
   bool record_winners_ = false;
   std::vector<int> winners_;
   SlotSimResults results_;

@@ -61,6 +61,13 @@ TestbedResult run_saturated_testbed(const TestbedConfig& config) {
     faifa = std::make_unique<Faifa>(destination);
   }
 
+  if (config.registry != nullptr) {
+    network.bind_metrics(*config.registry);
+  }
+  if (config.trace != nullptr) {
+    network.domain().set_trace_sink(config.trace);
+  }
+
   network.start();
   network.run_for(config.warmup);
 

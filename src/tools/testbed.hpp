@@ -12,6 +12,8 @@
 
 #include "emu/network.hpp"
 #include "medium/domain.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "tools/faifa.hpp"
 
 namespace plc::tools {
@@ -29,6 +31,12 @@ struct TestbedConfig {
   /// to the destination at CA2 (E10, the MME-overhead methodology).
   des::SimTime mme_interval = des::SimTime::zero();
   int mme_payload_bytes = 100;
+
+  // Observability (optional, non-owning; must outlive the run). The
+  // registry receives the whole network's instruments (domain, devices,
+  // scheduler); the trace sink records every medium event.
+  obs::Registry* registry = nullptr;
+  obs::TraceSink* trace = nullptr;
 };
 
 /// Results of one run.

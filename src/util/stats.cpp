@@ -9,6 +9,7 @@ namespace plc::util {
 
 void RunningStats::add(double value) {
   ++count_;
+  sum_ += value;
   if (count_ == 1) {
     mean_ = value;
     m2_ = 0.0;
@@ -46,6 +47,7 @@ void RunningStats::merge(const RunningStats& other) {
   min_ = std::min(min_, other.min_);
   max_ = std::max(max_, other.max_);
   count_ += other.count_;
+  sum_ += other.sum_;
 }
 
 void QuantileEstimator::add(double value) {
@@ -53,7 +55,7 @@ void QuantileEstimator::add(double value) {
   sorted_ = false;
 }
 
-double QuantileEstimator::quantile(double q) const {
+double QuantileEstimator::quantile(double q) {
   require(!samples_.empty(), "QuantileEstimator: no samples");
   require(q >= 0.0 && q <= 1.0, "QuantileEstimator: q must be in [0, 1]");
   if (!sorted_) {

@@ -16,6 +16,8 @@ class RunningStats {
 
   std::int64_t count() const { return count_; }
   double mean() const { return count_ > 0 ? mean_ : 0.0; }
+  /// Sum of all samples; 0 when empty.
+  double sum() const { return sum_; }
   /// Unbiased sample variance; 0 for fewer than two samples.
   double variance() const;
   double stddev() const;
@@ -31,13 +33,19 @@ class RunningStats {
   double m2_ = 0.0;
   double min_ = 0.0;
   double max_ = 0.0;
+  double sum_ = 0.0;
 };
 
 /// Stores samples and answers quantile queries.
 ///
 /// The simulation runs here produce at most a few million delay samples,
 /// so an exact (store-and-sort) implementation is both simplest and
-/// adequate; `quantile` sorts lazily and caches.
+/// adequate; `quantile` sorts lazily and caches. Queries are therefore
+/// deliberately non-const: the lazy sort mutates observable iteration
+/// state, and hiding that behind `mutable` made a logically-const method
+/// unsafe to call from two threads and able to invalidate references
+/// mid-"read". Callers that interleave add() and quantile() pay the
+/// re-sort, which the cached `sorted_` flag limits to changed data.
 class QuantileEstimator {
  public:
   void add(double value);
@@ -46,13 +54,13 @@ class QuantileEstimator {
 
   /// Returns the q-quantile (0 <= q <= 1) by linear interpolation between
   /// order statistics. Throws plc::Error when empty or q out of range.
-  double quantile(double q) const;
+  double quantile(double q);
 
-  double median() const { return quantile(0.5); }
+  double median() { return quantile(0.5); }
 
  private:
-  mutable std::vector<double> samples_;
-  mutable bool sorted_ = true;
+  std::vector<double> samples_;
+  bool sorted_ = true;
 };
 
 }  // namespace plc::util

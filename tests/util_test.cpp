@@ -168,11 +168,29 @@ TEST(Csv, QuotesSpecialCharacters) {
   EXPECT_EQ(CsvWriter::quote("line\nbreak"), "\"line\nbreak\"");
 }
 
+TEST(Csv, QuotesRfc4180Corners) {
+  // CR alone, CRLF, and a bare LF all force quoting (RFC 4180 wraps any
+  // cell containing a line break); embedded quotes are doubled; the empty
+  // cell needs no quoting and stays empty.
+  EXPECT_EQ(CsvWriter::quote("carriage\rreturn"), "\"carriage\rreturn\"");
+  EXPECT_EQ(CsvWriter::quote("dos\r\nline"), "\"dos\r\nline\"");
+  EXPECT_EQ(CsvWriter::quote("\"\""), "\"\"\"\"\"\"");
+  EXPECT_EQ(CsvWriter::quote(""), "");
+  EXPECT_EQ(CsvWriter::quote("\""), "\"\"\"\"");
+}
+
 TEST(Csv, RejectsWrongWidth) {
   std::ostringstream out;
   CsvWriter writer(out, {"a", "b"});
   EXPECT_THROW(writer.write_row(std::vector<std::string>{"only-one"}),
                Error);
+  // Too wide fails as well, and so does the numeric overload (it funnels
+  // through the same width check).
+  EXPECT_THROW(
+      writer.write_row(std::vector<std::string>{"1", "2", "3"}), Error);
+  EXPECT_THROW(writer.write_row(std::vector<double>{1.0}), Error);
+  // The failed rows were not counted.
+  EXPECT_EQ(writer.rows_written(), 0);
 }
 
 TEST(Csv, NumericRowsRoundTrip) {
@@ -247,6 +265,62 @@ TEST(RunningStats, EmptyIsZero) {
   EXPECT_DOUBLE_EQ(stats.variance(), 0.0);
 }
 
+TEST(RunningStats, SumTracksSamples) {
+  RunningStats stats;
+  EXPECT_DOUBLE_EQ(stats.sum(), 0.0);
+  stats.add(1.5);
+  stats.add(-0.5);
+  stats.add(4.0);
+  EXPECT_DOUBLE_EQ(stats.sum(), 5.0);
+  EXPECT_NEAR(stats.sum() / static_cast<double>(stats.count()),
+              stats.mean(), 1e-12);
+}
+
+TEST(RunningStats, MergeEmptyIntoEmpty) {
+  RunningStats a;
+  RunningStats b;
+  a.merge(b);
+  EXPECT_EQ(a.count(), 0);
+  EXPECT_DOUBLE_EQ(a.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(a.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(a.sum(), 0.0);
+}
+
+TEST(RunningStats, MergeWithEmptyEitherWay) {
+  RunningStats filled;
+  filled.add(3.0);
+  filled.add(5.0);
+
+  RunningStats left = filled;
+  left.merge(RunningStats{});  // non-empty ⊕ empty: unchanged.
+  EXPECT_EQ(left.count(), 2);
+  EXPECT_NEAR(left.mean(), 4.0, 1e-12);
+  EXPECT_DOUBLE_EQ(left.min(), 3.0);
+  EXPECT_DOUBLE_EQ(left.max(), 5.0);
+  EXPECT_DOUBLE_EQ(left.sum(), 8.0);
+
+  RunningStats right;  // empty ⊕ non-empty: adopts other's state.
+  right.merge(filled);
+  EXPECT_EQ(right.count(), 2);
+  EXPECT_NEAR(right.mean(), 4.0, 1e-12);
+  EXPECT_DOUBLE_EQ(right.min(), 3.0);
+  EXPECT_DOUBLE_EQ(right.max(), 5.0);
+  EXPECT_DOUBLE_EQ(right.sum(), 8.0);
+}
+
+TEST(RunningStats, MergeSingletonsKeepsMinMax) {
+  RunningStats low;
+  low.add(-2.0);
+  RunningStats high;
+  high.add(10.0);
+  low.merge(high);
+  EXPECT_EQ(low.count(), 2);
+  EXPECT_DOUBLE_EQ(low.min(), -2.0);
+  EXPECT_DOUBLE_EQ(low.max(), 10.0);
+  EXPECT_NEAR(low.mean(), 4.0, 1e-12);
+  EXPECT_NEAR(low.variance(), 72.0, 1e-9);  // Sample variance of {-2, 10}.
+}
+
 TEST(Quantiles, MedianAndInterpolation) {
   QuantileEstimator q;
   for (const double v : {1.0, 2.0, 3.0, 4.0}) q.add(v);
@@ -261,6 +335,25 @@ TEST(Quantiles, RejectsEmptyAndOutOfRange) {
   q.add(1.0);
   EXPECT_THROW(q.quantile(1.5), Error);
   EXPECT_THROW(q.quantile(-0.5), Error);
+}
+
+TEST(Quantiles, InterleavedAddAndQueryResorts) {
+  // Regression for the const-mutation hazard: quantile() used to sort a
+  // `mutable` sample vector inside a const method. Now that queries are
+  // honestly non-const, interleaving add() and quantile() must keep
+  // answers consistent with the full sample set at each query.
+  QuantileEstimator q;
+  q.add(5.0);
+  q.add(1.0);
+  EXPECT_NEAR(q.median(), 3.0, 1e-12);
+  q.add(9.0);  // Invalidates the cached sort.
+  EXPECT_DOUBLE_EQ(q.median(), 5.0);
+  EXPECT_DOUBLE_EQ(q.quantile(1.0), 9.0);
+  q.add(0.0);
+  q.add(2.0);
+  EXPECT_DOUBLE_EQ(q.median(), 2.0);
+  EXPECT_DOUBLE_EQ(q.quantile(0.0), 0.0);
+  EXPECT_EQ(q.count(), 5);
 }
 
 // --- table -------------------------------------------------------------------------
