@@ -7,6 +7,7 @@
 #include <memory>
 
 #include "analysis/exact_chain.hpp"
+#include "bench_main.hpp"
 #include "mac/config.hpp"
 #include "sim/slot_simulator.hpp"
 #include "util/strings.hpp"
@@ -31,6 +32,7 @@ mac::BackoffConfig aggressive_config() {
 }  // namespace
 
 int main() {
+  plc::bench::Harness harness("ext_coexistence");
   const mac::BackoffConfig ca1 = mac::BackoffConfig::ca0_ca1();
   const mac::BackoffConfig greedy = aggressive_config();
   const sim::SlotTiming timing;
@@ -54,6 +56,9 @@ int main() {
                        util::format_fixed(exact.p_collision, 3)});
     table.print(std::cout);
     std::cout << "\n";
+    harness.scalar("exact.greedy_share") = exact.success_share_a();
+    harness.scalar("exact.collision_probability") =
+        exact.collision_probability;
   }
 
   // Simulation for 1 greedy + k defaults.
@@ -84,6 +89,11 @@ int main() {
          util::format_fixed(
              results.normalized_throughput(des::SimTime::from_us(2050.0)),
              4)});
+    const std::string prefix = "k" + std::to_string(defaults) + ".";
+    harness.scalar(prefix + "greedy_share") = share;
+    harness.scalar(prefix + "collision_probability") =
+        results.collision_probability();
+    harness.add_simulated_seconds(200.0);
   }
   table.print(std::cout);
 
@@ -92,5 +102,5 @@ int main() {
                "for it), and the network-wide collision probability rises "
                "— unilateral boosting is a fairness problem, which is why "
                "the paper tunes *network-wide* configurations.\n";
-  return 0;
+  return harness.finish();
 }

@@ -8,6 +8,7 @@
 #include <iostream>
 
 #include "analysis/model_1901.hpp"
+#include "bench_main.hpp"
 #include "mac/config.hpp"
 #include "sim/sim_1901.hpp"
 #include "util/strings.hpp"
@@ -15,6 +16,7 @@
 
 int main() {
   using namespace plc;
+  bench::Harness harness("ext_deferral_ablation");
 
   mac::BackoffConfig standard = mac::BackoffConfig::ca0_ca1();
   mac::BackoffConfig no_dc = standard;
@@ -49,6 +51,12 @@ int main() {
                    util::format_fixed(agg.normalized_throughput, 4),
                    util::format_fixed(model_def.gamma, 4),
                    util::format_fixed(model_off.gamma, 4)});
+    const std::string prefix = "n" + std::to_string(n) + ".";
+    harness.scalar(prefix + "default_cp") = def.collision_probability;
+    harness.scalar(prefix + "no_dc_cp") = off.collision_probability;
+    harness.scalar(prefix + "default_thr") = def.normalized_throughput;
+    harness.scalar(prefix + "no_dc_thr") = off.normalized_throughput;
+    harness.add_simulated_seconds(3 * 60.0);
   }
   table.print(std::cout);
 
@@ -57,5 +65,5 @@ int main() {
                "colliding) and throughput falls behind the default at "
                "large N; the aggressive policy trades extra deferrals "
                "for even fewer collisions.\n";
-  return 0;
+  return harness.finish();
 }

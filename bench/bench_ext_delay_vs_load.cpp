@@ -6,12 +6,14 @@
 #include <iostream>
 
 #include "analysis/delay.hpp"
+#include "bench_main.hpp"
 #include "sim/unsaturated.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
 
 int main() {
   using namespace plc;
+  bench::Harness harness("ext_delay_vs_load");
   const mac::BackoffConfig ca1 = mac::BackoffConfig::ca0_ca1();
   const sim::SlotTiming timing;
   const des::SimTime frame = des::SimTime::from_us(2050.0);
@@ -43,6 +45,13 @@ int main() {
                      util::format_fixed(simulated.mean_delay_s * 1e3, 2),
                      util::format_fixed(simulated.p99_delay_s * 1e3, 2),
                      util::format_fixed(model.utilization, 2)});
+      const std::string prefix =
+          "n" + std::to_string(n) + ".load" +
+          std::to_string(static_cast<int>(load * 100)) + ".";
+      harness.scalar(prefix + "model_mean_ms") = model.mean_sojourn_s * 1e3;
+      harness.scalar(prefix + "sim_mean_ms") = simulated.mean_delay_s * 1e3;
+      harness.scalar(prefix + "sim_p99_ms") = simulated.p99_delay_s * 1e3;
+      harness.add_simulated_seconds(120.0);
     }
   }
   table.print(std::cout);
@@ -52,5 +61,5 @@ int main() {
                "simulation at N=1 (its queueing term is exact there) and "
                "overestimates under contention at high load (open-loop "
                "M/G/1 approximation).\n";
-  return 0;
+  return harness.finish();
 }

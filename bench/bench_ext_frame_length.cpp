@@ -7,6 +7,7 @@
 #include <iostream>
 
 #include "analysis/model_1901.hpp"
+#include "bench_main.hpp"
 #include "mac/config.hpp"
 #include "sim/sim_1901.hpp"
 #include "util/strings.hpp"
@@ -14,6 +15,7 @@
 
 int main() {
   using namespace plc;
+  bench::Harness harness("ext_frame_length");
   const mac::BackoffConfig ca1 = mac::BackoffConfig::ca0_ca1();
 
   std::cout << "=== E16: normalized throughput vs frame duration ===\n";
@@ -38,6 +40,14 @@ int main() {
       row.push_back(util::format_fixed(simulated.normalized_throughput, 4));
       row.push_back(
           util::format_fixed(model.normalized_throughput(timing, frame), 4));
+      const std::string prefix =
+          "frame" + std::to_string(static_cast<int>(frame_us)) + ".n" +
+          std::to_string(n) + ".";
+      harness.scalar(prefix + "sim_throughput") =
+          simulated.normalized_throughput;
+      harness.scalar(prefix + "model_throughput") =
+          model.normalized_throughput(timing, frame);
+      harness.add_simulated_seconds(4e7 / 1e6);
     }
     table.add_row(row);
   }
@@ -48,5 +58,5 @@ int main() {
                "from aggregation is largest at small frames, which is "
                "why the standard aggregates 512-byte PBs into ~2 ms "
                "MPDUs and 2-4 MPDU bursts.\n";
-  return 0;
+  return harness.finish();
 }

@@ -6,12 +6,14 @@
 // measured overhead ratio.
 #include <iostream>
 
+#include "bench_main.hpp"
 #include "tools/testbed.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
 
 int main() {
   using namespace plc;
+  bench::Harness harness("ext_mme_overhead");
 
   std::cout << "=== E10: MME overhead via the sniffer (bursts of MMEs / "
                "bursts of data) ===\n";
@@ -30,12 +32,21 @@ int main() {
     if (interval_ms > 0.0) {
       config.mme_interval = des::SimTime::from_us(interval_ms * 1000.0);
     }
+    config.registry = &harness.registry();
     const tools::TestbedResult result = tools::run_saturated_testbed(config);
     table.add_row({interval_ms == 0.0 ? "off" : util::format_fixed(interval_ms, 0),
                    util::format_fixed(result.mme_overhead, 4),
                    std::to_string(result.data_burst_sources.size()),
                    util::format_fixed(result.domain.normalized_throughput(), 4),
                    util::format_fixed(result.collision_probability, 4)});
+    harness.add_simulated_seconds((config.warmup + config.duration).seconds());
+    const std::string prefix =
+        interval_ms == 0.0
+            ? std::string("off.")
+            : "ms" + std::to_string(static_cast<int>(interval_ms)) + ".";
+    harness.scalar(prefix + "mme_overhead") = result.mme_overhead;
+    harness.scalar(prefix + "normalized_throughput") =
+        result.domain.normalized_throughput();
   }
   table.print(std::cout);
 
@@ -43,5 +54,5 @@ int main() {
                "interval; every MME burst consumes CSMA/CA time (backoff, "
                "priority resolution, inter-frame spaces), so data "
                "throughput drops as chatter grows.\n";
-  return 0;
+  return harness.finish();
 }

@@ -6,6 +6,7 @@
 #include <iostream>
 #include <memory>
 
+#include "bench_main.hpp"
 #include "des/scheduler.hpp"
 #include "mac/station.hpp"
 #include "medium/domain.hpp"
@@ -27,6 +28,7 @@ std::unique_ptr<mac::BackoffEntity> entity(frames::Priority priority,
 }  // namespace
 
 int main() {
+  plc::bench::Harness harness("ext_priority_classes");
   const des::SimTime mpdu = des::SimTime::from_us(2050.0);
 
   std::cout << "=== E11: priority classes and the resolution phase ===\n\n";
@@ -58,6 +60,11 @@ int main() {
     table.print(std::cout);
     std::cout << "Strict priority: the saturated CA3 station owns the "
                  "medium; CA1 never transmits.\n\n";
+    harness.scalar("saturated.ca1_successes") = static_cast<double>(
+        ca1a.stats().successes + ca1b.stats().successes);
+    harness.scalar("saturated.ca3_successes") =
+        static_cast<double>(ca3.stats().successes);
+    harness.add_simulated_seconds(60.0);
   }
 
   std::cout << "--- (b) CA1 saturated vs CA3 queue bursts, 60 s ---\n";
@@ -102,6 +109,12 @@ int main() {
                                              ca3.stats().successes),
                      1)
             << "% of successes).\n";
+    harness.scalar("bursty.ca1_successes") =
+        static_cast<double>(ca1.stats().successes);
+    harness.scalar("bursty.ca3_successes") =
+        static_cast<double>(ca3.stats().successes);
+    harness.scalar("bursty.ca3_mean_delay_ms") = mean_delay_ms;
+    harness.add_simulated_seconds(60.0);
   }
-  return 0;
+  return harness.finish();
 }

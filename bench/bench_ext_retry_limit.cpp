@@ -7,6 +7,7 @@
 #include <iostream>
 #include <memory>
 
+#include "bench_main.hpp"
 #include "des/scheduler.hpp"
 #include "mac/station.hpp"
 #include "medium/domain.hpp"
@@ -64,6 +65,7 @@ CaseResult run_case(int n, int retry_limit, double seconds) {
 }  // namespace
 
 int main() {
+  plc::bench::Harness harness("ext_retry_limit");
   std::cout << "=== E17: retransmission limit vs the paper's "
                "infinite-retry assumption ===\n";
   std::cout << "(saturated CA1 stations, 60 s per case; limit 0 = "
@@ -79,6 +81,12 @@ int main() {
                      util::format_fixed(result.loss_rate, 4),
                      util::format_fixed(result.collision_probability, 4),
                      util::format_fixed(result.throughput, 4)});
+      const std::string prefix =
+          "n" + std::to_string(n) + ".limit" +
+          (limit == 0 ? std::string("inf") : std::to_string(limit)) + ".";
+      harness.scalar(prefix + "loss_rate") = result.loss_rate;
+      harness.scalar(prefix + "throughput") = result.throughput;
+      harness.add_simulated_seconds(60.0);
     }
   }
   table.print(std::cout);
@@ -91,5 +99,5 @@ int main() {
                "stages that would have spaced the retries out. The "
                "paper's infinite-retry idealization barely moves "
                "throughput but hides loss entirely.\n";
-  return 0;
+  return harness.finish();
 }

@@ -7,6 +7,7 @@
 // the same degree.
 #include <iostream>
 
+#include "bench_main.hpp"
 #include "mac/config.hpp"
 #include "metrics/fairness.hpp"
 #include "sim/slot_simulator.hpp"
@@ -30,6 +31,7 @@ std::vector<int> winner_trace(int n, bool dcf, std::uint64_t seed) {
 
 int main() {
   using namespace plc;
+  bench::Harness harness("ext_short_term_fairness");
 
   std::cout << "=== E7: short-term fairness — sliding-window Jain index "
                "===\n";
@@ -42,15 +44,19 @@ int main() {
         winner_trace(n, /*dcf=*/false, 0xFA + static_cast<std::uint64_t>(n));
     const std::vector<int> trace_dcf =
         winner_trace(n, /*dcf=*/true, 0xFB + static_cast<std::uint64_t>(n));
+    harness.add_simulated_seconds(2 * 300.0);
     for (const int window : {10, 50, 200, 1000}) {
-      table.add_row(
-          {std::to_string(n), std::to_string(window),
-           util::format_fixed(
-               metrics::sliding_window_jain(trace_1901, n, window).mean(),
-               4),
-           util::format_fixed(
-               metrics::sliding_window_jain(trace_dcf, n, window).mean(),
-               4)});
+      const double jain_1901 =
+          metrics::sliding_window_jain(trace_1901, n, window).mean();
+      const double jain_dcf =
+          metrics::sliding_window_jain(trace_dcf, n, window).mean();
+      table.add_row({std::to_string(n), std::to_string(window),
+                     util::format_fixed(jain_1901, 4),
+                     util::format_fixed(jain_dcf, 4)});
+      const std::string prefix =
+          "n" + std::to_string(n) + ".w" + std::to_string(window) + ".";
+      harness.scalar(prefix + "jain_1901") = jain_1901;
+      harness.scalar(prefix + "jain_dcf") = jain_dcf;
     }
   }
   table.print(std::cout);
@@ -75,5 +81,5 @@ int main() {
   std::cout << "\nShape checks: at N = 2 the 1901 Jain index at window 10 "
                "sits well below 802.11's and both approach 1 at window "
                "1000; 1901 reigns are longer.\n";
-  return 0;
+  return harness.finish();
 }

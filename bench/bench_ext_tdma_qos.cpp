@@ -7,6 +7,7 @@
 #include <iostream>
 #include <memory>
 
+#include "bench_main.hpp"
 #include "des/scheduler.hpp"
 #include "mac/station.hpp"
 #include "medium/beacon.hpp"
@@ -105,6 +106,7 @@ CaseResult run_case(FlowMode mode, int background_stations,
 }  // namespace
 
 int main() {
+  plc::bench::Harness harness("ext_tdma_qos");
   std::cout << "=== E15: TDMA allocation vs CSMA for a delay-sensitive "
                "flow ===\n";
   std::cout << "(100 fps CBR flow + saturated CA1 background; 60 s per "
@@ -128,6 +130,13 @@ int main() {
                    util::format_fixed(tdma.mean_ms, 2),
                    util::format_fixed(tdma.p99_ms, 2),
                    util::format_fixed(tdma.background_throughput, 4)});
+    const std::string prefix = "n" + std::to_string(n) + ".";
+    harness.scalar(prefix + "ca1_p99_ms") = ca1.p99_ms;
+    harness.scalar(prefix + "ca3_p99_ms") = ca3.p99_ms;
+    harness.scalar(prefix + "tdma_p99_ms") = tdma.p99_ms;
+    harness.scalar(prefix + "tdma_background_thr") =
+        tdma.background_throughput;
+    harness.add_simulated_seconds(3 * 60.0);
   }
   table.print(std::cout);
 
@@ -137,5 +146,5 @@ int main() {
                "allocation bounds delay by the beacon period regardless "
                "of contention, at a small fixed cost in background "
                "throughput (beacon + reserved airtime).\n";
-  return 0;
+  return harness.finish();
 }

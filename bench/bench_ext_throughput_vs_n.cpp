@@ -8,6 +8,7 @@
 
 #include "analysis/model_1901.hpp"
 #include "analysis/model_dcf.hpp"
+#include "bench_main.hpp"
 #include "mac/config.hpp"
 #include "sim/runner.hpp"
 #include "util/strings.hpp"
@@ -25,6 +26,7 @@ double simulate(plc::sim::RunSpec spec) {
 
 int main() {
   using namespace plc;
+  bench::Harness harness("ext_throughput_vs_n");
   const sim::SlotTiming timing;
   const des::SimTime frame = des::SimTime::from_us(2050.0);
 
@@ -58,15 +60,28 @@ int main() {
     const analysis::ModelDcfResult model_dcf =
         analysis::solve_dcf(n, 16, 1024);
 
+    const double ca1_sim = simulate(ca1);
+    const double ca3_sim = simulate(ca3);
+    const double dcf_sim = simulate(dcf);
+    const double dcf_small_sim = simulate(dcf_small);
     table.add_row(
-        {std::to_string(n), util::format_fixed(simulate(ca1), 4),
+        {std::to_string(n), util::format_fixed(ca1_sim, 4),
          util::format_fixed(model_1901.normalized_throughput(timing, frame),
                             4),
-         util::format_fixed(simulate(ca3), 4),
-         util::format_fixed(simulate(dcf), 4),
+         util::format_fixed(ca3_sim, 4), util::format_fixed(dcf_sim, 4),
          util::format_fixed(model_dcf.normalized_throughput(timing, frame),
                             4),
-         util::format_fixed(simulate(dcf_small), 4)});
+         util::format_fixed(dcf_small_sim, 4)});
+
+    const std::string prefix = "n" + std::to_string(n) + ".";
+    harness.scalar(prefix + "ca1_sim") = ca1_sim;
+    harness.scalar(prefix + "ca1_model") =
+        model_1901.normalized_throughput(timing, frame);
+    harness.scalar(prefix + "ca3_sim") = ca3_sim;
+    harness.scalar(prefix + "dcf_sim") = dcf_sim;
+    harness.scalar(prefix + "dcf_small_sim") = dcf_small_sim;
+    // 4 variants x 3 reps x 60 s per N.
+    harness.add_simulated_seconds(4 * 3 * 60.0);
   }
   table.print(std::cout);
 
@@ -74,5 +89,5 @@ int main() {
                "DCF with 1901's window range (8..64) and no deferral "
                "counter degrades much faster at large N; standard DCF "
                "(16..1024) pays idle-slot overhead at small N.\n";
-  return 0;
+  return harness.finish();
 }

@@ -8,6 +8,7 @@
 #include <iostream>
 #include <memory>
 
+#include "bench_main.hpp"
 #include "emu/network.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
@@ -75,6 +76,7 @@ RunResult run_case(double mean_good_s, bool adaptation_enabled,
 }  // namespace
 
 int main() {
+  plc::bench::Harness harness("ext_tonemap_adaptation");
   std::cout << "=== E14: tone-map maintenance vs channel volatility "
                "===\n";
   std::cout << "(1 saturated link; Gilbert-Elliott channel, bad spells "
@@ -91,6 +93,12 @@ int main() {
                    util::format_fixed(on.updates_per_second, 2),
                    util::format_fixed(on.goodput_mbps, 2),
                    util::format_fixed(off.goodput_mbps, 2)});
+    const std::string prefix =
+        "good" + std::to_string(static_cast<int>(mean_good_s * 10)) + ".";
+    harness.scalar(prefix + "updates_per_second") = on.updates_per_second;
+    harness.scalar(prefix + "goodput_on_mbps") = on.goodput_mbps;
+    harness.scalar(prefix + "goodput_off_mbps") = off.goodput_mbps;
+    harness.add_simulated_seconds(2 * 60.0);
   }
   table.print(std::cout);
 
@@ -104,5 +112,5 @@ int main() {
          "into good periods — the classic rate-adaptation hysteresis "
          "trade-off, and a concrete reason vendors keep this algorithm "
          "proprietary and tuned (§4.1).\n";
-  return 0;
+  return harness.finish();
 }

@@ -5,6 +5,7 @@
 // other climbs stages through deferral-counter expiries.
 #include <iostream>
 
+#include "bench_main.hpp"
 #include "mac/config.hpp"
 #include "sim/slot_simulator.hpp"
 #include "util/strings.hpp"
@@ -12,6 +13,7 @@
 
 int main() {
   using namespace plc;
+  bench::Harness harness("figure1_trace");
 
   std::cout << "=== Figure 1: 1901 backoff evolution, 2 saturated "
                "stations ===\n";
@@ -44,12 +46,21 @@ int main() {
                    std::to_string(b.deferral_counter()),
                    std::to_string(b.backoff_counter())});
   });
-  simulator.run_events(40);
+  const sim::SlotSimResults results = simulator.run_events(40);
   table.print(std::cout);
+
+  // Deliberately no event count: 40 events over microseconds of wall time
+  // would make the derived events_per_second pure noise, and the gate
+  // (plc-benchdiff) treats it as a throughput scalar.
+  harness.add_simulated_seconds(results.elapsed.seconds());
+  harness.scalar("successes") = static_cast<double>(results.successes);
+  harness.scalar("collisions") =
+      static_cast<double>(results.collision_events);
+  harness.scalar("idle_slots") = static_cast<double>(results.idle_slots);
 
   std::cout << "\nExpected mechanics (paper Figure 1): a station that wins "
                "re-enters stage 0 (CW 8, DC 0);\nthe other station senses "
                "the medium busy with DC = 0 and jumps to a larger CW "
                "without transmitting.\n";
-  return 0;
+  return harness.finish();
 }

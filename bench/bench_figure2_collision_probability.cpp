@@ -9,6 +9,7 @@
 
 #include "analysis/exact_chain.hpp"
 #include "analysis/model_1901.hpp"
+#include "bench_main.hpp"
 #include "mac/config.hpp"
 #include "obs/metrics.hpp"
 #include "obs/report.hpp"
@@ -22,14 +23,12 @@ int main() {
   using namespace plc;
   const mac::BackoffConfig ca1 = mac::BackoffConfig::ca0_ca1();
 
-  // Run report accumulated across the sweep: one metrics registry is
+  // Run report accumulated across the sweep: the harness registry is
   // bound into all 7 x 10 testbed runs (counters add up), the scalars
   // carry the per-N headline numbers, and the JSON lands next to the
   // binary so BENCH_*.json files accumulate a perf trajectory.
-  obs::Stopwatch stopwatch;
-  obs::Registry registry;
-  obs::RunReport report;
-  report.name = "figure2_collision_probability";
+  bench::Harness harness("figure2_collision_probability");
+  obs::RunReport& report = harness.report();
 
   // Paper Table 2's measured collision probabilities (the markers of
   // Figure 2).
@@ -55,11 +54,11 @@ int main() {
       config.stations = n;
       config.duration = des::SimTime::from_seconds(60.0);
       config.seed = 0xBEEF + static_cast<std::uint64_t>(100 * n + test);
-      config.registry = &registry;
+      config.registry = &harness.registry();
       measured.add(
           tools::run_saturated_testbed(config).collision_probability);
-      report.simulated_seconds +=
-          (config.warmup + config.duration).seconds();
+      harness.add_simulated_seconds(
+          (config.warmup + config.duration).seconds());
     }
 
     const analysis::Model1901Result model = analysis::solve_1901(n, ca1);
@@ -89,22 +88,10 @@ int main() {
   }
   table.print(std::cout);
 
-  report.wall_seconds = stopwatch.elapsed_seconds();
-  report.metrics = registry.snapshot();
-  if (const obs::MetricSample* dispatched =
-          report.metrics.find("des.events_dispatched")) {
-    report.events = static_cast<std::int64_t>(dispatched->value);
-  }
-  report.save("BENCH_figure2_collision_probability.json");
-  std::cout << "\nwrote BENCH_figure2_collision_probability.json ("
-            << report.events << " scheduler events, "
-            << util::format_fixed(report.sim_seconds_per_wall_second(), 1)
-            << " sim-s/wall-s)\n";
-
   std::cout
       << "\nShape checks (paper Figure 2): all series grow concavely with "
          "N and agree closely;\nthe decoupled analysis overestimates at "
          "N = 2 (stage anti-correlation — the coupling the CoNEXT paper "
          "models), where the exact chain matches the simulation.\n";
-  return 0;
+  return harness.finish();
 }

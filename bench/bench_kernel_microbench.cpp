@@ -8,17 +8,23 @@
 // into BENCH_kernel_microbench.json (schema plc-run-report/1) so repeated
 // runs accumulate a perf trajectory; the BM_SlotSimulatorEvents* family
 // measures the observability overhead (no instrumentation vs null
-// observer vs bound metrics vs tracing) on the hottest loop.
-#include <benchmark/benchmark.h>
+// observer vs bound metrics vs tracing) on the hottest loop, and
+// BM_ProfilerOverheadPaired turns the phase-profiler cost into the
+// derived profiler.*_overhead_pct scalars — the overhead-budget proof:
+// disabled ~0%, enabled < 5%.
+#include <chrono>
+#include <cstdint>
 
-#include <cstdio>
+#include <benchmark/benchmark.h>
 
 #include "analysis/exact_chain.hpp"
 #include "analysis/model_1901.hpp"
+#include "bench_main.hpp"
 #include "des/scheduler.hpp"
 #include "mac/config.hpp"
 #include "mme/ampstat.hpp"
 #include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
 #include "obs/report.hpp"
 #include "obs/trace.hpp"
 #include "sim/slot_simulator.hpp"
@@ -81,6 +87,88 @@ void BM_SlotSimulatorEventsTraced(benchmark::State& state) {
   run_slot_sim_loop(state, simulator);
 }
 BENCHMARK(BM_SlotSimulatorEventsTraced)->Arg(10);
+
+// Phase-profiler overhead on the hottest loop. The PROF_SCOPE sits at
+// run_events granularity (one scope per kEventsPerIteration medium
+// events), so "disabled" pays a relaxed atomic load per scope and
+// "enabled" pays two steady_clock reads plus a child lookup per scope.
+// Two separately-timed benchmarks cannot prove either budget: frequency
+// scaling between runs easily exceeds the effect (±25% observed), so this
+// benchmark interleaves a disabled and an enabled batch inside ONE run
+// and accumulates each side on its own timer — every noise source hits
+// both alternatives alike. main() derives the
+// profiler.enabled_overhead_pct scalar from the two accumulators, and
+// profiler.disabled_overhead_pct by amortizing the measured per-scope
+// disabled price (BM_ProfilerScopeDisabled) over one batch.
+std::int64_t g_paired_disabled_min_ns = 0;
+std::int64_t g_paired_enabled_min_ns = 0;
+
+void BM_ProfilerOverheadPaired(benchmark::State& state) {
+  sim::SlotSimulator disabled_sim = make_bench_simulator(10);
+  sim::SlotSimulator enabled_sim = make_bench_simulator(10);
+  std::int64_t disabled_min_ns = 0;
+  std::int64_t enabled_min_ns = 0;
+  std::int64_t batches = 0;
+  using clock = std::chrono::steady_clock;
+  const auto timed_batch = [](sim::SlotSimulator& simulator,
+                              bool enabled) {
+    obs::Profiler::set_enabled(enabled);
+    const auto start = clock::now();
+    simulator.run_events(kEventsPerIteration);
+    const auto stop = clock::now();
+    obs::Profiler::set_enabled(false);
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(stop -
+                                                                start)
+        .count();
+  };
+  const auto keep_min = [](std::int64_t& slot, std::int64_t sample) {
+    if (slot == 0 || sample < slot) slot = sample;
+  };
+  for (auto _ : state) {
+    // Swap which side goes first each batch: a frequency ramp inside the
+    // pair would otherwise systematically favor the second slot. Keep the
+    // per-side MINIMUM batch time — interference (preemption, frequency
+    // dips) only ever adds time, so comparing best case against best case
+    // is the estimator that survives a noisy machine.
+    if (batches % 2 == 0) {
+      keep_min(disabled_min_ns, timed_batch(disabled_sim, false));
+      keep_min(enabled_min_ns, timed_batch(enabled_sim, true));
+    } else {
+      keep_min(enabled_min_ns, timed_batch(enabled_sim, true));
+      keep_min(disabled_min_ns, timed_batch(disabled_sim, false));
+    }
+    ++batches;
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * kEventsPerIteration);
+  // The final timed run overwrites the warmup runs' results.
+  g_paired_disabled_min_ns = disabled_min_ns;
+  g_paired_enabled_min_ns = enabled_min_ns;
+}
+BENCHMARK(BM_ProfilerOverheadPaired);
+
+// Raw cost of one enabled PROF_SCOPE (enter + exit, two clock reads and
+// the parent-frame bookkeeping) — the unit price of adding a phase.
+void BM_ProfilerScopeEnabled(benchmark::State& state) {
+  obs::Profiler::set_enabled(true);
+  for (auto _ : state) {
+    PROF_SCOPE("bench.scope");
+    benchmark::DoNotOptimize(state.iterations());
+  }
+  obs::Profiler::set_enabled(false);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ProfilerScopeEnabled);
+
+// And the disabled price: a relaxed atomic load and a branch.
+void BM_ProfilerScopeDisabled(benchmark::State& state) {
+  obs::Profiler::set_enabled(false);
+  for (auto _ : state) {
+    PROF_SCOPE("bench.scope");
+    benchmark::DoNotOptimize(state.iterations());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ProfilerScopeDisabled);
 
 void BM_SchedulerChurn(benchmark::State& state) {
   for (auto _ : state) {
@@ -180,15 +268,30 @@ int main(int argc, char** argv) {
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
 
-  obs::Stopwatch stopwatch;
-  obs::RunReport report;
-  report.name = "kernel_microbench";
-  TrendReporter reporter(report);
+  plc::bench::Harness harness("kernel_microbench");
+  TrendReporter reporter(harness.report());
   benchmark::RunSpecifiedBenchmarks(&reporter);
-  report.wall_seconds = stopwatch.elapsed_seconds();
-  report.save("BENCH_kernel_microbench.json");
-  std::printf("wrote BENCH_kernel_microbench.json (%zu scalars)\n",
-              report.scalars.size());
   benchmark::Shutdown();
-  return 0;
+
+  // Overhead-budget proof (budgets: ~0% disabled, < 5% enabled), from the
+  // interleaved paired measurement so machine noise cancels.
+  auto& scalars = harness.report().scalars;
+  if (g_paired_disabled_min_ns > 0 && g_paired_enabled_min_ns > 0) {
+    scalars["profiler.enabled_overhead_pct"] =
+        100.0 * (static_cast<double>(g_paired_enabled_min_ns) /
+                     static_cast<double>(g_paired_disabled_min_ns) -
+                 1.0);
+    // A disabled PROF_SCOPE costs one relaxed atomic load + branch;
+    // amortized over one 10k-event batch it is indistinguishable from 0.
+    const auto scope =
+        scalars.find("BM_ProfilerScopeDisabled.real_time_s_per_iter");
+    const double batch_seconds =
+        static_cast<double>(g_paired_disabled_min_ns) / 1e9;
+    if (scope != scalars.end() && batch_seconds > 0.0) {
+      scalars["profiler.disabled_overhead_pct"] =
+          100.0 * scope->second / batch_seconds;
+    }
+  }
+
+  return harness.finish();
 }

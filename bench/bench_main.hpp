@@ -1,0 +1,104 @@
+// Shared epilogue for every bench binary: each `bench_*` packages its run
+// into an obs::RunReport and leaves a machine-readable BENCH_<name>.json
+// behind, so repeated runs accumulate the perf trajectory that
+// `plc-benchdiff` (and scripts/bench_gate.sh) compare against a baseline.
+//
+// Usage:
+//   int main() {
+//     plc::bench::Harness harness("ext_frame_length");
+//     ... run experiments, harness.report().scalars["..."] = ...;
+//     return harness.finish();
+//   }
+//
+// finish() stamps wall time, snapshots the harness registry into the
+// report (pass harness.registry() into testbed/runner observability to
+// make the des.* counters land there), recovers the event count from
+// des.events_dispatched when the harness didn't set one, attaches the
+// phase-profiler aggregate when PLC_PROFILE is on, and saves the file —
+// into $PLC_BENCH_DIR when set, else the working directory.
+#pragma once
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "obs/log.hpp"
+#include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
+#include "obs/report.hpp"
+#include "util/strings.hpp"
+
+namespace plc::bench {
+
+/// Directory BENCH_*.json files land in: $PLC_BENCH_DIR or "." — always
+/// with a trailing separator applied by output_path().
+inline std::string output_path(const std::string& name) {
+  std::string path = "BENCH_" + name + ".json";
+  if (const char* dir = std::getenv("PLC_BENCH_DIR");
+      dir != nullptr && dir[0] != '\0') {
+    std::string prefix(dir);
+    if (prefix.back() != '/') prefix.push_back('/');
+    path = prefix + path;
+  }
+  return path;
+}
+
+class Harness {
+ public:
+  explicit Harness(std::string name) { report_.name = std::move(name); }
+
+  obs::RunReport& report() { return report_; }
+  /// Bind this into testbed/runner observability so scheduler and medium
+  /// counters accumulate across every run the bench performs.
+  obs::Registry& registry() { return registry_; }
+
+  /// Convenience accessor mirroring report().scalars[key].
+  double& scalar(const std::string& key) { return report_.scalars[key]; }
+
+  /// Accumulates simulated seconds across sweep points.
+  void add_simulated_seconds(double seconds) {
+    report_.simulated_seconds += seconds;
+  }
+
+  /// Stamps the report, saves BENCH_<name>.json and returns the process
+  /// exit code (0). Call exactly once, as `return harness.finish();`.
+  int finish() {
+    report_.wall_seconds = stopwatch_.elapsed_seconds();
+    report_.metrics = registry_.snapshot();
+    if (report_.events == 0) {
+      if (const obs::MetricSample* dispatched =
+              report_.metrics.find("des.events_dispatched")) {
+        report_.events = static_cast<std::int64_t>(dispatched->value);
+      }
+    }
+    if (obs::Profiler::enabled()) {
+      report_.profile = obs::Profiler::instance().snapshot();
+    }
+    const std::string path = output_path(report_.name);
+    report_.save(path);
+    PLC_LOG_INFO("bench", "report saved")
+        .str("path", path)
+        .num("scalars", static_cast<double>(report_.scalars.size()))
+        .num("wall_seconds", report_.wall_seconds);
+    std::cout << "\nwrote " << path << " (" << report_.scalars.size()
+              << " scalars";
+    if (report_.events > 0) {
+      std::cout << ", " << report_.events << " scheduler events";
+    }
+    if (report_.simulated_seconds > 0.0 && report_.wall_seconds > 0.0) {
+      std::cout << ", "
+                << util::format_fixed(report_.sim_seconds_per_wall_second(),
+                                      1)
+                << " sim-s/wall-s";
+    }
+    std::cout << ")\n";
+    return 0;
+  }
+
+ private:
+  obs::Stopwatch stopwatch_;
+  obs::Registry registry_;
+  obs::RunReport report_;
+};
+
+}  // namespace plc::bench

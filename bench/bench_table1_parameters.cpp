@@ -5,11 +5,13 @@
 #include <iostream>
 #include <string>
 
+#include "bench_main.hpp"
 #include "mac/config.hpp"
 #include "util/table.hpp"
 
 int main() {
   using plc::mac::BackoffConfig;
+  plc::bench::Harness harness("table1_parameters");
 
   std::cout << "=== Table 1: IEEE 1901 CW_i and d_i per backoff stage ===\n";
   std::cout << "(paper: Vlachou et al., Table 1; BPC >= 3 re-uses the "
@@ -30,6 +32,15 @@ int main() {
                    std::to_string(ca01.dc[static_cast<std::size_t>(stage)]),
                    std::to_string(ca23.cw[static_cast<std::size_t>(stage)]),
                    std::to_string(ca23.dc[static_cast<std::size_t>(stage)])});
+    const std::string prefix = "stage" + std::to_string(stage) + ".";
+    harness.scalar(prefix + "ca0_ca1_cw") =
+        ca01.cw[static_cast<std::size_t>(stage)];
+    harness.scalar(prefix + "ca0_ca1_dc") =
+        ca01.dc[static_cast<std::size_t>(stage)];
+    harness.scalar(prefix + "ca2_ca3_cw") =
+        ca23.cw[static_cast<std::size_t>(stage)];
+    harness.scalar(prefix + "ca2_ca3_dc") =
+        ca23.dc[static_cast<std::size_t>(stage)];
   }
   table.print(std::cout);
 
@@ -38,5 +49,5 @@ int main() {
                "  stage 1: BPC 1,  CA0/CA1 CW 16, d 1 | CA2/CA3 CW 16, d 1\n"
                "  stage 2: BPC 2,  CA0/CA1 CW 32, d 3 | CA2/CA3 CW 16, d 3\n"
                "  stage 3: BPC>=3, CA0/CA1 CW 64, d 15| CA2/CA3 CW 32, d 15\n";
-  return 0;
+  return harness.finish();
 }

@@ -4,12 +4,14 @@
 // test start, ampstat query at test end, bursts of 2 MPDUs.
 #include <iostream>
 
+#include "bench_main.hpp"
 #include "tools/testbed.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
 
 int main() {
   using namespace plc;
+  bench::Harness harness("table2_testbed_stats");
 
   // Paper Table 2 (one 240 s test each).
   const double paper_c[] = {25,     12012, 21390, 28924,
@@ -29,7 +31,16 @@ int main() {
     config.stations = n;
     config.duration = des::SimTime::from_seconds(240.0);
     config.seed = 0x7AB2E + static_cast<std::uint64_t>(n);
+    config.registry = &harness.registry();
     const tools::TestbedResult result = tools::run_saturated_testbed(config);
+    harness.add_simulated_seconds((config.warmup + config.duration).seconds());
+    const std::string prefix = "n" + std::to_string(n) + ".";
+    harness.scalar(prefix + "collided") =
+        static_cast<double>(result.total_collided);
+    harness.scalar(prefix + "acknowledged") =
+        static_cast<double>(result.total_acknowledged);
+    harness.scalar(prefix + "collision_probability") =
+        result.collision_probability;
     table.add_row(
         {std::to_string(n),
          util::with_thousands(static_cast<std::int64_t>(result.total_collided)),
@@ -46,5 +57,5 @@ int main() {
                "(collided MPDUs are acknowledged too,\nand more stations "
                "spend less total time in backoff); Ci/Ai grows concavely "
                "with N.\n";
-  return 0;
+  return harness.finish();
 }

@@ -4,12 +4,14 @@
 // (argument order per Table 3: N, sim_time, Tc, Ts, frame_length, cw, dc).
 #include <iostream>
 
+#include "bench_main.hpp"
 #include "sim/sim_1901.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
 
 int main() {
   using namespace plc;
+  bench::Harness harness("table3_interface");
 
   std::cout << "=== Table 3: simulator input variables and the paper's "
                "default invocation ===\n\n";
@@ -36,5 +38,9 @@ int main() {
             << util::format_fixed(result.normalized_throughput, 4) << "\n";
   std::cout << "\n(outputs as the MATLAB reference returns them: "
                "[collision_pr, norm_thoughput])\n";
-  return 0;
+
+  harness.add_simulated_seconds(5e8 / 1e6);
+  harness.scalar("collision_pr") = result.collision_probability;
+  harness.scalar("norm_throughput") = result.normalized_throughput;
+  return harness.finish();
 }

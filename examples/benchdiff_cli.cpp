@@ -1,0 +1,165 @@
+// plc-benchdiff — the BENCH-trajectory perf-regression gate.
+//
+//   plc-benchdiff [options] <baseline> <candidate>
+//
+// <baseline> and <candidate> are either two BENCH_*.json run reports or
+// two directories of them (paired by file name). Every numeric value of
+// each pair gets a delta row; values matching a gate pattern (throughput-
+// like, higher is better) FAIL the gate when they drop by at least the
+// threshold. Options:
+//
+//   --threshold-pct <p>   relative drop that fails the gate (default 5)
+//   --gate <p1,p2,...>    comma-separated substring patterns replacing the
+//                         default gates (items_per_second,
+//                         events_per_second, throughput)
+//   --all                 print every delta row (default: gated or
+//                         changed-by-more-than-0.1% rows only)
+//
+// Exit codes: 0 gate passed, 1 at least one regression, 2 usage/IO error.
+#include <cstdio>
+#include <filesystem>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "tools/benchdiff.hpp"
+#include "util/error.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace plc;
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: plc-benchdiff [--threshold-pct P] "
+               "[--gate p1,p2,...] [--all] <baseline> <candidate>\n"
+               "       (two BENCH_*.json files or two directories of "
+               "them)\n");
+  return 2;
+}
+
+std::string format_value(double value) {
+  // Large counters render poorly with fixed precision; switch notation.
+  if (value != 0.0 && (value >= 1e7 || value <= -1e7)) {
+    std::ostringstream out;
+    out.precision(4);
+    out << value;
+    return out.str();
+  }
+  return util::format_fixed(value, 4);
+}
+
+void print_diff(const tools::DiffResult& diff,
+                const tools::DiffOptions& options, bool show_all) {
+  std::cout << "=== " << (diff.name.empty() ? "(unnamed)" : diff.name)
+            << " ===\n";
+  util::TablePrinter table(
+      {"value", "baseline", "candidate", "delta %", "gate"});
+  std::size_t hidden = 0;
+  for (const tools::ScalarDelta& delta : diff.deltas) {
+    const bool changed = delta.missing_in_baseline ||
+                         delta.missing_in_candidate ||
+                         delta.delta_pct > 0.1 || delta.delta_pct < -0.1;
+    if (!show_all && !delta.gated && !changed) {
+      ++hidden;
+      continue;
+    }
+    std::string status;
+    if (delta.regression) {
+      status = "REGRESSION";
+    } else if (delta.gated) {
+      status = "ok";
+    }
+    if (delta.missing_in_baseline) status = "new";
+    if (delta.missing_in_candidate && !delta.regression) status = "removed";
+    table.add_row({delta.key,
+                   delta.missing_in_baseline ? "-"
+                                             : format_value(delta.baseline),
+                   delta.missing_in_candidate
+                       ? "-"
+                       : format_value(delta.candidate),
+                   delta.missing_in_baseline || delta.missing_in_candidate
+                       ? "-"
+                       : util::format_fixed(delta.delta_pct, 2),
+                   status});
+  }
+  table.print(std::cout);
+  if (hidden > 0) {
+    std::cout << "(" << hidden
+              << " unchanged ungated values hidden; --all shows them)\n";
+  }
+  if (diff.regressions > 0) {
+    std::cout << diff.regressions << " regression(s) beyond "
+              << util::format_fixed(options.threshold_pct, 1) << "%\n";
+  }
+  std::cout << "\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  tools::DiffOptions options;
+  bool show_all = false;
+  std::vector<std::string> paths;
+  try {
+    for (int i = 1; i < argc; ++i) {
+      std::string arg = argv[i];
+      auto value_of = [&](const std::string& flag) -> std::string {
+        if (const auto eq = arg.find('='); eq != std::string::npos) {
+          return arg.substr(eq + 1);
+        }
+        if (i + 1 >= argc) throw Error(flag + ": missing value");
+        return argv[++i];
+      };
+      if (arg.rfind("--threshold-pct", 0) == 0) {
+        options.threshold_pct = std::stod(value_of("--threshold-pct"));
+      } else if (arg.rfind("--gate", 0) == 0) {
+        options.gate_patterns.clear();
+        std::stringstream patterns(value_of("--gate"));
+        std::string piece;
+        while (std::getline(patterns, piece, ',')) {
+          if (!piece.empty()) options.gate_patterns.push_back(piece);
+        }
+      } else if (arg == "--all") {
+        show_all = true;
+      } else if (arg.rfind("--", 0) == 0) {
+        return usage();
+      } else {
+        paths.push_back(arg);
+      }
+    }
+    if (paths.size() != 2) return usage();
+
+    int regressions = 0;
+    if (std::filesystem::is_directory(paths[0]) ||
+        std::filesystem::is_directory(paths[1])) {
+      const tools::DirDiffResult result =
+          tools::diff_directories(paths[0], paths[1], options);
+      for (const tools::DiffResult& diff : result.reports) {
+        print_diff(diff, options, show_all);
+      }
+      for (const std::string& name : result.only_in_baseline) {
+        std::cout << "only in baseline:  " << name << "\n";
+      }
+      for (const std::string& name : result.only_in_candidate) {
+        std::cout << "only in candidate: " << name << "\n";
+      }
+      std::cout << result.reports.size() << " report pair(s), "
+                << result.regressions << " regression(s)\n";
+      regressions = result.regressions;
+    } else {
+      const tools::DiffResult result =
+          tools::diff_reports(tools::BenchReport::load(paths[0]),
+                              tools::BenchReport::load(paths[1]), options);
+      print_diff(result, options, show_all);
+      regressions = result.regressions;
+    }
+    return regressions > 0 ? 1 : 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "plc-benchdiff: %s\n", e.what());
+    return 2;
+  }
+}

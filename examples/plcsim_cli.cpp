@@ -15,15 +15,21 @@
 // --trace-counters adds per-station BC/DC/BPC counter series),
 // --metrics=<file> writes the metric-registry snapshot, and
 // --report=<file> writes a "plc-run-report/1" JSON (see EXPERIMENTS.md).
+// --progress prints a heartbeat line to stderr every second (simulated s,
+// events/s, % complete, ETA). --profile=<file> enables the phase profiler
+// and writes its text tree; --profile-trace=<file> additionally captures
+// every phase enter/exit as a Chrome trace_event flame chart.
 // Options accept both "--key value" and "--key=value".
 //
 // Every command prints human-readable tables; `sweep --csv` emits CSV for
-// plotting. Exit code 2 on usage errors.
+// plotting. File-output narration goes through obs::Log (stderr; silence
+// with PLC_LOG=off). Exit code 2 on usage errors.
 #include <cstdint>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -32,7 +38,10 @@
 #include "util/error.hpp"
 #include "analysis/model_1901.hpp"
 #include "analysis/optimizer.hpp"
+#include "obs/log.hpp"
 #include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
+#include "obs/progress.hpp"
 #include "obs/report.hpp"
 #include "obs/trace.hpp"
 #include "sim/runner.hpp"
@@ -122,6 +131,49 @@ void write_file(const std::string& path, Fn&& fn) {
   fn(out);
 }
 
+/// --profile / --profile-trace handling, shared by sim and testbed: turn
+/// the profiler on before the run, write the requested artifacts after.
+struct ProfileOutputs {
+  std::string tree_path;   ///< --profile: text tree.
+  std::string trace_path;  ///< --profile-trace: Chrome flame chart.
+
+  bool enabled() const { return !tree_path.empty() || !trace_path.empty(); }
+
+  static ProfileOutputs from(const Args& args) {
+    ProfileOutputs outputs;
+    outputs.tree_path = args.get_string("profile", "");
+    outputs.trace_path = args.get_string("profile-trace", "");
+    if (outputs.enabled()) {
+      obs::Profiler::instance().reset();
+      if (!outputs.trace_path.empty()) {
+        obs::Profiler::instance().set_capture_events(true);
+      }
+      obs::Profiler::set_enabled(true);
+    }
+    return outputs;
+  }
+
+  void write() const {
+    if (!enabled()) return;
+    obs::Profiler::set_enabled(false);
+    if (!tree_path.empty()) {
+      write_file(tree_path, [](std::ostream& out) {
+        obs::Profiler::instance().snapshot().write_text_tree(out);
+      });
+      PLC_LOG_INFO("cli", "wrote profile tree").str("path", tree_path);
+    }
+    if (!trace_path.empty()) {
+      write_file(trace_path, [](std::ostream& out) {
+        obs::Profiler::instance().write_chrome_trace(out);
+      });
+      PLC_LOG_INFO("cli", "wrote profile trace")
+          .str("path", trace_path)
+          .num("events", static_cast<double>(
+                             obs::Profiler::instance().captured_events()));
+    }
+  }
+};
+
 int cmd_sim(const Args& args) {
   sim::RunSpec spec;
   spec.stations = args.get_int("n", 2);
@@ -144,9 +196,17 @@ int cmd_sim(const Args& args) {
     observability.trace = &trace;
     observability.trace_counter_samples = args.has("trace-counters");
   }
+  std::unique_ptr<obs::ProgressMeter> progress;
+  if (args.has("progress")) {
+    progress = std::make_unique<obs::ProgressMeter>(
+        spec.duration * static_cast<std::int64_t>(spec.repetitions));
+    observability.progress = progress.get();
+  }
+  const ProfileOutputs profile = ProfileOutputs::from(args);
 
   const obs::RunReport report =
       sim::run_point_report(spec, "plcsim-sim", observability);
+  profile.write();
   std::printf("N=%d  collision_pr=%.4f  norm_throughput=%.4f\n",
               spec.stations,
               report.scalars.at("collision_probability_mean"),
@@ -158,21 +218,22 @@ int cmd_sim(const Args& args) {
   if (!trace_path.empty()) {
     write_file(trace_path,
                [&](std::ostream& out) { trace.write_chrome_trace(out); });
-    std::printf("wrote trace (%zu events, %lld dropped) to %s\n",
-                trace.size(), static_cast<long long>(trace.dropped()),
-                trace_path.c_str());
+    PLC_LOG_INFO("cli", "wrote trace")
+        .str("path", trace_path)
+        .num("events", static_cast<double>(trace.size()))
+        .num("dropped", static_cast<double>(trace.dropped()));
   }
   const std::string metrics_path = args.get_string("metrics", "");
   if (!metrics_path.empty()) {
     write_file(metrics_path, [&](std::ostream& out) {
       registry.snapshot().write_json(out);
     });
-    std::printf("wrote metrics snapshot to %s\n", metrics_path.c_str());
+    PLC_LOG_INFO("cli", "wrote metrics snapshot").str("path", metrics_path);
   }
   const std::string report_path = args.get_string("report", "");
   if (!report_path.empty()) {
     report.save(report_path);
-    std::printf("wrote run report to %s\n", report_path.c_str());
+    PLC_LOG_INFO("cli", "wrote run report").str("path", report_path);
   }
   return 0;
 }
@@ -218,10 +279,18 @@ int cmd_testbed(const Args& args) {
   if (!trace_path.empty()) config.trace = &trace;
   const std::string report_path = args.get_string("report", "");
   const std::string metrics_path = args.get_string("metrics", "");
+  std::unique_ptr<obs::ProgressMeter> progress;
+  if (args.has("progress")) {
+    progress =
+        std::make_unique<obs::ProgressMeter>(config.warmup + config.duration);
+    config.progress = progress.get();
+  }
+  const ProfileOutputs profile = ProfileOutputs::from(args);
 
   obs::Stopwatch stopwatch;
   const tools::TestbedResult result = tools::run_saturated_testbed(config);
   const double wall_seconds = stopwatch.elapsed_seconds();
+  profile.write();
 
   util::TablePrinter table({"station", "acked (Ai)", "collided (Ci)"});
   for (std::size_t i = 0; i < result.acknowledged.size(); ++i) {
@@ -243,22 +312,24 @@ int cmd_testbed(const Args& args) {
     std::ofstream out(capture_path, std::ios::binary);
     if (!out) throw plc::Error("cannot open " + capture_path);
     tools::write_capture_file(out, result.captures);
-    std::printf("wrote %zu captures to %s\n", result.captures.size(),
-                capture_path.c_str());
+    PLC_LOG_INFO("cli", "wrote captures")
+        .str("path", capture_path)
+        .num("captures", static_cast<double>(result.captures.size()));
   }
 
   if (!trace_path.empty()) {
     write_file(trace_path,
                [&](std::ostream& out) { trace.write_chrome_trace(out); });
-    std::printf("wrote trace (%zu events, %lld dropped) to %s\n",
-                trace.size(), static_cast<long long>(trace.dropped()),
-                trace_path.c_str());
+    PLC_LOG_INFO("cli", "wrote trace")
+        .str("path", trace_path)
+        .num("events", static_cast<double>(trace.size()))
+        .num("dropped", static_cast<double>(trace.dropped()));
   }
   if (!metrics_path.empty()) {
     write_file(metrics_path, [&](std::ostream& out) {
       registry.snapshot().write_json(out);
     });
-    std::printf("wrote metrics snapshot to %s\n", metrics_path.c_str());
+    PLC_LOG_INFO("cli", "wrote metrics snapshot").str("path", metrics_path);
   }
   if (!report_path.empty()) {
     obs::RunReport report;
@@ -275,7 +346,7 @@ int cmd_testbed(const Args& args) {
     report.scalars["normalized_throughput"] =
         result.domain.normalized_throughput();
     report.save(report_path);
-    std::printf("wrote run report to %s\n", report_path.c_str());
+    PLC_LOG_INFO("cli", "wrote run report").str("path", report_path);
   }
   return 0;
 }

@@ -1,0 +1,58 @@
+#!/bin/sh
+# Perf-regression gate over the BENCH_*.json trajectory.
+#
+# Runs the (fast) bench binaries with PLC_BENCH_DIR pointed at a candidate
+# directory, then compares the candidate against the stored baseline with
+# plc-benchdiff: any gated throughput scalar dropping by more than the
+# threshold fails the script. The first run seeds the baseline and passes
+# trivially; commit the baseline directory (or stash it on CI) to gate
+# subsequent runs.
+#
+# Usage: scripts/bench_gate.sh [build-dir] [baseline-dir] [candidate-dir]
+#   build-dir      default: build
+#   baseline-dir   default: bench-baseline
+#   candidate-dir  default: bench-candidate
+#
+# Environment:
+#   PLC_BENCH_GATE_THRESHOLD   gate threshold in percent (default 5)
+#   PLC_BENCH_GATE_TARGETS     space-separated bench binaries to run
+#                              (default: a fast, headline subset)
+set -eu
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+BASELINE_DIR="${2:-bench-baseline}"
+CANDIDATE_DIR="${3:-bench-candidate}"
+THRESHOLD="${PLC_BENCH_GATE_THRESHOLD:-5}"
+# Fast subset by default: the kernel suite (items_per_second trends plus
+# the profiler-overhead budgets) and the cheap report-only benches. The
+# full table/figure reproductions take minutes each — opt in via
+# PLC_BENCH_GATE_TARGETS.
+TARGETS="${PLC_BENCH_GATE_TARGETS:-bench_table1_parameters bench_figure1_trace bench_table3_interface bench_kernel_microbench}"
+
+if [ ! -d "$BUILD_DIR" ]; then
+  echo "bench_gate: build directory '$BUILD_DIR' not found" >&2
+  echo "bench_gate: run: cmake -B $BUILD_DIR -S . && cmake --build $BUILD_DIR -j" >&2
+  exit 2
+fi
+
+rm -rf "$CANDIDATE_DIR"
+mkdir -p "$CANDIDATE_DIR"
+for target in $TARGETS; do
+  bin="$BUILD_DIR/bench/$target"
+  if [ ! -x "$bin" ]; then
+    echo "bench_gate: missing bench binary $bin (build first)" >&2
+    exit 2
+  fi
+  echo "bench_gate: running $target"
+  PLC_BENCH_DIR="$CANDIDATE_DIR" "$bin" > /dev/null
+done
+
+if [ ! -d "$BASELINE_DIR" ]; then
+  echo "bench_gate: no baseline at '$BASELINE_DIR' — seeding it from this run"
+  cp -r "$CANDIDATE_DIR" "$BASELINE_DIR"
+  exit 0
+fi
+
+"$BUILD_DIR/examples/plc-benchdiff" --threshold-pct "$THRESHOLD" \
+    "$BASELINE_DIR" "$CANDIDATE_DIR"

@@ -1,7 +1,9 @@
 #include "des/scheduler.hpp"
 
+#include <algorithm>
 #include <utility>
 
+#include "obs/profiler.hpp"
 #include "util/error.hpp"
 
 namespace plc::des {
@@ -40,6 +42,21 @@ void Scheduler::purge_cancelled() {
   }
 }
 
+void Scheduler::add_observer(SchedulerObserver* observer) {
+  util::require(observer != nullptr,
+                "Scheduler::add_observer: observer must not be null");
+  if (std::find(observers_.begin(), observers_.end(), observer) ==
+      observers_.end()) {
+    observers_.push_back(observer);
+  }
+}
+
+void Scheduler::remove_observer(SchedulerObserver* observer) {
+  observers_.erase(
+      std::remove(observers_.begin(), observers_.end(), observer),
+      observers_.end());
+}
+
 bool Scheduler::step() {
   purge_cancelled();
   if (queue_.empty()) return false;
@@ -50,14 +67,18 @@ bool Scheduler::step() {
   callbacks_.erase(it);
   now_ = entry.when;
   ++dispatched_;
-  if (observer_ != nullptr) {
-    observer_->on_event_dispatched(now_, dispatched_, pending());
+  if (!observers_.empty()) {
+    const std::size_t pending_now = pending();
+    for (SchedulerObserver* observer : observers_) {
+      observer->on_event_dispatched(now_, dispatched_, pending_now);
+    }
   }
   callback();
   return true;
 }
 
 void Scheduler::run_until(SimTime horizon) {
+  PROF_SCOPE("des.run_until");
   for (;;) {
     purge_cancelled();
     if (queue_.empty() || queue_.top().when > horizon) break;

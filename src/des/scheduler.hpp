@@ -28,9 +28,11 @@ class EventHandle {
   std::uint64_t id_ = 0;
 };
 
-/// Passive tap on the scheduler's dispatch loop (metrics and tracing;
-/// see obs::SchedulerMetrics). Installed non-owning: the observer must
-/// outlive the scheduler or detach itself via set_observer(nullptr).
+/// Passive tap on the scheduler's dispatch loop (metrics, tracing,
+/// progress heartbeats; see obs::SchedulerMetrics, obs::ProgressMeter).
+/// Installed non-owning via add_observer: the observer must outlive the
+/// scheduler or detach itself via remove_observer. Observers fire in
+/// registration order.
 class SchedulerObserver {
  public:
   virtual ~SchedulerObserver() = default;
@@ -75,9 +77,12 @@ class Scheduler {
   /// until they are lazily discarded).
   std::size_t pending() const { return queue_.size() - cancelled_pending_; }
 
-  /// Installs (or, with nullptr, removes) the dispatch-loop observer.
-  void set_observer(SchedulerObserver* observer) { observer_ = observer; }
-  SchedulerObserver* observer() const { return observer_; }
+  /// Registers a dispatch-loop observer (non-owning; no-op when already
+  /// registered).
+  void add_observer(SchedulerObserver* observer);
+  /// Removes a registered observer; no-op when absent.
+  void remove_observer(SchedulerObserver* observer);
+  std::size_t observer_count() const { return observers_.size(); }
 
  private:
   struct Entry {
@@ -98,7 +103,7 @@ class Scheduler {
   std::uint64_t next_id_ = 1;
   std::int64_t dispatched_ = 0;
   std::size_t cancelled_pending_ = 0;
-  SchedulerObserver* observer_ = nullptr;
+  std::vector<SchedulerObserver*> observers_;
 
   /// Discards cancelled entries sitting at the top of the queue so that
   /// queue_.top() always refers to a live event.

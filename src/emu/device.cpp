@@ -8,6 +8,7 @@
 #include "mme/ampstat.hpp"
 #include "mme/sniffer.hpp"
 #include "mme/tonemap_update.hpp"
+#include "obs/profiler.hpp"
 #include "util/error.hpp"
 
 namespace plc::emu {
@@ -177,6 +178,7 @@ void HpavDevice::enqueue_for_wire(const frames::EthernetFrame& frame,
 }
 
 void HpavDevice::handle_local_mme(const mme::Mme& mme) {
+  PROF_SCOPE("emu.handle_mme");
   if (const auto request = mme::AmpStatRequest::from_mme(mme)) {
     if (request->action == mme::StatAction::kReset) {
       counters_.reset_all();

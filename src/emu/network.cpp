@@ -2,6 +2,8 @@
 
 #include <string>
 
+#include "obs/log.hpp"
+#include "obs/profiler.hpp"
 #include "util/error.hpp"
 
 namespace plc::emu {
@@ -69,9 +71,13 @@ void Network::start() {
     channel->start(scheduler_);
   }
   domain_.start();
+  PLC_LOG_DEBUG("emu", "network started")
+      .num("devices", device_count())
+      .num("link_channels", static_cast<double>(channels_.size()));
 }
 
 void Network::run_for(des::SimTime duration) {
+  PROF_SCOPE("emu.run_for");
   util::require(started_, "Network::run_for: call start() first");
   scheduler_.run_until(scheduler_.now() + duration);
 }

@@ -4,6 +4,7 @@
 #include <string>
 #include <utility>
 
+#include "obs/profiler.hpp"
 #include "util/error.hpp"
 
 namespace plc::medium {
@@ -152,6 +153,7 @@ void ContentionDomain::emit_record(MediumEventRecord record) {
 }
 
 void ContentionDomain::slot_boundary() {
+  PROF_SCOPE("medium.slot_boundary");
   // Determine the backlogged set and the winning priority (the logical
   // outcome of the priority-resolution busy tones).
   frames::Priority winning = frames::Priority::kCa0;
@@ -307,6 +309,7 @@ void ContentionDomain::slot_boundary() {
 
 void ContentionDomain::finish_exchange(std::vector<int> transmitter_ids,
                                        bool success) {
+  PROF_SCOPE("medium.finish_exchange");
   for (const int id : transmitter_ids) {
     participants_[static_cast<std::size_t>(id)]->on_transmission_complete(
         success);

@@ -1,0 +1,174 @@
+#include "obs/log.hpp"
+
+#include <cctype>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <ostream>
+
+#include "obs/json.hpp"
+#include "util/strings.hpp"
+
+namespace plc::obs {
+
+std::string_view to_string(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace: return "trace";
+    case LogLevel::kDebug: return "debug";
+    case LogLevel::kInfo: return "info";
+    case LogLevel::kWarn: return "warn";
+    case LogLevel::kError: return "error";
+    case LogLevel::kOff: return "off";
+  }
+  return "unknown";
+}
+
+LogLevel parse_log_level(std::string_view text, LogLevel fallback) {
+  std::string lower;
+  lower.reserve(text.size());
+  for (const char c : text) {
+    lower.push_back(static_cast<char>(
+        std::tolower(static_cast<unsigned char>(c))));
+  }
+  for (const LogLevel level :
+       {LogLevel::kTrace, LogLevel::kDebug, LogLevel::kInfo, LogLevel::kWarn,
+        LogLevel::kError, LogLevel::kOff}) {
+    if (lower == to_string(level)) return level;
+  }
+  return fallback;
+}
+
+void LogRecord::add_number(const char* key, double value) {
+  if (field_count >= kMaxFields) return;
+  keys[field_count] = key;
+  values[field_count].kind = LogValue::Kind::kNumber;
+  values[field_count].number = value;
+  ++field_count;
+}
+
+void LogRecord::add_text(const char* key, std::string_view value) {
+  if (field_count >= kMaxFields) return;
+  keys[field_count] = key;
+  LogValue& slot = values[field_count];
+  slot.kind = LogValue::Kind::kText;
+  const std::size_t length =
+      value.size() < LogValue::kTextCapacity ? value.size()
+                                             : LogValue::kTextCapacity;
+  std::memcpy(slot.text, value.data(), length);
+  slot.text[length] = '\0';
+  ++field_count;
+}
+
+Log::Log(LogLevel level, std::ostream* text_sink, std::size_t ring_capacity)
+    : level_(level), text_sink_(text_sink), capacity_(ring_capacity) {
+  ring_.reserve(capacity_ < 64 ? capacity_ : 64);
+}
+
+Log& Log::instance() {
+  static Log log = [] {
+    LogLevel level = LogLevel::kInfo;
+    if (const char* env = std::getenv("PLC_LOG")) {
+      level = parse_log_level(env, level);
+    }
+    return Log(level, &std::cerr, 4096);
+  }();
+  return log;
+}
+
+void Log::set_ring_capacity(std::size_t capacity) {
+  capacity_ = capacity;
+  ring_.clear();
+  head_ = 0;
+  size_ = 0;
+}
+
+void Log::clear() {
+  ring_.clear();
+  head_ = 0;
+  size_ = 0;
+  recorded_ = 0;
+}
+
+void Log::write(LogRecord record) {
+  record.wall_seconds = stopwatch_.elapsed_seconds();
+  if (capacity_ > 0) {
+    if (ring_.size() < capacity_) {
+      ring_.push_back(record);
+    } else {
+      ring_[head_] = record;
+    }
+    head_ = (head_ + 1) % capacity_;
+    size_ = ring_.size();
+  }
+  ++recorded_;
+  if (text_sink_ != nullptr) {
+    format_text(*text_sink_, record);
+  }
+}
+
+std::vector<LogRecord> Log::records() const {
+  std::vector<LogRecord> out;
+  out.reserve(size_);
+  const std::size_t start = size_ < capacity_ ? 0 : head_;
+  for (std::size_t i = 0; i < size_; ++i) {
+    out.push_back(ring_[(start + i) % ring_.size()]);
+  }
+  return out;
+}
+
+void Log::format_text(std::ostream& out, const LogRecord& record) {
+  std::string line = "[";
+  line += to_string(record.level);
+  line.resize(6, ' ');  // "[info " — fixed-width level column.
+  line += "] +";
+  line += util::format_fixed(record.wall_seconds, 3);
+  line += "s ";
+  if (record.sim_ns >= 0) {
+    line += "sim=";
+    line += des::SimTime::from_ns(record.sim_ns).to_string();
+    line += " ";
+  }
+  line += record.component;
+  line += ": ";
+  line += record.message;
+  for (int i = 0; i < record.field_count; ++i) {
+    line += " ";
+    line += record.keys[i];
+    line += "=";
+    if (record.values[i].kind == LogValue::Kind::kNumber) {
+      line += util::format_double(record.values[i].number);
+    } else {
+      line += record.values[i].text;
+    }
+  }
+  line += "\n";
+  out << line << std::flush;
+}
+
+void Log::write_jsonl(std::ostream& out) const {
+  for (const LogRecord& record : records()) {
+    JsonWriter json(out);
+    json.begin_object()
+        .field("level", to_string(record.level))
+        .field("wall_seconds", record.wall_seconds);
+    if (record.sim_ns >= 0) json.field("sim_ns", record.sim_ns);
+    json.field("component", record.component)
+        .field("message", record.message);
+    if (record.field_count > 0) {
+      json.key("fields").begin_object();
+      for (int i = 0; i < record.field_count; ++i) {
+        if (record.values[i].kind == LogValue::Kind::kNumber) {
+          json.field(record.keys[i], record.values[i].number);
+        } else {
+          json.field(record.keys[i],
+                     std::string_view(record.values[i].text));
+        }
+      }
+      json.end_object();
+    }
+    json.end_object();
+    out << '\n';
+  }
+}
+
+}  // namespace plc::obs

@@ -1,0 +1,183 @@
+// Leveled, structured, allocation-free logging for the simulator stack.
+//
+// A log record is a fixed-size POD: level, static component and message
+// strings, a wall-clock stamp, an optional simulated-time stamp, and up
+// to kMaxFields key=value fields (numbers, or short strings copied into
+// an inline buffer). Records below the active level cost one comparison.
+// Accepted records go to the bounded in-memory ring (oldest overwritten,
+// dumpable as JSONL) and, when a text sink is installed, are formatted as
+// one "[level] +wall component: message key=value ..." line.
+//
+// The process-global logger (obs::log() / the PLC_LOG_* macros) reads its
+// initial level from the PLC_LOG environment variable
+// (trace|debug|info|warn|error|off; default info) and writes text to
+// stderr, keeping stdout clean for the harnesses' tables and CSV.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string_view>
+#include <vector>
+
+#include "des/time.hpp"
+#include "obs/report.hpp"
+
+namespace plc::obs {
+
+enum class LogLevel : std::uint8_t {
+  kTrace = 0,
+  kDebug = 1,
+  kInfo = 2,
+  kWarn = 3,
+  kError = 4,
+  kOff = 5,
+};
+
+std::string_view to_string(LogLevel level);
+
+/// Parses "debug", "WARN", ... (case-insensitive); `fallback` on no match.
+LogLevel parse_log_level(std::string_view text, LogLevel fallback);
+
+/// One structured field value: a double or a short inline string.
+struct LogValue {
+  enum class Kind : std::uint8_t { kNumber = 0, kText = 1 };
+  static constexpr std::size_t kTextCapacity = 47;
+
+  Kind kind = Kind::kNumber;
+  double number = 0.0;
+  char text[kTextCapacity + 1] = {};  ///< NUL-terminated, truncating.
+};
+
+/// One log record. `component`, `message` and field keys must be static
+/// strings (string literals); everything else is stored inline.
+struct LogRecord {
+  static constexpr int kMaxFields = 6;
+
+  LogLevel level = LogLevel::kInfo;
+  const char* component = "";
+  const char* message = "";
+  /// Wall seconds since the owning logger was constructed (stamped by
+  /// Log::write).
+  double wall_seconds = 0.0;
+  /// Simulated time in ns; negative when the record carries none.
+  std::int64_t sim_ns = -1;
+  const char* keys[kMaxFields] = {};
+  LogValue values[kMaxFields];
+  int field_count = 0;
+
+  /// Appends a numeric field (ignored beyond kMaxFields).
+  void add_number(const char* key, double value);
+  /// Appends a string field, truncated to LogValue::kTextCapacity.
+  void add_text(const char* key, std::string_view value);
+};
+
+/// A leveled logger with a bounded record ring. Thread-compatible (the
+/// simulator stack is single-threaded); the global instance is created
+/// on first use.
+class Log {
+ public:
+  static constexpr std::size_t kDefaultRingCapacity = 1024;
+
+  explicit Log(LogLevel level = LogLevel::kInfo,
+               std::ostream* text_sink = nullptr,
+               std::size_t ring_capacity = kDefaultRingCapacity);
+
+  /// The process-global logger (level from PLC_LOG, text to stderr).
+  static Log& instance();
+
+  void set_level(LogLevel level) { level_ = level; }
+  LogLevel level() const { return level_; }
+  bool enabled(LogLevel level) const { return level >= level_; }
+
+  /// Installs (or with nullptr removes) the text sink.
+  void set_text_sink(std::ostream* out) { text_sink_ = out; }
+
+  /// Resizes the ring (drops retained records).
+  void set_ring_capacity(std::size_t capacity);
+
+  /// Stamps `record` (wall time) and commits it: ring + text sink. The
+  /// level filter is the caller's job (see the PLC_LOG_* macros).
+  void write(LogRecord record);
+
+  std::size_t size() const { return size_; }
+  std::size_t capacity() const { return capacity_; }
+  std::int64_t recorded() const { return recorded_; }
+  std::int64_t dropped() const {
+    return recorded_ - static_cast<std::int64_t>(size_);
+  }
+  void clear();
+
+  /// Retained records, oldest first.
+  std::vector<LogRecord> records() const;
+
+  /// One JSON object per retained record, one per line.
+  void write_jsonl(std::ostream& out) const;
+
+  /// Text rendering of one record ("[info ] +1.203s comp: msg k=v ...").
+  static void format_text(std::ostream& out, const LogRecord& record);
+
+ private:
+  LogLevel level_;
+  std::ostream* text_sink_;
+  Stopwatch stopwatch_;
+  std::vector<LogRecord> ring_;
+  std::size_t capacity_;
+  std::size_t head_ = 0;
+  std::size_t size_ = 0;
+  std::int64_t recorded_ = 0;
+};
+
+/// Fluent builder used by the PLC_LOG_* macros: fields chain onto the
+/// record and the destructor commits it (a dead event is a no-op).
+class LogEvent {
+ public:
+  LogEvent(Log& log, LogLevel level, const char* component,
+           const char* message)
+      : log_(log), live_(log.enabled(level)) {
+    if (live_) {
+      record_.level = level;
+      record_.component = component;
+      record_.message = message;
+    }
+  }
+  ~LogEvent() {
+    if (live_) log_.write(record_);
+  }
+  LogEvent(const LogEvent&) = delete;
+  LogEvent& operator=(const LogEvent&) = delete;
+
+  LogEvent& num(const char* key, double value) {
+    if (live_) record_.add_number(key, value);
+    return *this;
+  }
+  LogEvent& str(const char* key, std::string_view value) {
+    if (live_) record_.add_text(key, value);
+    return *this;
+  }
+  LogEvent& sim(des::SimTime when) {
+    if (live_) record_.sim_ns = when.ns();
+    return *this;
+  }
+
+ private:
+  Log& log_;
+  bool live_;
+  LogRecord record_;
+};
+
+/// The global logger (shorthand for Log::instance()).
+inline Log& log() { return Log::instance(); }
+
+}  // namespace plc::obs
+
+#define PLC_LOG_AT(level, component, message)                      \
+  ::plc::obs::LogEvent(::plc::obs::Log::instance(), level,         \
+                       component, message)
+#define PLC_LOG_DEBUG(component, message) \
+  PLC_LOG_AT(::plc::obs::LogLevel::kDebug, component, message)
+#define PLC_LOG_INFO(component, message) \
+  PLC_LOG_AT(::plc::obs::LogLevel::kInfo, component, message)
+#define PLC_LOG_WARN(component, message) \
+  PLC_LOG_AT(::plc::obs::LogLevel::kWarn, component, message)
+#define PLC_LOG_ERROR(component, message) \
+  PLC_LOG_AT(::plc::obs::LogLevel::kError, component, message)

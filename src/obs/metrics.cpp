@@ -177,11 +177,11 @@ SchedulerMetrics::SchedulerMetrics(des::Scheduler& scheduler,
     : scheduler_(scheduler),
       dispatched_(&registry.counter("des.events_dispatched")),
       pending_high_water_(&registry.gauge("des.pending_high_water")) {
-  scheduler_.set_observer(this);
+  scheduler_.add_observer(this);
 }
 
 SchedulerMetrics::~SchedulerMetrics() {
-  if (scheduler_.observer() == this) scheduler_.set_observer(nullptr);
+  scheduler_.remove_observer(this);
 }
 
 void SchedulerMetrics::on_event_dispatched(des::SimTime /*when*/,

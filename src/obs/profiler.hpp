@@ -1,0 +1,157 @@
+// Hierarchical phase profiler: where does the wall time go inside a run?
+//
+// Producers mark phases with the RAII PROF_SCOPE("name") macro; nested
+// scopes form a tree (per thread, merged by path at snapshot time), and
+// every node accumulates call count, total time, min/max, and — derived
+// at snapshot time — self time (total minus the children's totals). The
+// profiler is process-global and disabled by default: a scope then costs
+// one relaxed atomic load and a branch, and compiling with
+// -DPLC_PROFILER_DISABLED removes the scopes entirely. Set the PLC_PROFILE
+// environment variable (any non-empty value) or call
+// Profiler::set_enabled(true) to turn it on.
+//
+// Outputs:
+//   - ProfileSnapshot::write_text_tree: an indented text tree
+//     (calls / total / self / mean / min / max per phase);
+//   - ProfileSnapshot::write_into: the "profile" section of a RunReport;
+//   - Profiler::write_chrome_trace: per-invocation "X"-phase events in the
+//     Chrome trace_event format (enable capture first), so Perfetto shows
+//     the phase flame chart next to the per-station TraceSink tracks.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace plc::obs {
+
+class JsonWriter;
+
+/// Aggregated statistics of one phase node (one path in the scope tree).
+struct ProfileNodeStats {
+  /// Slash-joined path from the root, e.g. "testbed.run/des.run_until".
+  std::string path;
+  /// The leaf name (the PROF_SCOPE argument).
+  std::string name;
+  int depth = 0;  ///< Root-level scopes have depth 0.
+  std::int64_t calls = 0;
+  std::int64_t total_ns = 0;
+  std::int64_t self_ns = 0;  ///< total_ns minus the children's total_ns.
+  std::int64_t min_ns = 0;
+  std::int64_t max_ns = 0;
+
+  double mean_ns() const {
+    return calls > 0 ? static_cast<double>(total_ns) /
+                           static_cast<double>(calls)
+                     : 0.0;
+  }
+};
+
+/// A point-in-time aggregate of the profiler's scope tree, depth-first
+/// (parents precede children), merged across threads by path.
+class ProfileSnapshot {
+ public:
+  const std::vector<ProfileNodeStats>& nodes() const { return nodes_; }
+  bool empty() const { return nodes_.empty(); }
+
+  /// Finds a node by its full slash-joined path; nullptr when absent.
+  const ProfileNodeStats* find(std::string_view path) const;
+
+  /// Indented text tree, one line per phase.
+  void write_text_tree(std::ostream& out) const;
+
+  /// Emits the snapshot as a JSON array of node objects (the "profile"
+  /// section of a run report).
+  void write_into(JsonWriter& json) const;
+  void write_json(std::ostream& out) const;
+
+ private:
+  friend class Profiler;
+  std::vector<ProfileNodeStats> nodes_;
+};
+
+/// The process-global profiler. Scopes are recorded through PROF_SCOPE;
+/// everything else (enable/reset/snapshot/export) happens off the hot
+/// path.
+class Profiler {
+ public:
+  static Profiler& instance();
+
+  /// Cheap global switch, readable from any thread. Scopes opened while
+  /// disabled record nothing (including their close).
+  static void set_enabled(bool enabled) {
+    enabled_.store(enabled, std::memory_order_relaxed);
+  }
+  static bool enabled() {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  /// Also record every scope invocation into a bounded ring (oldest
+  /// overwritten) for the Chrome trace exporter. Off by default.
+  void set_capture_events(bool capture,
+                          std::size_t capacity = kDefaultEventCapacity);
+
+  /// Drops all recorded nodes and captured events (keeps enabled state).
+  /// Must not be called while any PROF_SCOPE is open.
+  void reset();
+
+  /// Aggregated tree, merged across threads by path.
+  ProfileSnapshot snapshot() const;
+
+  /// Chrome trace_event JSON array of the captured scope invocations
+  /// ("X" phases, pid "profiler", one tid per thread, wall-clock
+  /// microsecond timestamps since the last reset).
+  void write_chrome_trace(std::ostream& out) const;
+
+  std::int64_t captured_events() const;
+  std::int64_t dropped_events() const;
+
+  static constexpr std::size_t kDefaultEventCapacity = 1 << 16;
+
+  // Internal hot-path hooks used by ProfileScope (opaque handle in/out).
+  static void* enter(const char* name, std::int64_t* start_ns);
+  static void exit(void* node, std::int64_t start_ns);
+
+ private:
+  Profiler();
+  ~Profiler();
+  Profiler(const Profiler&) = delete;
+  Profiler& operator=(const Profiler&) = delete;
+
+  struct Impl;
+  Impl* impl_;
+
+  static std::atomic<bool> enabled_;
+};
+
+/// RAII scope marker. Use through PROF_SCOPE; `name` must be a string
+/// literal (the profiler stores the pointer).
+class ProfileScope {
+ public:
+  explicit ProfileScope(const char* name) {
+    if (Profiler::enabled()) node_ = Profiler::enter(name, &start_ns_);
+  }
+  ~ProfileScope() {
+    if (node_ != nullptr) Profiler::exit(node_, start_ns_);
+  }
+  ProfileScope(const ProfileScope&) = delete;
+  ProfileScope& operator=(const ProfileScope&) = delete;
+
+ private:
+  void* node_ = nullptr;
+  std::int64_t start_ns_ = 0;
+};
+
+}  // namespace plc::obs
+
+#if defined(PLC_PROFILER_DISABLED)
+#define PROF_SCOPE(name)
+#else
+#define PROF_SCOPE_CONCAT_INNER(a, b) a##b
+#define PROF_SCOPE_CONCAT(a, b) PROF_SCOPE_CONCAT_INNER(a, b)
+#define PROF_SCOPE(name) \
+  ::plc::obs::ProfileScope PROF_SCOPE_CONCAT(plc_prof_scope_, __COUNTER__)(name)
+#endif

@@ -1,0 +1,80 @@
+#include "obs/progress.hpp"
+
+#include <iostream>
+#include <ostream>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace plc::obs {
+
+ProgressMeter::ProgressMeter(des::SimTime goal)
+    : ProgressMeter(goal, Options{}) {}
+
+ProgressMeter::ProgressMeter(des::SimTime goal, Options options)
+    : goal_(goal), options_(options) {
+  util::check_arg(goal > des::SimTime::zero(), "goal", "must be positive");
+}
+
+void ProgressMeter::on_event_dispatched(des::SimTime when,
+                                        std::int64_t dispatched,
+                                        std::size_t /*pending*/) {
+  sample(when, dispatched);
+}
+
+void ProgressMeter::sample(des::SimTime now, std::int64_t events) {
+  if (--check_countdown_ > 0) return;
+  check_countdown_ = kCheckEvery;
+  const double elapsed = stopwatch_.elapsed_seconds();
+  if (elapsed - last_report_seconds_ < options_.interval_wall_seconds) {
+    return;
+  }
+  last_report_seconds_ = elapsed;
+  report(now, events, /*final_line=*/false);
+}
+
+void ProgressMeter::finish(des::SimTime now, std::int64_t events) {
+  report(now, events, /*final_line=*/true);
+}
+
+void ProgressMeter::report(des::SimTime now, std::int64_t events,
+                           bool final_line) {
+  std::ostream& out = options_.out != nullptr ? *options_.out : std::cerr;
+  const double elapsed = stopwatch_.elapsed_seconds();
+  const double fraction =
+      final_line ? 1.0
+                 : static_cast<double>(now.ns()) /
+                       static_cast<double>(goal_.ns());
+  const double events_per_second =
+      elapsed > 0.0 ? static_cast<double>(events) / elapsed : 0.0;
+
+  std::string line = options_.label;
+  line += ": ";
+  line += util::format_fixed(now.seconds(), 1);
+  line += "/";
+  line += util::format_fixed(goal_.seconds(), 1);
+  line += " sim-s (";
+  line += util::format_fixed(100.0 * fraction, 1);
+  line += "%)  ";
+  if (events_per_second >= 1e6) {
+    line += util::format_fixed(events_per_second / 1e6, 2);
+    line += "M ev/s";
+  } else {
+    line += util::format_fixed(events_per_second / 1e3, 1);
+    line += "k ev/s";
+  }
+  if (!final_line && fraction > 0.0) {
+    line += "  ETA ";
+    line += util::format_fixed(elapsed / fraction - elapsed, 1);
+    line += "s";
+  } else if (final_line) {
+    line += "  done in ";
+    line += util::format_fixed(elapsed, 1);
+    line += "s";
+  }
+  line += "\n";
+  out << line << std::flush;
+  ++lines_printed_;
+}
+
+}  // namespace plc::obs

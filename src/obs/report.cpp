@@ -25,6 +25,8 @@ void RunReport::write_json(std::ostream& out) const {
   json.end_object();
   json.key("metrics");
   metrics.write_into(json);
+  json.key("profile");
+  profile.write_into(json);
   json.end_object();
   out << '\n';
 }

@@ -16,6 +16,7 @@
 #include <string>
 
 #include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
 
 namespace plc::obs {
 
@@ -50,6 +51,8 @@ struct RunReport {
   std::map<std::string, double> scalars;
   /// Metric snapshot of the run (possibly merged over repetitions).
   Snapshot metrics;
+  /// Phase-profiler aggregate of the run (empty when profiling was off).
+  ProfileSnapshot profile;
 
   double events_per_second() const {
     return wall_seconds > 0.0 ? static_cast<double>(events) / wall_seconds

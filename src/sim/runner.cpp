@@ -3,6 +3,8 @@
 #include <string>
 
 #include "des/random.hpp"
+#include "obs/log.hpp"
+#include "obs/profiler.hpp"
 #include "util/error.hpp"
 #include "util/math.hpp"
 
@@ -28,9 +30,12 @@ RunSummary run_point(const RunSpec& spec) {
 }
 
 RunSummary run_point(const RunSpec& spec, const RunObservability& obs) {
+  PROF_SCOPE("sim.run_point");
   util::check_arg(spec.repetitions >= 1, "repetitions", "must be >= 1");
   RunSummary summary;
+  std::int64_t progress_events = 0;
   for (int rep = 0; rep < spec.repetitions; ++rep) {
+    PROF_SCOPE("sim.repetition");
     SlotSimulator simulator = make_simulator(spec, rep);
     if (obs.registry != nullptr) {
       // One registry across every repetition: counters and histograms
@@ -39,6 +44,14 @@ RunSummary run_point(const RunSpec& spec, const RunObservability& obs) {
     }
     if (obs.trace != nullptr && rep == 0) {
       simulator.set_trace(obs.trace, obs.trace_counter_samples);
+    }
+    if (obs.progress != nullptr) {
+      // Cumulative sim time across repetitions; the meter's modulo check
+      // keeps the per-event cost at a decrement and branch.
+      simulator.set_observer(
+          [&, base = summary.simulated](const SlotEvent& event) {
+            obs.progress->sample(base + event.start, ++progress_events);
+          });
     }
     const SlotSimResults results = simulator.run(spec.duration);
     summary.medium_events +=
@@ -53,6 +66,9 @@ RunSummary run_point(const RunSpec& spec, const RunObservability& obs) {
       shares.push_back(static_cast<double>(s));
     }
     summary.jain_index.add(util::jain_index(shares));
+  }
+  if (obs.progress != nullptr) {
+    obs.progress->finish(summary.simulated, progress_events);
   }
   return summary;
 }
@@ -83,6 +99,14 @@ obs::RunReport run_point_report(const RunSpec& spec, std::string name,
       summary.normalized_throughput.stddev();
   report.scalars["jain_index_mean"] = summary.jain_index.mean();
   report.metrics = effective.registry->snapshot();
+  if (obs::Profiler::enabled()) {
+    report.profile = obs::Profiler::instance().snapshot();
+  }
+  PLC_LOG_DEBUG("sim", "run_point complete")
+      .num("stations", spec.stations)
+      .num("repetitions", spec.repetitions)
+      .num("medium_events", static_cast<double>(summary.medium_events))
+      .num("wall_seconds", report.wall_seconds);
   return report;
 }
 

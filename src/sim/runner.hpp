@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "mac/config.hpp"
+#include "obs/progress.hpp"
 #include "obs/report.hpp"
 #include "sim/slot_simulator.hpp"
 #include "util/stats.hpp"
@@ -59,6 +60,10 @@ struct RunObservability {
   obs::TraceSink* trace = nullptr;
   /// Also sample per-station BC/DC/BPC counter series into the trace.
   bool trace_counter_samples = false;
+  /// Heartbeat for long sweeps: fed the cumulative simulated time and
+  /// medium-event count across all repetitions (construct the meter with
+  /// goal = duration * repetitions). finish() fires when the point ends.
+  obs::ProgressMeter* progress = nullptr;
 };
 
 /// Runs one sweep point.

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "dcf/dcf.hpp"
+#include "obs/profiler.hpp"
 #include "util/error.hpp"
 
 namespace plc::sim {
@@ -192,6 +193,7 @@ SlotEventType SlotSimulator::step() {
 }
 
 SlotSimResults SlotSimulator::run(des::SimTime duration) {
+  PROF_SCOPE("slot_sim.run");
   util::check_arg(duration > des::SimTime::zero(), "duration",
                   "must be positive");
   const des::SimTime end = now_ + duration;
@@ -203,6 +205,7 @@ SlotSimResults SlotSimulator::run(des::SimTime duration) {
 }
 
 SlotSimResults SlotSimulator::run_events(std::int64_t max_events) {
+  PROF_SCOPE("slot_sim.run_events");
   util::check_arg(max_events > 0, "max_events", "must be positive");
   for (std::int64_t i = 0; i < max_events; ++i) {
     step();

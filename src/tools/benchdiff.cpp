@@ -1,0 +1,375 @@
+#include "tools/benchdiff.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace plc::tools {
+
+namespace {
+
+/// Recursive-descent JSON parser. The grammar is full JSON; the only
+/// liberty taken is that numbers are parsed with strtod (accepting a
+/// superset like "1e999" -> inf, which the writer never emits).
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  JsonValue parse_document() {
+    JsonValue value = parse_value();
+    skip_whitespace();
+    util::require(pos_ == text_.size(),
+                  "parse_json: trailing characters after document");
+    return value;
+  }
+
+ private:
+  JsonValue parse_value() {
+    skip_whitespace();
+    util::require(pos_ < text_.size(), "parse_json: unexpected end of input");
+    const char c = text_[pos_];
+    switch (c) {
+      case '{':
+        return parse_object();
+      case '[':
+        return parse_array();
+      case '"': {
+        JsonValue value;
+        value.kind = JsonValue::Kind::kString;
+        value.text = parse_string();
+        return value;
+      }
+      case 't':
+      case 'f': {
+        JsonValue value;
+        value.kind = JsonValue::Kind::kBool;
+        value.boolean = c == 't';
+        expect_literal(c == 't' ? "true" : "false");
+        return value;
+      }
+      case 'n':
+        expect_literal("null");
+        return JsonValue{};
+      default:
+        return parse_number();
+    }
+  }
+
+  JsonValue parse_object() {
+    JsonValue value;
+    value.kind = JsonValue::Kind::kObject;
+    ++pos_;  // '{'
+    skip_whitespace();
+    if (peek() == '}') {
+      ++pos_;
+      return value;
+    }
+    while (true) {
+      skip_whitespace();
+      std::string key = parse_string();
+      skip_whitespace();
+      util::require(peek() == ':', "parse_json: expected ':' in object");
+      ++pos_;
+      value.members.emplace_back(std::move(key), parse_value());
+      skip_whitespace();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      util::require(peek() == '}', "parse_json: expected ',' or '}'");
+      ++pos_;
+      return value;
+    }
+  }
+
+  JsonValue parse_array() {
+    JsonValue value;
+    value.kind = JsonValue::Kind::kArray;
+    ++pos_;  // '['
+    skip_whitespace();
+    if (peek() == ']') {
+      ++pos_;
+      return value;
+    }
+    while (true) {
+      value.items.push_back(parse_value());
+      skip_whitespace();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      util::require(peek() == ']', "parse_json: expected ',' or ']'");
+      ++pos_;
+      return value;
+    }
+  }
+
+  std::string parse_string() {
+    util::require(peek() == '"', "parse_json: expected string");
+    ++pos_;
+    std::string out;
+    while (true) {
+      util::require(pos_ < text_.size(),
+                    "parse_json: unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      util::require(pos_ < text_.size(),
+                    "parse_json: unterminated escape");
+      const char escape = text_[pos_++];
+      switch (escape) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          util::require(pos_ + 4 <= text_.size(),
+                        "parse_json: truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code |= static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              util::require(false, "parse_json: bad \\u escape digit");
+            }
+          }
+          // UTF-8 encode the code point (surrogate pairs are not
+          // recombined — the writer only emits \u00XX control escapes).
+          if (code < 0x80) {
+            out.push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          } else {
+            out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+            out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          }
+          break;
+        }
+        default:
+          util::require(false, "parse_json: unknown escape");
+      }
+    }
+  }
+
+  JsonValue parse_number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    util::require(pos_ > start, "parse_json: expected a value");
+    const std::string token(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    const double parsed = std::strtod(token.c_str(), &end);
+    util::require(end == token.c_str() + token.size(),
+                  "parse_json: malformed number '" + token + "'");
+    JsonValue value;
+    value.kind = JsonValue::Kind::kNumber;
+    value.number = parsed;
+    return value;
+  }
+
+  void expect_literal(std::string_view literal) {
+    util::require(text_.substr(pos_, literal.size()) == literal,
+                  "parse_json: malformed literal");
+    pos_ += literal.size();
+  }
+
+  void skip_whitespace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+            text_[pos_] == '\n' || text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  char peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+bool matches_any(const std::string& key,
+                 const std::vector<std::string>& patterns) {
+  for (const std::string& pattern : patterns) {
+    if (!pattern.empty() && key.find(pattern) != std::string::npos) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+const JsonValue* JsonValue::find(std::string_view key) const {
+  if (kind != Kind::kObject) return nullptr;
+  for (const auto& [name, value] : members) {
+    if (name == key) return &value;
+  }
+  return nullptr;
+}
+
+JsonValue parse_json(std::string_view text) {
+  return JsonParser(text).parse_document();
+}
+
+BenchReport BenchReport::parse(std::string_view json_text) {
+  const JsonValue root = parse_json(json_text);
+  util::require(root.is_object(),
+                "BenchReport: document is not a JSON object");
+  BenchReport report;
+  if (const JsonValue* name = root.find("name");
+      name != nullptr && name->kind == JsonValue::Kind::kString) {
+    report.name = name->text;
+  }
+  for (const auto& [key, value] : root.members) {
+    if (value.is_number()) {
+      report.values[key] = value.number;
+    }
+  }
+  if (const JsonValue* scalars = root.find("scalars");
+      scalars != nullptr && scalars->is_object()) {
+    for (const auto& [key, value] : scalars->members) {
+      if (value.is_number()) {
+        report.values["scalars." + key] = value.number;
+      }
+    }
+  }
+  if (const JsonValue* metrics = root.find("metrics");
+      metrics != nullptr && metrics->kind == JsonValue::Kind::kArray) {
+    for (const JsonValue& sample : metrics->items) {
+      const JsonValue* name = sample.find("name");
+      const JsonValue* value = sample.find("value");
+      if (name != nullptr && name->kind == JsonValue::Kind::kString &&
+          value != nullptr && value->is_number()) {
+        report.values["metrics." + name->text] = value->number;
+      }
+    }
+  }
+  return report;
+}
+
+BenchReport BenchReport::load(const std::string& path) {
+  std::ifstream in(path);
+  util::require(static_cast<bool>(in),
+                "BenchReport::load: cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  try {
+    return parse(buffer.str());
+  } catch (const Error& error) {
+    throw Error(path + ": " + error.what());
+  }
+}
+
+DiffResult diff_reports(const BenchReport& baseline,
+                        const BenchReport& candidate,
+                        const DiffOptions& options) {
+  DiffResult result;
+  result.name = candidate.name.empty() ? baseline.name : candidate.name;
+  std::set<std::string> keys;
+  for (const auto& [key, value] : baseline.values) keys.insert(key);
+  for (const auto& [key, value] : candidate.values) keys.insert(key);
+  for (const std::string& key : keys) {
+    ScalarDelta delta;
+    delta.key = key;
+    const auto base = baseline.values.find(key);
+    const auto cand = candidate.values.find(key);
+    delta.missing_in_baseline = base == baseline.values.end();
+    delta.missing_in_candidate = cand == candidate.values.end();
+    if (!delta.missing_in_baseline) delta.baseline = base->second;
+    if (!delta.missing_in_candidate) delta.candidate = cand->second;
+    if (!delta.missing_in_baseline && !delta.missing_in_candidate &&
+        delta.baseline != 0.0) {
+      delta.delta_pct = 100.0 * (delta.candidate - delta.baseline) /
+                        std::abs(delta.baseline);
+    }
+    delta.gated = matches_any(key, options.gate_patterns);
+    // Higher is better for gated values: fail on a drop of at least the
+    // threshold (and on a gated value disappearing altogether).
+    if (delta.gated && !delta.missing_in_baseline) {
+      if (delta.missing_in_candidate) {
+        delta.regression = true;
+      } else if (delta.baseline > 0.0 &&
+                 delta.delta_pct <= -options.threshold_pct) {
+        delta.regression = true;
+      }
+    }
+    if (delta.regression) ++result.regressions;
+    result.deltas.push_back(std::move(delta));
+  }
+  return result;
+}
+
+std::vector<std::string> list_bench_reports(const std::string& dir) {
+  namespace fs = std::filesystem;
+  util::require(fs::is_directory(dir),
+                "benchdiff: not a directory: " + dir);
+  std::vector<std::string> names;
+  for (const fs::directory_entry& entry : fs::directory_iterator(dir)) {
+    const std::string name = entry.path().filename().string();
+    if (entry.is_regular_file() && name.rfind("BENCH_", 0) == 0 &&
+        name.size() > 5 && name.substr(name.size() - 5) == ".json") {
+      names.push_back(name);
+    }
+  }
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+DirDiffResult diff_directories(const std::string& baseline_dir,
+                               const std::string& candidate_dir,
+                               const DiffOptions& options) {
+  DirDiffResult result;
+  const std::vector<std::string> base_names =
+      list_bench_reports(baseline_dir);
+  const std::vector<std::string> cand_names =
+      list_bench_reports(candidate_dir);
+  const std::set<std::string> cand_set(cand_names.begin(), cand_names.end());
+  const std::set<std::string> base_set(base_names.begin(), base_names.end());
+  for (const std::string& name : base_names) {
+    if (cand_set.count(name) == 0) {
+      result.only_in_baseline.push_back(name);
+      continue;
+    }
+    DiffResult diff =
+        diff_reports(BenchReport::load(baseline_dir + "/" + name),
+                     BenchReport::load(candidate_dir + "/" + name), options);
+    if (diff.name.empty()) diff.name = name;
+    result.regressions += diff.regressions;
+    result.reports.push_back(std::move(diff));
+  }
+  for (const std::string& name : cand_names) {
+    if (base_set.count(name) == 0) {
+      result.only_in_candidate.push_back(name);
+    }
+  }
+  return result;
+}
+
+}  // namespace plc::tools

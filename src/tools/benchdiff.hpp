@@ -1,0 +1,120 @@
+// Perf-regression gate over BENCH_*.json run reports.
+//
+// Every bench binary leaves a plc-run-report/1 JSON file behind (see
+// bench/bench_main.hpp); this module parses two of them — or two
+// directories of them, paired by file name — flattens each into named
+// numeric values, and compares: every scalar gets a delta row, and the
+// scalars matching the gate patterns (throughput-like, higher is better)
+// fail the gate when they drop by more than the threshold. The
+// `plc-benchdiff` CLI (examples/benchdiff_cli.cpp) and
+// scripts/bench_gate.sh are the consumers.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace plc::tools {
+
+/// Minimal parsed JSON value — just enough to read run reports back.
+/// (Objects keep insertion order; lookups are linear, fine at this size.)
+class JsonValue {
+ public:
+  enum class Kind : std::uint8_t {
+    kNull,
+    kBool,
+    kNumber,
+    kString,
+    kArray,
+    kObject
+  };
+
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string text;
+  std::vector<JsonValue> items;  ///< Array elements.
+  std::vector<std::pair<std::string, JsonValue>> members;  ///< Object.
+
+  bool is_object() const { return kind == Kind::kObject; }
+  bool is_number() const { return kind == Kind::kNumber; }
+
+  /// Returns the member value or nullptr (non-objects: nullptr).
+  const JsonValue* find(std::string_view key) const;
+};
+
+/// Parses a complete JSON document; throws plc::Error on malformed input
+/// or trailing garbage.
+JsonValue parse_json(std::string_view text);
+
+/// One BENCH_*.json report flattened into named numeric values:
+/// the top-level numbers (wall_seconds, events, events_per_second, ...),
+/// "scalars.<key>" for every scalar, and "metrics.<name>" for every
+/// counter/gauge metric sample.
+struct BenchReport {
+  std::string name;
+  std::map<std::string, double> values;
+
+  /// Parses report JSON text; throws plc::Error when the text is not a
+  /// JSON object.
+  static BenchReport parse(std::string_view json_text);
+  /// Reads and parses a report file; throws plc::Error on I/O failure.
+  static BenchReport load(const std::string& path);
+};
+
+/// Gate configuration.
+struct DiffOptions {
+  /// Substring patterns selecting the gated (higher-is-better) values.
+  std::vector<std::string> gate_patterns = {"items_per_second",
+                                            "events_per_second",
+                                            "throughput"};
+  /// Relative drop (percent) on a gated value that fails the gate.
+  double threshold_pct = 5.0;
+};
+
+/// One value's comparison.
+struct ScalarDelta {
+  std::string key;
+  double baseline = 0.0;
+  double candidate = 0.0;
+  /// (candidate - baseline) / |baseline| * 100; 0 when baseline == 0.
+  double delta_pct = 0.0;
+  bool gated = false;       ///< Matched a gate pattern.
+  bool regression = false;  ///< Gated and dropped >= threshold.
+  bool missing_in_candidate = false;
+  bool missing_in_baseline = false;
+};
+
+/// Comparison of one report pair.
+struct DiffResult {
+  std::string name;
+  std::vector<ScalarDelta> deltas;
+  int regressions = 0;
+};
+
+/// Compares two parsed reports under the gate options.
+DiffResult diff_reports(const BenchReport& baseline,
+                        const BenchReport& candidate,
+                        const DiffOptions& options = {});
+
+/// Comparison of two report directories, paired by BENCH_*.json name.
+struct DirDiffResult {
+  std::vector<DiffResult> reports;
+  std::vector<std::string> only_in_baseline;   ///< File names.
+  std::vector<std::string> only_in_candidate;  ///< File names.
+  int regressions = 0;
+};
+
+/// Lists the BENCH_*.json file names in `dir` (sorted); throws plc::Error
+/// when `dir` is not a directory.
+std::vector<std::string> list_bench_reports(const std::string& dir);
+
+/// Diffs every report file name present in both directories.
+DirDiffResult diff_directories(const std::string& baseline_dir,
+                               const std::string& candidate_dir,
+                               const DiffOptions& options = {});
+
+}  // namespace plc::tools

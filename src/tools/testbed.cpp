@@ -4,6 +4,8 @@
 #include <string>
 
 #include "des/random.hpp"
+#include "obs/log.hpp"
+#include "obs/profiler.hpp"
 #include "tools/ampstat.hpp"
 #include "util/error.hpp"
 #include "workload/sources.hpp"
@@ -11,6 +13,7 @@
 namespace plc::tools {
 
 TestbedResult run_saturated_testbed(const TestbedConfig& config) {
+  PROF_SCOPE("testbed.run");
   util::check_arg(config.stations >= 1, "stations", "must be >= 1");
   util::check_arg(config.duration > des::SimTime::zero(), "duration",
                   "must be positive");
@@ -67,7 +70,14 @@ TestbedResult run_saturated_testbed(const TestbedConfig& config) {
   if (config.trace != nullptr) {
     network.domain().set_trace_sink(config.trace);
   }
+  if (config.progress != nullptr) {
+    network.scheduler().add_observer(config.progress);
+  }
 
+  PLC_LOG_DEBUG("testbed", "starting saturated run")
+      .num("stations", config.stations)
+      .num("duration_s", config.duration.seconds())
+      .num("warmup_s", config.warmup.seconds());
   network.start();
   network.run_for(config.warmup);
 
@@ -86,6 +96,12 @@ TestbedResult run_saturated_testbed(const TestbedConfig& config) {
   }
 
   network.run_for(config.duration);
+
+  if (config.progress != nullptr) {
+    network.scheduler().remove_observer(config.progress);
+    config.progress->finish(network.scheduler().now(),
+                            network.scheduler().events_dispatched());
+  }
 
   TestbedResult result;
   result.acknowledged.reserve(ampstats.size());

@@ -13,6 +13,7 @@
 #include "emu/network.hpp"
 #include "medium/domain.hpp"
 #include "obs/metrics.hpp"
+#include "obs/progress.hpp"
 #include "obs/trace.hpp"
 #include "tools/faifa.hpp"
 
@@ -37,6 +38,9 @@ struct TestbedConfig {
   // scheduler); the trace sink records every medium event.
   obs::Registry* registry = nullptr;
   obs::TraceSink* trace = nullptr;
+  /// Heartbeat on the scheduler's dispatch loop (construct the meter with
+  /// goal = warmup + duration). finish() fires when the run ends.
+  obs::ProgressMeter* progress = nullptr;
 };
 
 /// Results of one run.

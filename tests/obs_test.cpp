@@ -3,8 +3,12 @@
 // the end-to-end wiring into the slot simulator, the runner, and the
 // emulated testbed.
 #include <algorithm>
+#include <cctype>
 #include <cstdint>
+#include <cstdio>
+#include <fstream>
 #include <limits>
+#include <map>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -13,7 +17,9 @@
 
 #include "mac/config.hpp"
 #include "obs/json.hpp"
+#include "obs/log.hpp"
 #include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
 #include "obs/report.hpp"
 #include "obs/trace.hpp"
 #include "sim/runner.hpp"
@@ -48,6 +54,18 @@ TEST(JsonWriter, NonFiniteNumbersBecomeNull) {
   json.value(std::numeric_limits<double>::quiet_NaN());
   json.end_array();
   EXPECT_EQ(out.str(), "[null,null]");
+}
+
+TEST(JsonWriter, ControlCharactersEscapedUtf8PassedThrough) {
+  std::ostringstream out;
+  obs::JsonWriter json(out);
+  // \x01 has no shorthand escape and must become a \uXXXX escape;
+  // tab has one; multi-byte UTF-8 ("é") passes through as raw bytes.
+  json.begin_object();
+  json.field("s", "a\x01" "b\tc\xc3\xa9");
+  json.end_object();
+  EXPECT_EQ(out.str(),
+            "{\"s\": \"a\\u0001b\\tc\xc3\xa9\"}");
 }
 
 // --- registry ----------------------------------------------------------------
@@ -388,6 +406,295 @@ TEST(TestbedObs, RegistryAndTraceSeeTheWholeStack) {
   ASSERT_NE(acked, nullptr);
   EXPECT_GT(acked->value, 0.0);
   EXPECT_GT(trace.recorded(), 0);
+}
+
+// --- profiler ----------------------------------------------------------------
+
+void spin_ns(std::int64_t ns) {
+  // Touch a volatile in a loop long enough to accumulate measurable time.
+  volatile std::int64_t sink = 0;
+  for (std::int64_t i = 0; i < ns / 4; ++i) sink = sink + 1;
+}
+
+TEST(Profiler, DisabledScopesAreNoOps) {
+  obs::Profiler::set_enabled(false);
+  obs::Profiler::instance().reset();
+  {
+    PROF_SCOPE("off.outer");
+    PROF_SCOPE("off.inner");
+    spin_ns(1000);
+  }
+  EXPECT_TRUE(obs::Profiler::instance().snapshot().empty());
+}
+
+TEST(Profiler, NestedScopesFormPathsWithSelfTime) {
+  obs::Profiler& profiler = obs::Profiler::instance();
+  profiler.reset();
+  obs::Profiler::set_enabled(true);
+  {
+    PROF_SCOPE("outer");
+    spin_ns(50'000);
+    for (int i = 0; i < 3; ++i) {
+      PROF_SCOPE("inner");
+      spin_ns(10'000);
+    }
+  }
+  obs::Profiler::set_enabled(false);
+
+  const obs::ProfileSnapshot snapshot = profiler.snapshot();
+  const obs::ProfileNodeStats* outer = snapshot.find("outer");
+  const obs::ProfileNodeStats* inner = snapshot.find("outer/inner");
+  ASSERT_NE(outer, nullptr);
+  ASSERT_NE(inner, nullptr);
+  EXPECT_EQ(outer->calls, 1);
+  EXPECT_EQ(outer->depth, 0);
+  EXPECT_EQ(inner->calls, 3);
+  EXPECT_EQ(inner->depth, 1);
+  EXPECT_EQ(inner->name, "inner");
+  // The child's time is inside the parent's, and self excludes it.
+  EXPECT_GT(outer->total_ns, 0);
+  EXPECT_LE(inner->total_ns, outer->total_ns);
+  EXPECT_EQ(outer->self_ns, outer->total_ns - inner->total_ns);
+  EXPECT_EQ(inner->self_ns, inner->total_ns);
+  EXPECT_LE(inner->min_ns, inner->max_ns);
+  EXPECT_LE(inner->max_ns, inner->total_ns);
+  // Depth-first order: the parent precedes its child.
+  ASSERT_EQ(snapshot.nodes().size(), 2u);
+  EXPECT_EQ(snapshot.nodes()[0].path, "outer");
+  EXPECT_EQ(snapshot.nodes()[1].path, "outer/inner");
+}
+
+TEST(Profiler, TextTreeListsPhases) {
+  obs::Profiler& profiler = obs::Profiler::instance();
+  profiler.reset();
+  obs::Profiler::set_enabled(true);
+  {
+    PROF_SCOPE("tree.root");
+    PROF_SCOPE("tree.leaf");
+  }
+  obs::Profiler::set_enabled(false);
+  std::ostringstream out;
+  profiler.snapshot().write_text_tree(out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("tree.root"), std::string::npos);
+  EXPECT_NE(text.find("tree.leaf"), std::string::npos);
+}
+
+TEST(Profiler, ResetClearsNodesAndCapturedEvents) {
+  obs::Profiler& profiler = obs::Profiler::instance();
+  profiler.reset();
+  profiler.set_capture_events(true, 16);
+  obs::Profiler::set_enabled(true);
+  { PROF_SCOPE("reset.scope"); }
+  obs::Profiler::set_enabled(false);
+  EXPECT_FALSE(profiler.snapshot().empty());
+  EXPECT_GT(profiler.captured_events(), 0);
+
+  profiler.reset();
+  EXPECT_TRUE(profiler.snapshot().empty());
+  EXPECT_EQ(profiler.captured_events(), 0);
+  profiler.set_capture_events(false);
+}
+
+TEST(Profiler, ChromeTraceCarriesScopeInvocations) {
+  obs::Profiler& profiler = obs::Profiler::instance();
+  profiler.reset();
+  profiler.set_capture_events(true, 64);
+  obs::Profiler::set_enabled(true);
+  {
+    PROF_SCOPE("trace.phase");
+    spin_ns(1000);
+  }
+  obs::Profiler::set_enabled(false);
+  std::ostringstream out;
+  profiler.write_chrome_trace(out);
+  const std::string text = out.str();
+  EXPECT_EQ(text.front(), '[');
+  EXPECT_NE(text.find("\"ph\": \"X\""), std::string::npos);
+  EXPECT_NE(text.find("trace.phase"), std::string::npos);
+  profiler.set_capture_events(false);
+}
+
+// --- structured log ----------------------------------------------------------
+
+TEST(Log, LevelFilterDropsQuietRecords) {
+  std::ostringstream sink;
+  obs::Log log(obs::LogLevel::kWarn, &sink, 8);
+  EXPECT_FALSE(log.enabled(obs::LogLevel::kDebug));
+  EXPECT_FALSE(log.enabled(obs::LogLevel::kInfo));
+  EXPECT_TRUE(log.enabled(obs::LogLevel::kWarn));
+  EXPECT_TRUE(log.enabled(obs::LogLevel::kError));
+
+  { obs::LogEvent(log, obs::LogLevel::kInfo, "unit", "dropped").num("x", 1); }
+  { obs::LogEvent(log, obs::LogLevel::kError, "unit", "kept").num("x", 2); }
+  EXPECT_EQ(log.recorded(), 1);
+  ASSERT_EQ(log.size(), 1u);
+  const obs::LogRecord record = log.records().front();
+  EXPECT_EQ(record.level, obs::LogLevel::kError);
+  EXPECT_STREQ(record.message, "kept");
+  EXPECT_NE(sink.str().find("[error"), std::string::npos);
+  EXPECT_EQ(sink.str().find("dropped"), std::string::npos);
+}
+
+TEST(Log, FormatTextRendersFieldsAndSimTime) {
+  obs::LogRecord record;
+  record.level = obs::LogLevel::kInfo;
+  record.component = "sim";
+  record.message = "step done";
+  record.sim_ns = 2'000'000;
+  record.add_number("n", 42.0);
+  record.add_text("mode", "ca1");
+  std::ostringstream out;
+  obs::Log::format_text(out, record);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("[info ]"), std::string::npos);
+  EXPECT_NE(text.find("sim="), std::string::npos);
+  EXPECT_NE(text.find("sim: step done"), std::string::npos);
+  EXPECT_NE(text.find(" n=42"), std::string::npos);
+  EXPECT_NE(text.find(" mode=ca1"), std::string::npos);
+  EXPECT_EQ(text.back(), '\n');
+}
+
+TEST(Log, FieldLimitsTruncateGracefully) {
+  obs::LogRecord record;
+  // One more than capacity: the extra field is dropped, not UB.
+  for (int i = 0; i < obs::LogRecord::kMaxFields + 1; ++i) {
+    record.add_number("k", static_cast<double>(i));
+  }
+  EXPECT_EQ(record.field_count, obs::LogRecord::kMaxFields);
+  // Long string values truncate to the inline capacity.
+  obs::LogRecord text_record;
+  const std::string long_value(100, 'x');
+  text_record.add_text("s", long_value);
+  EXPECT_EQ(std::string(text_record.values[0].text).size(),
+            obs::LogValue::kTextCapacity);
+}
+
+TEST(Log, RingOverflowKeepsMostRecent) {
+  obs::Log log(obs::LogLevel::kTrace, nullptr, 4);
+  for (int i = 0; i < 10; ++i) {
+    obs::LogRecord record;
+    record.level = obs::LogLevel::kInfo;
+    record.component = "unit";
+    record.message = "tick";
+    record.add_number("i", static_cast<double>(i));
+    log.write(record);
+  }
+  EXPECT_EQ(log.recorded(), 10);
+  EXPECT_EQ(log.size(), 4u);
+  EXPECT_EQ(log.dropped(), 6);
+  const std::vector<obs::LogRecord> records = log.records();
+  ASSERT_EQ(records.size(), 4u);
+  EXPECT_DOUBLE_EQ(records.front().values[0].number, 6.0);
+  EXPECT_DOUBLE_EQ(records.back().values[0].number, 9.0);
+}
+
+TEST(Log, JsonlOneObjectPerRecord) {
+  obs::Log log(obs::LogLevel::kTrace, nullptr, 8);
+  {
+    obs::LogEvent(log, obs::LogLevel::kInfo, "unit", "first")
+        .num("x", 1.5)
+        .str("tag", "a");
+  }
+  { obs::LogEvent(log, obs::LogLevel::kWarn, "unit", "second"); }
+  std::ostringstream out;
+  log.write_jsonl(out);
+  const std::string text = out.str();
+  EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 2);
+  EXPECT_NE(text.find("\"message\": \"first\""), std::string::npos);
+  EXPECT_NE(text.find("\"x\": 1.5"), std::string::npos);
+  EXPECT_NE(text.find("\"tag\": \"a\""), std::string::npos);
+  EXPECT_NE(text.find("\"level\": \"warn\""), std::string::npos);
+}
+
+TEST(Log, ParseLogLevel) {
+  using obs::LogLevel;
+  using obs::parse_log_level;
+  EXPECT_EQ(parse_log_level("trace", LogLevel::kInfo), LogLevel::kTrace);
+  EXPECT_EQ(parse_log_level("DEBUG", LogLevel::kInfo), LogLevel::kDebug);
+  EXPECT_EQ(parse_log_level("Warn", LogLevel::kInfo), LogLevel::kWarn);
+  EXPECT_EQ(parse_log_level("off", LogLevel::kInfo), LogLevel::kOff);
+  EXPECT_EQ(parse_log_level("bogus", LogLevel::kWarn), LogLevel::kWarn);
+}
+
+// --- run report round-trip ---------------------------------------------------
+
+// A deliberately minimal JSON reader, local to this test: just enough to
+// check that a saved report parses back to the values that went in. The
+// production-grade reader lives in tools/benchdiff and has its own tests.
+class MiniJsonReader {
+ public:
+  explicit MiniJsonReader(std::string text) : text_(std::move(text)) {}
+
+  /// Value of `"key": <number>` anywhere in the document.
+  double number_after(const std::string& key) const {
+    const std::size_t at = position_after(key);
+    return std::stod(text_.substr(at));
+  }
+
+  /// Value of `"key": "<string>"` anywhere in the document.
+  std::string string_after(const std::string& key) const {
+    std::size_t at = position_after(key);
+    EXPECT_EQ(text_[at], '"');
+    ++at;
+    const std::size_t end = text_.find('"', at);
+    return text_.substr(at, end - at);
+  }
+
+  bool contains(const std::string& needle) const {
+    return text_.find(needle) != std::string::npos;
+  }
+
+ private:
+  std::size_t position_after(const std::string& key) const {
+    const std::string quoted = "\"" + key + "\":";
+    std::size_t at = text_.find(quoted);
+    EXPECT_NE(at, std::string::npos) << "missing key: " << key;
+    at += quoted.size();
+    while (at < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[at]))) {
+      ++at;
+    }
+    return at;
+  }
+
+  std::string text_;
+};
+
+TEST(RunReport, SaveThenParseRoundTrips) {
+  obs::RunReport report;
+  report.name = "round-trip-unit";
+  report.wall_seconds = 2.5;
+  report.simulated_seconds = 10.0;
+  report.events = 1234;
+  report.scalars["throughput"] = 0.75;
+  report.scalars["stations"] = 4.0;
+
+  obs::Registry registry;
+  registry.counter("events", {{"type", "idle"}}).add(7);
+  report.metrics = registry.snapshot();
+
+  const std::string path = "roundtrip_report.json";
+  report.save(path);
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  in.close();
+  std::remove(path.c_str());
+
+  const MiniJsonReader json(buffer.str());
+  EXPECT_EQ(json.string_after("schema"), "plc-run-report/1");
+  EXPECT_EQ(json.string_after("name"), "round-trip-unit");
+  EXPECT_DOUBLE_EQ(json.number_after("wall_seconds"), 2.5);
+  EXPECT_DOUBLE_EQ(json.number_after("simulated_seconds"), 10.0);
+  EXPECT_DOUBLE_EQ(json.number_after("events"), 1234.0);
+  EXPECT_DOUBLE_EQ(json.number_after("events_per_second"), 1234.0 / 2.5);
+  EXPECT_DOUBLE_EQ(json.number_after("throughput"), 0.75);
+  EXPECT_DOUBLE_EQ(json.number_after("stations"), 4.0);
+  // The metrics snapshot made it through with its labels and value.
+  EXPECT_TRUE(json.contains("\"type\": \"idle\""));
+  EXPECT_DOUBLE_EQ(json.number_after("value"), 7.0);
 }
 
 }  // namespace

@@ -4,6 +4,7 @@
 
 #include "emu/network.hpp"
 #include "tools/ampstat.hpp"
+#include "tools/benchdiff.hpp"
 #include "tools/capture.hpp"
 #include "tools/faifa.hpp"
 #include "tools/testbed.hpp"
@@ -284,6 +285,140 @@ TEST(Testbed, RejectsBadConfig) {
   config.stations = 1;
   config.duration = des::SimTime::zero();
   EXPECT_THROW(run_saturated_testbed(config), plc::Error);
+}
+
+// --- benchdiff: JSON parsing -------------------------------------------------
+
+TEST(BenchDiffJson, ParsesScalarsArraysAndEscapes) {
+  const JsonValue value = parse_json(
+      "{\"name\": \"a\\\"b\", \"n\": -1.5e2, \"ok\": true,"
+      " \"none\": null, \"list\": [1, \"two\", false]}");
+  ASSERT_TRUE(value.is_object());
+  ASSERT_NE(value.find("name"), nullptr);
+  EXPECT_EQ(value.find("name")->text, "a\"b");
+  EXPECT_DOUBLE_EQ(value.find("n")->number, -150.0);
+  EXPECT_TRUE(value.find("ok")->boolean);
+  EXPECT_EQ(value.find("none")->kind, JsonValue::Kind::kNull);
+  ASSERT_EQ(value.find("list")->items.size(), 3u);
+  EXPECT_DOUBLE_EQ(value.find("list")->items[0].number, 1.0);
+  EXPECT_EQ(value.find("list")->items[1].text, "two");
+}
+
+TEST(BenchDiffJson, UnicodeEscapesDecodeToUtf8) {
+  const JsonValue value = parse_json("{\"s\": \"\\u00e9\\u0041\"}");
+  EXPECT_EQ(value.find("s")->text, "\xc3\xa9"
+                                   "A");
+}
+
+TEST(BenchDiffJson, RejectsMalformedInput) {
+  EXPECT_THROW(parse_json("{\"a\": }"), plc::Error);
+  EXPECT_THROW(parse_json("[1, 2"), plc::Error);
+  EXPECT_THROW(parse_json("{} trailing"), plc::Error);
+  EXPECT_THROW(parse_json(""), plc::Error);
+}
+
+// --- benchdiff: report flattening --------------------------------------------
+
+constexpr const char* kReportText =
+    "{\"schema\": \"plc-run-report/1\", \"name\": \"unit\","
+    " \"wall_seconds\": 2.0, \"events\": 1000,"
+    " \"events_per_second\": 500.0,"
+    " \"scalars\": {\"x.items_per_second\": 100.0, \"stations\": 3},"
+    " \"metrics\": [{\"name\": \"des.events_dispatched\","
+    " \"kind\": \"counter\", \"labels\": {}, \"value\": 42}]}";
+
+TEST(BenchDiffReport, FlattensTopLevelScalarsAndMetrics) {
+  const BenchReport report = BenchReport::parse(kReportText);
+  EXPECT_EQ(report.name, "unit");
+  EXPECT_DOUBLE_EQ(report.values.at("wall_seconds"), 2.0);
+  EXPECT_DOUBLE_EQ(report.values.at("events"), 1000.0);
+  EXPECT_DOUBLE_EQ(report.values.at("scalars.x.items_per_second"), 100.0);
+  EXPECT_DOUBLE_EQ(report.values.at("scalars.stations"), 3.0);
+  EXPECT_DOUBLE_EQ(report.values.at("metrics.des.events_dispatched"), 42.0);
+}
+
+// --- benchdiff: the gate -----------------------------------------------------
+
+BenchReport report_with(double items_per_second, double stations) {
+  BenchReport report;
+  report.name = "unit";
+  report.values["scalars.x.items_per_second"] = items_per_second;
+  report.values["scalars.stations"] = stations;
+  return report;
+}
+
+TEST(BenchDiff, IdenticalReportsPass) {
+  const BenchReport report = report_with(100.0, 3.0);
+  const DiffResult diff = diff_reports(report, report);
+  EXPECT_EQ(diff.regressions, 0);
+  for (const ScalarDelta& delta : diff.deltas) {
+    EXPECT_FALSE(delta.regression);
+    EXPECT_DOUBLE_EQ(delta.delta_pct, 0.0);
+  }
+}
+
+TEST(BenchDiff, GatedDropBeyondThresholdRegresses) {
+  const DiffResult diff =
+      diff_reports(report_with(100.0, 3.0), report_with(94.0, 3.0));
+  EXPECT_EQ(diff.regressions, 1);
+  bool found = false;
+  for (const ScalarDelta& delta : diff.deltas) {
+    if (delta.key == "scalars.x.items_per_second") {
+      found = true;
+      EXPECT_TRUE(delta.gated);
+      EXPECT_TRUE(delta.regression);
+      EXPECT_NEAR(delta.delta_pct, -6.0, 1e-9);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(BenchDiff, GatedDropWithinThresholdPasses) {
+  const DiffResult diff =
+      diff_reports(report_with(100.0, 3.0), report_with(96.0, 3.0));
+  EXPECT_EQ(diff.regressions, 0);
+}
+
+TEST(BenchDiff, UngatedDropDoesNotRegress) {
+  // `stations` halves but matches no gate pattern.
+  const DiffResult diff =
+      diff_reports(report_with(100.0, 6.0), report_with(100.0, 3.0));
+  EXPECT_EQ(diff.regressions, 0);
+}
+
+TEST(BenchDiff, MissingGatedValueInCandidateRegresses) {
+  BenchReport candidate = report_with(100.0, 3.0);
+  candidate.values.erase("scalars.x.items_per_second");
+  const DiffResult diff = diff_reports(report_with(100.0, 3.0), candidate);
+  EXPECT_EQ(diff.regressions, 1);
+}
+
+TEST(BenchDiff, GateImprovementAndNewValuesPass) {
+  BenchReport candidate = report_with(120.0, 3.0);
+  candidate.values["scalars.fresh"] = 1.0;
+  const DiffResult diff = diff_reports(report_with(100.0, 3.0), candidate);
+  EXPECT_EQ(diff.regressions, 0);
+  bool saw_new = false;
+  for (const ScalarDelta& delta : diff.deltas) {
+    if (delta.key == "scalars.fresh") saw_new = delta.missing_in_baseline;
+  }
+  EXPECT_TRUE(saw_new);
+}
+
+TEST(BenchDiff, CustomGatePatternsAndThreshold) {
+  DiffOptions options;
+  options.gate_patterns = {"stations"};
+  options.threshold_pct = 10.0;
+  // items_per_second no longer gated; stations drops 50% and is.
+  const DiffResult diff = diff_reports(report_with(100.0, 6.0),
+                                       report_with(50.0, 3.0), options);
+  EXPECT_EQ(diff.regressions, 1);
+  for (const ScalarDelta& delta : diff.deltas) {
+    if (delta.key == "scalars.stations") EXPECT_TRUE(delta.regression);
+    if (delta.key == "scalars.x.items_per_second") {
+      EXPECT_FALSE(delta.gated);
+    }
+  }
 }
 
 }  // namespace
