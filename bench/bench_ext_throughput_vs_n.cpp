@@ -4,22 +4,25 @@
 // a small CWmin plus the deferral counter holds throughput nearly flat in
 // N, while a DCF with the same small windows collapses and a standard DCF
 // wastes idle slots at small N.
+#include <cstddef>
 #include <iostream>
+#include <vector>
 
 #include "analysis/model_1901.hpp"
 #include "analysis/model_dcf.hpp"
 #include "bench_main.hpp"
 #include "mac/config.hpp"
+#include "sim/parallel_runner.hpp"
 #include "sim/runner.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
 
 namespace {
 
-double simulate(plc::sim::RunSpec spec) {
+plc::sim::RunSpec bench_spec(plc::sim::RunSpec spec) {
   spec.duration = plc::des::SimTime::from_seconds(60.0);
   spec.repetitions = 3;
-  return plc::sim::run_point(spec).normalized_throughput.mean();
+  return spec;
 }
 
 }  // namespace
@@ -35,10 +38,15 @@ int main() {
   std::cout << "(sim: 3 x 60 s per point; model: decoupling fixed "
                "points)\n\n";
 
-  util::TablePrinter table({"N", "1901 CA1 sim", "1901 CA1 model",
-                            "1901 CA3 sim", "DCF 16..1024 sim",
-                            "DCF 16..1024 model", "DCF 8..64 sim"});
-  for (const int n : {1, 2, 3, 5, 7, 10, 15, 20, 30}) {
+  // 9 N values x 4 MAC variants = 36 independent sweep points; every
+  // (point x repetition) task is sharded across $PLC_JOBS workers. The
+  // ParallelRunner is bit-identical to the serial run_point loop it
+  // replaces, for any jobs count (seeds are per-spec, merges are in
+  // task order).
+  const int jobs = bench::jobs_from_env();
+  const std::vector<int> station_counts = {1, 2, 3, 5, 7, 10, 15, 20, 30};
+  std::vector<sim::RunSpec> specs;  // 4 variants per N, in table order.
+  for (const int n : station_counts) {
     sim::RunSpec ca1;
     ca1.stations = n;
     ca1.seed = 0xE6 + static_cast<std::uint64_t>(n);
@@ -55,15 +63,32 @@ int main() {
     dcf_small.dcf_cw_min = 8;
     dcf_small.dcf_cw_max = 64;
 
+    specs.push_back(bench_spec(ca1));
+    specs.push_back(bench_spec(ca3));
+    specs.push_back(bench_spec(dcf));
+    specs.push_back(bench_spec(dcf_small));
+  }
+  sim::ParallelRunner runner(jobs);
+  const std::vector<sim::RunSummary> summaries = runner.run_points(specs);
+
+  util::TablePrinter table({"N", "1901 CA1 sim", "1901 CA1 model",
+                            "1901 CA3 sim", "DCF 16..1024 sim",
+                            "DCF 16..1024 model", "DCF 8..64 sim"});
+  for (std::size_t row = 0; row < station_counts.size(); ++row) {
+    const int n = station_counts[row];
     const analysis::Model1901Result model_1901 =
         analysis::solve_1901(n, mac::BackoffConfig::ca0_ca1());
     const analysis::ModelDcfResult model_dcf =
         analysis::solve_dcf(n, 16, 1024);
 
-    const double ca1_sim = simulate(ca1);
-    const double ca3_sim = simulate(ca3);
-    const double dcf_sim = simulate(dcf);
-    const double dcf_small_sim = simulate(dcf_small);
+    const double ca1_sim =
+        summaries[4 * row + 0].normalized_throughput.mean();
+    const double ca3_sim =
+        summaries[4 * row + 1].normalized_throughput.mean();
+    const double dcf_sim =
+        summaries[4 * row + 2].normalized_throughput.mean();
+    const double dcf_small_sim =
+        summaries[4 * row + 3].normalized_throughput.mean();
     table.add_row(
         {std::to_string(n), util::format_fixed(ca1_sim, 4),
          util::format_fixed(model_1901.normalized_throughput(timing, frame),
@@ -84,6 +109,8 @@ int main() {
     harness.add_simulated_seconds(4 * 3 * 60.0);
   }
   table.print(std::cout);
+  bench::record_parallel(harness, jobs, runner.wall_seconds(),
+                         runner.serial_equivalent_seconds());
 
   std::cout << "\nShape checks: 1901 throughput decays gently with N; "
                "DCF with 1901's window range (8..64) and no deferral "

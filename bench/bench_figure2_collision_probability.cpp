@@ -6,6 +6,7 @@
 //       averaged over 10 tests as in the paper).
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include "analysis/exact_chain.hpp"
 #include "analysis/model_1901.hpp"
@@ -30,6 +31,24 @@ int main() {
   bench::Harness harness("figure2_collision_probability");
   obs::RunReport& report = harness.report();
 
+  // All 7 x 10 testbed tests are independent; shard them across $PLC_JOBS
+  // workers (0 = hardware threads). Seeds are per-config, the suite
+  // absorbs metrics in config order, so every number below is identical
+  // to the serial loop this replaces, for any jobs count.
+  const int jobs = bench::jobs_from_env();
+  std::vector<tools::TestbedConfig> configs;
+  for (int n = 1; n <= 7; ++n) {
+    for (int test = 0; test < 10; ++test) {
+      tools::TestbedConfig config;
+      config.stations = n;
+      config.duration = des::SimTime::from_seconds(60.0);
+      config.seed = 0xBEEF + static_cast<std::uint64_t>(100 * n + test);
+      config.registry = &harness.registry();
+      configs.push_back(config);
+    }
+  }
+  const tools::TestbedSuiteResult suite = tools::run_testbed_suite(configs, jobs);
+
   // Paper Table 2's measured collision probabilities (the markers of
   // Figure 2).
   const double paper_measured[] = {0.0002, 0.0741, 0.1339, 0.1779,
@@ -50,15 +69,10 @@ int main() {
 
     util::RunningStats measured;
     for (int test = 0; test < 10; ++test) {
-      tools::TestbedConfig config;
-      config.stations = n;
-      config.duration = des::SimTime::from_seconds(60.0);
-      config.seed = 0xBEEF + static_cast<std::uint64_t>(100 * n + test);
-      config.registry = &harness.registry();
-      measured.add(
-          tools::run_saturated_testbed(config).collision_probability);
+      const std::size_t run = static_cast<std::size_t>(10 * (n - 1) + test);
+      measured.add(suite.runs[run].collision_probability);
       harness.add_simulated_seconds(
-          (config.warmup + config.duration).seconds());
+          (configs[run].warmup + configs[run].duration).seconds());
     }
 
     const analysis::Model1901Result model = analysis::solve_1901(n, ca1);
@@ -87,6 +101,8 @@ int main() {
     report.scalars[prefix + "paper_measured"] = paper_measured[n - 1];
   }
   table.print(std::cout);
+  bench::record_parallel(harness, jobs, suite.wall_seconds,
+                         suite.serial_equivalent_seconds);
 
   std::cout
       << "\nShape checks (paper Figure 2): all series grow concavely with "

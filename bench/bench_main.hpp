@@ -27,8 +27,19 @@
 #include "obs/profiler.hpp"
 #include "obs/report.hpp"
 #include "util/strings.hpp"
+#include "util/thread_pool.hpp"
 
 namespace plc::bench {
+
+/// Worker count for benches that shard their heavy loops: $PLC_JOBS,
+/// where 0 or unset means one worker per hardware thread.
+inline int jobs_from_env() {
+  if (const char* jobs = std::getenv("PLC_JOBS");
+      jobs != nullptr && jobs[0] != '\0') {
+    return std::atoi(jobs);
+  }
+  return 0;
+}
 
 /// Directory BENCH_*.json files land in: $PLC_BENCH_DIR or "." — always
 /// with a trailing separator applied by output_path().
@@ -100,5 +111,28 @@ class Harness {
   obs::Registry registry_;
   obs::RunReport report_;
 };
+
+/// Records the parallel phase of a bench in its report: how many workers
+/// ran, the phase's wall time, the summed per-task wall time, and the
+/// resulting speedup scalar ("parallel.speedup_vs_serial" — named so the
+/// bench gate's throughput patterns never match it; it is wall-clock
+/// noise, not a regression signal). Also prints a one-line summary.
+inline void record_parallel(Harness& harness, int jobs, double wall_seconds,
+                            double serial_equivalent_seconds) {
+  const double speedup = wall_seconds > 0.0 && serial_equivalent_seconds > 0.0
+                             ? serial_equivalent_seconds / wall_seconds
+                             : 1.0;
+  harness.scalar("parallel.jobs") =
+      static_cast<double>(util::ThreadPool::resolve_jobs(jobs));
+  harness.scalar("parallel.wall_seconds") = wall_seconds;
+  harness.scalar("parallel.serial_equivalent_seconds") =
+      serial_equivalent_seconds;
+  harness.scalar("parallel.speedup_vs_serial") = speedup;
+  std::cout << "\nparallel: jobs="
+            << util::ThreadPool::resolve_jobs(jobs) << "  speedup="
+            << util::format_fixed(speedup, 2) << "x (serial-equivalent "
+            << util::format_fixed(serial_equivalent_seconds, 2) << " s in "
+            << util::format_fixed(wall_seconds, 2) << " s wall)\n";
+}
 
 }  // namespace plc::bench

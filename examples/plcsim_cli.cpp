@@ -2,10 +2,16 @@
 //
 //   plcsim sim     --n 4 [--time-s 50] [--reps 1] [--cw 8,16,32,64]
 //                  [--dc 0,1,3,15] [--ts-us 2542.64] [--tc-us 2920.64]
-//                  [--frame-us 2050] [--seed 6401]
+//                  [--frame-us 2050] [--seed 6401] [--jobs N]
 //   plcsim model   --n 4 [--cw ...] [--dc ...]
 //   plcsim testbed --n 3 [--time-s 30] [--mme-ms 0] [--capture out.plcc]
-//   plcsim sweep   --n-max 10 [--time-s 20] [--csv]
+//                  [--tests R] [--jobs N]
+//   plcsim sweep   --n-max 10 [--time-s 20] [--csv] [--jobs N]
+//
+// --jobs N shards repetitions (sim), tests (testbed --tests), or sweep
+// points (sweep) across N worker threads; 0 means one per hardware
+// thread. Results are bit-identical for every N, including the default
+// serial path — seeds derive from task indices, never thread schedule.
 //   plcsim boost   --n 10
 //   plcsim delay   --n 5 --load 0.5
 //   plcsim capture --file out.plcc [--head 10]
@@ -44,13 +50,17 @@
 #include "obs/progress.hpp"
 #include "obs/report.hpp"
 #include "obs/trace.hpp"
+#include "des/random.hpp"
+#include "sim/parallel_runner.hpp"
 #include "sim/runner.hpp"
 #include "sim/sim_1901.hpp"
 #include "sim/unsaturated.hpp"
 #include "tools/capture.hpp"
 #include "tools/testbed.hpp"
+#include "util/stats.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
+#include "util/thread_pool.hpp"
 
 namespace {
 
@@ -204,8 +214,16 @@ int cmd_sim(const Args& args) {
   }
   const ProfileOutputs profile = ProfileOutputs::from(args);
 
-  const obs::RunReport report =
-      sim::run_point_report(spec, "plcsim-sim", observability);
+  obs::RunReport report;
+  if (args.has("jobs")) {
+    sim::ParallelRunner runner(args.get_int("jobs", 0));
+    report = runner.run_point_report(spec, "plcsim-sim", observability);
+    std::printf("jobs=%d  speedup=%.2fx (serial-equivalent %.2f s)\n",
+                runner.jobs(), runner.speedup(),
+                runner.serial_equivalent_seconds());
+  } else {
+    report = sim::run_point_report(spec, "plcsim-sim", observability);
+  }
   profile.write();
   std::printf("N=%d  collision_pr=%.4f  norm_throughput=%.4f\n",
               spec.stations,
@@ -260,6 +278,83 @@ int cmd_model(const Args& args) {
   return 0;
 }
 
+/// `plcsim testbed --tests R [--jobs N]`: R independent tests of the
+/// same configuration (seeds derived per test index), sharded across the
+/// worker pool — the Figure 2 averaging procedure from the shell.
+int cmd_testbed_suite(const Args& args, tools::TestbedConfig base,
+                      int tests) {
+  if (args.has("trace") || args.has("progress") || args.has("sniff") ||
+      args.has("capture")) {
+    throw plc::Error(
+        "testbed --tests: --trace/--progress/--sniff/--capture apply to "
+        "single runs only");
+  }
+  obs::Registry registry;
+  const std::uint64_t root_seed =
+      static_cast<std::uint64_t>(args.get_int("seed", 0x1901));
+  std::vector<tools::TestbedConfig> configs;
+  configs.reserve(static_cast<std::size_t>(tests));
+  for (int test = 0; test < tests; ++test) {
+    tools::TestbedConfig config = base;
+    config.seed = des::derive_task_seed(root_seed, 0,
+                                        static_cast<std::uint64_t>(test));
+    config.registry = &registry;
+    configs.push_back(config);
+  }
+  const ProfileOutputs profile = ProfileOutputs::from(args);
+  const tools::TestbedSuiteResult suite =
+      tools::run_testbed_suite(configs, args.get_int("jobs", 0));
+  profile.write();
+
+  util::TablePrinter table({"test", "sum Ai", "sum Ci", "Ci/Ai"});
+  util::RunningStats collision;
+  for (std::size_t i = 0; i < suite.runs.size(); ++i) {
+    const tools::TestbedResult& run = suite.runs[i];
+    collision.add(run.collision_probability);
+    table.add_row(
+        {std::to_string(i),
+         util::with_thousands(
+             static_cast<std::int64_t>(run.total_acknowledged)),
+         util::with_thousands(static_cast<std::int64_t>(run.total_collided)),
+         util::format_fixed(run.collision_probability, 4)});
+  }
+  table.print(std::cout);
+  std::printf("collision probability over %d tests: mean=%.4f std=%.4f\n",
+              tests, collision.mean(), collision.stddev());
+  std::printf("jobs=%d  speedup=%.2fx (serial-equivalent %.2f s)\n",
+              util::ThreadPool::resolve_jobs(args.get_int("jobs", 0)),
+              suite.speedup(), suite.serial_equivalent_seconds);
+
+  const std::string metrics_path = args.get_string("metrics", "");
+  if (!metrics_path.empty()) {
+    write_file(metrics_path, [&](std::ostream& out) {
+      registry.snapshot().write_json(out);
+    });
+    PLC_LOG_INFO("cli", "wrote metrics snapshot").str("path", metrics_path);
+  }
+  const std::string report_path = args.get_string("report", "");
+  if (!report_path.empty()) {
+    obs::RunReport report;
+    report.name = "plcsim-testbed-suite";
+    report.wall_seconds = suite.wall_seconds;
+    report.simulated_seconds =
+        static_cast<double>(tests) *
+        (base.warmup + base.duration).seconds();
+    report.metrics = registry.snapshot();
+    if (const obs::MetricSample* dispatched =
+            report.metrics.find("des.events_dispatched")) {
+      report.events = static_cast<std::int64_t>(dispatched->value);
+    }
+    report.scalars["stations"] = static_cast<double>(base.stations);
+    report.scalars["tests"] = static_cast<double>(tests);
+    report.scalars["collision_probability_mean"] = collision.mean();
+    report.scalars["collision_probability_stddev"] = collision.stddev();
+    report.save(report_path);
+    PLC_LOG_INFO("cli", "wrote run report").str("path", report_path);
+  }
+  return 0;
+}
+
 int cmd_testbed(const Args& args) {
   tools::TestbedConfig config;
   config.stations = args.get_int("n", 3);
@@ -269,6 +364,8 @@ int cmd_testbed(const Args& args) {
   if (mme_ms > 0.0) {
     config.mme_interval = des::SimTime::from_us(mme_ms * 1000.0);
   }
+  const int tests = args.get_int("tests", 1);
+  if (tests > 1) return cmd_testbed_suite(args, config, tests);
   const std::string capture_path = args.get_string("capture", "");
   config.sniff_at_destination = args.has("sniff") || !capture_path.empty();
 
@@ -358,10 +455,22 @@ int cmd_sweep(const Args& args) {
   const sim::SlotTiming timing;
   util::TablePrinter table({"n", "sim_collision", "sim_throughput",
                             "model_collision", "model_throughput"});
+  // Sweep points are independent; shard them across the pool. Each point
+  // writes its own slot and the table is built in n order afterwards, so
+  // the output is identical for any --jobs value (each point's seed is
+  // the sim_1901 default, exactly as in the serial loop).
+  std::vector<sim::Sim1901Result> simulated_by_n(
+      static_cast<std::size_t>(n_max));
+  {
+    util::ThreadPool pool(args.get_int("jobs", 1));
+    pool.parallel_for(n_max, [&](std::int64_t i) {
+      simulated_by_n[static_cast<std::size_t>(i)] =
+          sim::sim_1901(static_cast<int>(i) + 1, time_s * 1e6, 2920.64,
+                        2542.64, 2050.0, config.cw, config.dc);
+    });
+  }
   for (int n = 1; n <= n_max; ++n) {
-    const auto simulated =
-        sim::sim_1901(n, time_s * 1e6, 2920.64, 2542.64, 2050.0, config.cw,
-                      config.dc);
+    const auto& simulated = simulated_by_n[static_cast<std::size_t>(n - 1)];
     const auto model = analysis::solve_1901(n, config);
     table.add_row(
         {std::to_string(n),

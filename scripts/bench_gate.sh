@@ -13,10 +13,15 @@
 #   baseline-dir   default: bench-baseline
 #   candidate-dir  default: bench-candidate
 #
+# The benchdiff output is also written to <candidate-dir>/benchdiff.txt
+# so CI can upload the delta as an artifact alongside the BENCH_*.json.
+#
 # Environment:
 #   PLC_BENCH_GATE_THRESHOLD   gate threshold in percent (default 5)
 #   PLC_BENCH_GATE_TARGETS     space-separated bench binaries to run
 #                              (default: a fast, headline subset)
+#   PLC_JOBS                   worker count for benches that shard their
+#                              heavy loops (0/unset = hardware threads)
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -54,5 +59,11 @@ if [ ! -d "$BASELINE_DIR" ]; then
   exit 0
 fi
 
+# Keep the delta next to the candidate reports (CI uploads both); the
+# gate's exit status is benchdiff's.
+status=0
 "$BUILD_DIR/examples/plc-benchdiff" --threshold-pct "$THRESHOLD" \
-    "$BASELINE_DIR" "$CANDIDATE_DIR"
+    "$BASELINE_DIR" "$CANDIDATE_DIR" \
+    > "$CANDIDATE_DIR/benchdiff.txt" 2>&1 || status=$?
+cat "$CANDIDATE_DIR/benchdiff.txt"
+exit "$status"

@@ -1,15 +1,41 @@
 #!/bin/sh
-# Sanitizer gate: configure a separate build tree with AddressSanitizer +
-# UBSan (the PLC_SANITIZE CMake option), build everything, and run the
-# full test suite under the sanitizers. Any leak, overflow, or UB aborts
-# the affected test and fails the script.
+# Sanitizer gate: configure a separate build tree with the requested
+# sanitizer, build everything, and run tests under it. Any data race,
+# leak, overflow, or UB aborts the affected test and fails the script.
 #
-# Usage: scripts/check.sh [build-dir]      (default: build-sanitize)
+# Modes (the PLC_SANITIZE environment variable):
+#   address (default)  ASan + UBSan, full test suite.
+#   thread             TSan, the `threaded`-labeled tests — the thread
+#                      pool, parallel runner, and testbed suite, i.e. the
+#                      code that actually crosses threads. (The rest of
+#                      the suite is single-threaded; running it under
+#                      TSan costs minutes and can find no races.)
+#
+# Usage: PLC_SANITIZE=thread scripts/check.sh [build-dir]
+#   build-dir defaults to build-sanitize (address) / build-tsan (thread).
 set -eu
 
 cd "$(dirname "$0")/.."
-BUILD_DIR="${1:-build-sanitize}"
+MODE="${PLC_SANITIZE:-address}"
 
-cmake -B "$BUILD_DIR" -S . -DPLC_SANITIZE=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo
+case "$MODE" in
+  thread)
+    BUILD_DIR="${1:-build-tsan}"
+    CTEST_ARGS="-L threaded"
+    ;;
+  address|ON|on|1)
+    MODE=address
+    BUILD_DIR="${1:-build-sanitize}"
+    CTEST_ARGS=""
+    ;;
+  *)
+    echo "check.sh: unknown PLC_SANITIZE mode '$MODE' (address|thread)" >&2
+    exit 2
+    ;;
+esac
+
+cmake -B "$BUILD_DIR" -S . -DPLC_SANITIZE="$MODE" \
+      -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "$BUILD_DIR" -j "$(nproc)"
-ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
+# shellcheck disable=SC2086  # CTEST_ARGS is intentionally word-split.
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)" $CTEST_ARGS

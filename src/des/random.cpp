@@ -12,6 +12,21 @@ std::uint64_t splitmix64(std::uint64_t& state) {
   return z ^ (z >> 31);
 }
 
+std::uint64_t derive_task_seed(std::uint64_t root_seed,
+                               std::uint64_t point_index,
+                               std::uint64_t rep_index) {
+  // Three chained SplitMix64 steps, feeding each counter into the state
+  // between steps. Golden-ratio offsets keep (root, p, r) and
+  // (root, r, p) apart even when p == r would otherwise cancel.
+  std::uint64_t state = root_seed;
+  std::uint64_t seed = splitmix64(state);
+  state ^= point_index + 0x9E3779B97F4A7C15ULL;
+  seed ^= splitmix64(state);
+  state ^= rep_index + 0xC2B2AE3D27D4EB4FULL;
+  seed ^= splitmix64(state);
+  return seed;
+}
+
 RandomStream::RandomStream(std::uint64_t seed) : seed_(seed), engine_(seed) {}
 
 int RandomStream::uniform_int(int lo, int hi) {

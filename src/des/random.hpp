@@ -49,4 +49,15 @@ class RandomStream {
 /// SplitMix64 step; public so tests can pin the derivation scheme.
 std::uint64_t splitmix64(std::uint64_t& state);
 
+/// Counter-based task seed for sharded sweeps: a pure function of
+/// (root_seed, point_index, rep_index), never of thread identity or
+/// schedule order, so a parallel run draws exactly the same streams as a
+/// serial one. Distinct (point, rep) pairs map to distinct seeds with
+/// overwhelming probability (SplitMix64 is a bijective mixer; the
+/// collision test in tests/parallel_test.cpp pins this down for the grids
+/// we use).
+std::uint64_t derive_task_seed(std::uint64_t root_seed,
+                               std::uint64_t point_index,
+                               std::uint64_t rep_index);
+
 }  // namespace plc::des

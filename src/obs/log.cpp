@@ -75,7 +75,13 @@ Log& Log::instance() {
   return log;
 }
 
+void Log::set_text_sink(std::ostream* out) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  text_sink_ = out;
+}
+
 void Log::set_ring_capacity(std::size_t capacity) {
+  std::lock_guard<std::mutex> lock(mutex_);
   capacity_ = capacity;
   ring_.clear();
   head_ = 0;
@@ -83,14 +89,36 @@ void Log::set_ring_capacity(std::size_t capacity) {
 }
 
 void Log::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
   ring_.clear();
   head_ = 0;
   size_ = 0;
   recorded_ = 0;
 }
 
+std::size_t Log::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return size_;
+}
+
+std::size_t Log::capacity() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return capacity_;
+}
+
+std::int64_t Log::recorded() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return recorded_;
+}
+
+std::int64_t Log::dropped() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return recorded_ - static_cast<std::int64_t>(size_);
+}
+
 void Log::write(LogRecord record) {
   record.wall_seconds = stopwatch_.elapsed_seconds();
+  std::lock_guard<std::mutex> lock(mutex_);
   if (capacity_ > 0) {
     if (ring_.size() < capacity_) {
       ring_.push_back(record);
@@ -107,6 +135,7 @@ void Log::write(LogRecord record) {
 }
 
 std::vector<LogRecord> Log::records() const {
+  std::lock_guard<std::mutex> lock(mutex_);
   std::vector<LogRecord> out;
   out.reserve(size_);
   const std::size_t start = size_ < capacity_ ? 0 : head_;

@@ -14,8 +14,10 @@
 // stderr, keeping stdout clean for the harnesses' tables and CSV.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <iosfwd>
+#include <mutex>
 #include <string_view>
 #include <vector>
 
@@ -71,8 +73,10 @@ struct LogRecord {
   void add_text(const char* key, std::string_view value);
 };
 
-/// A leveled logger with a bounded record ring. Thread-compatible (the
-/// simulator stack is single-threaded); the global instance is created
+/// A leveled logger with a bounded record ring. Thread-safe: records are
+/// committed (ring + text sink) under an internal mutex so worker threads
+/// of a parallel sweep can log concurrently; the level check on the fast
+/// path is a single relaxed atomic load. The global instance is created
 /// on first use.
 class Log {
  public:
@@ -85,12 +89,16 @@ class Log {
   /// The process-global logger (level from PLC_LOG, text to stderr).
   static Log& instance();
 
-  void set_level(LogLevel level) { level_ = level; }
-  LogLevel level() const { return level_; }
-  bool enabled(LogLevel level) const { return level >= level_; }
+  void set_level(LogLevel level) {
+    level_.store(level, std::memory_order_relaxed);
+  }
+  LogLevel level() const { return level_.load(std::memory_order_relaxed); }
+  bool enabled(LogLevel level) const {
+    return level >= level_.load(std::memory_order_relaxed);
+  }
 
   /// Installs (or with nullptr removes) the text sink.
-  void set_text_sink(std::ostream* out) { text_sink_ = out; }
+  void set_text_sink(std::ostream* out);
 
   /// Resizes the ring (drops retained records).
   void set_ring_capacity(std::size_t capacity);
@@ -99,12 +107,10 @@ class Log {
   /// level filter is the caller's job (see the PLC_LOG_* macros).
   void write(LogRecord record);
 
-  std::size_t size() const { return size_; }
-  std::size_t capacity() const { return capacity_; }
-  std::int64_t recorded() const { return recorded_; }
-  std::int64_t dropped() const {
-    return recorded_ - static_cast<std::int64_t>(size_);
-  }
+  std::size_t size() const;
+  std::size_t capacity() const;
+  std::int64_t recorded() const;
+  std::int64_t dropped() const;
   void clear();
 
   /// Retained records, oldest first.
@@ -117,9 +123,10 @@ class Log {
   static void format_text(std::ostream& out, const LogRecord& record);
 
  private:
-  LogLevel level_;
+  std::atomic<LogLevel> level_;
   std::ostream* text_sink_;
   Stopwatch stopwatch_;
+  mutable std::mutex mutex_;  ///< Guards the ring, counters and sink.
   std::vector<LogRecord> ring_;
   std::size_t capacity_;
   std::size_t head_ = 0;

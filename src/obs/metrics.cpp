@@ -148,6 +148,23 @@ Histogram& Registry::histogram(std::string name, Labels labels) {
       .histogram;
 }
 
+void Registry::absorb(const Snapshot& snapshot) {
+  for (const MetricSample& sample : snapshot.samples()) {
+    switch (sample.kind) {
+      case MetricKind::kCounter:
+        counter(sample.name, sample.labels)
+            .add(static_cast<std::int64_t>(sample.value));
+        break;
+      case MetricKind::kGauge:
+        gauge(sample.name, sample.labels).set(sample.value);
+        break;
+      case MetricKind::kHistogram:
+        histogram(sample.name, sample.labels).merge(sample.distribution);
+        break;
+    }
+  }
+}
+
 Snapshot Registry::snapshot() const {
   Snapshot snapshot;
   snapshot.samples_.reserve(entries_.size());

@@ -62,6 +62,9 @@ class Gauge {
 class Histogram {
  public:
   void observe(double value) { stats_.add(value); }
+  /// Folds an already-accumulated distribution in (parallel Welford);
+  /// used when absorbing a worker's snapshot into a live registry.
+  void merge(const util::RunningStats& other) { stats_.merge(other); }
   const util::RunningStats& stats() const { return stats_; }
 
  private:
@@ -110,6 +113,10 @@ class Snapshot {
 };
 
 /// The registry. Non-copyable; instruments live as long as the registry.
+/// Deliberately not thread-safe — an increment must stay a bare integer
+/// add. A registry and the instrument references it hands out belong to
+/// one thread; parallel code gives every worker task its own registry and
+/// absorb()s the snapshots at the barrier (see sim::ParallelRunner).
 class Registry {
  public:
   Registry() = default;
@@ -122,6 +129,15 @@ class Registry {
   Counter& counter(std::string name, Labels labels = {});
   Gauge& gauge(std::string name, Labels labels = {});
   Histogram& histogram(std::string name, Labels labels = {});
+
+  /// Folds a snapshot into the live instruments with Snapshot::merge
+  /// semantics (counters add, histograms merge, gauges take the
+  /// snapshot's value), creating missing series. This is how a parallel
+  /// runner lands its workers' per-task registries in the caller's
+  /// registry — workers never share instruments; the runner absorbs
+  /// their snapshots in task-index order at the barrier. Throws
+  /// plc::Error on a kind mismatch with an existing series.
+  void absorb(const Snapshot& snapshot);
 
   Snapshot snapshot() const;
   std::size_t size() const { return entries_.size(); }

@@ -9,6 +9,7 @@
 #include <memory>
 #include <mutex>
 #include <ostream>
+#include <string>
 
 #include "obs/json.hpp"
 #include "util/strings.hpp"
@@ -59,6 +60,7 @@ struct ThreadState {
     root.name = "";
   }
   int index;
+  std::string thread_name;  ///< Chrome trace track label (owned copy).
   ProfileNode root;  ///< Sentinel; real scopes hang below it.
   ProfileNode* current = &root;
   std::deque<ProfileNode> arena;  ///< Stable addresses.
@@ -70,8 +72,10 @@ struct Profiler::Impl {
   std::int64_t epoch_ns = wall_ns();
 
   // Event capture ring (guarded by `mutex`; capture is opt-in and the
-  // instrumented phases are coarse, so contention is negligible).
-  bool capture = false;
+  // instrumented phases are coarse, so contention is negligible). The
+  // flag itself is atomic so the lock-free check in exit() is clean
+  // under ThreadSanitizer.
+  std::atomic<bool> capture{false};
   std::size_t capacity = 0;
   std::vector<CapturedEvent> ring;
   std::size_t head = 0;
@@ -154,7 +158,7 @@ void Profiler::exit(void* opaque, std::int64_t start_ns) {
   // profiler was disabled (current may already be an ancestor).
   if (state.current == node) state.current = node->parent;
 
-  if (impl.capture) {
+  if (impl.capture.load(std::memory_order_relaxed)) {
     std::lock_guard<std::mutex> lock(impl.mutex);
     if (impl.capacity > 0) {
       CapturedEvent event{node->name, start_ns - impl.epoch_ns, dur,
@@ -169,6 +173,12 @@ void Profiler::exit(void* opaque, std::int64_t start_ns) {
       ++impl.recorded;
     }
   }
+}
+
+void Profiler::set_thread_name(const char* name) {
+  ThreadState& state = impl_->local_state();
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  state.thread_name = name;
 }
 
 void Profiler::set_capture_events(bool capture, std::size_t capacity) {
@@ -272,6 +282,21 @@ void Profiler::write_chrome_trace(std::ostream& out) const {
       .field("name", "profiler")
       .end_object()
       .end_object();
+  // One thread-name metadata record per named thread (parallel-runner
+  // workers name themselves), so Perfetto shows "worker N" tracks.
+  for (const auto& thread : impl_->threads) {
+    if (thread->thread_name.empty()) continue;
+    json.begin_object()
+        .field("ph", "M")
+        .field("pid", 1)
+        .field("tid", thread->index)
+        .field("name", "thread_name")
+        .key("args")
+        .begin_object()
+        .field("name", thread->thread_name)
+        .end_object()
+        .end_object();
+  }
   // Oldest first.
   const std::size_t start =
       impl_->size < impl_->capacity ? 0 : impl_->head;

@@ -94,6 +94,11 @@ class Profiler {
   void set_capture_events(bool capture,
                           std::size_t capacity = kDefaultEventCapacity);
 
+  /// Names the calling thread's track in the Chrome trace export (e.g.
+  /// "worker 3"); the name is copied. Threads without a name render by
+  /// index only.
+  void set_thread_name(const char* name);
+
   /// Drops all recorded nodes and captured events (keeps enabled state).
   /// Must not be called while any PROF_SCOPE is open.
   void reset();

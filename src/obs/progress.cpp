@@ -33,6 +33,15 @@ void ProgressMeter::sample(des::SimTime now, std::int64_t events) {
   report(now, events, /*final_line=*/false);
 }
 
+void ProgressMeter::sample_coarse(des::SimTime now, std::int64_t events) {
+  const double elapsed = stopwatch_.elapsed_seconds();
+  if (elapsed - last_report_seconds_ < options_.interval_wall_seconds) {
+    return;
+  }
+  last_report_seconds_ = elapsed;
+  report(now, events, /*final_line=*/false);
+}
+
 void ProgressMeter::finish(des::SimTime now, std::int64_t events) {
   report(now, events, /*final_line=*/true);
 }

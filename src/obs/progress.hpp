@@ -23,6 +23,8 @@
 
 namespace plc::obs {
 
+/// Not thread-safe: concurrent producers (parallel-runner workers) must
+/// serialize their sample_coarse()/finish() calls behind one mutex.
 class ProgressMeter final : public des::SchedulerObserver {
  public:
   struct Options {
@@ -42,6 +44,11 @@ class ProgressMeter final : public des::SchedulerObserver {
 
   /// Manual driver for non-scheduler loops; `events` is cumulative.
   void sample(des::SimTime now, std::int64_t events);
+
+  /// Coarse driver for callers that already throttle their calls (the
+  /// parallel runner samples once per worker check interval): skips the
+  /// per-event countdown and applies only the wall-interval check.
+  void sample_coarse(des::SimTime now, std::int64_t events);
 
   /// Prints the final status line (idempotent per call site; call once).
   void finish(des::SimTime now, std::int64_t events);

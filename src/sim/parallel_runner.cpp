@@ -1,0 +1,231 @@
+#include "sim/parallel_runner.hpp"
+
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <utility>
+
+#include "des/random.hpp"
+#include "obs/log.hpp"
+#include "obs/profiler.hpp"
+#include "util/error.hpp"
+#include "util/math.hpp"
+
+namespace plc::sim {
+namespace {
+
+/// Everything one (point × repetition) task produces. Tasks only write
+/// their own slot; the merge after the barrier walks slots in task-index
+/// order, so the result stream is independent of worker scheduling.
+struct TaskResult {
+  double collision_probability = 0.0;
+  double normalized_throughput = 0.0;
+  double jain_index = 0.0;
+  std::int64_t medium_events = 0;
+  des::SimTime elapsed = des::SimTime::zero();
+  obs::Snapshot metrics;
+  std::vector<obs::TraceEvent> trace;
+  double wall_seconds = 0.0;
+};
+
+std::vector<std::string> make_worker_names(int jobs) {
+  const int count = util::ThreadPool::resolve_jobs(jobs);
+  std::vector<std::string> names;
+  names.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    names.push_back("worker " + std::to_string(i));
+  }
+  return names;
+}
+
+}  // namespace
+
+ParallelRunner::ParallelRunner(int jobs)
+    : worker_names_(make_worker_names(jobs)),
+      pool_(static_cast<int>(worker_names_.size()), [this](int worker) {
+        obs::Profiler::instance().set_thread_name(
+            worker_names_[static_cast<std::size_t>(worker)].c_str());
+      }) {}
+
+RunSummary ParallelRunner::run_point(const RunSpec& spec,
+                                     const RunObservability& obs) {
+  const std::vector<RunSpec> specs{spec};
+  return run_points(specs, obs)[0];
+}
+
+std::vector<RunSummary> ParallelRunner::run_points(
+    const std::vector<RunSpec>& specs, const RunObservability& obs) {
+  PROF_SCOPE("sim.parallel.run_points");
+  obs::Stopwatch wall;
+
+  std::vector<std::size_t> offsets;  // First task index of each point.
+  offsets.reserve(specs.size());
+  std::size_t total_tasks = 0;
+  for (const RunSpec& spec : specs) {
+    util::check_arg(spec.repetitions >= 1, "repetitions", "must be >= 1");
+    offsets.push_back(total_tasks);
+    total_tasks += static_cast<std::size_t>(spec.repetitions);
+  }
+  std::vector<TaskResult> slots(total_tasks);
+
+  // Shared heartbeat state. Workers batch kCheckEvery events locally,
+  // then fold their deltas in under the mutex; the meter itself is not
+  // thread-safe, so sample_coarse() only ever runs while holding it.
+  std::mutex progress_mutex;
+  des::SimTime progress_sim = des::SimTime::zero();
+  std::int64_t progress_events = 0;
+
+  for (std::size_t p = 0; p < specs.size(); ++p) {
+    for (int rep = 0; rep < specs[p].repetitions; ++rep) {
+      TaskResult* slot = &slots[offsets[p] + rep];
+      pool_.submit([&specs, &obs, &progress_mutex, &progress_sim,
+                    &progress_events, p, rep, slot] {
+        PROF_SCOPE("sim.repetition");
+        obs::Stopwatch task_wall;
+        const RunSpec& spec = specs[p];
+        SlotSimulator simulator = make_simulator(spec, rep);
+
+        // Per-task registry and trace ring: the simulator hot path never
+        // crosses threads, and the barrier merge lands everything into
+        // the caller's sinks in task order.
+        obs::Registry local_registry;
+        if (obs.registry != nullptr) simulator.bind_metrics(local_registry);
+        std::unique_ptr<obs::TraceSink> local_trace;
+        if (obs.trace != nullptr && rep == 0) {
+          local_trace = std::make_unique<obs::TraceSink>(obs.trace->capacity());
+          simulator.set_trace(local_trace.get(), obs.trace_counter_samples);
+        }
+        if (obs.progress != nullptr) {
+          simulator.set_observer(
+              [&obs, &progress_mutex, &progress_sim, &progress_events,
+               countdown = obs::ProgressMeter::kCheckEvery,
+               pending = std::int64_t{0},
+               flushed_sim = des::SimTime::zero()](
+                  const SlotEvent& event) mutable {
+                ++pending;
+                if (--countdown > 0) return;
+                countdown = obs::ProgressMeter::kCheckEvery;
+                std::lock_guard<std::mutex> lock(progress_mutex);
+                progress_sim += event.start - flushed_sim;
+                flushed_sim = event.start;
+                progress_events += pending;
+                pending = 0;
+                obs.progress->sample_coarse(progress_sim, progress_events);
+              });
+        }
+
+        const SlotSimResults results = simulator.run(spec.duration);
+        slot->medium_events =
+            results.idle_slots + results.successes + results.collision_events;
+        slot->elapsed = results.elapsed;
+        slot->collision_probability = results.collision_probability();
+        slot->normalized_throughput =
+            results.normalized_throughput(spec.frame_length);
+        std::vector<double> shares;
+        shares.reserve(results.tx_success.size());
+        for (const std::int64_t s : results.tx_success) {
+          shares.push_back(static_cast<double>(s));
+        }
+        slot->jain_index = util::jain_index(shares);
+        if (obs.registry != nullptr) slot->metrics = local_registry.snapshot();
+        if (local_trace != nullptr) slot->trace = local_trace->events();
+        slot->wall_seconds = task_wall.elapsed_seconds();
+      });
+    }
+  }
+  pool_.wait();
+
+  // Merge in task-index order, performing exactly the arithmetic the
+  // serial loop would: ordered RunningStats::add calls per repetition,
+  // never batch merges (those differ in the last float bits).
+  std::vector<RunSummary> summaries(specs.size());
+  double serial_equivalent = 0.0;
+  for (std::size_t p = 0; p < specs.size(); ++p) {
+    RunSummary& summary = summaries[p];
+    for (int rep = 0; rep < specs[p].repetitions; ++rep) {
+      const TaskResult& slot = slots[offsets[p] + rep];
+      summary.medium_events += slot.medium_events;
+      summary.simulated = summary.simulated + slot.elapsed;
+      summary.collision_probability.add(slot.collision_probability);
+      summary.normalized_throughput.add(slot.normalized_throughput);
+      summary.jain_index.add(slot.jain_index);
+      if (obs.registry != nullptr) obs.registry->absorb(slot.metrics);
+      serial_equivalent += slot.wall_seconds;
+    }
+    if (obs.trace != nullptr) {
+      for (const obs::TraceEvent& event : slots[offsets[p]].trace) {
+        obs.trace->record(event);
+      }
+    }
+  }
+  if (obs.progress != nullptr) {
+    des::SimTime total_sim = des::SimTime::zero();
+    std::int64_t total_events = 0;
+    for (const RunSummary& summary : summaries) {
+      total_sim += summary.simulated;
+      total_events += summary.medium_events;
+    }
+    obs.progress->finish(total_sim, total_events);
+  }
+
+  wall_seconds_ = wall.elapsed_seconds();
+  serial_equivalent_seconds_ = serial_equivalent;
+  return summaries;
+}
+
+obs::RunReport ParallelRunner::run_point_report(const RunSpec& spec,
+                                                std::string name,
+                                                const RunObservability& obs) {
+  obs::Registry local_registry;
+  RunObservability effective = obs;
+  if (effective.registry == nullptr) effective.registry = &local_registry;
+
+  obs::Stopwatch stopwatch;
+  const RunSummary summary = run_point(spec, effective);
+
+  // Field-for-field the serial run_point_report: no jobs-dependent
+  // scalars, so reports from different --jobs values are byte-identical
+  // once the wall-clock fields are zeroed.
+  obs::RunReport report;
+  report.name = std::move(name);
+  report.wall_seconds = stopwatch.elapsed_seconds();
+  report.simulated_seconds = summary.simulated.seconds();
+  report.events = summary.medium_events;
+  report.scalars["stations"] = static_cast<double>(spec.stations);
+  report.scalars["repetitions"] = static_cast<double>(spec.repetitions);
+  report.scalars["collision_probability_mean"] =
+      summary.collision_probability.mean();
+  report.scalars["collision_probability_stddev"] =
+      summary.collision_probability.stddev();
+  report.scalars["normalized_throughput_mean"] =
+      summary.normalized_throughput.mean();
+  report.scalars["normalized_throughput_stddev"] =
+      summary.normalized_throughput.stddev();
+  report.scalars["jain_index_mean"] = summary.jain_index.mean();
+  report.metrics = effective.registry->snapshot();
+  if (obs::Profiler::enabled()) {
+    report.profile = obs::Profiler::instance().snapshot();
+  }
+  PLC_LOG_DEBUG("sim", "parallel run_point complete")
+      .num("stations", spec.stations)
+      .num("repetitions", spec.repetitions)
+      .num("jobs", jobs())
+      .num("medium_events", static_cast<double>(summary.medium_events))
+      .num("wall_seconds", report.wall_seconds);
+  return report;
+}
+
+std::vector<RunSpec> ParallelRunner::seed_grid(std::vector<RunSpec> specs,
+                                               std::uint64_t root_seed) {
+  for (std::size_t p = 0; p < specs.size(); ++p) {
+    specs[p].seed = des::derive_task_seed(root_seed, p, 0);
+  }
+  return specs;
+}
+
+double ParallelRunner::speedup() const {
+  if (wall_seconds_ <= 0.0 || serial_equivalent_seconds_ <= 0.0) return 1.0;
+  return serial_equivalent_seconds_ / wall_seconds_;
+}
+
+}  // namespace plc::sim

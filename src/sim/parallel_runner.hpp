@@ -1,0 +1,95 @@
+// Deterministic parallel sweep engine.
+//
+// A sweep is embarrassingly parallel: every (sweep-point × repetition)
+// pair is an independent simulation. ParallelRunner shards those tasks
+// across a fixed worker pool and rejoins at a barrier, with three hard
+// guarantees:
+//
+//   1. **Bit-identical results for any jobs count, including 1.** Seeds
+//      are a pure function of (spec seed, repetition index) — the same
+//      derivation the serial runner uses — never of thread identity or
+//      schedule order; every task writes into its own pre-allocated slot;
+//      and the merge walks slots in task-index order, performing exactly
+//      the arithmetic the serial loop would (ordered RunningStats::add
+//      calls, not batch merges). `ParallelRunner(1).run_point(spec)` is
+//      therefore bit-identical to `sim::run_point(spec)`, and so is any
+//      other jobs count.
+//   2. **Allocation-free observability on the hot path.** Each task gets
+//      its own metrics registry (and, for repetition 0 of a point, its
+//      own trace ring); the runner absorbs the snapshots into the
+//      caller's registry and splices the trace rings into the caller's
+//      sink at the barrier, in task-index order. Workers name their
+//      profiler tracks ("worker N"), so PLC_PROFILE + the Chrome trace
+//      export shows per-worker flame charts.
+//   3. **Serial-equivalent accounting.** The runner sums each task's wall
+//      time; serial_equivalent_seconds() / wall_seconds() is the honest
+//      speedup of the last run, which the heavy benches record in their
+//      BENCH_*.json.
+//
+// For dense N×CW×DC grids, seed the points with
+// des::derive_task_seed(root, point, rep) (see seed_grid) so adding or
+// reordering points never perturbs the streams of the others.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/runner.hpp"
+#include "util/thread_pool.hpp"
+
+namespace plc::sim {
+
+class ParallelRunner {
+ public:
+  /// Starts the worker pool; jobs <= 0 means one worker per hardware
+  /// thread.
+  explicit ParallelRunner(int jobs = 0);
+
+  int jobs() const { return pool_.size(); }
+
+  /// Parallel equivalent of sim::run_point: repetitions are sharded
+  /// across the pool. Bit-identical to the serial runner for any jobs
+  /// count (see the file comment for why).
+  RunSummary run_point(const RunSpec& spec,
+                       const RunObservability& obs = {});
+
+  /// Runs a whole sweep: every (point × repetition) task is sharded
+  /// independently, summaries come back indexed like `specs`. The trace
+  /// sink (when attached) receives repetition 0 of every point, spliced
+  /// in point order.
+  std::vector<RunSummary> run_points(const std::vector<RunSpec>& specs,
+                                     const RunObservability& obs = {});
+
+  /// Parallel equivalent of sim::run_point_report. The report carries
+  /// exactly the serial report's fields (no jobs-dependent scalars), so
+  /// reports from different --jobs values are byte-identical once the
+  /// wall-clock fields are zeroed.
+  obs::RunReport run_point_report(const RunSpec& spec, std::string name,
+                                  const RunObservability& obs = {});
+
+  /// Copies `specs`, overwriting each spec's seed with
+  /// des::derive_task_seed(root_seed, point_index, 0) — the documented
+  /// scheme for seeding dense grids from one root.
+  static std::vector<RunSpec> seed_grid(std::vector<RunSpec> specs,
+                                        std::uint64_t root_seed);
+
+  /// Wall-clock seconds of the last run_point/run_points call.
+  double wall_seconds() const { return wall_seconds_; }
+  /// Sum of the per-task wall times of the last call — what a serial
+  /// loop would have spent on the same work.
+  double serial_equivalent_seconds() const {
+    return serial_equivalent_seconds_;
+  }
+  /// serial_equivalent_seconds / wall_seconds of the last call (1.0 when
+  /// idle); the scalar the heavy benches record.
+  double speedup() const;
+
+ private:
+  std::vector<std::string> worker_names_;  ///< "worker 0".."worker N-1".
+  util::ThreadPool pool_;
+  double wall_seconds_ = 0.0;
+  double serial_equivalent_seconds_ = 0.0;
+};
+
+}  // namespace plc::sim

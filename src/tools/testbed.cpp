@@ -1,13 +1,16 @@
 #include "tools/testbed.hpp"
 
+#include <cstddef>
 #include <memory>
 #include <string>
 
 #include "des/random.hpp"
 #include "obs/log.hpp"
 #include "obs/profiler.hpp"
+#include "obs/report.hpp"
 #include "tools/ampstat.hpp"
 #include "util/error.hpp"
+#include "util/thread_pool.hpp"
 #include "workload/sources.hpp"
 
 namespace plc::tools {
@@ -129,6 +132,72 @@ TestbedResult run_saturated_testbed(const TestbedConfig& config) {
     result.captures = faifa->captures();
   }
   return result;
+}
+
+double TestbedSuiteResult::speedup() const {
+  if (wall_seconds <= 0.0 || serial_equivalent_seconds <= 0.0) return 1.0;
+  return serial_equivalent_seconds / wall_seconds;
+}
+
+TestbedSuiteResult run_testbed_suite(const std::vector<TestbedConfig>& configs,
+                                     int jobs) {
+  PROF_SCOPE("testbed.suite");
+  obs::Stopwatch wall;
+
+  struct Slot {
+    TestbedResult result;
+    obs::Snapshot metrics;
+    double wall_seconds = 0.0;
+  };
+  std::vector<Slot> slots(configs.size());
+
+  std::vector<std::string> worker_names;
+  {
+    const int count = util::ThreadPool::resolve_jobs(jobs);
+    worker_names.reserve(static_cast<std::size_t>(count));
+    for (int i = 0; i < count; ++i) {
+      worker_names.push_back("worker " + std::to_string(i));
+    }
+  }
+  util::ThreadPool pool(
+      static_cast<int>(worker_names.size()), [&worker_names](int worker) {
+        obs::Profiler::instance().set_thread_name(
+            worker_names[static_cast<std::size_t>(worker)].c_str());
+      });
+
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    util::check_arg(configs[i].trace == nullptr, "configs",
+                    "suite runs cannot share a trace sink");
+    util::check_arg(configs[i].progress == nullptr, "configs",
+                    "suite runs cannot share a progress meter");
+    Slot* slot = &slots[i];
+    pool.submit([&configs, i, slot] {
+      obs::Stopwatch run_wall;
+      // Private registry per run; the caller's registry (if any) receives
+      // the snapshot at the barrier, in config order.
+      obs::Registry local_registry;
+      TestbedConfig config = configs[i];
+      if (config.registry != nullptr) config.registry = &local_registry;
+      slot->result = run_saturated_testbed(config);
+      if (configs[i].registry != nullptr) {
+        slot->metrics = local_registry.snapshot();
+      }
+      slot->wall_seconds = run_wall.elapsed_seconds();
+    });
+  }
+  pool.wait();
+
+  TestbedSuiteResult suite;
+  suite.runs.reserve(configs.size());
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    if (configs[i].registry != nullptr) {
+      configs[i].registry->absorb(slots[i].metrics);
+    }
+    suite.runs.push_back(std::move(slots[i].result));
+    suite.serial_equivalent_seconds += slots[i].wall_seconds;
+  }
+  suite.wall_seconds = wall.elapsed_seconds();
+  return suite;
 }
 
 }  // namespace plc::tools

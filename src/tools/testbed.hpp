@@ -69,4 +69,29 @@ struct TestbedResult {
 /// whole §3 code path, byte-encoded MMEs included.
 TestbedResult run_saturated_testbed(const TestbedConfig& config);
 
+/// Results of a parallel batch of testbed runs (see run_testbed_suite).
+struct TestbedSuiteResult {
+  /// One result per config, indexed like the input.
+  std::vector<TestbedResult> runs;
+  /// Wall-clock seconds of the whole batch.
+  double wall_seconds = 0.0;
+  /// Sum of the per-run wall times — what a serial loop would have spent.
+  double serial_equivalent_seconds = 0.0;
+  /// serial_equivalent_seconds / wall_seconds (1.0 when degenerate).
+  double speedup() const;
+};
+
+/// Runs a batch of independent testbed tests across a worker pool
+/// (`jobs` <= 0 means one worker per hardware thread) and rejoins at a
+/// barrier. Bit-identical to running the configs serially in order, for
+/// any jobs count: each run's seed comes from its config alone, each run
+/// gets a private metrics registry, and the runner absorbs the snapshots
+/// into the configs' registries in config order after the barrier
+/// (configs may share one registry — the Figure 2 bench binds all 7×10
+/// runs to the harness registry). Configs must not attach trace sinks or
+/// progress meters: those sinks are not shareable across workers, so the
+/// suite rejects them (run such configs through run_saturated_testbed).
+TestbedSuiteResult run_testbed_suite(const std::vector<TestbedConfig>& configs,
+                                     int jobs);
+
 }  // namespace plc::tools
