@@ -11,6 +11,7 @@
 #include "analysis/optimizer.hpp"
 #include "bench_main.hpp"
 #include "obs/report.hpp"
+#include "scenario/registry.hpp"
 #include "sim/sim_1901.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
@@ -29,14 +30,19 @@ struct SimJob {
   double wall_seconds = 0.0;  ///< Per-job wall time (serial-equivalent).
 };
 
-void simulate_all(std::vector<SimJob>& sim_jobs, int jobs) {
+void simulate_all(std::vector<SimJob>& sim_jobs, int jobs,
+                  const plc::scenario::Spec& spec) {
+  const double duration_us = spec.duration.us();
+  const double tc_us = spec.timing.tc(spec.frame_length).us();
+  const double ts_us = spec.timing.ts(spec.frame_length).us();
+  const double frame_us = spec.frame_length.us();
   plc::util::ThreadPool pool(jobs);
   pool.parallel_for(
       static_cast<std::int64_t>(sim_jobs.size()), [&](std::int64_t i) {
         SimJob& job = sim_jobs[static_cast<std::size_t>(i)];
         plc::obs::Stopwatch job_wall;
         job.throughput =
-            plc::sim::sim_1901(job.n, 6e7, 2920.64, 2542.64, 2050.0,
+            plc::sim::sim_1901(job.n, duration_us, tc_us, ts_us, frame_us,
                                job.config.cw, job.config.dc, job.seed)
                 .normalized_throughput;
         job.wall_seconds = job_wall.elapsed_seconds();
@@ -48,10 +54,14 @@ void simulate_all(std::vector<SimJob>& sim_jobs, int jobs) {
 int main() {
   using namespace plc;
   bench::Harness harness("ext_boosting_configs");
-  const sim::SlotTiming timing;
-  const des::SimTime frame = des::SimTime::from_us(2050.0);
+  // Sweep frame (station counts, sim duration, timing, root seed) from
+  // the declarative spec; the candidate pool and ranking stay here.
+  const scenario::Spec spec = scenario::Registry::get("e8-boosting");
+  harness.report().scenario = spec.to_json();
+  const phy::TimingConfig timing = spec.timing;
+  const des::SimTime frame = spec.frame_length;
   const auto pool = analysis::default_candidate_pool();
-  const std::vector<int> station_counts = {5, 15, 30};
+  const std::vector<int>& station_counts = spec.stations;
 
   std::cout << "=== E8: boosting — tuned configurations vs the Table 1 "
                "default ===\n\n";
@@ -68,17 +78,17 @@ int main() {
     const auto& ranked = ranked_by_n.back();
     for (const auto& score : ranked) {
       if (score.config.name == "CA0/CA1") {
-        sim_jobs.push_back({score.config, n, 0xB0057, 0.0});
+        sim_jobs.push_back({score.config, n, spec.seed, 0.0});
       }
     }
     for (std::size_t i = 0; i < 3 && i < ranked.size(); ++i) {
-      sim_jobs.push_back({ranked[i].config, n, 0xB0058, 0.0});
+      sim_jobs.push_back({ranked[i].config, n, spec.seed + 1, 0.0});
     }
-    sim_jobs.push_back({uniform_by_n.back().config, n, 0xB0059, 0.0});
+    sim_jobs.push_back({uniform_by_n.back().config, n, spec.seed + 2, 0.0});
   }
-  const int jobs = bench::jobs_from_env();
+  const int jobs = util::jobs_from_env();
   obs::Stopwatch parallel_wall;
-  simulate_all(sim_jobs, jobs);
+  simulate_all(sim_jobs, jobs, spec);
   const double parallel_seconds = parallel_wall.elapsed_seconds();
 
   std::size_t next_job = 0;
@@ -120,8 +130,8 @@ int main() {
           ranked.front().throughput;
     }
     harness.scalar(prefix + "tuned_uniform_throughput") = uniform.throughput;
-    // 5 simulated validations of 60 s each per N.
-    harness.add_simulated_seconds(5 * 60.0);
+    // 5 simulated validations of spec.duration each per N.
+    harness.add_simulated_seconds(5 * spec.duration.seconds());
   }
   double serial_equivalent = 0.0;
   for (const SimJob& job : sim_jobs) serial_equivalent += job.wall_seconds;

@@ -9,6 +9,7 @@
 #include "analysis/exact_chain.hpp"
 #include "bench_main.hpp"
 #include "mac/config.hpp"
+#include "phy/timing.hpp"
 #include "sim/slot_simulator.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
@@ -35,7 +36,7 @@ int main() {
   plc::bench::Harness harness("ext_coexistence");
   const mac::BackoffConfig ca1 = mac::BackoffConfig::ca0_ca1();
   const mac::BackoffConfig greedy = aggressive_config();
-  const sim::SlotTiming timing;
+  const phy::TimingConfig timing = phy::TimingConfig::paper_default();
 
   std::cout << "=== E12: coexistence of a tuned station with defaults "
                "===\n\n";

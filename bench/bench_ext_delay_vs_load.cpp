@@ -7,6 +7,7 @@
 
 #include "analysis/delay.hpp"
 #include "bench_main.hpp"
+#include "phy/timing.hpp"
 #include "sim/unsaturated.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
@@ -15,7 +16,7 @@ int main() {
   using namespace plc;
   bench::Harness harness("ext_delay_vs_load");
   const mac::BackoffConfig ca1 = mac::BackoffConfig::ca0_ca1();
-  const sim::SlotTiming timing;
+  const phy::TimingConfig timing = phy::TimingConfig::paper_default();
   const des::SimTime frame = des::SimTime::from_us(2050.0);
 
   std::cout << "=== E13: mean access delay vs load (Poisson arrivals, "

@@ -9,6 +9,7 @@
 #include "analysis/model_1901.hpp"
 #include "bench_main.hpp"
 #include "mac/config.hpp"
+#include "phy/timing.hpp"
 #include "sim/sim_1901.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
@@ -27,10 +28,10 @@ int main() {
   for (const double frame_us : {250.0, 500.0, 1025.0, 2050.0, 4100.0}) {
     const double ts_us = frame_us + 492.64;
     const double tc_us = frame_us + 870.64;
-    sim::SlotTiming timing;
-    timing.ts = des::SimTime::from_us(ts_us);
-    timing.tc = des::SimTime::from_us(tc_us);
     const des::SimTime frame = des::SimTime::from_us(frame_us);
+    const phy::TimingConfig timing = phy::TimingConfig::from_ts_tc(
+        des::SimTime::from_ns(35'840), des::SimTime::from_us(ts_us),
+        des::SimTime::from_us(tc_us), frame);
 
     std::vector<std::string> row = {util::format_fixed(frame_us, 0)};
     for (const int n : {2, 10}) {

@@ -21,7 +21,7 @@ std::vector<int> winner_trace(int n, bool dcf, std::uint64_t seed) {
   auto entities =
       dcf ? sim::make_dcf_entities(n, 16, 1024, seed)
           : sim::make_1901_entities(n, mac::BackoffConfig::ca0_ca1(), seed);
-  sim::SlotSimulator simulator(std::move(entities), sim::SlotTiming{});
+  sim::SlotSimulator simulator(std::move(entities));
   simulator.enable_winner_trace(true);
   simulator.run(plc::des::SimTime::from_seconds(300.0));
   return simulator.winners();

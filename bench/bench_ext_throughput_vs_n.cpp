@@ -4,113 +4,39 @@
 // a small CWmin plus the deferral counter holds throughput nearly flat in
 // N, while a DCF with the same small windows collapses and a standard DCF
 // wastes idle slots at small N.
-#include <cstddef>
+//
+// The four MAC variants and the station sweep are the registry's
+// "e6-throughput-vs-n" spec (scenarios/e6-throughput-vs-n.json; `plcsim
+// scenario e6-throughput-vs-n`); this bench drives it and leaves
+// BENCH_ext_throughput_vs_n.json behind, spec embedded.
 #include <iostream>
-#include <vector>
 
-#include "analysis/model_1901.hpp"
-#include "analysis/model_dcf.hpp"
 #include "bench_main.hpp"
-#include "mac/config.hpp"
-#include "sim/parallel_runner.hpp"
-#include "sim/runner.hpp"
-#include "util/strings.hpp"
-#include "util/table.hpp"
-
-namespace {
-
-plc::sim::RunSpec bench_spec(plc::sim::RunSpec spec) {
-  spec.duration = plc::des::SimTime::from_seconds(60.0);
-  spec.repetitions = 3;
-  return spec;
-}
-
-}  // namespace
+#include "scenario/registry.hpp"
+#include "scenario/run.hpp"
+#include "util/thread_pool.hpp"
 
 int main() {
   using namespace plc;
   bench::Harness harness("ext_throughput_vs_n");
-  const sim::SlotTiming timing;
-  const des::SimTime frame = des::SimTime::from_us(2050.0);
+  const scenario::Spec spec = scenario::Registry::get("e6-throughput-vs-n");
 
-  std::cout << "=== E6: normalized throughput vs N — 1901 vs 802.11 DCF "
-               "===\n";
-  std::cout << "(sim: 3 x 60 s per point; model: decoupling fixed "
-               "points)\n\n";
+  // 9 N values x 4 MAC variants x 3 repetitions, every task sharded
+  // across $PLC_JOBS workers — bit-identical to the serial sweep for any
+  // jobs count.
+  const int jobs = util::jobs_from_env();
+  scenario::RunOptions options;
+  options.jobs = jobs;
+  options.out = &std::cout;
+  options.registry = &harness.registry();
+  const scenario::RunOutcome outcome = scenario::run_scenario(spec, options);
 
-  // 9 N values x 4 MAC variants = 36 independent sweep points; every
-  // (point x repetition) task is sharded across $PLC_JOBS workers. The
-  // ParallelRunner is bit-identical to the serial run_point loop it
-  // replaces, for any jobs count (seeds are per-spec, merges are in
-  // task order).
-  const int jobs = bench::jobs_from_env();
-  const std::vector<int> station_counts = {1, 2, 3, 5, 7, 10, 15, 20, 30};
-  std::vector<sim::RunSpec> specs;  // 4 variants per N, in table order.
-  for (const int n : station_counts) {
-    sim::RunSpec ca1;
-    ca1.stations = n;
-    ca1.seed = 0xE6 + static_cast<std::uint64_t>(n);
-
-    sim::RunSpec ca3 = ca1;
-    ca3.config = mac::BackoffConfig::ca2_ca3();
-
-    sim::RunSpec dcf = ca1;
-    dcf.mac = sim::MacKind::kDcf;
-    dcf.dcf_cw_min = 16;
-    dcf.dcf_cw_max = 1024;
-
-    sim::RunSpec dcf_small = dcf;
-    dcf_small.dcf_cw_min = 8;
-    dcf_small.dcf_cw_max = 64;
-
-    specs.push_back(bench_spec(ca1));
-    specs.push_back(bench_spec(ca3));
-    specs.push_back(bench_spec(dcf));
-    specs.push_back(bench_spec(dcf_small));
-  }
-  sim::ParallelRunner runner(jobs);
-  const std::vector<sim::RunSummary> summaries = runner.run_points(specs);
-
-  util::TablePrinter table({"N", "1901 CA1 sim", "1901 CA1 model",
-                            "1901 CA3 sim", "DCF 16..1024 sim",
-                            "DCF 16..1024 model", "DCF 8..64 sim"});
-  for (std::size_t row = 0; row < station_counts.size(); ++row) {
-    const int n = station_counts[row];
-    const analysis::Model1901Result model_1901 =
-        analysis::solve_1901(n, mac::BackoffConfig::ca0_ca1());
-    const analysis::ModelDcfResult model_dcf =
-        analysis::solve_dcf(n, 16, 1024);
-
-    const double ca1_sim =
-        summaries[4 * row + 0].normalized_throughput.mean();
-    const double ca3_sim =
-        summaries[4 * row + 1].normalized_throughput.mean();
-    const double dcf_sim =
-        summaries[4 * row + 2].normalized_throughput.mean();
-    const double dcf_small_sim =
-        summaries[4 * row + 3].normalized_throughput.mean();
-    table.add_row(
-        {std::to_string(n), util::format_fixed(ca1_sim, 4),
-         util::format_fixed(model_1901.normalized_throughput(timing, frame),
-                            4),
-         util::format_fixed(ca3_sim, 4), util::format_fixed(dcf_sim, 4),
-         util::format_fixed(model_dcf.normalized_throughput(timing, frame),
-                            4),
-         util::format_fixed(dcf_small_sim, 4)});
-
-    const std::string prefix = "n" + std::to_string(n) + ".";
-    harness.scalar(prefix + "ca1_sim") = ca1_sim;
-    harness.scalar(prefix + "ca1_model") =
-        model_1901.normalized_throughput(timing, frame);
-    harness.scalar(prefix + "ca3_sim") = ca3_sim;
-    harness.scalar(prefix + "dcf_sim") = dcf_sim;
-    harness.scalar(prefix + "dcf_small_sim") = dcf_small_sim;
-    // 4 variants x 3 reps x 60 s per N.
-    harness.add_simulated_seconds(4 * 3 * 60.0);
-  }
-  table.print(std::cout);
-  bench::record_parallel(harness, jobs, runner.wall_seconds(),
-                         runner.serial_equivalent_seconds());
+  harness.report().scalars = outcome.report.scalars;
+  harness.report().events = outcome.report.events;
+  harness.report().scenario = outcome.report.scenario;
+  harness.add_simulated_seconds(outcome.report.simulated_seconds);
+  bench::record_parallel(harness, jobs, outcome.wall_seconds,
+                         outcome.serial_equivalent_seconds);
 
   std::cout << "\nShape checks: 1901 throughput decays gently with N; "
                "DCF with 1901's window range (8..64) and no deferral "

@@ -21,8 +21,7 @@ int main() {
                "Figure 1 columns CWi | DC | BC per station)\n\n";
 
   sim::SlotSimulator simulator(
-      sim::make_1901_entities(2, mac::BackoffConfig::ca0_ca1(), 0x0F1),
-      sim::SlotTiming{});
+      sim::make_1901_entities(2, mac::BackoffConfig::ca0_ca1(), 0x0F1));
 
   util::TablePrinter table({"t (us)", "event", "A: CW", "A: DC", "A: BC",
                             "B: CW", "B: DC", "B: BC"});

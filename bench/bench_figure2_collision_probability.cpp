@@ -1,108 +1,41 @@
 // E4 / Figure 2: collision probability vs number of stations, three ways —
-//   (1) MAC simulation (the paper's slot-level FSM),
-//   (2) analysis (decoupling fixed point; plus the exact coupled chain at
-//       N = 2, where decoupling visibly overestimates),
-//   (3) HomePlug AV measurements (the emulated testbed via ampstat MMEs,
-//       averaged over 10 tests as in the paper).
+// simulation, analysis (decoupling, plus the exact coupled chain at N = 2)
+// and the emulated HomePlug AV testbed averaged over 10 tests, against the
+// paper's measured markers.
+//
+// The experiment itself is declarative: scenario::Registry's "figure2"
+// spec (also committed as scenarios/figure2.json and runnable via `plcsim
+// scenario figure2`). This bench just drives it and packages the outcome
+// as BENCH_figure2_collision_probability.json, spec embedded.
 #include <iostream>
-#include <string>
-#include <vector>
 
-#include "analysis/exact_chain.hpp"
-#include "analysis/model_1901.hpp"
 #include "bench_main.hpp"
-#include "mac/config.hpp"
-#include "obs/metrics.hpp"
-#include "obs/report.hpp"
-#include "sim/sim_1901.hpp"
-#include "tools/testbed.hpp"
-#include "util/stats.hpp"
-#include "util/strings.hpp"
-#include "util/table.hpp"
+#include "scenario/registry.hpp"
+#include "scenario/run.hpp"
+#include "util/thread_pool.hpp"
 
 int main() {
   using namespace plc;
-  const mac::BackoffConfig ca1 = mac::BackoffConfig::ca0_ca1();
-
-  // Run report accumulated across the sweep: the harness registry is
-  // bound into all 7 x 10 testbed runs (counters add up), the scalars
-  // carry the per-N headline numbers, and the JSON lands next to the
-  // binary so BENCH_*.json files accumulate a perf trajectory.
   bench::Harness harness("figure2_collision_probability");
-  obs::RunReport& report = harness.report();
+  const scenario::Spec spec = scenario::Registry::get("figure2");
 
-  // All 7 x 10 testbed tests are independent; shard them across $PLC_JOBS
-  // workers (0 = hardware threads). Seeds are per-config, the suite
-  // absorbs metrics in config order, so every number below is identical
-  // to the serial loop this replaces, for any jobs count.
-  const int jobs = bench::jobs_from_env();
-  std::vector<tools::TestbedConfig> configs;
-  for (int n = 1; n <= 7; ++n) {
-    for (int test = 0; test < 10; ++test) {
-      tools::TestbedConfig config;
-      config.stations = n;
-      config.duration = des::SimTime::from_seconds(60.0);
-      config.seed = 0xBEEF + static_cast<std::uint64_t>(100 * n + test);
-      config.registry = &harness.registry();
-      configs.push_back(config);
-    }
-  }
-  const tools::TestbedSuiteResult suite = tools::run_testbed_suite(configs, jobs);
+  // The driver shards every (point x repetition) simulation and all 7 x 10
+  // testbed tests across $PLC_JOBS workers; results are bit-identical to
+  // the serial loop for any jobs count. The harness registry is bound in,
+  // so des.* counters accumulate across every run.
+  const int jobs = util::jobs_from_env();
+  scenario::RunOptions options;
+  options.jobs = jobs;
+  options.out = &std::cout;
+  options.registry = &harness.registry();
+  const scenario::RunOutcome outcome = scenario::run_scenario(spec, options);
 
-  // Paper Table 2's measured collision probabilities (the markers of
-  // Figure 2).
-  const double paper_measured[] = {0.0002, 0.0741, 0.1339, 0.1779,
-                                   0.2176, 0.2443, 0.2669};
-
-  std::cout << "=== Figure 2: collision probability vs N (CA1 defaults) "
-               "===\n";
-  std::cout << "(simulation: sim_1901, 5e8 us; measurement: emulated "
-               "testbed, 10 tests x 60 s; analysis: decoupling fixed "
-               "point, exact pair chain at N=2)\n\n";
-
-  util::TablePrinter table({"N", "simulation", "measurement (mean)",
-                            "measurement (std)", "analysis (decoupled)",
-                            "analysis (exact, N=2)", "paper measurement"});
-  for (int n = 1; n <= 7; ++n) {
-    const sim::Sim1901Result slot = sim::sim_1901(
-        n, 5e8, 2920.64, 2542.64, 2050.0, ca1.cw, ca1.dc, 0xF16 + n);
-
-    util::RunningStats measured;
-    for (int test = 0; test < 10; ++test) {
-      const std::size_t run = static_cast<std::size_t>(10 * (n - 1) + test);
-      measured.add(suite.runs[run].collision_probability);
-      harness.add_simulated_seconds(
-          (configs[run].warmup + configs[run].duration).seconds());
-    }
-
-    const analysis::Model1901Result model = analysis::solve_1901(n, ca1);
-
-    std::string exact_cell = "-";
-    if (n == 2) {
-      const analysis::ExactPairResult exact =
-          analysis::solve_exact_pair(ca1, 3000, 1e-10);
-      exact_cell = util::format_fixed(exact.collision_probability, 4);
-    } else if (n == 1) {
-      exact_cell = "0.0000";
-    }
-
-    table.add_row({std::to_string(n),
-                   util::format_fixed(slot.collision_probability, 4),
-                   util::format_fixed(measured.mean(), 4),
-                   util::format_fixed(measured.stddev(), 4),
-                   util::format_fixed(model.gamma, 4), exact_cell,
-                   util::format_fixed(paper_measured[n - 1], 4)});
-
-    const std::string prefix = "n" + std::to_string(n) + ".";
-    report.scalars[prefix + "simulation"] = slot.collision_probability;
-    report.scalars[prefix + "measured_mean"] = measured.mean();
-    report.scalars[prefix + "measured_stddev"] = measured.stddev();
-    report.scalars[prefix + "analysis"] = model.gamma;
-    report.scalars[prefix + "paper_measured"] = paper_measured[n - 1];
-  }
-  table.print(std::cout);
-  bench::record_parallel(harness, jobs, suite.wall_seconds,
-                         suite.serial_equivalent_seconds);
+  harness.report().scalars = outcome.report.scalars;
+  harness.report().events = outcome.report.events;
+  harness.report().scenario = outcome.report.scenario;
+  harness.add_simulated_seconds(outcome.report.simulated_seconds);
+  bench::record_parallel(harness, jobs, outcome.wall_seconds,
+                         outcome.serial_equivalent_seconds);
 
   std::cout
       << "\nShape checks (paper Figure 2): all series grow concavely with "

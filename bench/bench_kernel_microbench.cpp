@@ -38,8 +38,7 @@ constexpr std::int64_t kEventsPerIteration = 10'000;
 
 sim::SlotSimulator make_bench_simulator(int n) {
   return sim::SlotSimulator(
-      sim::make_1901_entities(n, mac::BackoffConfig::ca0_ca1(), 42),
-      sim::SlotTiming{});
+      sim::make_1901_entities(n, mac::BackoffConfig::ca0_ca1(), 42));
 }
 
 void run_slot_sim_loop(benchmark::State& state,

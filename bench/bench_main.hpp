@@ -31,16 +31,6 @@
 
 namespace plc::bench {
 
-/// Worker count for benches that shard their heavy loops: $PLC_JOBS,
-/// where 0 or unset means one worker per hardware thread.
-inline int jobs_from_env() {
-  if (const char* jobs = std::getenv("PLC_JOBS");
-      jobs != nullptr && jobs[0] != '\0') {
-    return std::atoi(jobs);
-  }
-  return 0;
-}
-
 /// Directory BENCH_*.json files land in: $PLC_BENCH_DIR or "." — always
 /// with a trailing separator applied by output_path().
 inline std::string output_path(const std::string& name) {

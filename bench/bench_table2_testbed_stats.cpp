@@ -2,73 +2,38 @@
 // testbed for N = 1..7 saturated stations over a 240 s test — the paper's
 // §3.2 procedure end to end: saturating UDP-like sources, ampstat reset at
 // test start, ampstat query at test end, bursts of 2 MPDUs.
+//
+// The experiment is the registry's "table2" spec (scenarios/table2.json;
+// `plcsim scenario table2`); this bench drives it and leaves
+// BENCH_table2_testbed_stats.json behind, spec embedded.
 #include <iostream>
-#include <vector>
 
 #include "bench_main.hpp"
-#include "tools/testbed.hpp"
-#include "util/strings.hpp"
-#include "util/table.hpp"
+#include "scenario/registry.hpp"
+#include "scenario/run.hpp"
+#include "util/thread_pool.hpp"
 
 int main() {
   using namespace plc;
   bench::Harness harness("table2_testbed_stats");
+  const scenario::Spec spec = scenario::Registry::get("table2");
 
-  // Paper Table 2 (one 240 s test each).
-  const double paper_c[] = {25,     12012, 21390, 28924,
-                            35990,  41877, 46989};
-  const double paper_a[] = {162220, 162020, 159780, 162590,
-                            165390, 171440, 176080};
+  // The 7 independent 240 s tests are sharded across $PLC_JOBS workers;
+  // seeds live in the configs, so the numbers match the serial loop for
+  // any jobs count.
+  const int jobs = util::jobs_from_env();
+  scenario::RunOptions options;
+  options.jobs = jobs;
+  options.out = &std::cout;
+  options.registry = &harness.registry();
+  const scenario::RunOutcome outcome = scenario::run_scenario(spec, options);
 
-  std::cout << "=== Table 2: testbed statistics sum(Ci), sum(Ai), "
-               "N = 1..7, 240 s ===\n";
-  std::cout << "(emulated HomePlug AV devices measured through the "
-               "0xA030 ampstat MME)\n\n";
-
-  // The 7 tests are independent 240 s runs; shard them across $PLC_JOBS
-  // workers. Seeds live in the configs and the suite result is indexed
-  // like them, so the numbers match the serial loop for any jobs count.
-  const int jobs = bench::jobs_from_env();
-  std::vector<tools::TestbedConfig> configs;
-  for (int n = 1; n <= 7; ++n) {
-    tools::TestbedConfig config;
-    config.stations = n;
-    config.duration = des::SimTime::from_seconds(240.0);
-    config.seed = 0x7AB2E + static_cast<std::uint64_t>(n);
-    config.registry = &harness.registry();
-    configs.push_back(config);
-  }
-  const tools::TestbedSuiteResult suite =
-      tools::run_testbed_suite(configs, jobs);
-
-  util::TablePrinter table({"N", "sum Ci", "sum Ai", "Ci/Ai", "paper Ci",
-                            "paper Ai", "paper Ci/Ai"});
-  for (int n = 1; n <= 7; ++n) {
-    const tools::TestbedConfig& config =
-        configs[static_cast<std::size_t>(n - 1)];
-    const tools::TestbedResult& result =
-        suite.runs[static_cast<std::size_t>(n - 1)];
-    harness.add_simulated_seconds((config.warmup + config.duration).seconds());
-    const std::string prefix = "n" + std::to_string(n) + ".";
-    harness.scalar(prefix + "collided") =
-        static_cast<double>(result.total_collided);
-    harness.scalar(prefix + "acknowledged") =
-        static_cast<double>(result.total_acknowledged);
-    harness.scalar(prefix + "collision_probability") =
-        result.collision_probability;
-    table.add_row(
-        {std::to_string(n),
-         util::with_thousands(static_cast<std::int64_t>(result.total_collided)),
-         util::with_thousands(
-             static_cast<std::int64_t>(result.total_acknowledged)),
-         util::format_fixed(result.collision_probability, 4),
-         util::with_thousands(static_cast<std::int64_t>(paper_c[n - 1])),
-         util::with_thousands(static_cast<std::int64_t>(paper_a[n - 1])),
-         util::format_fixed(paper_c[n - 1] / paper_a[n - 1], 4)});
-  }
-  table.print(std::cout);
-  bench::record_parallel(harness, jobs, suite.wall_seconds,
-                         suite.serial_equivalent_seconds);
+  harness.report().scalars = outcome.report.scalars;
+  harness.report().events = outcome.report.events;
+  harness.report().scenario = outcome.report.scenario;
+  harness.add_simulated_seconds(outcome.report.simulated_seconds);
+  bench::record_parallel(harness, jobs, outcome.wall_seconds,
+                         outcome.serial_equivalent_seconds);
 
   std::cout << "\nShape checks (paper §3.2): sum(Ai) *increases* with N "
                "(collided MPDUs are acknowledged too,\nand more stations "

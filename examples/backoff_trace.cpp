@@ -18,8 +18,7 @@ int main(int argc, char** argv) {
       argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 0xF1;
 
   sim::SlotSimulator simulator(
-      sim::make_1901_entities(2, mac::BackoffConfig::ca0_ca1(), seed),
-      sim::SlotTiming{});
+      sim::make_1901_entities(2, mac::BackoffConfig::ca0_ca1(), seed));
 
   std::printf("%10s  %-12s | %-18s | %-18s\n", "t (us)", "event",
               "station A  CW DC BC", "station B  CW DC BC");

@@ -91,6 +91,10 @@ void print_diff(const tools::DiffResult& diff,
     std::cout << "(" << hidden
               << " unchanged ungated values hidden; --all shows them)\n";
   }
+  if (diff.scenario_mismatch) {
+    std::cout << "WARNING: baseline and candidate embed different scenario "
+                 "specs — deltas are not like-for-like\n";
+  }
   if (diff.regressions > 0) {
     std::cout << diff.regressions << " regression(s) beyond "
               << util::format_fixed(options.threshold_pct, 1) << "%\n";
@@ -149,6 +153,10 @@ int main(int argc, char** argv) {
       }
       std::cout << result.reports.size() << " report pair(s), "
                 << result.regressions << " regression(s)\n";
+      if (result.scenario_mismatches > 0) {
+        std::cout << "WARNING: " << result.scenario_mismatches
+                  << " pair(s) embed differing scenario specs\n";
+      }
       regressions = result.regressions;
     } else {
       const tools::DiffResult result =

@@ -8,6 +8,7 @@
 #include <string>
 
 #include "analysis/optimizer.hpp"
+#include "phy/timing.hpp"
 #include "sim/sim_1901.hpp"
 #include "util/strings.hpp"
 
@@ -34,7 +35,7 @@ double simulate(const plc::mac::BackoffConfig& config, int n) {
 int main(int argc, char** argv) {
   using namespace plc;
   const int n = argc > 1 ? std::atoi(argv[1]) : 12;
-  const sim::SlotTiming timing;
+  const phy::TimingConfig timing = phy::TimingConfig::paper_default();
   const des::SimTime frame = des::SimTime::from_us(2050.0);
 
   const mac::BackoffConfig standard = mac::BackoffConfig::ca0_ca1();

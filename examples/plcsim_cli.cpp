@@ -7,11 +7,22 @@
 //   plcsim testbed --n 3 [--time-s 30] [--mme-ms 0] [--capture out.plcc]
 //                  [--tests R] [--jobs N]
 //   plcsim sweep   --n-max 10 [--time-s 20] [--csv] [--jobs N]
+//   plcsim scenario <name|file.json> [--jobs N] [--report out.json]
+//                  [--dump-spec [out.json]] [--validate]
+//   plcsim scenario --list
 //
 // --jobs N shards repetitions (sim), tests (testbed --tests), or sweep
 // points (sweep) across N worker threads; 0 means one per hardware
 // thread. Results are bit-identical for every N, including the default
 // serial path — seeds derive from task indices, never thread schedule.
+//
+// `scenario` runs a declarative experiment spec (scenario::Spec): a
+// built-in from scenario::Registry (--list enumerates them) or a
+// "plc-scenario/1" JSON file. --dump-spec emits the canonical JSON
+// (stdout, or to a file when given a value), --validate parses and
+// checks without running, and --report writes the deterministic run
+// report (byte-identical for any --jobs value) with the serialized spec
+// embedded under its "scenario" key.
 //   plcsim boost   --n 10
 //   plcsim delay   --n 5 --load 0.5
 //   plcsim capture --file out.plcc [--head 10]
@@ -51,6 +62,10 @@
 #include "obs/report.hpp"
 #include "obs/trace.hpp"
 #include "des/random.hpp"
+#include "phy/timing.hpp"
+#include "scenario/registry.hpp"
+#include "scenario/run.hpp"
+#include "scenario/spec.hpp"
 #include "sim/parallel_runner.hpp"
 #include "sim/runner.hpp"
 #include "sim/sim_1901.hpp"
@@ -187,11 +202,14 @@ struct ProfileOutputs {
 int cmd_sim(const Args& args) {
   sim::RunSpec spec;
   spec.stations = args.get_int("n", 2);
-  spec.config = config_from(args);
-  spec.timing.ts = des::SimTime::from_us(args.get_double("ts-us", 2542.64));
-  spec.timing.tc = des::SimTime::from_us(args.get_double("tc-us", 2920.64));
+  spec.mac = config_from(args);
   spec.frame_length =
       des::SimTime::from_us(args.get_double("frame-us", 2050.0));
+  spec.timing = phy::TimingConfig::from_ts_tc(
+      des::SimTime::from_ns(35'840),
+      des::SimTime::from_us(args.get_double("ts-us", 2542.64)),
+      des::SimTime::from_us(args.get_double("tc-us", 2920.64)),
+      spec.frame_length);
   spec.duration =
       des::SimTime::from_seconds(args.get_double("time-s", 50.0));
   spec.repetitions = args.get_int("reps", 1);
@@ -260,7 +278,7 @@ int cmd_model(const Args& args) {
   const int n = args.get_int("n", 2);
   const mac::BackoffConfig config = config_from(args);
   const analysis::Model1901Result model = analysis::solve_1901(n, config);
-  const sim::SlotTiming timing;
+  const phy::TimingConfig timing = phy::TimingConfig::paper_default();
   std::printf("N=%d  tau=%.5f  gamma=%.4f  throughput=%.4f\n", n,
               model.tau, model.gamma,
               model.normalized_throughput(timing,
@@ -452,7 +470,7 @@ int cmd_sweep(const Args& args) {
   const int n_max = args.get_int("n-max", 7);
   const double time_s = args.get_double("time-s", 20.0);
   const mac::BackoffConfig config = config_from(args);
-  const sim::SlotTiming timing;
+  const phy::TimingConfig timing = phy::TimingConfig::paper_default();
   util::TablePrinter table({"n", "sim_collision", "sim_throughput",
                             "model_collision", "model_throughput"});
   // Sweep points are independent; shard them across the pool. Each point
@@ -491,7 +509,7 @@ int cmd_sweep(const Args& args) {
 
 int cmd_boost(const Args& args) {
   const int n = args.get_int("n", 10);
-  const sim::SlotTiming timing;
+  const phy::TimingConfig timing = phy::TimingConfig::paper_default();
   const des::SimTime frame = des::SimTime::from_us(2050.0);
   const auto ranked = analysis::rank_configurations(
       n, timing, frame, analysis::default_candidate_pool());
@@ -514,7 +532,7 @@ int cmd_delay(const Args& args) {
   const int n = args.get_int("n", 5);
   const double load = args.get_double("load", 0.5);
   const mac::BackoffConfig config = config_from(args);
-  const sim::SlotTiming timing;
+  const phy::TimingConfig timing = phy::TimingConfig::paper_default();
   const des::SimTime frame = des::SimTime::from_us(2050.0);
   const double capacity =
       analysis::saturation_rate_fps(n, config, timing, frame);
@@ -535,6 +553,79 @@ int cmd_delay(const Args& args) {
               "p99=%.2f ms\n",
               model.mean_sojourn_s * 1e3, model.utilization,
               simulated.mean_delay_s * 1e3, simulated.p99_delay_s * 1e3);
+  return 0;
+}
+
+/// `plcsim scenario`: run (or inspect) a declarative experiment spec —
+/// a scenario::Registry built-in or a "plc-scenario/1" JSON file.
+int cmd_scenario(const std::string& target, const Args& args) {
+  if (args.has("list")) {
+    for (const std::string& name : scenario::Registry::names()) {
+      std::printf("%s\n", name.c_str());
+    }
+    return 0;
+  }
+  if (target.empty()) {
+    throw plc::Error(
+        "scenario: give a registry name or a .json spec file "
+        "(plcsim scenario --list enumerates the built-ins)");
+  }
+  if (!scenario::Registry::contains(target) &&
+      target.find('.') == std::string::npos &&
+      target.find('/') == std::string::npos) {
+    // Bare word that is neither a built-in nor plausibly a file path:
+    // point at the registry instead of a confusing file-open error.
+    std::string known;
+    for (const std::string& name : scenario::Registry::names()) {
+      known += (known.empty() ? "" : ", ") + name;
+    }
+    throw plc::Error("scenario: unknown scenario \"" + target +
+                     "\" (known: " + known + ")");
+  }
+  const scenario::Spec spec = scenario::Registry::contains(target)
+                                  ? scenario::Registry::get(target)
+                                  : scenario::Spec::from_file(target);
+
+  if (args.has("dump-spec")) {
+    const std::string path = args.get_string("dump-spec", "");
+    if (path.empty()) {
+      std::printf("%s\n", spec.to_json().c_str());
+    } else {
+      write_file(path,
+                 [&](std::ostream& out) { out << spec.to_json() << "\n"; });
+      PLC_LOG_INFO("cli", "wrote scenario spec").str("path", path);
+    }
+    return 0;
+  }
+  if (args.has("validate")) {
+    // from_file/Registry::get already validated; re-check the round-trip
+    // so a committed fixture that drifts from the parser fails here.
+    scenario::Spec::from_json(spec.to_json());
+    std::printf("%s: ok (%zu MAC variant(s), %zu station count(s))\n",
+                spec.name.c_str(), spec.macs.size(), spec.stations.size());
+    return 0;
+  }
+
+  scenario::RunOptions options;
+  options.jobs =
+      args.has("jobs") ? args.get_int("jobs", 0) : util::jobs_from_env();
+  options.out = &std::cout;
+  const ProfileOutputs profile = ProfileOutputs::from(args);
+  const scenario::RunOutcome outcome = scenario::run_scenario(spec, options);
+  profile.write();
+
+  std::printf("\njobs=%d  speedup=%.2fx (serial-equivalent %.2f s in "
+              "%.2f s wall)\n",
+              util::ThreadPool::resolve_jobs(options.jobs),
+              outcome.wall_seconds > 0.0
+                  ? outcome.serial_equivalent_seconds / outcome.wall_seconds
+                  : 1.0,
+              outcome.serial_equivalent_seconds, outcome.wall_seconds);
+  const std::string report_path = args.get_string("report", "");
+  if (!report_path.empty()) {
+    outcome.report.save(report_path);
+    PLC_LOG_INFO("cli", "wrote run report").str("path", report_path);
+  }
   return 0;
 }
 
@@ -576,8 +667,8 @@ int cmd_capture(const Args& args) {
 
 int usage() {
   std::fprintf(stderr,
-               "usage: plcsim <sim|model|testbed|sweep|boost|delay|"
-               "capture> [--key value ...]\n"
+               "usage: plcsim <sim|model|testbed|sweep|scenario|boost|"
+               "delay|capture> [--key value ...]\n"
                "see the file header of examples/plcsim_cli.cpp for the "
                "full option list\n");
   return 2;
@@ -589,6 +680,16 @@ int main(int argc, char** argv) {
   if (argc < 2) return usage();
   const std::string command = argv[1];
   try {
+    if (command == "scenario") {
+      // The spec name/path is positional: `plcsim scenario figure2 ...`.
+      std::string target;
+      int first = 2;
+      if (argc >= 3 && std::string(argv[2]).rfind("--", 0) != 0) {
+        target = argv[2];
+        first = 3;
+      }
+      return cmd_scenario(target, Args(argc, argv, first));
+    }
     const Args args(argc, argv, 2);
     if (command == "sim") return cmd_sim(args);
     if (command == "model") return cmd_model(args);

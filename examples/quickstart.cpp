@@ -10,6 +10,7 @@
 #include <cstdio>
 
 #include "analysis/model_1901.hpp"
+#include "phy/timing.hpp"
 #include "sim/sim_1901.hpp"
 #include "tools/testbed.hpp"
 
@@ -28,7 +29,7 @@ int main() {
   // 2. The decoupling fixed-point model — instant, no randomness.
   const analysis::Model1901Result model =
       analysis::solve_1901(n, mac::BackoffConfig::ca0_ca1());
-  const sim::SlotTiming timing;  // Paper defaults.
+  const phy::TimingConfig timing = phy::TimingConfig::paper_default();
   std::printf("analysis:    collision probability %.4f, throughput %.4f\n",
               model.gamma,
               model.normalized_throughput(timing,

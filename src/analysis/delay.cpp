@@ -13,17 +13,16 @@ namespace {
 /// Per-station completion rate (successes per second) when a backlogged
 /// station faces n_eff total backlogged stations.
 double service_rate(double n_eff, const mac::BackoffConfig& config,
-                    const sim::SlotTiming& timing,
+                    const phy::TimingConfig& timing,
                     des::SimTime frame_length) {
-  (void)frame_length;
   const Model1901Result model = solve_1901_continuous(n_eff, config);
-  return model.success_rate_per_second(timing) / n_eff;
+  return model.success_rate_per_second(timing, frame_length) / n_eff;
 }
 
 }  // namespace
 
 double saturation_rate_fps(int n, const mac::BackoffConfig& config,
-                           const sim::SlotTiming& timing,
+                           const phy::TimingConfig& timing,
                            des::SimTime frame_length) {
   util::check_arg(n >= 1, "n", "need at least one station");
   return service_rate(static_cast<double>(n), config, timing,
@@ -31,7 +30,7 @@ double saturation_rate_fps(int n, const mac::BackoffConfig& config,
 }
 
 DelayModelResult access_delay(int n, const mac::BackoffConfig& config,
-                              const sim::SlotTiming& timing,
+                              const phy::TimingConfig& timing,
                               des::SimTime frame_length,
                               double arrival_rate_fps) {
   util::check_arg(n >= 1, "n", "need at least one station");

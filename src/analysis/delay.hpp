@@ -26,7 +26,7 @@
 #include "analysis/model_1901.hpp"
 #include "des/time.hpp"
 #include "mac/config.hpp"
-#include "sim/slot_simulator.hpp"
+#include "phy/timing.hpp"
 
 namespace plc::analysis {
 
@@ -46,14 +46,14 @@ struct DelayModelResult {
 /// `arrival_rate_fps` frames per second, all frames of `frame_length`
 /// on-wire duration, under `timing`.
 DelayModelResult access_delay(int n, const mac::BackoffConfig& config,
-                              const sim::SlotTiming& timing,
+                              const phy::TimingConfig& timing,
                               des::SimTime frame_length,
                               double arrival_rate_fps);
 
 /// Saturation arrival rate: the per-station service rate when everyone is
 /// always backlogged — the capacity boundary of the model above.
 double saturation_rate_fps(int n, const mac::BackoffConfig& config,
-                           const sim::SlotTiming& timing,
+                           const phy::TimingConfig& timing,
                            des::SimTime frame_length);
 
 }  // namespace plc::analysis

@@ -213,11 +213,11 @@ std::vector<DriftState> drift_trajectory(
   return trajectory;
 }
 
-double DriftResult::normalized_throughput(const sim::SlotTiming& timing,
+double DriftResult::normalized_throughput(const phy::TimingConfig& timing,
                                           des::SimTime frame_length) const {
   const double expected_event_us = p_idle * timing.slot.us() +
-                                   p_success * timing.ts.us() +
-                                   p_collision * timing.tc.us();
+                                   p_success * timing.ts(frame_length).us() +
+                                   p_collision * timing.tc(frame_length).us();
   if (expected_event_us <= 0.0) return 0.0;
   return p_success * frame_length.us() / expected_event_us;
 }

@@ -20,7 +20,7 @@
 
 #include "des/time.hpp"
 #include "mac/config.hpp"
-#include "sim/slot_simulator.hpp"
+#include "phy/timing.hpp"
 
 namespace plc::analysis {
 
@@ -38,7 +38,7 @@ struct DriftResult {
   int iterations = 0;
   bool converged = false;
 
-  double normalized_throughput(const sim::SlotTiming& timing,
+  double normalized_throughput(const phy::TimingConfig& timing,
                                des::SimTime frame_length) const;
 };
 

@@ -256,10 +256,10 @@ ExactPairResult solve_exact_pair(const mac::BackoffConfig& config,
 }
 
 double ExactPairResult::normalized_throughput(
-    const sim::SlotTiming& timing, des::SimTime frame_length) const {
+    const phy::TimingConfig& timing, des::SimTime frame_length) const {
   const double expected_event_us = p_idle * timing.slot.us() +
-                                   p_success * timing.ts.us() +
-                                   p_collision * timing.tc.us();
+                                   p_success * timing.ts(frame_length).us() +
+                                   p_collision * timing.tc(frame_length).us();
   if (expected_event_us <= 0.0) return 0.0;
   return p_success * frame_length.us() / expected_event_us;
 }

@@ -22,7 +22,7 @@
 
 #include "des/time.hpp"
 #include "mac/config.hpp"
-#include "sim/slot_simulator.hpp"
+#include "phy/timing.hpp"
 
 namespace plc::analysis {
 
@@ -51,7 +51,7 @@ struct ExactPairResult {
     return p_success > 0.0 ? p_success_a / p_success : 0.5;
   }
 
-  double normalized_throughput(const sim::SlotTiming& timing,
+  double normalized_throughput(const phy::TimingConfig& timing,
                                des::SimTime frame_length) const;
 };
 

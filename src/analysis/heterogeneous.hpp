@@ -18,7 +18,7 @@
 
 #include "des/time.hpp"
 #include "mac/config.hpp"
-#include "sim/slot_simulator.hpp"
+#include "phy/timing.hpp"
 
 namespace plc::analysis {
 
@@ -46,7 +46,7 @@ struct HeterogeneousResult {
   int iterations = 0;
   bool converged = false;
 
-  double normalized_throughput(const sim::SlotTiming& timing,
+  double normalized_throughput(const phy::TimingConfig& timing,
                                des::SimTime frame_length) const;
 };
 

@@ -151,19 +151,20 @@ Model1901Result solve_1901_continuous(double n,
 }
 
 double Model1901Result::normalized_throughput(
-    const sim::SlotTiming& timing, des::SimTime frame_length) const {
+    const phy::TimingConfig& timing, des::SimTime frame_length) const {
   const double expected_event_us = p_idle * timing.slot.us() +
-                                   p_success * timing.ts.us() +
-                                   p_collision * timing.tc.us();
+                                   p_success * timing.ts(frame_length).us() +
+                                   p_collision * timing.tc(frame_length).us();
   if (expected_event_us <= 0.0) return 0.0;
   return p_success * frame_length.us() / expected_event_us;
 }
 
 double Model1901Result::success_rate_per_second(
-    const sim::SlotTiming& timing) const {
-  const double expected_event_s = p_idle * timing.slot.seconds() +
-                                  p_success * timing.ts.seconds() +
-                                  p_collision * timing.tc.seconds();
+    const phy::TimingConfig& timing, des::SimTime frame_length) const {
+  const double expected_event_s =
+      p_idle * timing.slot.seconds() +
+      p_success * timing.ts(frame_length).seconds() +
+      p_collision * timing.tc(frame_length).seconds();
   if (expected_event_s <= 0.0) return 0.0;
   return p_success / expected_event_s;
 }

@@ -29,7 +29,7 @@
 
 #include "des/time.hpp"
 #include "mac/config.hpp"
-#include "sim/slot_simulator.hpp"
+#include "phy/timing.hpp"
 
 namespace plc::analysis {
 
@@ -52,11 +52,12 @@ struct Model1901Result {
 
   /// Normalized throughput for the given timing (the simulator's
   /// succ*frame/t in expectation).
-  double normalized_throughput(const sim::SlotTiming& timing,
+  double normalized_throughput(const phy::TimingConfig& timing,
                                des::SimTime frame_length) const;
 
   /// Expected successful exchanges per second.
-  double success_rate_per_second(const sim::SlotTiming& timing) const;
+  double success_rate_per_second(const phy::TimingConfig& timing,
+                                 des::SimTime frame_length) const;
 };
 
 /// Solves the decoupling model for N saturated 1901 stations.

@@ -15,7 +15,7 @@
 #pragma once
 
 #include "des/time.hpp"
-#include "sim/slot_simulator.hpp"
+#include "phy/timing.hpp"
 
 namespace plc::analysis {
 
@@ -26,7 +26,7 @@ struct ModelDcfResult {
   double p_success = 0.0;
   double p_collision = 0.0;
 
-  double normalized_throughput(const sim::SlotTiming& timing,
+  double normalized_throughput(const phy::TimingConfig& timing,
                                des::SimTime frame_length) const;
 };
 

@@ -8,7 +8,7 @@
 namespace plc::analysis {
 
 std::vector<CandidateScore> rank_configurations(
-    int n, const sim::SlotTiming& timing, des::SimTime frame_length,
+    int n, const phy::TimingConfig& timing, des::SimTime frame_length,
     const std::vector<mac::BackoffConfig>& candidates) {
   util::check_arg(!candidates.empty(), "candidates", "must not be empty");
   std::vector<CandidateScore> scores;
@@ -72,7 +72,7 @@ std::vector<mac::BackoffConfig> default_candidate_pool() {
   return pool;
 }
 
-CandidateScore best_uniform_window(int n, const sim::SlotTiming& timing,
+CandidateScore best_uniform_window(int n, const phy::TimingConfig& timing,
                                    des::SimTime frame_length,
                                    int max_window) {
   util::check_arg(max_window >= 2, "max_window", "must be >= 2");

@@ -19,7 +19,7 @@
 #include "analysis/model_1901.hpp"
 #include "des/time.hpp"
 #include "mac/config.hpp"
-#include "sim/slot_simulator.hpp"
+#include "phy/timing.hpp"
 
 namespace plc::analysis {
 
@@ -33,7 +33,7 @@ struct CandidateScore {
 /// Scores `candidates` for N saturated stations and returns them sorted
 /// by decreasing model throughput.
 std::vector<CandidateScore> rank_configurations(
-    int n, const sim::SlotTiming& timing, des::SimTime frame_length,
+    int n, const phy::TimingConfig& timing, des::SimTime frame_length,
     const std::vector<mac::BackoffConfig>& candidates);
 
 /// A candidate pool mixing the three families above (plus the defaults).
@@ -41,7 +41,7 @@ std::vector<mac::BackoffConfig> default_candidate_pool();
 
 /// Best uniform-window configuration (single stage, deferral disabled)
 /// for N stations, found by scanning windows in [2, max_window].
-CandidateScore best_uniform_window(int n, const sim::SlotTiming& timing,
+CandidateScore best_uniform_window(int n, const phy::TimingConfig& timing,
                                    des::SimTime frame_length,
                                    int max_window = 4096);
 

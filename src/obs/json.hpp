@@ -1,16 +1,21 @@
-// Minimal streaming JSON writer for the observability layer's exporters
-// (metric snapshots, trace files, run reports).
+// Minimal JSON writer *and* reader for the observability layer and the
+// declarative scenario specs built on it.
 //
-// Scope is deliberately tiny: comma and nesting bookkeeping plus string
-// escaping. The caller drives structure (begin/end calls must balance);
-// numbers are emitted with round-trip precision and non-finite doubles
-// degrade to null, since JSON has no representation for them.
+// Writer scope is deliberately tiny: comma and nesting bookkeeping plus
+// string escaping. The caller drives structure (begin/end calls must
+// balance); numbers are emitted with round-trip precision and non-finite
+// doubles degrade to null, since JSON has no representation for them.
+//
+// The reader (JsonValue / parse_json) is the inverse: a full-grammar
+// recursive-descent parser into a small DOM, used to read run reports
+// back (tools::benchdiff) and to parse scenario::Spec files.
 #pragma once
 
 #include <cstdint>
 #include <ostream>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 namespace plc::obs {
@@ -46,6 +51,12 @@ class JsonWriter {
     return value(v);
   }
 
+  /// Emits `json` verbatim as one element (after a key or inside an
+  /// array). The caller guarantees it is a complete, valid JSON value —
+  /// used to embed pre-serialized documents (scenario specs in run
+  /// reports) without re-parsing them.
+  JsonWriter& raw(std::string_view json);
+
  private:
   /// Writes the separator owed before a new element and updates state.
   void element_prefix();
@@ -54,5 +65,46 @@ class JsonWriter {
   std::vector<bool> has_elements_;  ///< One flag per open container.
   bool after_key_ = false;
 };
+
+/// Minimal parsed JSON value. (Objects keep insertion order; lookups are
+/// linear, fine at report/spec sizes.)
+class JsonValue {
+ public:
+  enum class Kind : std::uint8_t {
+    kNull,
+    kBool,
+    kNumber,
+    kString,
+    kArray,
+    kObject
+  };
+
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string text;
+  std::vector<JsonValue> items;  ///< Array elements.
+  std::vector<std::pair<std::string, JsonValue>> members;  ///< Object.
+
+  bool is_object() const { return kind == Kind::kObject; }
+  bool is_array() const { return kind == Kind::kArray; }
+  bool is_number() const { return kind == Kind::kNumber; }
+  bool is_string() const { return kind == Kind::kString; }
+  bool is_bool() const { return kind == Kind::kBool; }
+
+  /// Returns the member value or nullptr (non-objects: nullptr).
+  const JsonValue* find(std::string_view key) const;
+
+  /// Re-serializes this value through JsonWriter (round-trip numeric
+  /// precision; object member order preserved).
+  void write(JsonWriter& writer) const;
+
+  /// write() into a string — the canonical text of this value.
+  std::string dump() const;
+};
+
+/// Parses a complete JSON document; throws plc::Error on malformed input
+/// or trailing garbage.
+JsonValue parse_json(std::string_view text);
 
 }  // namespace plc::obs

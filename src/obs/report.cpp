@@ -27,6 +27,10 @@ void RunReport::write_json(std::ostream& out) const {
   metrics.write_into(json);
   json.key("profile");
   profile.write_into(json);
+  if (!scenario.empty()) {
+    json.key("scenario");
+    json.raw(scenario);
+  }
   json.end_object();
   out << '\n';
 }

@@ -53,6 +53,11 @@ struct RunReport {
   Snapshot metrics;
   /// Phase-profiler aggregate of the run (empty when profiling was off).
   ProfileSnapshot profile;
+  /// Serialized scenario::Spec JSON this run executed (empty when the
+  /// harness was not scenario-driven). Embedded verbatim under the
+  /// "scenario" key for provenance — the exact experiment parameters
+  /// travel with every report.
+  std::string scenario;
 
   double events_per_second() const {
     return wall_seconds > 0.0 ? static_cast<double>(events) / wall_seconds

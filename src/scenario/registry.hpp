@@ -1,0 +1,30 @@
+// Named built-in scenarios — the paper's figures and tables, plus the
+// extended experiments, as data.
+//
+// Each entry is a complete scenario::Spec: `plcsim scenario <name>` runs
+// it, `plcsim scenario --dump-spec <name>` emits the canonical JSON (the
+// committed scenarios/*.json fixtures are exactly these dumps), and the
+// heavy bench mains shrink to "look up spec, run driver, print table".
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "scenario/spec.hpp"
+
+namespace plc::scenario {
+
+class Registry {
+ public:
+  /// Registered scenario names, sorted.
+  static std::vector<std::string> names();
+
+  static bool contains(std::string_view name);
+
+  /// Returns the named built-in spec; throws plc::Error for unknown
+  /// names (the message lists the valid ones).
+  static Spec get(std::string_view name);
+};
+
+}  // namespace plc::scenario

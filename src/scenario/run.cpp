@@ -1,0 +1,247 @@
+#include "scenario/run.hpp"
+
+#include <cstddef>
+#include <ostream>
+#include <string>
+#include <type_traits>
+#include <variant>
+#include <vector>
+
+#include "analysis/exact_chain.hpp"
+#include "analysis/model_1901.hpp"
+#include "analysis/model_dcf.hpp"
+#include "sim/parallel_runner.hpp"
+#include "tools/testbed.hpp"
+#include "util/stats.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+namespace plc::scenario {
+
+namespace {
+
+std::string scalar_prefix(const std::string& label, int stations) {
+  return label + ".n" + std::to_string(stations) + ".";
+}
+
+/// Model-leg results for one (variant, N) point, MAC-agnostic.
+struct ModelPoint {
+  double collision_probability = 0.0;
+  double throughput = 0.0;
+};
+
+ModelPoint solve_model(const sim::MacSpec& mac, int stations,
+                       const phy::TimingConfig& timing,
+                       des::SimTime frame_length) {
+  return std::visit(
+      [&](const auto& config) {
+        using T = std::decay_t<decltype(config)>;
+        ModelPoint point;
+        if constexpr (std::is_same_v<T, mac::BackoffConfig>) {
+          const analysis::Model1901Result model =
+              analysis::solve_1901(stations, config);
+          point.collision_probability = model.gamma;
+          point.throughput =
+              model.normalized_throughput(timing, frame_length);
+        } else {
+          const analysis::ModelDcfResult model =
+              analysis::solve_dcf(stations, config.cw_min, config.cw_max);
+          point.collision_probability = model.gamma;
+          point.throughput =
+              model.normalized_throughput(timing, frame_length);
+        }
+        return point;
+      },
+      mac);
+}
+
+}  // namespace
+
+RunOutcome run_scenario(const Spec& spec, const RunOptions& options) {
+  spec.validate();
+
+  RunOutcome outcome;
+  obs::RunReport& report = outcome.report;
+  report.name = spec.name;
+  report.scenario = spec.to_json();
+
+  obs::Registry local_registry;
+  obs::Registry* registry =
+      options.registry != nullptr ? options.registry : &local_registry;
+
+  const std::size_t variants = spec.macs.size();
+  const std::size_t points = spec.stations.size();
+
+  // Sim leg: one parallel sweep over every (variant x N) point —
+  // summaries indexed variant-major, bit-identical for any jobs count.
+  std::vector<sim::RunSummary> summaries;
+  if (spec.legs.sim) {
+    std::vector<sim::RunSpec> run_specs;
+    run_specs.reserve(variants * points);
+    for (std::size_t variant = 0; variant < variants; ++variant) {
+      for (const int n : spec.stations) {
+        run_specs.push_back(spec.to_run_spec(n, variant));
+      }
+    }
+    sim::ParallelRunner runner(options.jobs);
+    sim::RunObservability attach;
+    attach.registry = registry;
+    summaries = runner.run_points(run_specs, attach);
+    outcome.wall_seconds += runner.wall_seconds();
+    outcome.serial_equivalent_seconds += runner.serial_equivalent_seconds();
+    for (const sim::RunSummary& summary : summaries) {
+      report.events += summary.medium_events;
+      report.simulated_seconds += summary.simulated.seconds();
+    }
+  }
+
+  // Testbed leg: the emulated devices run their HomePlug AV firmware
+  // configuration, so the leg executes once (labelled by variant 0),
+  // testbed_tests independent tests per station count.
+  tools::TestbedSuiteResult suite;
+  if (spec.legs.testbed) {
+    std::vector<tools::TestbedConfig> configs;
+    configs.reserve(points * static_cast<std::size_t>(spec.testbed_tests));
+    for (const int n : spec.stations) {
+      for (int test = 0; test < spec.testbed_tests; ++test) {
+        tools::TestbedConfig config = spec.to_testbed_config(n, test, 0);
+        config.registry = registry;
+        configs.push_back(config);
+      }
+    }
+    suite = tools::run_testbed_suite(configs, options.jobs);
+    outcome.wall_seconds += suite.wall_seconds;
+    outcome.serial_equivalent_seconds += suite.serial_equivalent_seconds;
+    for (const tools::TestbedConfig& config : configs) {
+      report.simulated_seconds += (config.warmup + config.duration).seconds();
+    }
+  }
+
+  if (options.out != nullptr && !spec.title.empty()) {
+    *options.out << "=== " << spec.title << " ===\n";
+  }
+
+  for (std::size_t variant = 0; variant < variants; ++variant) {
+    const std::string& label = spec.macs[variant].label;
+    const bool is_1901 =
+        std::holds_alternative<mac::BackoffConfig>(spec.macs[variant].mac);
+    const bool with_exact = spec.legs.exact_pair && is_1901;
+    const bool with_testbed = spec.legs.testbed && variant == 0;
+    const bool with_reference = variant == 0 && !spec.reference.empty();
+
+    std::vector<std::string> header = {"N"};
+    if (spec.legs.sim) {
+      header.push_back("sim coll");
+      header.push_back("sim thr");
+    }
+    if (spec.legs.model) {
+      header.push_back("model coll");
+      header.push_back("model thr");
+    }
+    if (with_exact) header.push_back("exact coll (N=2)");
+    if (with_testbed) {
+      header.push_back("testbed coll (mean)");
+      header.push_back("testbed coll (std)");
+      header.push_back("collided");
+      header.push_back("acknowledged");
+    }
+    if (with_reference) {
+      for (const auto& [key, series] : spec.reference) header.push_back(key);
+    }
+    util::TablePrinter table(std::move(header));
+
+    for (std::size_t point = 0; point < points; ++point) {
+      const int n = spec.stations[point];
+      const std::string prefix = scalar_prefix(label, n);
+      std::vector<std::string> row = {std::to_string(n)};
+
+      if (spec.legs.sim) {
+        const sim::RunSummary& summary = summaries[variant * points + point];
+        const double collision = summary.collision_probability.mean();
+        const double throughput = summary.normalized_throughput.mean();
+        report.scalars[prefix + "sim_collision_probability"] = collision;
+        report.scalars[prefix + "sim_throughput"] = throughput;
+        row.push_back(util::format_fixed(collision, 4));
+        row.push_back(util::format_fixed(throughput, 4));
+      }
+
+      if (spec.legs.model) {
+        const ModelPoint model = solve_model(spec.macs[variant].mac, n,
+                                             spec.timing, spec.frame_length);
+        report.scalars[prefix + "model_collision_probability"] =
+            model.collision_probability;
+        report.scalars[prefix + "model_throughput"] = model.throughput;
+        row.push_back(util::format_fixed(model.collision_probability, 4));
+        row.push_back(util::format_fixed(model.throughput, 4));
+      }
+
+      if (with_exact) {
+        if (n == 2) {
+          const analysis::ExactPairResult exact = analysis::solve_exact_pair(
+              std::get<mac::BackoffConfig>(spec.macs[variant].mac), 3000,
+              1e-10);
+          report.scalars[prefix + "exact_collision_probability"] =
+              exact.collision_probability;
+          row.push_back(util::format_fixed(exact.collision_probability, 4));
+        } else {
+          row.push_back(n == 1 ? "0.0000" : "-");
+        }
+      }
+
+      if (with_testbed) {
+        util::RunningStats collision;
+        util::RunningStats collided;
+        util::RunningStats acknowledged;
+        for (int test = 0; test < spec.testbed_tests; ++test) {
+          const std::size_t run =
+              point * static_cast<std::size_t>(spec.testbed_tests) +
+              static_cast<std::size_t>(test);
+          collision.add(suite.runs[run].collision_probability);
+          collided.add(static_cast<double>(suite.runs[run].total_collided));
+          acknowledged.add(
+              static_cast<double>(suite.runs[run].total_acknowledged));
+        }
+        report.scalars[prefix + "testbed_collision_mean"] = collision.mean();
+        report.scalars[prefix + "testbed_collision_stddev"] =
+            collision.stddev();
+        report.scalars[prefix + "testbed_collided"] = collided.mean();
+        report.scalars[prefix + "testbed_acknowledged"] = acknowledged.mean();
+        row.push_back(util::format_fixed(collision.mean(), 4));
+        row.push_back(util::format_fixed(collision.stddev(), 4));
+        row.push_back(util::with_thousands(
+            static_cast<std::int64_t>(collided.mean())));
+        row.push_back(util::with_thousands(
+            static_cast<std::int64_t>(acknowledged.mean())));
+      }
+
+      if (with_reference) {
+        for (const auto& [key, series] : spec.reference) {
+          report.scalars["reference." + key + ".n" + std::to_string(n)] =
+              series[point];
+          row.push_back(util::format_double(series[point]));
+        }
+      }
+
+      table.add_row(std::move(row));
+    }
+
+    if (options.out != nullptr) {
+      *options.out << "\n--- " << label << " ---\n";
+      table.print(*options.out);
+    }
+  }
+
+  if (options.registry == nullptr) {
+    report.metrics = local_registry.snapshot();
+    if (report.events == 0) {
+      if (const obs::MetricSample* dispatched =
+              report.metrics.find("des.events_dispatched")) {
+        report.events = static_cast<std::int64_t>(dispatched->value);
+      }
+    }
+  }
+
+  return outcome;
+}
+
+}  // namespace plc::scenario

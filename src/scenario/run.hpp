@@ -1,0 +1,52 @@
+// The scenario driver: executes every leg a Spec enables and packages
+// the outcome as one deterministic obs::RunReport.
+//
+// Determinism contract: the report depends only on the spec (and the
+// build), never on the jobs count or the clock. Simulation runs go
+// through sim::ParallelRunner and the testbed leg through
+// tools::run_testbed_suite — both bit-identical for any jobs count — and
+// the report's wall_seconds stays 0, so two runs of the same spec produce
+// byte-identical JSON whatever --jobs was. Wall-clock accounting is
+// returned separately in RunOutcome for the bench harnesses.
+#pragma once
+
+#include <iosfwd>
+
+#include "obs/metrics.hpp"
+#include "obs/report.hpp"
+#include "scenario/spec.hpp"
+
+namespace plc::scenario {
+
+/// Execution knobs orthogonal to the experiment description.
+struct RunOptions {
+  /// Worker count for the sim and testbed legs; <= 0 means $PLC_JOBS /
+  /// hardware threads (util::ThreadPool::resolve_jobs semantics).
+  int jobs = 0;
+  /// When set, the driver prints the per-variant result tables here
+  /// (the CLI passes std::cout; tests pass nullptr for silence).
+  std::ostream* out = nullptr;
+  /// When set, simulator and testbed instruments are bound here instead
+  /// of the driver's internal registry and the report's metric snapshot
+  /// is left empty — the bench harnesses own the snapshot step.
+  obs::Registry* registry = nullptr;
+};
+
+/// One scenario execution.
+struct RunOutcome {
+  /// Deterministic report: name = spec.name, the serialized spec under
+  /// "scenario", one scalar per (variant, N, metric), wall_seconds = 0.
+  obs::RunReport report;
+  /// Wall-clock seconds of the parallel legs (not part of the report).
+  double wall_seconds = 0.0;
+  /// Sum of per-task wall times — the honest serial-equivalent cost.
+  double serial_equivalent_seconds = 0.0;
+};
+
+/// Validates and runs `spec`: the sim leg as one parallel sweep over
+/// every (MAC variant x station count), the model leg per point, the
+/// exact N = 2 chain for 1901 variants, and the testbed leg (variant 0;
+/// the emulated devices run their HomePlug AV firmware configuration).
+RunOutcome run_scenario(const Spec& spec, const RunOptions& options = {});
+
+}  // namespace plc::scenario

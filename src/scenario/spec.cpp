@@ -1,0 +1,478 @@
+#include "scenario/spec.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <initializer_list>
+#include <sstream>
+#include <type_traits>
+#include <variant>
+
+#include "des/random.hpp"
+#include "obs/json.hpp"
+#include "util/error.hpp"
+
+namespace plc::scenario {
+
+namespace {
+
+using obs::JsonValue;
+
+[[noreturn]] void fail(const std::string& message) {
+  throw Error("scenario: " + message);
+}
+
+/// Strict parsing: every object's keys must come from its allowed set.
+void check_keys(const JsonValue& object, const std::string& where,
+                std::initializer_list<std::string_view> allowed) {
+  for (const auto& [key, value] : object.members) {
+    bool known = false;
+    for (const std::string_view candidate : allowed) {
+      if (key == candidate) {
+        known = true;
+        break;
+      }
+    }
+    if (!known) fail(where + ": unknown key \"" + key + "\"");
+  }
+}
+
+const JsonValue& require_member(const JsonValue& object,
+                                const std::string& where,
+                                std::string_view key) {
+  const JsonValue* value = object.find(key);
+  if (value == nullptr) {
+    fail(where + ": missing required key \"" + std::string(key) + "\"");
+  }
+  return *value;
+}
+
+const JsonValue& require_object(const JsonValue& value,
+                                const std::string& where) {
+  if (!value.is_object()) fail(where + ": expected an object");
+  return value;
+}
+
+std::string string_field(const JsonValue& value, const std::string& where) {
+  if (!value.is_string()) fail(where + ": expected a string");
+  return value.text;
+}
+
+bool bool_field(const JsonValue& value, const std::string& where) {
+  if (!value.is_bool()) fail(where + ": expected a boolean");
+  return value.boolean;
+}
+
+std::int64_t int_field(const JsonValue& value, const std::string& where) {
+  if (!value.is_number()) fail(where + ": expected a number");
+  const double number = value.number;
+  if (std::floor(number) != number || std::abs(number) > 9.0e15) {
+    fail(where + ": expected an integer");
+  }
+  return static_cast<std::int64_t>(number);
+}
+
+des::SimTime time_field(const JsonValue& value, const std::string& where) {
+  const std::int64_t ns = int_field(value, where);
+  if (ns < 0) fail(where + ": must be non-negative nanoseconds");
+  return des::SimTime::from_ns(ns);
+}
+
+std::vector<int> int_array(const JsonValue& value, const std::string& where) {
+  if (!value.is_array()) fail(where + ": expected an array");
+  std::vector<int> out;
+  out.reserve(value.items.size());
+  for (const JsonValue& item : value.items) {
+    out.push_back(static_cast<int>(int_field(item, where + " element")));
+  }
+  return out;
+}
+
+/// Seeds are 64-bit; JSON numbers are doubles and lose bits past 2^53,
+/// so the canonical form is a hex string ("0x1901"). Decimal strings and
+/// small integer numbers are accepted for hand-written files.
+std::uint64_t seed_field(const JsonValue& value, const std::string& where) {
+  if (value.is_string()) {
+    const std::string& text = value.text;
+    if (text.empty()) fail(where + ": empty seed string");
+    char* end = nullptr;
+    const std::uint64_t seed = std::strtoull(text.c_str(), &end, 0);
+    if (end != text.c_str() + text.size()) {
+      fail(where + ": malformed seed \"" + text + "\"");
+    }
+    return seed;
+  }
+  const std::int64_t seed = int_field(value, where);
+  if (seed < 0) fail(where + ": seed must be non-negative");
+  return static_cast<std::uint64_t>(seed);
+}
+
+std::string seed_to_string(std::uint64_t seed) {
+  char buffer[24];
+  std::snprintf(buffer, sizeof(buffer), "0x%llx",
+                static_cast<unsigned long long>(seed));
+  return buffer;
+}
+
+MacVariant parse_mac_variant(const JsonValue& value, const std::string& where) {
+  require_object(value, where);
+  MacVariant variant;
+  variant.label = string_field(require_member(value, where, "label"),
+                               where + ".label");
+  const std::string type =
+      string_field(require_member(value, where, "type"), where + ".type");
+  if (type == "1901") {
+    check_keys(value, where, {"label", "type", "name", "preset", "cw", "dc"});
+    mac::BackoffConfig config;
+    if (const JsonValue* preset = value.find("preset")) {
+      if (value.find("cw") != nullptr || value.find("dc") != nullptr) {
+        fail(where + ": \"preset\" excludes explicit \"cw\"/\"dc\"");
+      }
+      const std::string name = string_field(*preset, where + ".preset");
+      if (name == "ca0_ca1") {
+        config = mac::BackoffConfig::ca0_ca1();
+      } else if (name == "ca2_ca3") {
+        config = mac::BackoffConfig::ca2_ca3();
+      } else {
+        fail(where + ": unknown 1901 preset \"" + name + "\"");
+      }
+    } else {
+      config.cw = int_array(require_member(value, where, "cw"), where + ".cw");
+      config.dc = int_array(require_member(value, where, "dc"), where + ".dc");
+      config.name = variant.label;
+    }
+    if (const JsonValue* name = value.find("name")) {
+      config.name = string_field(*name, where + ".name");
+    }
+    variant.mac = std::move(config);
+  } else if (type == "dcf") {
+    check_keys(value, where, {"label", "type", "preset", "cw_min", "cw_max"});
+    dcf::DcfConfig config;
+    if (const JsonValue* preset = value.find("preset")) {
+      if (value.find("cw_min") != nullptr || value.find("cw_max") != nullptr) {
+        fail(where + ": \"preset\" excludes explicit \"cw_min\"/\"cw_max\"");
+      }
+      const std::string name = string_field(*preset, where + ".preset");
+      if (name == "ieee80211ag") {
+        config = dcf::DcfConfig::ieee80211ag();
+      } else if (name == "ieee80211b") {
+        config = dcf::DcfConfig::ieee80211b();
+      } else if (name == "plc_window_no_deferral") {
+        config = dcf::DcfConfig::plc_window_no_deferral();
+      } else {
+        fail(where + ": unknown dcf preset \"" + name + "\"");
+      }
+    } else {
+      config.cw_min = static_cast<int>(
+          int_field(require_member(value, where, "cw_min"), where + ".cw_min"));
+      config.cw_max = static_cast<int>(
+          int_field(require_member(value, where, "cw_max"), where + ".cw_max"));
+    }
+    variant.mac = config;
+  } else {
+    fail(where + ": unknown MAC type \"" + type + "\" (want \"1901\" or "
+                 "\"dcf\")");
+  }
+  return variant;
+}
+
+void write_mac_variant(obs::JsonWriter& json, const MacVariant& variant) {
+  json.begin_object();
+  json.field("label", variant.label);
+  std::visit(
+      [&](const auto& config) {
+        using T = std::decay_t<decltype(config)>;
+        if constexpr (std::is_same_v<T, mac::BackoffConfig>) {
+          json.field("type", "1901");
+          json.field("name", config.name);
+          json.key("cw").begin_array();
+          for (const int w : config.cw) json.value(w);
+          json.end_array();
+          json.key("dc").begin_array();
+          for (const int d : config.dc) json.value(d);
+          json.end_array();
+        } else {
+          json.field("type", "dcf");
+          json.field("cw_min", config.cw_min);
+          json.field("cw_max", config.cw_max);
+        }
+      },
+      variant.mac);
+  json.end_object();
+}
+
+}  // namespace
+
+void Spec::validate() const {
+  util::require(!name.empty(), "scenario: name must not be empty");
+  util::require(!macs.empty(), "scenario: need at least one MAC variant");
+  for (std::size_t i = 0; i < macs.size(); ++i) {
+    util::require(!macs[i].label.empty(),
+                  "scenario: MAC variant labels must not be empty");
+    for (std::size_t j = 0; j < i; ++j) {
+      util::require(macs[j].label != macs[i].label,
+                    "scenario: duplicate MAC variant label \"" +
+                        macs[i].label + "\"");
+    }
+    std::visit(
+        [&](const auto& config) {
+          using T = std::decay_t<decltype(config)>;
+          if constexpr (std::is_same_v<T, mac::BackoffConfig>) {
+            config.validate();
+          } else {
+            util::require(config.cw_min >= 1,
+                          "scenario: dcf cw_min must be >= 1");
+            util::require(config.cw_max >= config.cw_min,
+                          "scenario: dcf cw_max must be >= cw_min");
+          }
+        },
+        macs[i].mac);
+  }
+  util::require(!stations.empty(), "scenario: need at least one station count");
+  for (const int n : stations) {
+    util::require(n >= 1, "scenario: station counts must be >= 1");
+  }
+  util::require(timing.slot > des::SimTime::zero(),
+                "scenario: slot must be positive");
+  util::require(timing.success_overhead >= des::SimTime::zero(),
+                "scenario: success_overhead must be non-negative");
+  util::require(timing.collision_overhead >= des::SimTime::zero(),
+                "scenario: collision_overhead must be non-negative");
+  util::require(timing.burst_gap >= des::SimTime::zero(),
+                "scenario: burst_gap must be non-negative");
+  util::require(frame_length > des::SimTime::zero(),
+                "scenario: frame_length must be positive");
+  util::require(duration > des::SimTime::zero(),
+                "scenario: duration must be positive");
+  util::require(repetitions >= 1, "scenario: repetitions must be >= 1");
+  util::require(testbed_tests >= 1, "scenario: testbed_tests must be >= 1");
+  util::require(testbed_duration > des::SimTime::zero(),
+                "scenario: testbed_duration must be positive");
+  for (const auto& [key, series] : reference) {
+    util::require(!key.empty(), "scenario: reference keys must not be empty");
+    util::require(series.size() == stations.size(),
+                  "scenario: reference series \"" + key +
+                      "\" must have one value per station count");
+  }
+}
+
+std::string Spec::to_json() const {
+  std::ostringstream out;
+  obs::JsonWriter json(out);
+  json.begin_object();
+  json.field("schema", kSchema);
+  json.field("name", name);
+  if (!title.empty()) json.field("title", title);
+  json.key("macs").begin_array();
+  for (const MacVariant& variant : macs) write_mac_variant(json, variant);
+  json.end_array();
+  json.key("stations").begin_array();
+  for (const int n : stations) json.value(n);
+  json.end_array();
+  json.key("timing").begin_object();
+  json.field("slot_ns", timing.slot.ns());
+  json.field("success_overhead_ns", timing.success_overhead.ns());
+  json.field("collision_overhead_ns", timing.collision_overhead.ns());
+  json.field("burst_gap_ns", timing.burst_gap.ns());
+  json.end_object();
+  json.field("frame_length_ns", frame_length.ns());
+  json.field("duration_ns", duration.ns());
+  json.field("repetitions", repetitions);
+  json.field("seed", seed_to_string(seed));
+  json.key("legs").begin_object();
+  json.field("sim", legs.sim);
+  json.field("model", legs.model);
+  json.field("testbed", legs.testbed);
+  json.field("exact_pair", legs.exact_pair);
+  json.end_object();
+  json.key("testbed").begin_object();
+  json.field("tests", testbed_tests);
+  json.field("duration_ns", testbed_duration.ns());
+  json.end_object();
+  if (!reference.empty()) {
+    json.key("reference").begin_object();
+    for (const auto& [key, series] : reference) {
+      json.key(key).begin_array();
+      for (const double value : series) json.value(value);
+      json.end_array();
+    }
+    json.end_object();
+  }
+  json.end_object();
+  return out.str();
+}
+
+Spec Spec::from_json(std::string_view text) {
+  const JsonValue root = obs::parse_json(text);
+  require_object(root, "spec");
+  check_keys(root, "spec",
+             {"schema", "name", "title", "macs", "stations", "timing",
+              "frame_length_ns", "duration_ns", "repetitions", "seed",
+              "legs", "testbed", "reference"});
+
+  Spec spec;
+  if (const JsonValue* schema = root.find("schema")) {
+    const std::string value = string_field(*schema, "spec.schema");
+    if (value != kSchema) {
+      fail("unsupported schema \"" + value + "\" (want \"" +
+           std::string(kSchema) + "\")");
+    }
+  }
+  spec.name = string_field(require_member(root, "spec", "name"), "spec.name");
+  if (const JsonValue* title = root.find("title")) {
+    spec.title = string_field(*title, "spec.title");
+  }
+
+  const JsonValue& macs = require_member(root, "spec", "macs");
+  if (!macs.is_array()) fail("spec.macs: expected an array");
+  spec.macs.clear();
+  for (std::size_t i = 0; i < macs.items.size(); ++i) {
+    spec.macs.push_back(parse_mac_variant(
+        macs.items[i], "spec.macs[" + std::to_string(i) + "]"));
+  }
+
+  spec.stations =
+      int_array(require_member(root, "spec", "stations"), "spec.stations");
+
+  if (const JsonValue* timing = root.find("timing")) {
+    require_object(*timing, "spec.timing");
+    check_keys(*timing, "spec.timing",
+               {"slot_ns", "success_overhead_ns", "collision_overhead_ns",
+                "burst_gap_ns"});
+    if (const JsonValue* slot = timing->find("slot_ns")) {
+      spec.timing.slot = time_field(*slot, "spec.timing.slot_ns");
+    }
+    if (const JsonValue* overhead = timing->find("success_overhead_ns")) {
+      spec.timing.success_overhead =
+          time_field(*overhead, "spec.timing.success_overhead_ns");
+    }
+    if (const JsonValue* overhead = timing->find("collision_overhead_ns")) {
+      spec.timing.collision_overhead =
+          time_field(*overhead, "spec.timing.collision_overhead_ns");
+    }
+    if (const JsonValue* gap = timing->find("burst_gap_ns")) {
+      spec.timing.burst_gap = time_field(*gap, "spec.timing.burst_gap_ns");
+    }
+  }
+
+  if (const JsonValue* frame = root.find("frame_length_ns")) {
+    spec.frame_length = time_field(*frame, "spec.frame_length_ns");
+  }
+  if (const JsonValue* duration = root.find("duration_ns")) {
+    spec.duration = time_field(*duration, "spec.duration_ns");
+  }
+  if (const JsonValue* repetitions = root.find("repetitions")) {
+    spec.repetitions =
+        static_cast<int>(int_field(*repetitions, "spec.repetitions"));
+  }
+  if (const JsonValue* seed = root.find("seed")) {
+    spec.seed = seed_field(*seed, "spec.seed");
+  }
+
+  if (const JsonValue* legs = root.find("legs")) {
+    require_object(*legs, "spec.legs");
+    check_keys(*legs, "spec.legs", {"sim", "model", "testbed", "exact_pair"});
+    if (const JsonValue* flag = legs->find("sim")) {
+      spec.legs.sim = bool_field(*flag, "spec.legs.sim");
+    }
+    if (const JsonValue* flag = legs->find("model")) {
+      spec.legs.model = bool_field(*flag, "spec.legs.model");
+    }
+    if (const JsonValue* flag = legs->find("testbed")) {
+      spec.legs.testbed = bool_field(*flag, "spec.legs.testbed");
+    }
+    if (const JsonValue* flag = legs->find("exact_pair")) {
+      spec.legs.exact_pair = bool_field(*flag, "spec.legs.exact_pair");
+    }
+  }
+
+  if (const JsonValue* testbed = root.find("testbed")) {
+    require_object(*testbed, "spec.testbed");
+    check_keys(*testbed, "spec.testbed", {"tests", "duration_ns"});
+    if (const JsonValue* tests = testbed->find("tests")) {
+      spec.testbed_tests =
+          static_cast<int>(int_field(*tests, "spec.testbed.tests"));
+    }
+    if (const JsonValue* duration = testbed->find("duration_ns")) {
+      spec.testbed_duration =
+          time_field(*duration, "spec.testbed.duration_ns");
+    }
+  }
+
+  if (const JsonValue* reference = root.find("reference")) {
+    require_object(*reference, "spec.reference");
+    for (const auto& [key, series] : reference->members) {
+      if (!series.is_array()) {
+        fail("spec.reference." + key + ": expected an array");
+      }
+      std::vector<double> values;
+      values.reserve(series.items.size());
+      for (const JsonValue& item : series.items) {
+        if (!item.is_number()) {
+          fail("spec.reference." + key + ": expected numbers");
+        }
+        values.push_back(item.number);
+      }
+      spec.reference[key] = std::move(values);
+    }
+  }
+
+  spec.validate();
+  return spec;
+}
+
+Spec Spec::from_file(const std::string& path) {
+  std::ifstream in(path);
+  util::require(static_cast<bool>(in),
+                "scenario: cannot open spec file " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  try {
+    return from_json(buffer.str());
+  } catch (const Error& error) {
+    throw Error(path + ": " + error.what());
+  }
+}
+
+sim::RunSpec Spec::to_run_spec(int stations_in, std::size_t variant) const {
+  return sim::RunSpec(*this, stations_in, variant);
+}
+
+tools::TestbedConfig Spec::to_testbed_config(int stations_in, int test_index,
+                                             std::size_t variant) const {
+  util::check_arg(variant < macs.size(), "variant", "out of range");
+  util::check_arg(test_index >= 0, "test_index", "must be non-negative");
+  tools::TestbedConfig config;
+  config.stations = stations_in;
+  config.duration = testbed_duration;
+  config.timing = timing;
+  const des::RandomStream root(seed);
+  config.seed = root.derive_seed("testbed-" + macs[variant].label + "-n" +
+                                 std::to_string(stations_in) + "-t" +
+                                 std::to_string(test_index));
+  return config;
+}
+
+}  // namespace plc::scenario
+
+namespace plc::sim {
+
+// Defined here, not in runner.cpp: the scenario layer links against
+// plc_sim, so the bridge lives on the scenario side to keep the
+// dependency one-way.
+RunSpec::RunSpec(const scenario::Spec& spec, int stations_in,
+                 std::size_t variant) {
+  util::check_arg(variant < spec.macs.size(), "variant", "out of range");
+  mac = spec.macs[variant].mac;
+  stations = stations_in;
+  timing = spec.timing;
+  frame_length = spec.frame_length;
+  duration = spec.duration;
+  repetitions = spec.repetitions;
+  const des::RandomStream root(spec.seed);
+  seed = root.derive_seed("sim-" + spec.macs[variant].label + "-n" +
+                          std::to_string(stations_in));
+}
+
+}  // namespace plc::sim

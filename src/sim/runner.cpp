@@ -1,6 +1,7 @@
 #include "sim/runner.hpp"
 
 #include <string>
+#include <type_traits>
 
 #include "des/random.hpp"
 #include "obs/log.hpp"
@@ -15,14 +16,17 @@ SlotSimulator make_simulator(const RunSpec& spec, int repetition) {
   des::RandomStream root(spec.seed);
   const std::uint64_t rep_seed =
       root.derive_seed("rep-" + std::to_string(repetition));
-  std::vector<std::unique_ptr<mac::BackoffEntity>> entities;
-  if (spec.mac == MacKind::k1901) {
-    entities = make_1901_entities(spec.stations, spec.config, rep_seed);
-  } else {
-    entities = make_dcf_entities(spec.stations, spec.dcf_cw_min,
-                                 spec.dcf_cw_max, rep_seed);
-  }
-  return SlotSimulator(std::move(entities), spec.timing);
+  std::vector<std::unique_ptr<mac::BackoffEntity>> entities = std::visit(
+      [&](const auto& mac_config) {
+        using T = std::decay_t<decltype(mac_config)>;
+        if constexpr (std::is_same_v<T, mac::BackoffConfig>) {
+          return make_1901_entities(spec.stations, mac_config, rep_seed);
+        } else {
+          return make_dcf_entities(spec.stations, mac_config, rep_seed);
+        }
+      },
+      spec.mac);
+  return SlotSimulator(std::move(entities), spec.timing, spec.frame_length);
 }
 
 RunSummary run_point(const RunSpec& spec) {

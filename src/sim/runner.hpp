@@ -10,30 +10,43 @@
 #include <functional>
 #include <memory>
 #include <string>
+#include <variant>
 #include <vector>
 
+#include "dcf/dcf.hpp"
 #include "mac/config.hpp"
 #include "obs/progress.hpp"
 #include "obs/report.hpp"
 #include "sim/slot_simulator.hpp"
 #include "util/stats.hpp"
 
+namespace plc::scenario {
+struct Spec;
+}
+
 namespace plc::sim {
 
-/// Which MAC the runner instantiates.
-enum class MacKind : std::uint8_t { k1901 = 0, kDcf = 1 };
+/// Which MAC a sweep point runs: a 1901 backoff configuration (CW/DC
+/// stage vectors) or an 802.11-style DCF window pair. One description,
+/// shared with dcf::DcfConfig — no parallel raw ints.
+using MacSpec = std::variant<mac::BackoffConfig, dcf::DcfConfig>;
 
 /// One sweep point's configuration.
 struct RunSpec {
-  MacKind mac = MacKind::k1901;
+  RunSpec() = default;
+
+  /// Builds the spec for one station count (and MAC variant) of a
+  /// declarative scenario::Spec — the single bridge between the
+  /// experiment description and the simulator. Defined in
+  /// scenario/spec.cpp (the scenario layer depends on sim, not the
+  /// reverse).
+  explicit RunSpec(const scenario::Spec& scenario, int stations,
+                   std::size_t variant = 0);
+
+  MacSpec mac = mac::BackoffConfig::ca0_ca1();
   int stations = 2;
-  /// 1901 parameters (used when mac == k1901).
-  mac::BackoffConfig config = mac::BackoffConfig::ca0_ca1();
-  /// DCF parameters (used when mac == kDcf).
-  int dcf_cw_min = 16;
-  int dcf_cw_max = 1024;
-  SlotTiming timing;
-  des::SimTime frame_length = des::SimTime::from_ns(2'050'000);
+  phy::TimingConfig timing = phy::TimingConfig::paper_default();
+  des::SimTime frame_length = default_frame_length();
   des::SimTime duration = des::SimTime::from_seconds(50.0);
   int repetitions = 10;
   std::uint64_t seed = 0x1901;

@@ -1,6 +1,7 @@
 #include "sim/sim_1901.hpp"
 
 #include "mac/config.hpp"
+#include "phy/timing.hpp"
 #include "sim/slot_simulator.hpp"
 #include "util/error.hpp"
 
@@ -22,11 +23,14 @@ Sim1901Result sim_1901(int n, double sim_time_us, double tc_us, double ts_us,
   config.dc = dc;
   config.validate();
 
-  SlotTiming timing;
-  timing.ts = des::SimTime::from_us(ts_us);
-  timing.tc = des::SimTime::from_us(tc_us);
+  // The paper's interface hands us Ts/Tc directly; from_ts_tc recovers
+  // the overhead form exactly (integer-ns subtraction, no rounding).
+  const des::SimTime frame = des::SimTime::from_us(frame_length_us);
+  const phy::TimingConfig timing = phy::TimingConfig::from_ts_tc(
+      des::SimTime::from_ns(35'840), des::SimTime::from_us(ts_us),
+      des::SimTime::from_us(tc_us), frame);
 
-  SlotSimulator simulator(make_1901_entities(n, config, seed), timing);
+  SlotSimulator simulator(make_1901_entities(n, config, seed), timing, frame);
   const SlotSimResults results =
       simulator.run(des::SimTime::from_us(sim_time_us));
 

@@ -25,15 +25,20 @@ double SlotSimResults::normalized_throughput(des::SimTime frame_length) const {
 
 SlotSimulator::SlotSimulator(
     std::vector<std::unique_ptr<mac::BackoffEntity>> entities,
-    SlotTiming timing)
-    : entities_(std::move(entities)), timing_(timing) {
+    const phy::TimingConfig& timing, des::SimTime frame_length)
+    : entities_(std::move(entities)),
+      slot_(timing.slot),
+      ts_(timing.success_duration(frame_length)),
+      tc_(timing.collision_duration(frame_length)) {
   util::check_arg(!entities_.empty(), "entities",
                   "need at least one station");
   for (const auto& entity : entities_) {
     util::check_arg(entity != nullptr, "entities", "must not contain null");
   }
-  util::check_arg(timing.slot > des::SimTime::zero(), "timing",
+  util::check_arg(slot_ > des::SimTime::zero(), "timing",
                   "slot must be positive");
+  util::check_arg(frame_length > des::SimTime::zero(), "frame_length",
+                  "must be positive");
   results_.tx_success.assign(entities_.size(), 0);
   results_.tx_collision.assign(entities_.size(), 0);
 }
@@ -129,14 +134,14 @@ SlotEventType SlotSimulator::step() {
   des::SimTime duration;
   if (scratch_transmitters_.empty()) {
     type = SlotEventType::kIdle;
-    duration = timing_.slot;
+    duration = slot_;
     ++results_.idle_slots;
     for (auto& entity : entities_) {
       entity->on_idle_slot();
     }
   } else if (scratch_transmitters_.size() == 1) {
     type = SlotEventType::kSuccess;
-    duration = timing_.ts;
+    duration = ts_;
     ++results_.successes;
     const int winner = scratch_transmitters_.front();
     ++results_.tx_success[static_cast<std::size_t>(winner)];
@@ -146,7 +151,7 @@ SlotEventType SlotSimulator::step() {
     }
   } else {
     type = SlotEventType::kCollision;
-    duration = timing_.tc;
+    duration = tc_;
     ++results_.collision_events;
     results_.collided_tx +=
         static_cast<std::int64_t>(scratch_transmitters_.size());
@@ -240,6 +245,11 @@ std::vector<std::unique_ptr<mac::BackoffEntity>> make_dcf_entities(
         des::RandomStream(root.derive_seed("station-" + std::to_string(i)))));
   }
   return entities;
+}
+
+std::vector<std::unique_ptr<mac::BackoffEntity>> make_dcf_entities(
+    int n, const dcf::DcfConfig& config, std::uint64_t seed) {
+  return make_dcf_entities(n, config.cw_min, config.cw_max, seed);
 }
 
 }  // namespace plc::sim

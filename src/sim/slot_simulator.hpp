@@ -28,6 +28,11 @@
 #include "mac/backoff.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "phy/timing.hpp"
+
+namespace plc::dcf {
+struct DcfConfig;
+}
 
 namespace plc::sim {
 
@@ -67,21 +72,22 @@ struct SlotSimResults {
   double normalized_throughput(des::SimTime frame_length) const;
 };
 
-/// Timing triple of the paper's simulator (Table 3). Defaults are the
-/// paper's: Ts = 2542.64 us, Tc = 2920.64 us (collisions end with the
-/// long EIFS, so they cost more than successes in 1901).
-struct SlotTiming {
-  des::SimTime slot = des::SimTime::from_ns(35'840);
-  des::SimTime ts = des::SimTime::from_ns(2'542'640);
-  des::SimTime tc = des::SimTime::from_ns(2'920'640);
-};
+/// The paper's frame duration (2050 us), used throughout as the default.
+inline des::SimTime default_frame_length() {
+  return des::SimTime::from_ns(2'050'000);
+}
 
-/// The generalized slot simulator.
+/// The generalized slot simulator. The medium-event timing triple
+/// (slot / Ts / Tc, Table 3) is resolved once at construction from a
+/// `phy::TimingConfig` and the frame duration — with the defaults this
+/// reproduces the paper's Ts = 2542.64 us, Tc = 2920.64 us exactly.
 class SlotSimulator {
  public:
   /// Takes ownership of one backoff entity per station (all saturated).
-  SlotSimulator(std::vector<std::unique_ptr<mac::BackoffEntity>> entities,
-                SlotTiming timing);
+  explicit SlotSimulator(
+      std::vector<std::unique_ptr<mac::BackoffEntity>> entities,
+      const phy::TimingConfig& timing = phy::TimingConfig::paper_default(),
+      des::SimTime frame_length = default_frame_length());
 
   /// Installs a per-event observer (may be called millions of times; keep
   /// it cheap). Entities are observable through entity() during the call.
@@ -132,7 +138,10 @@ class SlotSimulator {
   void record_trace(SlotEventType type, des::SimTime duration);
 
   std::vector<std::unique_ptr<mac::BackoffEntity>> entities_;
-  SlotTiming timing_;
+  /// Medium-event durations resolved from the TimingConfig + frame.
+  des::SimTime slot_ = des::SimTime::zero();
+  des::SimTime ts_ = des::SimTime::zero();
+  des::SimTime tc_ = des::SimTime::zero();
   std::function<void(const SlotEvent&)> observer_;
   std::optional<Metrics> metrics_;
   obs::TraceSink* trace_ = nullptr;
@@ -152,5 +161,9 @@ std::vector<std::unique_ptr<mac::BackoffEntity>> make_1901_entities(
 /// Convenience: builds N identical DCF entities.
 std::vector<std::unique_ptr<mac::BackoffEntity>> make_dcf_entities(
     int n, int cw_min, int cw_max, std::uint64_t seed);
+
+/// Same, from a dcf::DcfConfig description.
+std::vector<std::unique_ptr<mac::BackoffEntity>> make_dcf_entities(
+    int n, const dcf::DcfConfig& config, std::uint64_t seed);
 
 }  // namespace plc::sim

@@ -15,205 +15,6 @@ namespace plc::tools {
 
 namespace {
 
-/// Recursive-descent JSON parser. The grammar is full JSON; the only
-/// liberty taken is that numbers are parsed with strtod (accepting a
-/// superset like "1e999" -> inf, which the writer never emits).
-class JsonParser {
- public:
-  explicit JsonParser(std::string_view text) : text_(text) {}
-
-  JsonValue parse_document() {
-    JsonValue value = parse_value();
-    skip_whitespace();
-    util::require(pos_ == text_.size(),
-                  "parse_json: trailing characters after document");
-    return value;
-  }
-
- private:
-  JsonValue parse_value() {
-    skip_whitespace();
-    util::require(pos_ < text_.size(), "parse_json: unexpected end of input");
-    const char c = text_[pos_];
-    switch (c) {
-      case '{':
-        return parse_object();
-      case '[':
-        return parse_array();
-      case '"': {
-        JsonValue value;
-        value.kind = JsonValue::Kind::kString;
-        value.text = parse_string();
-        return value;
-      }
-      case 't':
-      case 'f': {
-        JsonValue value;
-        value.kind = JsonValue::Kind::kBool;
-        value.boolean = c == 't';
-        expect_literal(c == 't' ? "true" : "false");
-        return value;
-      }
-      case 'n':
-        expect_literal("null");
-        return JsonValue{};
-      default:
-        return parse_number();
-    }
-  }
-
-  JsonValue parse_object() {
-    JsonValue value;
-    value.kind = JsonValue::Kind::kObject;
-    ++pos_;  // '{'
-    skip_whitespace();
-    if (peek() == '}') {
-      ++pos_;
-      return value;
-    }
-    while (true) {
-      skip_whitespace();
-      std::string key = parse_string();
-      skip_whitespace();
-      util::require(peek() == ':', "parse_json: expected ':' in object");
-      ++pos_;
-      value.members.emplace_back(std::move(key), parse_value());
-      skip_whitespace();
-      if (peek() == ',') {
-        ++pos_;
-        continue;
-      }
-      util::require(peek() == '}', "parse_json: expected ',' or '}'");
-      ++pos_;
-      return value;
-    }
-  }
-
-  JsonValue parse_array() {
-    JsonValue value;
-    value.kind = JsonValue::Kind::kArray;
-    ++pos_;  // '['
-    skip_whitespace();
-    if (peek() == ']') {
-      ++pos_;
-      return value;
-    }
-    while (true) {
-      value.items.push_back(parse_value());
-      skip_whitespace();
-      if (peek() == ',') {
-        ++pos_;
-        continue;
-      }
-      util::require(peek() == ']', "parse_json: expected ',' or ']'");
-      ++pos_;
-      return value;
-    }
-  }
-
-  std::string parse_string() {
-    util::require(peek() == '"', "parse_json: expected string");
-    ++pos_;
-    std::string out;
-    while (true) {
-      util::require(pos_ < text_.size(),
-                    "parse_json: unterminated string");
-      const char c = text_[pos_++];
-      if (c == '"') return out;
-      if (c != '\\') {
-        out.push_back(c);
-        continue;
-      }
-      util::require(pos_ < text_.size(),
-                    "parse_json: unterminated escape");
-      const char escape = text_[pos_++];
-      switch (escape) {
-        case '"': out.push_back('"'); break;
-        case '\\': out.push_back('\\'); break;
-        case '/': out.push_back('/'); break;
-        case 'b': out.push_back('\b'); break;
-        case 'f': out.push_back('\f'); break;
-        case 'n': out.push_back('\n'); break;
-        case 'r': out.push_back('\r'); break;
-        case 't': out.push_back('\t'); break;
-        case 'u': {
-          util::require(pos_ + 4 <= text_.size(),
-                        "parse_json: truncated \\u escape");
-          unsigned code = 0;
-          for (int i = 0; i < 4; ++i) {
-            const char h = text_[pos_++];
-            code <<= 4;
-            if (h >= '0' && h <= '9') {
-              code |= static_cast<unsigned>(h - '0');
-            } else if (h >= 'a' && h <= 'f') {
-              code |= static_cast<unsigned>(h - 'a' + 10);
-            } else if (h >= 'A' && h <= 'F') {
-              code |= static_cast<unsigned>(h - 'A' + 10);
-            } else {
-              util::require(false, "parse_json: bad \\u escape digit");
-            }
-          }
-          // UTF-8 encode the code point (surrogate pairs are not
-          // recombined — the writer only emits \u00XX control escapes).
-          if (code < 0x80) {
-            out.push_back(static_cast<char>(code));
-          } else if (code < 0x800) {
-            out.push_back(static_cast<char>(0xC0 | (code >> 6)));
-            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
-          } else {
-            out.push_back(static_cast<char>(0xE0 | (code >> 12)));
-            out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
-            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
-          }
-          break;
-        }
-        default:
-          util::require(false, "parse_json: unknown escape");
-      }
-    }
-  }
-
-  JsonValue parse_number() {
-    const std::size_t start = pos_;
-    if (peek() == '-') ++pos_;
-    while (pos_ < text_.size() &&
-           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
-            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
-            text_[pos_] == '+' || text_[pos_] == '-')) {
-      ++pos_;
-    }
-    util::require(pos_ > start, "parse_json: expected a value");
-    const std::string token(text_.substr(start, pos_ - start));
-    char* end = nullptr;
-    const double parsed = std::strtod(token.c_str(), &end);
-    util::require(end == token.c_str() + token.size(),
-                  "parse_json: malformed number '" + token + "'");
-    JsonValue value;
-    value.kind = JsonValue::Kind::kNumber;
-    value.number = parsed;
-    return value;
-  }
-
-  void expect_literal(std::string_view literal) {
-    util::require(text_.substr(pos_, literal.size()) == literal,
-                  "parse_json: malformed literal");
-    pos_ += literal.size();
-  }
-
-  void skip_whitespace() {
-    while (pos_ < text_.size() &&
-           (text_[pos_] == ' ' || text_[pos_] == '\t' ||
-            text_[pos_] == '\n' || text_[pos_] == '\r')) {
-      ++pos_;
-    }
-  }
-
-  char peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
-
-  std::string_view text_;
-  std::size_t pos_ = 0;
-};
-
 bool matches_any(const std::string& key,
                  const std::vector<std::string>& patterns) {
   for (const std::string& pattern : patterns) {
@@ -225,18 +26,6 @@ bool matches_any(const std::string& key,
 }
 
 }  // namespace
-
-const JsonValue* JsonValue::find(std::string_view key) const {
-  if (kind != Kind::kObject) return nullptr;
-  for (const auto& [name, value] : members) {
-    if (name == key) return &value;
-  }
-  return nullptr;
-}
-
-JsonValue parse_json(std::string_view text) {
-  return JsonParser(text).parse_document();
-}
 
 BenchReport BenchReport::parse(std::string_view json_text) {
   const JsonValue root = parse_json(json_text);
@@ -271,6 +60,10 @@ BenchReport BenchReport::parse(std::string_view json_text) {
       }
     }
   }
+  if (const JsonValue* scenario = root.find("scenario");
+      scenario != nullptr && scenario->kind != JsonValue::Kind::kNull) {
+    report.scenario = scenario->dump();
+  }
   return report;
 }
 
@@ -292,6 +85,9 @@ DiffResult diff_reports(const BenchReport& baseline,
                         const DiffOptions& options) {
   DiffResult result;
   result.name = candidate.name.empty() ? baseline.name : candidate.name;
+  result.scenario_mismatch = !baseline.scenario.empty() &&
+                             !candidate.scenario.empty() &&
+                             baseline.scenario != candidate.scenario;
   std::set<std::string> keys;
   for (const auto& [key, value] : baseline.values) keys.insert(key);
   for (const auto& [key, value] : candidate.values) keys.insert(key);
@@ -362,6 +158,7 @@ DirDiffResult diff_directories(const std::string& baseline_dir,
                      BenchReport::load(candidate_dir + "/" + name), options);
     if (diff.name.empty()) diff.name = name;
     result.regressions += diff.regressions;
+    if (diff.scenario_mismatch) ++result.scenario_mismatches;
     result.reports.push_back(std::move(diff));
   }
   for (const std::string& name : cand_names) {

@@ -17,38 +17,14 @@
 #include <string_view>
 #include <vector>
 
+#include "obs/json.hpp"
+
 namespace plc::tools {
 
-/// Minimal parsed JSON value — just enough to read run reports back.
-/// (Objects keep insertion order; lookups are linear, fine at this size.)
-class JsonValue {
- public:
-  enum class Kind : std::uint8_t {
-    kNull,
-    kBool,
-    kNumber,
-    kString,
-    kArray,
-    kObject
-  };
-
-  Kind kind = Kind::kNull;
-  bool boolean = false;
-  double number = 0.0;
-  std::string text;
-  std::vector<JsonValue> items;  ///< Array elements.
-  std::vector<std::pair<std::string, JsonValue>> members;  ///< Object.
-
-  bool is_object() const { return kind == Kind::kObject; }
-  bool is_number() const { return kind == Kind::kNumber; }
-
-  /// Returns the member value or nullptr (non-objects: nullptr).
-  const JsonValue* find(std::string_view key) const;
-};
-
-/// Parses a complete JSON document; throws plc::Error on malformed input
-/// or trailing garbage.
-JsonValue parse_json(std::string_view text);
+/// The JSON DOM lives in obs::json now (scenario specs parse with the
+/// same machinery); these aliases keep the historical tools:: spelling.
+using JsonValue = obs::JsonValue;
+using obs::parse_json;
 
 /// One BENCH_*.json report flattened into named numeric values:
 /// the top-level numbers (wall_seconds, events, events_per_second, ...),
@@ -57,6 +33,10 @@ JsonValue parse_json(std::string_view text);
 struct BenchReport {
   std::string name;
   std::map<std::string, double> values;
+  /// Canonical re-serialization of the report's embedded "scenario"
+  /// object (empty when the report embeds none). Two reports produced
+  /// from the same scenario::Spec carry identical strings here.
+  std::string scenario;
 
   /// Parses report JSON text; throws plc::Error when the text is not a
   /// JSON object.
@@ -93,6 +73,9 @@ struct DiffResult {
   std::string name;
   std::vector<ScalarDelta> deltas;
   int regressions = 0;
+  /// Both reports embed a scenario spec and the specs differ — the
+  /// numbers are not comparable like-for-like (warned, never fatal).
+  bool scenario_mismatch = false;
 };
 
 /// Compares two parsed reports under the gate options.
@@ -106,6 +89,7 @@ struct DirDiffResult {
   std::vector<std::string> only_in_baseline;   ///< File names.
   std::vector<std::string> only_in_candidate;  ///< File names.
   int regressions = 0;
+  int scenario_mismatches = 0;  ///< Pairs whose embedded specs differ.
 };
 
 /// Lists the BENCH_*.json file names in `dir` (sorted); throws plc::Error

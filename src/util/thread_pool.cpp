@@ -1,6 +1,7 @@
 #include "util/thread_pool.hpp"
 
 #include <algorithm>
+#include <cstdlib>
 
 #include "util/error.hpp"
 
@@ -10,6 +11,14 @@ int ThreadPool::resolve_jobs(int jobs) {
   if (jobs > 0) return jobs;
   const unsigned hardware = std::thread::hardware_concurrency();
   return std::max(1, static_cast<int>(hardware));
+}
+
+int jobs_from_env() {
+  if (const char* jobs = std::getenv("PLC_JOBS");
+      jobs != nullptr && jobs[0] != '\0') {
+    return std::atoi(jobs);
+  }
+  return 0;
 }
 
 ThreadPool::ThreadPool(int threads, std::function<void(int)> on_worker_start) {

@@ -73,4 +73,10 @@ class ThreadPool {
   bool stopping_ = false;
 };
 
+/// The conventional --jobs default: $PLC_JOBS, where 0, unparsable or
+/// unset means "one job per hardware thread" (resolved lazily by
+/// ThreadPool / resolve_jobs). The single definition shared by the bench
+/// harnesses, the CLI and ParallelRunner callers.
+int jobs_from_env();
+
 }  // namespace plc::util

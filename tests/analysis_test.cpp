@@ -10,6 +10,7 @@
 #include "analysis/model_1901.hpp"
 #include "analysis/model_dcf.hpp"
 #include "analysis/optimizer.hpp"
+#include "phy/timing.hpp"
 #include "sim/sim_1901.hpp"
 #include "sim/slot_simulator.hpp"
 #include "sim/unsaturated.hpp"
@@ -19,7 +20,7 @@ namespace plc::analysis {
 namespace {
 
 const mac::BackoffConfig kCa1 = mac::BackoffConfig::ca0_ca1();
-const sim::SlotTiming kTiming{};
+const phy::TimingConfig kTiming = phy::TimingConfig::paper_default();
 const des::SimTime kFrame = des::SimTime::from_us(2050.0);
 
 // --- Per-stage quantities ----------------------------------------------------------
@@ -160,8 +161,8 @@ TEST(Model1901, OverestimatesCollisionsAtSmallN) {
 
 TEST(Model1901, SuccessRatePositive) {
   const Model1901Result result = solve_1901(3, kCa1);
-  EXPECT_GT(result.success_rate_per_second(kTiming), 100.0);
-  EXPECT_LT(result.success_rate_per_second(kTiming), 1e6);
+  EXPECT_GT(result.success_rate_per_second(kTiming, kFrame), 100.0);
+  EXPECT_LT(result.success_rate_per_second(kTiming, kFrame), 1e6);
 }
 
 // --- DCF model ---------------------------------------------------------------------------
@@ -248,8 +249,7 @@ TEST(Drift, OccupancyMatchesSimulatedStageDistribution) {
   // station counts of a long simulation at every medium event and
   // compare the time-average against the drift equilibrium.
   const int n = 5;
-  sim::SlotSimulator simulator(sim::make_1901_entities(n, kCa1, 99),
-                               sim::SlotTiming{});
+  sim::SlotSimulator simulator(sim::make_1901_entities(n, kCa1, 99));
   std::vector<double> occupancy_sum(4, 0.0);
   std::int64_t samples = 0;
   simulator.set_observer([&](const sim::SlotEvent&) {
@@ -481,7 +481,7 @@ TEST(DelayModel, SaturationRateMatchesSaturatedModel) {
   const double capacity =
       saturation_rate_fps(5, kCa1, kTiming, kFrame);
   const Model1901Result saturated = solve_1901(5, kCa1);
-  EXPECT_NEAR(capacity, saturated.success_rate_per_second(kTiming) / 5.0,
+  EXPECT_NEAR(capacity, saturated.success_rate_per_second(kTiming, kFrame) / 5.0,
               1e-9);
   EXPECT_GT(capacity, 10.0);
   EXPECT_LT(capacity, 1000.0);

@@ -131,8 +131,7 @@ TEST(Figure2, PaperMeasurementsAreWithinShapeTolerance) {
 // --- Short-term fairness (Figure 1's phenomenon, quantified) ----------------------------
 
 TEST(Fairness, N2ShortTermUnfairnessAppearsAtSmallWindows) {
-  sim::SlotSimulator simulator(sim::make_1901_entities(2, kCa1, 55),
-                               sim::SlotTiming{});
+  sim::SlotSimulator simulator(sim::make_1901_entities(2, kCa1, 55));
   simulator.enable_winner_trace(true);
   simulator.run(des::SimTime::from_seconds(60.0));
   const std::vector<int>& winners = simulator.winners();

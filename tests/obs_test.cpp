@@ -267,8 +267,7 @@ TEST(RunReport, SaveRejectsUnwritablePath) {
 TEST(SlotSimObs, MetricsAgreeWithResults) {
   obs::Registry registry;
   sim::SlotSimulator simulator(
-      sim::make_1901_entities(3, mac::BackoffConfig::ca0_ca1(), 7),
-      sim::SlotTiming{});
+      sim::make_1901_entities(3, mac::BackoffConfig::ca0_ca1(), 7));
   simulator.bind_metrics(registry);
   const sim::SlotSimResults results = simulator.run_events(5'000);
 
@@ -303,8 +302,7 @@ TEST(SlotSimObs, MetricsAgreeWithResults) {
 TEST(SlotSimObs, TraceRecordsSpansOnStationTracks) {
   obs::TraceSink sink;
   sim::SlotSimulator simulator(
-      sim::make_1901_entities(2, mac::BackoffConfig::ca0_ca1(), 11),
-      sim::SlotTiming{});
+      sim::make_1901_entities(2, mac::BackoffConfig::ca0_ca1(), 11));
   simulator.set_trace(&sink, /*counter_samples=*/true);
   const sim::SlotSimResults results = simulator.run_events(200);
 

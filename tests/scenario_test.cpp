@@ -1,0 +1,289 @@
+// scenario::Spec / Registry / run_scenario: JSON round-trips, strict
+// parsing, the RunSpec/TestbedConfig bridges, and the driver's
+// jobs-independence (byte-identical reports).
+#include <sstream>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "des/random.hpp"
+#include "scenario/registry.hpp"
+#include "scenario/run.hpp"
+#include "scenario/spec.hpp"
+#include "util/error.hpp"
+
+namespace plc::scenario {
+namespace {
+
+Spec tiny_spec() {
+  Spec spec;
+  spec.name = "tiny";
+  spec.title = "tiny determinism scenario";
+  spec.macs = {MacVariant{"CA1", mac::BackoffConfig::ca0_ca1()},
+               MacVariant{"DCF", dcf::DcfConfig{16, 1024}}};
+  spec.stations = {2, 3};
+  spec.duration = des::SimTime::from_seconds(1.0);
+  spec.repetitions = 2;
+  spec.seed = 0x7E57;
+  spec.legs.sim = true;
+  spec.legs.model = true;
+  spec.legs.exact_pair = true;
+  spec.legs.testbed = false;
+  spec.reference["paper"] = {0.1, 0.2};
+  return spec;
+}
+
+// --- JSON round-trips --------------------------------------------------------
+
+TEST(SpecJson, CanonicalFormIsAFixedPoint) {
+  const Spec spec = tiny_spec();
+  const std::string first = spec.to_json();
+  const Spec parsed = Spec::from_json(first);
+  EXPECT_EQ(parsed.to_json(), first);
+  EXPECT_EQ(parsed.name, spec.name);
+  EXPECT_EQ(parsed.stations, spec.stations);
+  EXPECT_EQ(parsed.repetitions, spec.repetitions);
+  EXPECT_EQ(parsed.seed, spec.seed);
+  EXPECT_EQ(parsed.duration, spec.duration);
+  EXPECT_EQ(parsed.reference, spec.reference);
+}
+
+TEST(SpecJson, EveryRegistrySpecRoundTrips) {
+  for (const std::string& name : Registry::names()) {
+    const Spec spec = Registry::get(name);
+    const std::string json = spec.to_json();
+    EXPECT_EQ(Spec::from_json(json).to_json(), json) << name;
+  }
+}
+
+TEST(SpecJson, SeedSurvivesAboveDoublePrecision) {
+  Spec spec = tiny_spec();
+  spec.seed = 0xFFFF'FFFF'FFFF'FFFFull;  // Would be lossy as a JSON number.
+  const Spec parsed = Spec::from_json(spec.to_json());
+  EXPECT_EQ(parsed.seed, spec.seed);
+}
+
+TEST(SpecJson, MacVariantsRoundTripBothAlternatives) {
+  const Spec parsed = Spec::from_json(tiny_spec().to_json());
+  ASSERT_EQ(parsed.macs.size(), 2u);
+  ASSERT_TRUE(std::holds_alternative<mac::BackoffConfig>(parsed.macs[0].mac));
+  const auto& ca1 = std::get<mac::BackoffConfig>(parsed.macs[0].mac);
+  EXPECT_EQ(ca1.cw, mac::BackoffConfig::ca0_ca1().cw);
+  EXPECT_EQ(ca1.dc, mac::BackoffConfig::ca0_ca1().dc);
+  ASSERT_TRUE(std::holds_alternative<dcf::DcfConfig>(parsed.macs[1].mac));
+  EXPECT_EQ(std::get<dcf::DcfConfig>(parsed.macs[1].mac).cw_min, 16);
+  EXPECT_EQ(std::get<dcf::DcfConfig>(parsed.macs[1].mac).cw_max, 1024);
+}
+
+TEST(SpecJson, AcceptsPresetShorthand) {
+  const Spec spec = Spec::from_json(R"({
+    "name": "presets",
+    "macs": [
+      {"label": "CA3", "type": "1901", "preset": "ca2_ca3"},
+      {"label": "DCF-b", "type": "dcf", "preset": "ieee80211b"}
+    ],
+    "stations": [2]
+  })");
+  EXPECT_EQ(std::get<mac::BackoffConfig>(spec.macs[0].mac).cw,
+            mac::BackoffConfig::ca2_ca3().cw);
+  EXPECT_EQ(std::get<dcf::DcfConfig>(spec.macs[1].mac).cw_min,
+            dcf::DcfConfig::ieee80211b().cw_min);
+}
+
+// --- Strict validation -------------------------------------------------------
+
+TEST(SpecJson, RejectsUnknownKeysAtEveryLevel) {
+  EXPECT_THROW(
+      Spec::from_json(R"({"name": "x", "macs": [{"label": "a", "type":
+      "1901", "preset": "ca0_ca1"}], "stations": [2], "bogus": 1})"),
+      plc::Error);
+  EXPECT_THROW(
+      Spec::from_json(R"({"name": "x", "macs": [{"label": "a", "type":
+      "1901", "preset": "ca0_ca1", "bogus": 1}], "stations": [2]})"),
+      plc::Error);
+  EXPECT_THROW(
+      Spec::from_json(R"({"name": "x", "macs": [{"label": "a", "type":
+      "1901", "preset": "ca0_ca1"}], "stations": [2],
+      "timing": {"bogus_ns": 1}})"),
+      plc::Error);
+  EXPECT_THROW(
+      Spec::from_json(R"({"name": "x", "macs": [{"label": "a", "type":
+      "1901", "preset": "ca0_ca1"}], "stations": [2],
+      "legs": {"bogus": true}})"),
+      plc::Error);
+  EXPECT_THROW(
+      Spec::from_json(R"({"name": "x", "macs": [{"label": "a", "type":
+      "1901", "preset": "ca0_ca1"}], "stations": [2],
+      "testbed": {"bogus": 1}})"),
+      plc::Error);
+}
+
+TEST(SpecJson, RejectsInvalidMacShapes) {
+  // CW/DC length mismatch goes through BackoffConfig::validate.
+  EXPECT_THROW(
+      Spec::from_json(R"({"name": "x", "macs": [{"label": "a", "type":
+      "1901", "cw": [8, 16], "dc": [0]}], "stations": [2]})"),
+      plc::Error);
+  // DCF windows must be ordered.
+  EXPECT_THROW(
+      Spec::from_json(R"({"name": "x", "macs": [{"label": "a", "type":
+      "dcf", "cw_min": 64, "cw_max": 16}], "stations": [2]})"),
+      plc::Error);
+  // Unknown MAC type.
+  EXPECT_THROW(
+      Spec::from_json(R"({"name": "x", "macs": [{"label": "a", "type":
+      "csma-cd"}], "stations": [2]})"),
+      plc::Error);
+}
+
+TEST(SpecValidate, CatchesStructuralMistakes) {
+  EXPECT_THROW(
+      {
+        Spec spec = tiny_spec();
+        spec.stations.clear();
+        spec.validate();
+      },
+      plc::Error);
+  EXPECT_THROW(
+      {
+        Spec spec = tiny_spec();
+        spec.macs[1].label = spec.macs[0].label;  // Duplicate label.
+        spec.validate();
+      },
+      plc::Error);
+  EXPECT_THROW(
+      {
+        Spec spec = tiny_spec();
+        spec.reference["paper"] = {0.1};  // Not aligned with stations.
+        spec.validate();
+      },
+      plc::Error);
+  EXPECT_THROW(
+      {
+        Spec spec = tiny_spec();
+        spec.repetitions = 0;
+        spec.validate();
+      },
+      plc::Error);
+}
+
+// --- Registry ----------------------------------------------------------------
+
+TEST(Registry, BuiltInsArePresentAndValid) {
+  const std::vector<std::string> names = Registry::names();
+  for (const char* expected :
+       {"figure2", "table2", "e6-throughput-vs-n", "e8-boosting",
+        "dcf-comparison"}) {
+    EXPECT_TRUE(Registry::contains(expected)) << expected;
+  }
+  for (const std::string& name : names) {
+    const Spec spec = Registry::get(name);
+    EXPECT_EQ(spec.name, name);
+    EXPECT_NO_THROW(spec.validate());
+  }
+  EXPECT_FALSE(Registry::contains("no-such-scenario"));
+  EXPECT_THROW(Registry::get("no-such-scenario"), plc::Error);
+}
+
+// --- Bridges -----------------------------------------------------------------
+
+TEST(Bridge, RunSpecCarriesEveryField) {
+  const Spec spec = tiny_spec();
+  const sim::RunSpec run = spec.to_run_spec(3, 1);
+  EXPECT_EQ(run.stations, 3);
+  EXPECT_EQ(run.frame_length, spec.frame_length);
+  EXPECT_EQ(run.duration, spec.duration);
+  EXPECT_EQ(run.repetitions, spec.repetitions);
+  EXPECT_EQ(run.timing.slot, spec.timing.slot);
+  EXPECT_EQ(run.timing.success_overhead, spec.timing.success_overhead);
+  ASSERT_TRUE(std::holds_alternative<dcf::DcfConfig>(run.mac));
+  // Seeds derive from (root seed, variant label, N) — reproducible and
+  // distinct per point.
+  const des::RandomStream root(spec.seed);
+  EXPECT_EQ(run.seed, root.derive_seed("sim-DCF-n3"));
+  EXPECT_NE(spec.to_run_spec(2, 1).seed, run.seed);
+  EXPECT_NE(spec.to_run_spec(3, 0).seed, run.seed);
+}
+
+TEST(Bridge, TestbedConfigCarriesTimingAndDerivedSeed) {
+  Spec spec = tiny_spec();
+  spec.testbed_duration = des::SimTime::from_seconds(7.0);
+  const tools::TestbedConfig config = spec.to_testbed_config(2, 1);
+  EXPECT_EQ(config.stations, 2);
+  EXPECT_EQ(config.duration, spec.testbed_duration);
+  EXPECT_EQ(config.timing.slot, spec.timing.slot);
+  const des::RandomStream root(spec.seed);
+  EXPECT_EQ(config.seed, root.derive_seed("testbed-CA1-n2-t1"));
+  EXPECT_NE(spec.to_testbed_config(2, 0).seed, config.seed);
+}
+
+TEST(Bridge, VariantIndexIsBoundsChecked) {
+  const Spec spec = tiny_spec();
+  EXPECT_THROW(spec.to_run_spec(2, 2), plc::Error);
+  EXPECT_THROW(spec.to_testbed_config(2, 0, 2), plc::Error);
+}
+
+// --- Driver ------------------------------------------------------------------
+
+TEST(RunScenario, ReportIsByteIdenticalAcrossJobsCounts) {
+  const Spec spec = tiny_spec();
+  std::vector<std::string> serialized;
+  for (const int jobs : {1, 4}) {
+    RunOptions options;
+    options.jobs = jobs;
+    const RunOutcome outcome = run_scenario(spec, options);
+    EXPECT_EQ(outcome.report.wall_seconds, 0.0);
+    std::ostringstream out;
+    outcome.report.write_json(out);
+    serialized.push_back(out.str());
+  }
+  EXPECT_EQ(serialized[0], serialized[1]);
+}
+
+TEST(RunScenario, ReportCarriesSpecAndScalars) {
+  const Spec spec = tiny_spec();
+  const RunOutcome outcome = run_scenario(spec);
+  EXPECT_EQ(outcome.report.name, "tiny");
+  EXPECT_EQ(outcome.report.scenario, spec.to_json());
+  // One scalar per (variant, N, metric) plus exact-pair and reference.
+  for (const char* key :
+       {"CA1.n2.sim_collision_probability", "CA1.n2.sim_throughput",
+        "CA1.n2.model_collision_probability", "CA1.n2.model_throughput",
+        "CA1.n2.exact_collision_probability", "DCF.n3.sim_throughput",
+        "DCF.n3.model_collision_probability", "reference.paper.n2"}) {
+    EXPECT_TRUE(outcome.report.scalars.count(key) == 1) << key;
+  }
+  // The DCF variant must not get an exact-pair scalar.
+  EXPECT_EQ(outcome.report.scalars.count("DCF.n2.exact_collision_probability"),
+            0u);
+  EXPECT_GT(outcome.report.simulated_seconds, 0.0);
+  EXPECT_GT(outcome.report.events, 0);
+  // The embedded spec re-parses to the same canonical document (the
+  // provenance chain: report -> spec -> identical rerun).
+  EXPECT_EQ(Spec::from_json(outcome.report.scenario).to_json(),
+            outcome.report.scenario);
+}
+
+TEST(RunScenario, TestbedLegProducesPerStationScalars) {
+  Spec spec;
+  spec.name = "testbed-tiny";
+  spec.macs = {MacVariant{"CA1", mac::BackoffConfig::ca0_ca1()}};
+  spec.stations = {2};
+  spec.legs.sim = false;
+  spec.legs.model = false;
+  spec.legs.testbed = true;
+  spec.testbed_tests = 2;
+  spec.testbed_duration = des::SimTime::from_seconds(2.0);
+  const RunOutcome outcome = run_scenario(spec);
+  for (const char* key :
+       {"CA1.n2.testbed_collision_mean", "CA1.n2.testbed_collision_stddev",
+        "CA1.n2.testbed_collided", "CA1.n2.testbed_acknowledged"}) {
+    EXPECT_TRUE(outcome.report.scalars.count(key) == 1) << key;
+  }
+  EXPECT_GT(outcome.report.scalars.at("CA1.n2.testbed_acknowledged"), 0.0);
+}
+
+}  // namespace
+}  // namespace plc::scenario

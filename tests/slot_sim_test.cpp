@@ -76,8 +76,7 @@ TEST(Sim1901, ThroughputDecreasesWithN) {
 
 TEST(SlotSim, EstimatorMatchesMatlabDefinition) {
   SlotSimulator simulator(
-      make_1901_entities(3, mac::BackoffConfig::ca0_ca1(), 11),
-      SlotTiming{});
+      make_1901_entities(3, mac::BackoffConfig::ca0_ca1(), 11));
   const SlotSimResults results =
       simulator.run(des::SimTime::from_seconds(5.0));
   EXPECT_NEAR(results.collision_probability(),
@@ -98,8 +97,7 @@ TEST(SlotSim, EstimatorMatchesMatlabDefinition) {
 
 TEST(SlotSim, ElapsedMatchesEventAccounting) {
   SlotSimulator simulator(
-      make_1901_entities(2, mac::BackoffConfig::ca0_ca1(), 3),
-      SlotTiming{});
+      make_1901_entities(2, mac::BackoffConfig::ca0_ca1(), 3));
   const SlotSimResults results =
       simulator.run(des::SimTime::from_seconds(1.0));
   const std::int64_t reconstructed =
@@ -110,8 +108,7 @@ TEST(SlotSim, ElapsedMatchesEventAccounting) {
 
 TEST(SlotSim, ObserverSeesEveryEvent) {
   SlotSimulator simulator(
-      make_1901_entities(2, mac::BackoffConfig::ca0_ca1(), 5),
-      SlotTiming{});
+      make_1901_entities(2, mac::BackoffConfig::ca0_ca1(), 5));
   std::int64_t events = 0;
   std::int64_t busy = 0;
   des::SimTime last_start = des::SimTime::from_ns(-1);
@@ -128,8 +125,7 @@ TEST(SlotSim, ObserverSeesEveryEvent) {
 
 TEST(SlotSim, WinnerTraceMatchesSuccessCount) {
   SlotSimulator simulator(
-      make_1901_entities(3, mac::BackoffConfig::ca0_ca1(), 5),
-      SlotTiming{});
+      make_1901_entities(3, mac::BackoffConfig::ca0_ca1(), 5));
   simulator.enable_winner_trace(true);
   const SlotSimResults results =
       simulator.run(des::SimTime::from_seconds(2.0));
@@ -142,7 +138,7 @@ TEST(SlotSim, WinnerTraceMatchesSuccessCount) {
 }
 
 TEST(SlotSim, DcfEntitiesRunToo) {
-  SlotSimulator simulator(make_dcf_entities(4, 16, 1024, 21), SlotTiming{});
+  SlotSimulator simulator(make_dcf_entities(4, 16, 1024, 21));
   const SlotSimResults results =
       simulator.run(des::SimTime::from_seconds(2.0));
   EXPECT_GT(results.successes, 0);
@@ -150,8 +146,7 @@ TEST(SlotSim, DcfEntitiesRunToo) {
 
 TEST(SlotSim, EntityAccessorBoundsChecked) {
   SlotSimulator simulator(
-      make_1901_entities(2, mac::BackoffConfig::ca0_ca1(), 5),
-      SlotTiming{});
+      make_1901_entities(2, mac::BackoffConfig::ca0_ca1(), 5));
   EXPECT_NO_THROW(simulator.entity(0));
   EXPECT_NO_THROW(simulator.entity(1));
   EXPECT_THROW(simulator.entity(2), plc::Error);
@@ -174,8 +169,7 @@ TEST_P(ConfigSweep, ProbabilitiesAreWellFormedAndSeedStable) {
   config.cw = test_case.cw;
   config.dc = test_case.dc;
   for (const int n : {1, 2, 5}) {
-    SlotSimulator simulator(make_1901_entities(n, config, 42),
-                            SlotTiming{});
+    SlotSimulator simulator(make_1901_entities(n, config, 42));
     const SlotSimResults results =
         simulator.run(des::SimTime::from_seconds(3.0));
     const double cp = results.collision_probability();
@@ -217,10 +211,8 @@ TEST(Runner, AggregatesRepetitions) {
 
 TEST(Runner, DcfSpecUsesDcfEntities) {
   RunSpec spec;
-  spec.mac = MacKind::kDcf;
+  spec.mac = dcf::DcfConfig{16, 1024};
   spec.stations = 3;
-  spec.dcf_cw_min = 16;
-  spec.dcf_cw_max = 1024;
   spec.duration = des::SimTime::from_seconds(1.0);
   spec.repetitions = 2;
   const RunSummary summary = run_point(spec);
