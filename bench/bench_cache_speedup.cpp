@@ -1,0 +1,105 @@
+// Cache effectiveness: the same scenario sweep run cold (empty store,
+// every task simulated and published) and then warm (every task served
+// from the store). The headline scalar is "cache.speedup" — cold wall
+// time over warm wall time — which quantifies what `plcsim scenario
+// --cache` and the nightly PLC_CACHE_DIR reuse actually buy. The sweep
+// is a scaled-down e6-throughput-vs-n (same four MAC variants, shorter
+// sweep) so the bench stays in the fast bench-gate subset.
+//
+// The warm run must be a 100% hit: any miss means the cache key drifted
+// between two identical in-process runs, which is a correctness bug, so
+// the bench fails loudly rather than recording a diluted speedup.
+#include <cstdio>
+#include <filesystem>
+#include <iostream>
+#include <string>
+
+#include "bench_main.hpp"
+#include "obs/report.hpp"
+#include "scenario/registry.hpp"
+#include "scenario/run.hpp"
+#include "store/result_store.hpp"
+#include "util/thread_pool.hpp"
+
+#ifdef _WIN32
+#include <process.h>
+#define PLC_GETPID _getpid
+#else
+#include <unistd.h>
+#define PLC_GETPID getpid
+#endif
+
+int main() {
+  using namespace plc;
+  bench::Harness harness("cache_speedup");
+
+  // Scaled-down e6: keep the MAC variants (the part that exercises
+  // distinct cache keys) but shrink the sweep so cold + warm together
+  // stay bench-gate fast.
+  scenario::Spec spec = scenario::Registry::get("e6-throughput-vs-n");
+  spec.name = "cache-speedup";
+  spec.title = "Cache speedup probe (scaled-down e6)";
+  spec.stations = {5, 15, 30};
+  spec.duration = des::SimTime::from_seconds(20.0);
+  spec.repetitions = 3;
+  spec.legs.model = false;
+  spec.legs.testbed = false;
+  spec.legs.exact_pair = false;
+
+  const std::filesystem::path root =
+      std::filesystem::temp_directory_path() /
+      ("plc-bench-cache-" + std::to_string(PLC_GETPID()));
+  std::filesystem::remove_all(root);
+
+  const int jobs = util::jobs_from_env();
+  double cold_seconds = 0.0;
+  double warm_seconds = 0.0;
+  store::Counters warm_counters;
+  {
+    store::ResultStore cold_store(root.string());
+    scenario::RunOptions options;
+    options.jobs = jobs;
+    options.store = &cold_store;
+    obs::Stopwatch wall;
+    const scenario::RunOutcome outcome =
+        scenario::run_scenario(spec, options);
+    cold_seconds = wall.elapsed_seconds();
+    harness.add_simulated_seconds(outcome.report.simulated_seconds);
+    harness.report().scenario = outcome.report.scenario;
+  }
+  {
+    store::ResultStore warm_store(root.string());
+    scenario::RunOptions options;
+    options.jobs = jobs;
+    options.store = &warm_store;
+    obs::Stopwatch wall;
+    scenario::run_scenario(spec, options);
+    warm_seconds = wall.elapsed_seconds();
+    warm_counters = warm_store.counters();
+  }
+  std::filesystem::remove_all(root);
+
+  if (warm_counters.misses != 0 || warm_counters.hits == 0) {
+    std::fprintf(stderr,
+                 "bench_cache_speedup: warm run was not a full hit "
+                 "(%lld hits, %lld misses) — cache key instability\n",
+                 static_cast<long long>(warm_counters.hits),
+                 static_cast<long long>(warm_counters.misses));
+    return 1;
+  }
+
+  const double speedup =
+      warm_seconds > 0.0 ? cold_seconds / warm_seconds : 1.0;
+  harness.scalar("cache.speedup") = speedup;
+  harness.scalar("cache.cold_seconds") = cold_seconds;
+  harness.scalar("cache.warm_seconds") = warm_seconds;
+  harness.scalar("cache.warm_hits") =
+      static_cast<double>(warm_counters.hits);
+  std::cout << "cache speedup: cold "
+            << util::format_fixed(cold_seconds, 3) << " s, warm "
+            << util::format_fixed(warm_seconds, 3) << " s ("
+            << util::format_fixed(speedup, 1) << "x, "
+            << warm_counters.hits << "/" << warm_counters.hits
+            << " tasks from store)\n";
+  return harness.finish();
+}

@@ -20,12 +20,14 @@
 
 #include <cstdlib>
 #include <iostream>
+#include <memory>
 #include <string>
 
 #include "obs/log.hpp"
 #include "obs/metrics.hpp"
 #include "obs/profiler.hpp"
 #include "obs/report.hpp"
+#include "store/result_store.hpp"
 #include "util/strings.hpp"
 #include "util/thread_pool.hpp"
 
@@ -123,6 +125,42 @@ inline void record_parallel(Harness& harness, int jobs, double wall_seconds,
             << util::format_fixed(speedup, 2) << "x (serial-equivalent "
             << util::format_fixed(serial_equivalent_seconds, 2) << " s in "
             << util::format_fixed(wall_seconds, 2) << " s wall)\n";
+}
+
+/// Opens the shared result store at $PLC_CACHE_DIR, or returns null when
+/// the variable is unset/empty. Heavy benches pass the store into
+/// scenario::RunOptions so nightly re-runs skip already-computed
+/// (leg, point, rep) tasks; results are bit-identical either way, so the
+/// cache only changes wall time, never the gated scalars.
+inline std::unique_ptr<store::ResultStore> open_store_from_env() {
+  if (const char* dir = std::getenv("PLC_CACHE_DIR");
+      dir != nullptr && dir[0] != '\0') {
+    return std::make_unique<store::ResultStore>(dir);
+  }
+  return nullptr;
+}
+
+/// Records the store's traffic in the report ("cache.*" scalars — named,
+/// like parallel.*, so the bench gate's throughput patterns never match
+/// them; hit counts depend on what previous runs left in the store and
+/// are context, not a regression signal). Also prints a one-line summary.
+inline void record_cache(Harness& harness, const store::ResultStore& cache) {
+  const store::Counters counters = cache.counters();
+  harness.scalar("cache.hits") = static_cast<double>(counters.hits);
+  harness.scalar("cache.misses") = static_cast<double>(counters.misses);
+  harness.scalar("cache.publishes") = static_cast<double>(counters.publishes);
+  const std::int64_t lookups = counters.hits + counters.misses;
+  std::cout << "\ncache: " << counters.hits << " hit(s), "
+            << counters.misses << " miss(es)";
+  if (lookups > 0) {
+    std::cout << " ("
+              << util::format_fixed(
+                     100.0 * static_cast<double>(counters.hits) /
+                         static_cast<double>(lookups),
+                     1)
+              << "% hit rate)";
+  }
+  std::cout << ", " << counters.publishes << " published\n";
 }
 
 }  // namespace plc::bench

@@ -26,6 +26,8 @@ int main() {
   options.jobs = jobs;
   options.out = &std::cout;
   options.registry = &harness.registry();
+  const auto cache = bench::open_store_from_env();  // $PLC_CACHE_DIR
+  options.store = cache.get();
   const scenario::RunOutcome outcome = scenario::run_scenario(spec, options);
 
   harness.report().scalars = outcome.report.scalars;
@@ -34,6 +36,7 @@ int main() {
   harness.add_simulated_seconds(outcome.report.simulated_seconds);
   bench::record_parallel(harness, jobs, outcome.wall_seconds,
                          outcome.serial_equivalent_seconds);
+  if (cache) bench::record_cache(harness, *cache);
 
   std::cout << "\nShape checks (paper §3.2): sum(Ai) *increases* with N "
                "(collided MPDUs are acknowledged too,\nand more stations "

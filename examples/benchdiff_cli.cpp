@@ -14,8 +14,13 @@
 //                         events_per_second, throughput)
 //   --all                 print every delta row (default: gated or
 //                         changed-by-more-than-0.1% rows only)
+//   --allow-spec-drift    tolerate baseline/candidate pairs that embed
+//                         different scenario specs (default: such pairs
+//                         FAIL the gate — their deltas are apples to
+//                         oranges, so a "pass" would be meaningless)
 //
-// Exit codes: 0 gate passed, 1 at least one regression, 2 usage/IO error.
+// Exit codes: 0 gate passed, 1 at least one regression or un-waived
+// scenario-spec mismatch, 2 usage/IO error.
 #include <cstdio>
 #include <filesystem>
 #include <iostream>
@@ -35,7 +40,8 @@ using namespace plc;
 int usage() {
   std::fprintf(stderr,
                "usage: plc-benchdiff [--threshold-pct P] "
-               "[--gate p1,p2,...] [--all] <baseline> <candidate>\n"
+               "[--gate p1,p2,...] [--all] [--allow-spec-drift] "
+               "<baseline> <candidate>\n"
                "       (two BENCH_*.json files or two directories of "
                "them)\n");
   return 2;
@@ -53,7 +59,8 @@ std::string format_value(double value) {
 }
 
 void print_diff(const tools::DiffResult& diff,
-                const tools::DiffOptions& options, bool show_all) {
+                const tools::DiffOptions& options, bool show_all,
+                bool allow_spec_drift) {
   std::cout << "=== " << (diff.name.empty() ? "(unnamed)" : diff.name)
             << " ===\n";
   util::TablePrinter table(
@@ -92,8 +99,15 @@ void print_diff(const tools::DiffResult& diff,
               << " unchanged ungated values hidden; --all shows them)\n";
   }
   if (diff.scenario_mismatch) {
-    std::cout << "WARNING: baseline and candidate embed different scenario "
-                 "specs — deltas are not like-for-like\n";
+    if (allow_spec_drift) {
+      std::cout << "WARNING: baseline and candidate embed different scenario "
+                   "specs — deltas are not like-for-like "
+                   "(--allow-spec-drift)\n";
+    } else {
+      std::cout << "FAIL: baseline and candidate embed different scenario "
+                   "specs — deltas are not like-for-like (pass "
+                   "--allow-spec-drift to compare anyway)\n";
+    }
   }
   if (diff.regressions > 0) {
     std::cout << diff.regressions << " regression(s) beyond "
@@ -107,6 +121,7 @@ void print_diff(const tools::DiffResult& diff,
 int main(int argc, char** argv) {
   tools::DiffOptions options;
   bool show_all = false;
+  bool allow_spec_drift = false;
   std::vector<std::string> paths;
   try {
     for (int i = 1; i < argc; ++i) {
@@ -129,6 +144,8 @@ int main(int argc, char** argv) {
         }
       } else if (arg == "--all") {
         show_all = true;
+      } else if (arg == "--allow-spec-drift") {
+        allow_spec_drift = true;
       } else if (arg.rfind("--", 0) == 0) {
         return usage();
       } else {
@@ -138,12 +155,13 @@ int main(int argc, char** argv) {
     if (paths.size() != 2) return usage();
 
     int regressions = 0;
+    int spec_mismatches = 0;
     if (std::filesystem::is_directory(paths[0]) ||
         std::filesystem::is_directory(paths[1])) {
       const tools::DirDiffResult result =
           tools::diff_directories(paths[0], paths[1], options);
       for (const tools::DiffResult& diff : result.reports) {
-        print_diff(diff, options, show_all);
+        print_diff(diff, options, show_all, allow_spec_drift);
       }
       for (const std::string& name : result.only_in_baseline) {
         std::cout << "only in baseline:  " << name << "\n";
@@ -154,18 +172,23 @@ int main(int argc, char** argv) {
       std::cout << result.reports.size() << " report pair(s), "
                 << result.regressions << " regression(s)\n";
       if (result.scenario_mismatches > 0) {
-        std::cout << "WARNING: " << result.scenario_mismatches
+        std::cout << (allow_spec_drift ? "WARNING: " : "FAIL: ")
+                  << result.scenario_mismatches
                   << " pair(s) embed differing scenario specs\n";
       }
       regressions = result.regressions;
+      spec_mismatches = result.scenario_mismatches;
     } else {
       const tools::DiffResult result =
           tools::diff_reports(tools::BenchReport::load(paths[0]),
                               tools::BenchReport::load(paths[1]), options);
-      print_diff(result, options, show_all);
+      print_diff(result, options, show_all, allow_spec_drift);
       regressions = result.regressions;
+      spec_mismatches = result.scenario_mismatch ? 1 : 0;
     }
-    return regressions > 0 ? 1 : 0;
+    if (regressions > 0) return 1;
+    if (spec_mismatches > 0 && !allow_spec_drift) return 1;
+    return 0;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "plc-benchdiff: %s\n", e.what());
     return 2;

@@ -8,8 +8,10 @@
 //                  [--tests R] [--jobs N]
 //   plcsim sweep   --n-max 10 [--time-s 20] [--csv] [--jobs N]
 //   plcsim scenario <name|file.json> [--jobs N] [--report out.json]
-//                  [--dump-spec [out.json]] [--validate]
+//                  [--dump-spec [out.json]] [--validate] [--cache DIR]
 //   plcsim scenario --list
+//   plcsim cache   <stats|verify|gc> --dir DIR [--max-mb N | --max-bytes N]
+//                  [--json]
 //
 // --jobs N shards repetitions (sim), tests (testbed --tests), or sweep
 // points (sweep) across N worker threads; 0 means one per hardware
@@ -22,7 +24,16 @@
 // (stdout, or to a file when given a value), --validate parses and
 // checks without running, and --report writes the deterministic run
 // report (byte-identical for any --jobs value) with the serialized spec
-// embedded under its "scenario" key.
+// embedded under its "scenario" key. --cache DIR opens a plc::store
+// result cache there: completed (point, repetition) results are
+// published into it and later runs of the same spec take validated hits
+// instead of re-simulating — a fully warm run reproduces the cold run's
+// report byte-for-byte and prints its hit rate.
+//
+// `cache` maintains such a store: `stats` prints entry counts and bytes,
+// `verify` re-validates every entry (quarantining corrupt ones; exit 1
+// when any fail), `gc` evicts oldest-first down to --max-mb/--max-bytes.
+// --json switches the output to a machine-readable object.
 //   plcsim boost   --n 10
 //   plcsim delay   --n 5 --load 0.5
 //   plcsim capture --file out.plcc [--head 10]
@@ -55,6 +66,7 @@
 #include "util/error.hpp"
 #include "analysis/model_1901.hpp"
 #include "analysis/optimizer.hpp"
+#include "obs/json.hpp"
 #include "obs/log.hpp"
 #include "obs/metrics.hpp"
 #include "obs/profiler.hpp"
@@ -70,6 +82,7 @@
 #include "sim/runner.hpp"
 #include "sim/sim_1901.hpp"
 #include "sim/unsaturated.hpp"
+#include "store/result_store.hpp"
 #include "tools/capture.hpp"
 #include "tools/testbed.hpp"
 #include "util/stats.hpp"
@@ -424,9 +437,7 @@ int cmd_testbed(const Args& args) {
                 result.data_burst_sources.size(), result.mme_overhead);
   }
   if (!capture_path.empty()) {
-    std::ofstream out(capture_path, std::ios::binary);
-    if (!out) throw plc::Error("cannot open " + capture_path);
-    tools::write_capture_file(out, result.captures);
+    tools::write_capture_file(capture_path, result.captures);
     PLC_LOG_INFO("cli", "wrote captures")
         .str("path", capture_path)
         .num("captures", static_cast<double>(result.captures.size()));
@@ -610,6 +621,12 @@ int cmd_scenario(const std::string& target, const Args& args) {
   options.jobs =
       args.has("jobs") ? args.get_int("jobs", 0) : util::jobs_from_env();
   options.out = &std::cout;
+  std::unique_ptr<store::ResultStore> cache;
+  const std::string cache_dir = args.get_string("cache", "");
+  if (!cache_dir.empty()) {
+    cache = std::make_unique<store::ResultStore>(cache_dir);
+    options.store = cache.get();
+  }
   const ProfileOutputs profile = ProfileOutputs::from(args);
   const scenario::RunOutcome outcome = scenario::run_scenario(spec, options);
   profile.write();
@@ -621,6 +638,24 @@ int cmd_scenario(const std::string& target, const Args& args) {
                   ? outcome.serial_equivalent_seconds / outcome.wall_seconds
                   : 1.0,
               outcome.serial_equivalent_seconds, outcome.wall_seconds);
+  if (cache != nullptr) {
+    const store::Counters counters = cache->counters();
+    const std::int64_t lookups = counters.hits + counters.misses;
+    std::printf("cache: %lld hits, %lld misses (%.1f%% hit rate), "
+                "%lld published\n",
+                static_cast<long long>(counters.hits),
+                static_cast<long long>(counters.misses),
+                lookups > 0 ? 100.0 * static_cast<double>(counters.hits) /
+                                  static_cast<double>(lookups)
+                            : 0.0,
+                static_cast<long long>(counters.publishes));
+    if (counters.quarantined > 0) {
+      std::printf("cache: quarantined %lld corrupt entr%s (see %s)\n",
+                  static_cast<long long>(counters.quarantined),
+                  counters.quarantined == 1 ? "y" : "ies",
+                  cache->quarantine_dir().c_str());
+    }
+  }
   const std::string report_path = args.get_string("report", "");
   if (!report_path.empty()) {
     outcome.report.save(report_path);
@@ -629,12 +664,94 @@ int cmd_scenario(const std::string& target, const Args& args) {
   return 0;
 }
 
+/// `plcsim cache <stats|verify|gc>`: maintenance of a plc::store result
+/// cache directory (the one `scenario --cache` reads and writes).
+int cmd_cache(const std::string& action, const Args& args) {
+  const std::string dir = args.get_string("dir", "");
+  if (dir.empty()) throw plc::Error("cache: --dir is required");
+  store::ResultStore store(dir);
+
+  if (action == "stats") {
+    const store::DiskUsage usage = store.scan();
+    if (args.has("json")) {
+      obs::JsonWriter json(std::cout);
+      json.begin_object();
+      json.field("dir", dir);
+      json.field("entries", usage.entries);
+      json.field("bytes", usage.bytes);
+      json.field("quarantined_entries", usage.quarantined_entries);
+      json.field("quarantined_bytes", usage.quarantined_bytes);
+      json.end_object();
+      std::printf("\n");
+    } else {
+      std::printf("%s: %lld entries, %lld bytes "
+                  "(%lld quarantined, %lld bytes)\n",
+                  dir.c_str(), static_cast<long long>(usage.entries),
+                  static_cast<long long>(usage.bytes),
+                  static_cast<long long>(usage.quarantined_entries),
+                  static_cast<long long>(usage.quarantined_bytes));
+    }
+    return 0;
+  }
+
+  if (action == "verify") {
+    const store::VerifyResult result = store.verify();
+    if (args.has("json")) {
+      obs::JsonWriter json(std::cout);
+      json.begin_object();
+      json.field("dir", dir);
+      json.field("checked", result.checked);
+      json.field("ok", result.ok);
+      json.field("quarantined", result.quarantined);
+      json.end_object();
+      std::printf("\n");
+    } else {
+      std::printf("%s: checked %lld entries, %lld ok, %lld quarantined\n",
+                  dir.c_str(), static_cast<long long>(result.checked),
+                  static_cast<long long>(result.ok),
+                  static_cast<long long>(result.quarantined));
+    }
+    return result.quarantined > 0 ? 1 : 0;
+  }
+
+  if (action == "gc") {
+    if (!args.has("max-mb") && !args.has("max-bytes")) {
+      throw plc::Error("cache gc: give the size cap as --max-mb or "
+                       "--max-bytes");
+    }
+    const std::int64_t max_bytes =
+        args.has("max-bytes")
+            ? static_cast<std::int64_t>(args.get_double("max-bytes", 0.0))
+            : static_cast<std::int64_t>(args.get_double("max-mb", 0.0) *
+                                        1024.0 * 1024.0);
+    if (max_bytes < 0) throw plc::Error("cache gc: size cap must be >= 0");
+    const store::GcResult result = store.gc(max_bytes);
+    if (args.has("json")) {
+      obs::JsonWriter json(std::cout);
+      json.begin_object();
+      json.field("dir", dir);
+      json.field("bytes_before", result.bytes_before);
+      json.field("bytes_after", result.bytes_after);
+      json.field("removed", result.removed);
+      json.end_object();
+      std::printf("\n");
+    } else {
+      std::printf("%s: %lld -> %lld bytes, removed %lld files\n", dir.c_str(),
+                  static_cast<long long>(result.bytes_before),
+                  static_cast<long long>(result.bytes_after),
+                  static_cast<long long>(result.removed));
+    }
+    return 0;
+  }
+
+  throw plc::Error("cache: unknown action \"" + action +
+                   "\" (want stats, verify or gc)");
+}
+
 int cmd_capture(const Args& args) {
   const std::string path = args.get_string("file", "");
   if (path.empty()) throw plc::Error("capture: --file is required");
-  std::ifstream in(path, std::ios::binary);
-  if (!in) throw plc::Error("cannot open " + path);
-  const auto captures = tools::read_capture_file(in);
+  const auto captures = tools::read_capture_file(path);
   const auto bursts = tools::Faifa::segment_bursts(captures);
   std::printf("%zu delimiters, %zu bursts, MME overhead %.4f\n",
               captures.size(), bursts.size(),
@@ -667,7 +784,7 @@ int cmd_capture(const Args& args) {
 
 int usage() {
   std::fprintf(stderr,
-               "usage: plcsim <sim|model|testbed|sweep|scenario|boost|"
+               "usage: plcsim <sim|model|testbed|sweep|scenario|cache|boost|"
                "delay|capture> [--key value ...]\n"
                "see the file header of examples/plcsim_cli.cpp for the "
                "full option list\n");
@@ -689,6 +806,13 @@ int main(int argc, char** argv) {
         first = 3;
       }
       return cmd_scenario(target, Args(argc, argv, first));
+    }
+    if (command == "cache") {
+      // The action is positional: `plcsim cache stats --dir DIR`.
+      if (argc < 3 || std::string(argv[2]).rfind("--", 0) == 0) {
+        throw plc::Error("cache: give an action (stats, verify or gc)");
+      }
+      return cmd_cache(argv[2], Args(argc, argv, 3));
     }
     const Args args(argc, argv, 2);
     if (command == "sim") return cmd_sim(args);

@@ -1,0 +1,40 @@
+#!/bin/sh
+# Regenerates the committed bench-baseline/ directory on THIS machine.
+#
+# The baseline is only meaningful against candidates produced on the same
+# hardware: after moving to a new machine (or a toolchain change that
+# shifts absolute numbers), run this once and commit the result — every
+# subsequent scripts/bench_gate.sh run then compares against it.
+#
+# Runs exactly the bench binaries the gate runs (the fast subset, or
+# $PLC_BENCH_GATE_TARGETS when set), pointed at the baseline directory.
+#
+# Usage: scripts/bench_baseline.sh [build-dir] [baseline-dir]
+#   build-dir      default: build
+#   baseline-dir   default: bench-baseline
+set -eu
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+BASELINE_DIR="${2:-bench-baseline}"
+TARGETS="${PLC_BENCH_GATE_TARGETS:-bench_table1_parameters bench_figure1_trace bench_table3_interface bench_kernel_microbench bench_cache_speedup}"
+
+if [ ! -d "$BUILD_DIR" ]; then
+  echo "bench_baseline: build directory '$BUILD_DIR' not found" >&2
+  echo "bench_baseline: run: cmake -B $BUILD_DIR -S . && cmake --build $BUILD_DIR -j" >&2
+  exit 2
+fi
+
+rm -rf "$BASELINE_DIR"
+mkdir -p "$BASELINE_DIR"
+for target in $TARGETS; do
+  bin="$BUILD_DIR/bench/$target"
+  if [ ! -x "$bin" ]; then
+    echo "bench_baseline: missing bench binary $bin (build first)" >&2
+    exit 2
+  fi
+  echo "bench_baseline: running $target"
+  PLC_BENCH_DIR="$BASELINE_DIR" "$bin" > /dev/null
+done
+
+echo "bench_baseline: wrote $(ls "$BASELINE_DIR" | wc -l | tr -d ' ') reports to $BASELINE_DIR/ — review and commit them"

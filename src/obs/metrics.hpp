@@ -89,6 +89,13 @@ struct MetricSample {
 /// A point-in-time copy of a registry's series.
 class Snapshot {
  public:
+  Snapshot() = default;
+  /// Builds a snapshot directly from samples. Registries normally mint
+  /// snapshots themselves; this exists for code that reconstructs a
+  /// previously serialized snapshot (the plc::store payload codec).
+  explicit Snapshot(std::vector<MetricSample> samples)
+      : samples_(std::move(samples)) {}
+
   const std::vector<MetricSample>& samples() const { return samples_; }
   bool empty() const { return samples_.empty(); }
 

@@ -1,10 +1,11 @@
 #include "obs/report.hpp"
 
-#include <fstream>
 #include <ostream>
+#include <sstream>
 
 #include "obs/json.hpp"
 #include "util/error.hpp"
+#include "util/fs.hpp"
 
 namespace plc::obs {
 
@@ -27,6 +28,10 @@ void RunReport::write_json(std::ostream& out) const {
   metrics.write_into(json);
   json.key("profile");
   profile.write_into(json);
+  if (!cache.empty()) {
+    json.key("cache");
+    json.raw(cache);
+  }
   if (!scenario.empty()) {
     json.key("scenario");
     json.raw(scenario);
@@ -36,10 +41,9 @@ void RunReport::write_json(std::ostream& out) const {
 }
 
 void RunReport::save(const std::string& path) const {
-  std::ofstream out(path);
-  util::require(static_cast<bool>(out),
-                "RunReport::save: cannot open " + path);
-  write_json(out);
+  std::ostringstream buffer;
+  write_json(buffer);
+  util::write_file_atomic(path, buffer.str());
 }
 
 }  // namespace plc::obs

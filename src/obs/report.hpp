@@ -58,6 +58,12 @@ struct RunReport {
   /// "scenario" key for provenance — the exact experiment parameters
   /// travel with every report.
   std::string scenario;
+  /// Cache provenance (a complete JSON value emitted under the "cache"
+  /// key; empty = no cache section). Producers that consult a result
+  /// store record its schema/epoch here. Deliberately run-invariant:
+  /// never hit/miss counts, which would make a warm re-run's report
+  /// differ from the cold run it must reproduce byte-for-byte.
+  std::string cache;
 
   double events_per_second() const {
     return wall_seconds > 0.0 ? static_cast<double>(events) / wall_seconds

@@ -16,6 +16,10 @@
 #include "obs/report.hpp"
 #include "scenario/spec.hpp"
 
+namespace plc::store {
+class ResultStore;
+}
+
 namespace plc::scenario {
 
 /// Execution knobs orthogonal to the experiment description.
@@ -30,6 +34,11 @@ struct RunOptions {
   /// of the driver's internal registry and the report's metric snapshot
   /// is left empty — the bench harnesses own the snapshot step.
   obs::Registry* registry = nullptr;
+  /// Result cache (see plc::store). When set, every sim and testbed task
+  /// consults the store before running and publishes on completion; a
+  /// fully warm run reproduces the cold run's report byte-for-byte, and
+  /// the report carries a run-invariant "cache" provenance section.
+  store::ResultStore* store = nullptr;
 };
 
 /// One scenario execution.

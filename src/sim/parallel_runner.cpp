@@ -3,11 +3,14 @@
 #include <cstddef>
 #include <memory>
 #include <mutex>
+#include <optional>
+#include <sstream>
 #include <utility>
 
 #include "des/random.hpp"
 #include "obs/log.hpp"
 #include "obs/profiler.hpp"
+#include "store/result_store.hpp"
 #include "util/error.hpp"
 #include "util/math.hpp"
 
@@ -27,6 +30,57 @@ struct TaskResult {
   std::vector<obs::TraceEvent> trace;
   double wall_seconds = 0.0;
 };
+
+/// Serializes everything a warm run needs to refill a TaskResult slot
+/// bit-identically: the summary statistics, event/time accounting, and
+/// the task's metric snapshot with raw-moment fidelity. The trace is
+/// deliberately absent — trace-attached tasks bypass the cache.
+std::string task_payload_json(const TaskResult& slot) {
+  std::ostringstream out;
+  obs::JsonWriter json(out);
+  json.begin_object();
+  json.field("collision_probability", slot.collision_probability);
+  json.field("normalized_throughput", slot.normalized_throughput);
+  json.field("jain_index", slot.jain_index);
+  json.field("medium_events", slot.medium_events);
+  json.field("elapsed_ns", slot.elapsed.ns());
+  json.key("metrics");
+  store::write_metrics_payload(json, slot.metrics);
+  json.end_object();
+  return out.str();
+}
+
+/// Inverse of task_payload_json; false when the payload does not have
+/// the expected shape (the caller then re-runs the simulation — the
+/// entry already passed the store's checksum, so a shape mismatch means
+/// a schema change that should have bumped kResultEpoch).
+bool fill_slot_from_payload(const obs::JsonValue& payload, TaskResult* slot) {
+  try {
+    const obs::JsonValue* collision = payload.find("collision_probability");
+    const obs::JsonValue* throughput = payload.find("normalized_throughput");
+    const obs::JsonValue* jain = payload.find("jain_index");
+    const obs::JsonValue* events = payload.find("medium_events");
+    const obs::JsonValue* elapsed = payload.find("elapsed_ns");
+    const obs::JsonValue* metrics = payload.find("metrics");
+    if (collision == nullptr || !collision->is_number() ||
+        throughput == nullptr || !throughput->is_number() ||
+        jain == nullptr || !jain->is_number() || events == nullptr ||
+        !events->is_number() || elapsed == nullptr || !elapsed->is_number() ||
+        metrics == nullptr) {
+      return false;
+    }
+    slot->collision_probability = collision->number;
+    slot->normalized_throughput = throughput->number;
+    slot->jain_index = jain->number;
+    slot->medium_events = static_cast<std::int64_t>(events->number);
+    slot->elapsed =
+        des::SimTime::from_ns(static_cast<std::int64_t>(elapsed->number));
+    slot->metrics = store::read_metrics_payload(*metrics);
+    return true;
+  } catch (const Error&) {
+    return false;
+  }
+}
 
 std::vector<std::string> make_worker_names(int jobs) {
   const int count = util::ThreadPool::resolve_jobs(jobs);
@@ -68,6 +122,20 @@ std::vector<RunSummary> ParallelRunner::run_points(
   }
   std::vector<TaskResult> slots(total_tasks);
 
+  // Cache key coordinates, derived once per point (tasks share them
+  // read-only). The digest is over canonical bytes, never over anything
+  // schedule- or jobs-dependent, so warm hits line up for any --jobs.
+  std::vector<std::string> point_json;
+  if (obs.store != nullptr) {
+    util::check_arg(
+        obs.store_legs != nullptr && obs.store_legs->size() == specs.size(),
+        "store_legs", "must carry one leg label per spec when store is set");
+    point_json.reserve(specs.size());
+    for (const RunSpec& spec : specs) {
+      point_json.push_back(canonical_point_json(spec));
+    }
+  }
+
   // Shared heartbeat state. Workers batch kCheckEvery events locally,
   // then fold their deltas in under the mutex; the meter itself is not
   // thread-safe, so sample_coarse() only ever runs while holding it.
@@ -78,18 +146,38 @@ std::vector<RunSummary> ParallelRunner::run_points(
   for (std::size_t p = 0; p < specs.size(); ++p) {
     for (int rep = 0; rep < specs[p].repetitions; ++rep) {
       TaskResult* slot = &slots[offsets[p] + rep];
-      pool_.submit([&specs, &obs, &progress_mutex, &progress_sim,
+      pool_.submit([&specs, &obs, &point_json, &progress_mutex, &progress_sim,
                     &progress_events, p, rep, slot] {
         PROF_SCOPE("sim.repetition");
         obs::Stopwatch task_wall;
         const RunSpec& spec = specs[p];
+
+        // Cache lookup happens inside the task, so warm-run file I/O is
+        // as parallel as the cold-run simulation it replaces. Tasks that
+        // must produce a trace (rep 0 with a sink attached) always run
+        // live; everything else takes a validated hit as-is.
+        std::optional<store::Key> key;
+        if (obs.store != nullptr) {
+          key = store::make_key((*obs.store_legs)[p], point_json[p], rep);
+          const bool must_run_live = obs.trace != nullptr && rep == 0;
+          if (!must_run_live) {
+            if (auto payload = obs.store->lookup(*key)) {
+              if (fill_slot_from_payload(*payload, slot)) {
+                slot->wall_seconds = task_wall.elapsed_seconds();
+                return;
+              }
+            }
+          }
+        }
+
         SlotSimulator simulator = make_simulator(spec, rep);
 
         // Per-task registry and trace ring: the simulator hot path never
         // crosses threads, and the barrier merge lands everything into
         // the caller's sinks in task order.
         obs::Registry local_registry;
-        if (obs.registry != nullptr) simulator.bind_metrics(local_registry);
+        const bool want_metrics = obs.registry != nullptr || key.has_value();
+        if (want_metrics) simulator.bind_metrics(local_registry);
         std::unique_ptr<obs::TraceSink> local_trace;
         if (obs.trace != nullptr && rep == 0) {
           local_trace = std::make_unique<obs::TraceSink>(obs.trace->capacity());
@@ -127,8 +215,11 @@ std::vector<RunSummary> ParallelRunner::run_points(
           shares.push_back(static_cast<double>(s));
         }
         slot->jain_index = util::jain_index(shares);
-        if (obs.registry != nullptr) slot->metrics = local_registry.snapshot();
+        if (want_metrics) slot->metrics = local_registry.snapshot();
         if (local_trace != nullptr) slot->trace = local_trace->events();
+        if (key.has_value()) {
+          obs.store->publish(*key, task_payload_json(*slot));
+        }
         slot->wall_seconds = task_wall.elapsed_seconds();
       });
     }

@@ -1,15 +1,65 @@
 #include "sim/runner.hpp"
 
+#include <cstdio>
+#include <sstream>
 #include <string>
 #include <type_traits>
 
 #include "des/random.hpp"
+#include "obs/json.hpp"
 #include "obs/log.hpp"
 #include "obs/profiler.hpp"
 #include "util/error.hpp"
 #include "util/math.hpp"
 
 namespace plc::sim {
+
+std::string canonical_point_json(const RunSpec& spec) {
+  // Seeds are 64-bit; JSON numbers are doubles and lose bits past 2^53,
+  // so the seed serializes as a lossless hex string (same convention as
+  // scenario::Spec::to_json).
+  char seed_hex[24];
+  std::snprintf(seed_hex, sizeof(seed_hex), "0x%llx",
+                static_cast<unsigned long long>(spec.seed));
+
+  std::ostringstream out;
+  obs::JsonWriter json(out);
+  json.begin_object();
+  json.key("mac").begin_object();
+  std::visit(
+      [&](const auto& config) {
+        using T = std::decay_t<decltype(config)>;
+        if constexpr (std::is_same_v<T, mac::BackoffConfig>) {
+          // config.name is a cosmetic label; two configs differing only
+          // in name produce identical results and must share a key.
+          json.field("type", "1901");
+          json.key("cw").begin_array();
+          for (const int w : config.cw) json.value(w);
+          json.end_array();
+          json.key("dc").begin_array();
+          for (const int d : config.dc) json.value(d);
+          json.end_array();
+        } else {
+          json.field("type", "dcf");
+          json.field("cw_min", config.cw_min);
+          json.field("cw_max", config.cw_max);
+        }
+      },
+      spec.mac);
+  json.end_object();
+  json.field("stations", spec.stations);
+  json.key("timing").begin_object();
+  json.field("slot_ns", spec.timing.slot.ns());
+  json.field("success_overhead_ns", spec.timing.success_overhead.ns());
+  json.field("collision_overhead_ns", spec.timing.collision_overhead.ns());
+  json.field("burst_gap_ns", spec.timing.burst_gap.ns());
+  json.end_object();
+  json.field("frame_length_ns", spec.frame_length.ns());
+  json.field("duration_ns", spec.duration.ns());
+  json.field("seed", seed_hex);
+  json.end_object();
+  return out.str();
+}
 
 SlotSimulator make_simulator(const RunSpec& spec, int repetition) {
   util::check_arg(spec.stations >= 1, "stations", "must be >= 1");

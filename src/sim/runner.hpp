@@ -24,6 +24,10 @@ namespace plc::scenario {
 struct Spec;
 }
 
+namespace plc::store {
+class ResultStore;
+}
+
 namespace plc::sim {
 
 /// Which MAC a sweep point runs: a 1901 backoff configuration (CW/DC
@@ -77,6 +81,17 @@ struct RunObservability {
   /// medium-event count across all repetitions (construct the meter with
   /// goal = duration * repetitions). finish() fires when the point ends.
   obs::ProgressMeter* progress = nullptr;
+  /// Result cache (see plc::store): consulted before each repetition
+  /// runs — a validated hit skips the simulation and restores the task's
+  /// results (metrics included) bit-identically — and published to on
+  /// completion. Only honored by ParallelRunner::run_points; requires
+  /// `store_legs`. Repetition-0 tasks with a trace sink attached always
+  /// execute (the trace is not cached), but still publish.
+  store::ResultStore* store = nullptr;
+  /// Logical leg labels, one per spec passed to run_points (e.g.
+  /// "sim/CA1") — the leg coordinate of the cache key. Must be non-null
+  /// with size() == specs.size() when `store` is set.
+  const std::vector<std::string>* store_legs = nullptr;
 };
 
 /// Runs one sweep point.
@@ -95,5 +110,15 @@ obs::RunReport run_point_report(const RunSpec& spec, std::string name,
 /// Builds the simulator for a spec with the given repetition index
 /// (exposed for harnesses needing traces/observers).
 SlotSimulator make_simulator(const RunSpec& spec, int repetition);
+
+/// Canonical JSON of a RunSpec's result-determining content — the
+/// "point" coordinate of a plc::store cache key. Covers the MAC
+/// parameters (excluding the cosmetic preset name), stations, timing,
+/// frame length, duration and the root seed; excludes `repetitions`
+/// (the repetition index is a separate key coordinate, and each
+/// repetition's seed is a pure function of the root seed). Field order
+/// is fixed here, so the same spec always serializes to the same bytes
+/// regardless of where it came from.
+std::string canonical_point_json(const RunSpec& spec);
 
 }  // namespace plc::sim

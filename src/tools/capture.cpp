@@ -2,8 +2,10 @@
 
 #include <array>
 #include <cstring>
+#include <sstream>
 
 #include "util/error.hpp"
+#include "util/fs.hpp"
 
 namespace plc::tools {
 
@@ -85,6 +87,19 @@ std::vector<mme::SnifferIndication> read_capture_file(std::istream& in) {
     captures.push_back(capture);
   }
   return captures;
+}
+
+void write_capture_file(const std::string& path,
+                        const std::vector<mme::SnifferIndication>& captures) {
+  std::ostringstream buffer(std::ios::binary);
+  write_capture_file(buffer, captures);
+  util::write_file_atomic(path, buffer.str());
+}
+
+std::vector<mme::SnifferIndication> read_capture_file(
+    const std::string& path) {
+  std::istringstream in(util::read_file(path), std::ios::binary);
+  return read_capture_file(in);
 }
 
 }  // namespace plc::tools

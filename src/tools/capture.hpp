@@ -17,6 +17,7 @@
 
 #include <istream>
 #include <ostream>
+#include <string>
 #include <vector>
 
 #include "mme/sniffer.hpp"
@@ -29,5 +30,16 @@ void write_capture_file(std::ostream& out,
 
 /// Parses a capture file; throws plc::Error on malformed input.
 std::vector<mme::SnifferIndication> read_capture_file(std::istream& in);
+
+/// Writes a capture file crash-safely: the bytes go through
+/// util::write_file_atomic (temp file + rename), so an interrupted run
+/// never leaves a truncated capture at `path`.
+void write_capture_file(const std::string& path,
+                        const std::vector<mme::SnifferIndication>& captures);
+
+/// Reads and parses the capture file at `path`; throws plc::Error on I/O
+/// failure or malformed content.
+std::vector<mme::SnifferIndication> read_capture_file(
+    const std::string& path);
 
 }  // namespace plc::tools

@@ -1,0 +1,80 @@
+#include "util/fs.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <system_error>
+
+#include "util/error.hpp"
+
+#if defined(_WIN32)
+#include <process.h>
+#define PLC_GETPID _getpid
+#else
+#include <unistd.h>
+#define PLC_GETPID getpid
+#endif
+
+namespace plc::util {
+
+namespace fs = std::filesystem;
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  require(static_cast<bool>(in), "read_file: cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  require(!in.bad(), "read_file: read failed for " + path);
+  return buffer.str();
+}
+
+void write_file_atomic(const std::string& path, std::string_view contents,
+                      bool create_dirs) {
+  const fs::path target(path);
+  const fs::path dir = target.parent_path();
+  if (create_dirs && !dir.empty()) {
+    std::error_code ec;
+    fs::create_directories(dir, ec);
+    require(!ec, "write_file_atomic: cannot create directory " +
+                     dir.string() + ": " + ec.message());
+  }
+
+  // Unique per process and per call: concurrent writers (threads or
+  // processes) never share a temp file, and the rename into place is the
+  // only step another reader can observe.
+  static std::atomic<std::uint64_t> sequence{0};
+  const std::uint64_t seq = sequence.fetch_add(1, std::memory_order_relaxed);
+  char suffix[64];
+  std::snprintf(suffix, sizeof(suffix), ".tmp.%d.%llu",
+                static_cast<int>(PLC_GETPID()),
+                static_cast<unsigned long long>(seq));
+  const fs::path temp = target.string() + suffix;
+
+  {
+    std::ofstream out(temp, std::ios::binary | std::ios::trunc);
+    require(static_cast<bool>(out),
+            "write_file_atomic: cannot open temp file " + temp.string());
+    out.write(contents.data(),
+              static_cast<std::streamsize>(contents.size()));
+    out.flush();
+    if (!out.good()) {
+      out.close();
+      std::error_code ec;
+      fs::remove(temp, ec);
+      require(false, "write_file_atomic: write failed for " + temp.string());
+    }
+  }
+
+  std::error_code ec;
+  fs::rename(temp, target, ec);
+  if (ec) {
+    std::error_code ignore;
+    fs::remove(temp, ignore);
+    require(false, "write_file_atomic: rename to " + path +
+                       " failed: " + ec.message());
+  }
+}
+
+}  // namespace plc::util

@@ -1,0 +1,30 @@
+// Crash-safe file persistence helpers.
+//
+// Everything that leaves durable artifacts behind (the result store's
+// cache entries, sniffer capture files) writes through
+// write_file_atomic(): the bytes land in a uniquely named temp file in
+// the destination directory and are renamed into place only once fully
+// flushed. An interrupted run therefore never leaves a torn or
+// half-written file at the destination path — the worst case is a stray
+// *.tmp.* file next to it. Concurrent writers of the same path race on
+// the rename, which is atomic on POSIX: the last writer wins with a
+// complete file either way.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace plc::util {
+
+/// Reads a whole file (binary); throws plc::Error when it cannot be
+/// opened or read.
+std::string read_file(const std::string& path);
+
+/// Writes `contents` (binary) to `path` atomically: temp file in the same
+/// directory + flush + rename. Creates missing parent directories when
+/// `create_dirs`. Throws plc::Error on any I/O failure (the temp file is
+/// removed on the failure paths that reach it).
+void write_file_atomic(const std::string& path, std::string_view contents,
+                       bool create_dirs = false);
+
+}  // namespace plc::util

@@ -1,0 +1,147 @@
+#include "util/hash.hpp"
+
+#include <cstring>
+
+#include "util/error.hpp"
+
+namespace plc::util {
+
+namespace {
+
+inline std::uint64_t rotl64(std::uint64_t x, int r) {
+  return (x << r) | (x >> (64 - r));
+}
+
+/// MurmurHash3's 64-bit finalization mix.
+inline std::uint64_t fmix64(std::uint64_t k) {
+  k ^= k >> 33;
+  k *= 0xff51afd7ed558ccdULL;
+  k ^= k >> 33;
+  k *= 0xc4ceb9fe1a85ec53ULL;
+  k ^= k >> 33;
+  return k;
+}
+
+/// Little-endian 64-bit read, independent of host byte order.
+inline std::uint64_t load_le64(const unsigned char* p) {
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) {
+    v = v << 8 | p[i];
+  }
+  return v;
+}
+
+}  // namespace
+
+Hash128 hash128(std::string_view data, std::uint64_t seed) {
+  const auto* bytes = reinterpret_cast<const unsigned char*>(data.data());
+  const std::size_t len = data.size();
+  const std::size_t nblocks = len / 16;
+
+  std::uint64_t h1 = seed;
+  std::uint64_t h2 = seed;
+  constexpr std::uint64_t c1 = 0x87c37b91114253d5ULL;
+  constexpr std::uint64_t c2 = 0x4cf5ad432745937fULL;
+
+  for (std::size_t i = 0; i < nblocks; ++i) {
+    std::uint64_t k1 = load_le64(bytes + i * 16);
+    std::uint64_t k2 = load_le64(bytes + i * 16 + 8);
+
+    k1 *= c1;
+    k1 = rotl64(k1, 31);
+    k1 *= c2;
+    h1 ^= k1;
+    h1 = rotl64(h1, 27);
+    h1 += h2;
+    h1 = h1 * 5 + 0x52dce729;
+
+    k2 *= c2;
+    k2 = rotl64(k2, 33);
+    k2 *= c1;
+    h2 ^= k2;
+    h2 = rotl64(h2, 31);
+    h2 += h1;
+    h2 = h2 * 5 + 0x38495ab5;
+  }
+
+  const unsigned char* tail = bytes + nblocks * 16;
+  std::uint64_t k1 = 0;
+  std::uint64_t k2 = 0;
+  switch (len & 15) {
+    case 15: k2 ^= std::uint64_t(tail[14]) << 48; [[fallthrough]];
+    case 14: k2 ^= std::uint64_t(tail[13]) << 40; [[fallthrough]];
+    case 13: k2 ^= std::uint64_t(tail[12]) << 32; [[fallthrough]];
+    case 12: k2 ^= std::uint64_t(tail[11]) << 24; [[fallthrough]];
+    case 11: k2 ^= std::uint64_t(tail[10]) << 16; [[fallthrough]];
+    case 10: k2 ^= std::uint64_t(tail[9]) << 8; [[fallthrough]];
+    case 9:
+      k2 ^= std::uint64_t(tail[8]);
+      k2 *= c2;
+      k2 = rotl64(k2, 33);
+      k2 *= c1;
+      h2 ^= k2;
+      [[fallthrough]];
+    case 8: k1 ^= std::uint64_t(tail[7]) << 56; [[fallthrough]];
+    case 7: k1 ^= std::uint64_t(tail[6]) << 48; [[fallthrough]];
+    case 6: k1 ^= std::uint64_t(tail[5]) << 40; [[fallthrough]];
+    case 5: k1 ^= std::uint64_t(tail[4]) << 32; [[fallthrough]];
+    case 4: k1 ^= std::uint64_t(tail[3]) << 24; [[fallthrough]];
+    case 3: k1 ^= std::uint64_t(tail[2]) << 16; [[fallthrough]];
+    case 2: k1 ^= std::uint64_t(tail[1]) << 8; [[fallthrough]];
+    case 1:
+      k1 ^= std::uint64_t(tail[0]);
+      k1 *= c1;
+      k1 = rotl64(k1, 31);
+      k1 *= c2;
+      h1 ^= k1;
+      break;
+    case 0: break;
+  }
+
+  h1 ^= static_cast<std::uint64_t>(len);
+  h2 ^= static_cast<std::uint64_t>(len);
+  h1 += h2;
+  h2 += h1;
+  h1 = fmix64(h1);
+  h2 = fmix64(h2);
+  h1 += h2;
+  h2 += h1;
+
+  return Hash128{h1, h2};
+}
+
+std::string Hash128::to_hex() const {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(32);
+  for (const std::uint64_t half : {hi, lo}) {
+    for (int shift = 60; shift >= 0; shift -= 4) {
+      out += kDigits[(half >> shift) & 0xF];
+    }
+  }
+  return out;
+}
+
+Hash128 Hash128::from_hex(std::string_view hex) {
+  require(hex.size() == 32, "Hash128::from_hex: want exactly 32 hex chars");
+  Hash128 result;
+  for (int half = 0; half < 2; ++half) {
+    std::uint64_t value = 0;
+    for (int i = 0; i < 16; ++i) {
+      const char c = hex[static_cast<std::size_t>(half * 16 + i)];
+      std::uint64_t digit = 0;
+      if (c >= '0' && c <= '9') {
+        digit = static_cast<std::uint64_t>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        digit = static_cast<std::uint64_t>(c - 'a' + 10);
+      } else {
+        require(false, "Hash128::from_hex: invalid hex character");
+      }
+      value = value << 4 | digit;
+    }
+    (half == 0 ? result.hi : result.lo) = value;
+  }
+  return result;
+}
+
+}  // namespace plc::util

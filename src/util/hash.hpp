@@ -1,0 +1,45 @@
+// Stable 128-bit content hashing.
+//
+// plc::store addresses cached results by a hash of their canonical key
+// material, and those digests are persisted on disk and shared across CI
+// runs — so the function must be *stable*: the same bytes must hash to
+// the same 128 bits on every platform, compiler, and future revision of
+// this repo. The implementation is MurmurHash3's x64 128-bit variant
+// (public-domain construction, endianness pinned to little-endian reads
+// regardless of host order), and tests/store_test.cpp pins known-answer
+// vectors so any accidental change to the function breaks loudly instead
+// of silently invalidating every stored key.
+//
+// This is a fingerprint, not a cryptographic hash: collisions are
+// vanishingly unlikely (2^128 space) but constructible by an adversary.
+// The result store only ever feeds it locally produced key material.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace plc::util {
+
+/// A 128-bit digest as two 64-bit halves.
+struct Hash128 {
+  std::uint64_t hi = 0;
+  std::uint64_t lo = 0;
+
+  friend bool operator==(const Hash128&, const Hash128&) = default;
+  friend auto operator<=>(const Hash128&, const Hash128&) = default;
+
+  /// 32 lowercase hex characters, hi half first ("0123...cdef").
+  std::string to_hex() const;
+
+  /// Parses to_hex() output; throws plc::Error on anything but exactly
+  /// 32 hex characters.
+  static Hash128 from_hex(std::string_view hex);
+};
+
+/// Hashes `data` (MurmurHash3 x64 128). The default seed is the one every
+/// persisted store key uses; alternate seeds derive independent hash
+/// families (the payload checksum uses its own).
+Hash128 hash128(std::string_view data, std::uint64_t seed = 0);
+
+}  // namespace plc::util

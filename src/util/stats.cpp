@@ -50,6 +50,19 @@ void RunningStats::merge(const RunningStats& other) {
   sum_ += other.sum_;
 }
 
+RunningStats RunningStats::from_moments(std::int64_t count, double mean,
+                                        double m2, double min, double max,
+                                        double sum) {
+  RunningStats stats;
+  stats.count_ = count;
+  stats.mean_ = mean;
+  stats.m2_ = m2;
+  stats.min_ = min;
+  stats.max_ = max;
+  stats.sum_ = sum;
+  return stats;
+}
+
 void QuantileEstimator::add(double value) {
   samples_.push_back(value);
   sorted_ = false;

@@ -27,6 +27,17 @@ class RunningStats {
   /// Merges another accumulator into this one (parallel Welford).
   void merge(const RunningStats& other);
 
+  /// The raw second central moment (Welford's M2). Exposed so persisted
+  /// snapshots (plc::store) can round-trip the accumulator bitwise —
+  /// reconstructing m2 from stddev() would lose the last float bits.
+  double m2() const { return m2_; }
+
+  /// Rebuilds an accumulator from its raw moments, the inverse of
+  /// (count, mean, m2, min, max, sum). Used only by persistence code;
+  /// passing inconsistent moments yields a garbage accumulator, not UB.
+  static RunningStats from_moments(std::int64_t count, double mean, double m2,
+                                   double min, double max, double sum);
+
  private:
   std::int64_t count_ = 0;
   double mean_ = 0.0;
