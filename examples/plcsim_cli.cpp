@@ -44,14 +44,30 @@
 // --metrics=<file> writes the metric-registry snapshot, and
 // --report=<file> writes a "plc-run-report/1" JSON (see EXPERIMENTS.md).
 // --progress prints a heartbeat line to stderr every second (simulated s,
-// events/s, % complete, ETA). --profile=<file> enables the phase profiler
-// and writes its text tree; --profile-trace=<file> additionally captures
-// every phase enter/exit as a Chrome trace_event flame chart.
-// Options accept both "--key value" and "--key=value".
+// events/s, % complete, tasks done, ETA). --profile=<file> enables the
+// phase profiler and writes its text tree; --profile-trace=<file>
+// additionally captures every phase enter/exit as a Chrome trace_event
+// flame chart. Options accept both "--key value" and "--key=value".
+//
+// Live telemetry (sim and scenario): --listen PORT serves /metrics
+// (OpenMetrics), /progress, /profile and /timeseries over HTTP on
+// 127.0.0.1 for the duration of the run (PORT 0 picks a free port;
+// the chosen URL is logged). Attaching the plane never changes run
+// output: reports stay byte-identical with and without --listen.
+// --timeseries=<file> writes the sampled series as JSONL afterwards;
+// sim runs also embed them under the report's "timeseries" key.
+// --flight-recorder[=DIR] arms the crash recorder: on SIGSEGV/SIGABRT/
+// SIGFPE/SIGBUS or std::terminate it dumps the last trace events, a
+// metrics snapshot and the open profiler stack to DIR/plc-crash-<pid>
+// .json (DIR defaults to "."). `plcsim crash-test --dir DIR --signal
+// segv|abort|terminate` exists for exercising that path (used by
+// ctest). scenario --json replaces the human tables and summary with
+// one "plc-scenario-summary/1" JSON object on stdout.
 //
 // Every command prints human-readable tables; `sweep --csv` emits CSV for
 // plotting. File-output narration goes through obs::Log (stderr; silence
 // with PLC_LOG=off). Exit code 2 on usage errors.
+#include <csignal>
 #include <cstdint>
 #include <cstdio>
 #include <fstream>
@@ -66,12 +82,15 @@
 #include "util/error.hpp"
 #include "analysis/model_1901.hpp"
 #include "analysis/optimizer.hpp"
+#include "obs/exposition.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/json.hpp"
 #include "obs/log.hpp"
 #include "obs/metrics.hpp"
 #include "obs/profiler.hpp"
 #include "obs/progress.hpp"
 #include "obs/report.hpp"
+#include "obs/telemetry.hpp"
 #include "obs/trace.hpp"
 #include "des/random.hpp"
 #include "phy/timing.hpp"
@@ -212,6 +231,61 @@ struct ProfileOutputs {
   }
 };
 
+/// --listen / --timeseries / --flight-recorder handling shared by sim
+/// and scenario: owns the telemetry hub, the exposition server and the
+/// recorder arming for the duration of one run. finish() tears the
+/// plane down in the safe order (server first — it dereferences the
+/// hub — then artifacts, then the recorder's process-global handlers).
+struct Telemetry {
+  std::unique_ptr<obs::TelemetryHub> hub;
+  std::unique_ptr<obs::ExpositionServer> server;
+  std::string timeseries_path;
+  bool recorder = false;
+
+  static Telemetry from(const Args& args) {
+    Telemetry telemetry;
+    telemetry.timeseries_path = args.get_string("timeseries", "");
+    if (args.has("listen") || !telemetry.timeseries_path.empty()) {
+      telemetry.hub = std::make_unique<obs::TelemetryHub>();
+    }
+    if (args.has("listen")) {
+      obs::ExpositionServer::Options options;
+      const std::string port = args.get_string("listen", "");
+      options.port = port.empty() ? 0 : std::stoi(port);
+      telemetry.server =
+          std::make_unique<obs::ExpositionServer>(*telemetry.hub, options);
+      telemetry.server->start();
+      PLC_LOG_INFO("cli", "telemetry listening")
+          .str("url", "http://127.0.0.1:" +
+                          std::to_string(telemetry.server->port()) +
+                          "/metrics");
+    }
+    if (args.has("flight-recorder")) {
+      obs::FlightRecorder::Options options;
+      const std::string dir = args.get_string("flight-recorder", "");
+      if (!dir.empty()) options.directory = dir;
+      obs::FlightRecorder::instance().arm(options);
+      if (telemetry.hub != nullptr) {
+        obs::FlightRecorder::instance().attach_hub(telemetry.hub.get());
+      }
+      telemetry.recorder = true;
+    }
+    return telemetry;
+  }
+
+  void finish() {
+    if (server != nullptr) server->stop();
+    if (hub != nullptr && !timeseries_path.empty()) {
+      hub->sample_now();
+      const std::string jsonl = hub->timeseries_jsonl();
+      write_file(timeseries_path,
+                 [&](std::ostream& out) { out << jsonl; });
+      PLC_LOG_INFO("cli", "wrote timeseries").str("path", timeseries_path);
+    }
+    if (recorder) obs::FlightRecorder::instance().disarm();
+  }
+};
+
 int cmd_sim(const Args& args) {
   sim::RunSpec spec;
   spec.stations = args.get_int("n", 2);
@@ -243,6 +317,19 @@ int cmd_sim(const Args& args) {
         spec.duration * static_cast<std::int64_t>(spec.repetitions));
     observability.progress = progress.get();
   }
+  Telemetry telemetry = Telemetry::from(args);
+  observability.telemetry = telemetry.hub.get();
+  // Scheduler spans only exist on the parallel path, and only when a
+  // trace is being collected anyway (they change the trace contents, so
+  // they stay off the serial-comparison path).
+  observability.task_spans =
+      args.has("jobs") && observability.trace != nullptr;
+  if (telemetry.recorder) {
+    obs::FlightRecorder::instance().attach_registry(&registry);
+    if (observability.trace != nullptr) {
+      obs::FlightRecorder::instance().attach_trace(&trace);
+    }
+  }
   const ProfileOutputs profile = ProfileOutputs::from(args);
 
   obs::RunReport report;
@@ -256,6 +343,12 @@ int cmd_sim(const Args& args) {
     report = sim::run_point_report(spec, "plcsim-sim", observability);
   }
   profile.write();
+  if (telemetry.hub != nullptr) {
+    // Sim reports already carry wall-clock fields, so embedding the
+    // sampled series keeps the report's determinism story intact.
+    telemetry.hub->sample_now();
+    report.timeseries = telemetry.hub->timeseries_json();
+  }
   std::printf("N=%d  collision_pr=%.4f  norm_throughput=%.4f\n",
               spec.stations,
               report.scalars.at("collision_probability_mean"),
@@ -284,6 +377,7 @@ int cmd_sim(const Args& args) {
     report.save(report_path);
     PLC_LOG_INFO("cli", "wrote run report").str("path", report_path);
   }
+  telemetry.finish();
   return 0;
 }
 
@@ -620,40 +714,77 @@ int cmd_scenario(const std::string& target, const Args& args) {
   scenario::RunOptions options;
   options.jobs =
       args.has("jobs") ? args.get_int("jobs", 0) : util::jobs_from_env();
-  options.out = &std::cout;
+  const bool json_summary = args.has("json");
+  options.out = json_summary ? nullptr : &std::cout;
   std::unique_ptr<store::ResultStore> cache;
   const std::string cache_dir = args.get_string("cache", "");
   if (!cache_dir.empty()) {
     cache = std::make_unique<store::ResultStore>(cache_dir);
     options.store = cache.get();
   }
+  Telemetry telemetry = Telemetry::from(args);
+  options.telemetry = telemetry.hub.get();
   const ProfileOutputs profile = ProfileOutputs::from(args);
   const scenario::RunOutcome outcome = scenario::run_scenario(spec, options);
   profile.write();
 
-  std::printf("\njobs=%d  speedup=%.2fx (serial-equivalent %.2f s in "
-              "%.2f s wall)\n",
-              util::ThreadPool::resolve_jobs(options.jobs),
-              outcome.wall_seconds > 0.0
-                  ? outcome.serial_equivalent_seconds / outcome.wall_seconds
-                  : 1.0,
-              outcome.serial_equivalent_seconds, outcome.wall_seconds);
-  if (cache != nullptr) {
-    const store::Counters counters = cache->counters();
-    const std::int64_t lookups = counters.hits + counters.misses;
-    std::printf("cache: %lld hits, %lld misses (%.1f%% hit rate), "
-                "%lld published\n",
-                static_cast<long long>(counters.hits),
-                static_cast<long long>(counters.misses),
-                lookups > 0 ? 100.0 * static_cast<double>(counters.hits) /
-                                  static_cast<double>(lookups)
-                            : 0.0,
-                static_cast<long long>(counters.publishes));
-    if (counters.quarantined > 0) {
-      std::printf("cache: quarantined %lld corrupt entr%s (see %s)\n",
-                  static_cast<long long>(counters.quarantined),
-                  counters.quarantined == 1 ? "y" : "ies",
-                  cache->quarantine_dir().c_str());
+  const int jobs = util::ThreadPool::resolve_jobs(options.jobs);
+  const double speedup =
+      outcome.wall_seconds > 0.0
+          ? outcome.serial_equivalent_seconds / outcome.wall_seconds
+          : 1.0;
+  if (json_summary) {
+    // Machine twin of the human epilogue below; same quantities, one
+    // "plc-scenario-summary/1" object. (The run report stays the
+    // deterministic artifact; this summary is where the wall-clock and
+    // cache-traffic numbers live.)
+    obs::JsonWriter json(std::cout);
+    json.begin_object();
+    json.field("schema", "plc-scenario-summary/1");
+    json.field("name", spec.name);
+    json.field("jobs", static_cast<std::int64_t>(jobs));
+    json.field("wall_seconds", outcome.wall_seconds);
+    json.field("serial_equivalent_seconds",
+               outcome.serial_equivalent_seconds);
+    json.field("speedup", speedup);
+    if (cache != nullptr) {
+      const store::Counters counters = cache->counters();
+      const std::int64_t lookups = counters.hits + counters.misses;
+      json.key("cache").begin_object();
+      json.field("hits", counters.hits);
+      json.field("misses", counters.misses);
+      json.field("hit_rate",
+                 lookups > 0 ? static_cast<double>(counters.hits) /
+                                   static_cast<double>(lookups)
+                             : 0.0);
+      json.field("publishes", counters.publishes);
+      json.field("quarantined", counters.quarantined);
+      json.end_object();
+    }
+    json.end_object();
+    std::printf("\n");
+  } else {
+    std::printf("\njobs=%d  speedup=%.2fx (serial-equivalent %.2f s in "
+                "%.2f s wall)\n",
+                jobs, speedup, outcome.serial_equivalent_seconds,
+                outcome.wall_seconds);
+    if (cache != nullptr) {
+      const store::Counters counters = cache->counters();
+      const std::int64_t lookups = counters.hits + counters.misses;
+      std::printf("cache: %lld hits, %lld misses (%.1f%% hit rate), "
+                  "%lld published\n",
+                  static_cast<long long>(counters.hits),
+                  static_cast<long long>(counters.misses),
+                  lookups > 0 ? 100.0 * static_cast<double>(counters.hits) /
+                                    static_cast<double>(lookups)
+                              : 0.0,
+                  static_cast<long long>(counters.publishes));
+      if (counters.quarantined > 0) {
+        std::printf("cache: quarantined %lld corrupt entr%s (see %s)\n",
+                    static_cast<long long>(counters.quarantined),
+                    counters.quarantined == 1 ? "y" : "ies",
+                    cache->quarantine_dir().c_str());
+      }
     }
   }
   const std::string report_path = args.get_string("report", "");
@@ -661,7 +792,58 @@ int cmd_scenario(const std::string& target, const Args& args) {
     outcome.report.save(report_path);
     PLC_LOG_INFO("cli", "wrote run report").str("path", report_path);
   }
+  telemetry.finish();
   return 0;
+}
+
+/// `plcsim crash-test`: deliberately crashes after arming the flight
+/// recorder, so tests (and the curious) can exercise the crash-dump
+/// path end to end. Hidden from usage() on purpose.
+int cmd_crash_test(const Args& args) {
+  obs::FlightRecorder::Options options;
+  options.directory = args.get_string("dir", ".");
+  obs::FlightRecorder::instance().arm(options);
+
+  // Give the dump something real to record: a few trace events, a
+  // counter, and an open profiler scope.
+  obs::TraceSink trace;
+  for (int i = 0; i < 3; ++i) {
+    obs::TraceEvent event;
+    event.phase = obs::TracePhase::kInstant;
+    event.name = "crash-test";
+    event.category = "cli";
+    event.start = des::SimTime::from_ns(i * 1000);
+    event.add_arg("i", static_cast<double>(i));
+    trace.record(event);
+  }
+  obs::Registry registry;
+  registry.counter("crash_test.events").add(3);
+  obs::FlightRecorder::instance().attach_trace(&trace);
+  obs::FlightRecorder::instance().attach_registry(&registry);
+  obs::Profiler::set_enabled(true);
+  PROF_SCOPE("crash_test");
+
+  const std::string mode = args.get_string("signal", "segv");
+  if (mode == "segv") {
+    ::raise(SIGSEGV);
+  } else if (mode == "abort") {
+    std::abort();
+  } else if (mode == "terminate") {
+    // Rethrowing from a noexcept frame reaches std::terminate with a
+    // current exception; a plain throw here would be caught by main().
+    std::exception_ptr error;
+    try {
+      throw plc::Error("crash-test: deliberate unhandled exception");
+    } catch (...) {
+      error = std::current_exception();
+    }
+    const auto boom = [&error]() noexcept { std::rethrow_exception(error); };
+    boom();
+  } else {
+    throw plc::Error("crash-test: unknown --signal \"" + mode +
+                     "\" (want segv, abort or terminate)");
+  }
+  return 1;  // Unreachable: every branch above kills the process.
 }
 
 /// `plcsim cache <stats|verify|gc>`: maintenance of a plc::store result
@@ -822,6 +1004,7 @@ int main(int argc, char** argv) {
     if (command == "boost") return cmd_boost(args);
     if (command == "delay") return cmd_delay(args);
     if (command == "capture") return cmd_capture(args);
+    if (command == "crash-test") return cmd_crash_test(args);
     return usage();
   } catch (const std::exception& e) {
     std::fprintf(stderr, "plcsim: %s\n", e.what());

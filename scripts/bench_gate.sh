@@ -33,7 +33,7 @@ THRESHOLD="${PLC_BENCH_GATE_THRESHOLD:-5}"
 # the profiler-overhead budgets) and the cheap report-only benches. The
 # full table/figure reproductions take minutes each — opt in via
 # PLC_BENCH_GATE_TARGETS.
-TARGETS="${PLC_BENCH_GATE_TARGETS:-bench_table1_parameters bench_figure1_trace bench_table3_interface bench_kernel_microbench bench_cache_speedup}"
+TARGETS="${PLC_BENCH_GATE_TARGETS:-bench_table1_parameters bench_figure1_trace bench_table3_interface bench_kernel_microbench bench_cache_speedup bench_telemetry_overhead}"
 
 if [ ! -d "$BUILD_DIR" ]; then
   echo "bench_gate: build directory '$BUILD_DIR' not found" >&2

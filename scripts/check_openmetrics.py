@@ -1,0 +1,153 @@
+#!/usr/bin/env python3
+"""Validates an OpenMetrics text-exposition payload (stdin or a file).
+
+A structural checker for what `plcsim --listen` serves at /metrics —
+deliberately stricter than "prometheus can scrape it":
+
+  * the payload ends with exactly one "# EOF" line;
+  * every sample line parses as  name[{labels}] value ;
+  * metric and label names stay inside the OpenMetrics charsets;
+  * every sample belongs to the family announced by the preceding
+    "# TYPE" line (counters end in _total, summaries in _count/_sum),
+    and no family is declared twice;
+  * label values use only the three legal escapes (\\\\, \\", \\n);
+  * every value parses as a float.
+
+Usage:
+    check_openmetrics.py [payload.txt] [--require NAME ...]
+
+--require asserts that a family (sanitized name, e.g.
+plc_sweep_tasks_completed) is present — CI uses it to prove a mid-run
+scrape actually carried the task-queue and store series.
+
+Exit code 0 when valid, 1 with a diagnostic on the first violation.
+"""
+
+import argparse
+import re
+import sys
+
+METRIC_NAME = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*$")
+LABEL_NAME = re.compile(r"[a-zA-Z_][a-zA-Z0-9_]*$")
+SAMPLE = re.compile(
+    r"(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>.*)\})?"
+    r" (?P<value>\S+)"
+    r"(?: (?P<timestamp>\S+))?$"
+)
+# Label values: any run of non-special chars or one of the three escapes.
+LABEL_VALUE = re.compile(r'(?:[^"\\\n]|\\\\|\\"|\\n)*$')
+LABEL_PAIR = re.compile(
+    r'(?P<name>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<value>(?:[^"\\\n]|\\.)*)"'
+)
+TYPES = {"counter", "gauge", "summary", "histogram", "untyped", "info"}
+
+
+def fail(line_number, line, message):
+    print(f"check_openmetrics: line {line_number}: {message}", file=sys.stderr)
+    print(f"  {line}", file=sys.stderr)
+    return 1
+
+
+def sample_belongs_to(name, family, family_type):
+    if family_type == "counter":
+        return name == f"{family}_total"
+    if family_type == "summary":
+        return name in (f"{family}_count", f"{family}_sum", family)
+    if family_type == "histogram":
+        return name in (
+            f"{family}_count",
+            f"{family}_sum",
+            f"{family}_bucket",
+        )
+    return name == family
+
+
+def check(text, required):
+    lines = text.split("\n")
+    if lines and lines[-1] == "":
+        lines.pop()
+    if not lines or lines[-1] != "# EOF":
+        print("check_openmetrics: payload must end with '# EOF'",
+              file=sys.stderr)
+        return 1
+
+    declared = {}
+    family = None
+    family_type = None
+    seen = set()
+    for i, line in enumerate(lines[:-1], start=1):
+        if line == "# EOF":
+            return fail(i, line, "'# EOF' before the end of the payload")
+        if line.startswith("# TYPE "):
+            parts = line.split(" ")
+            if len(parts) != 4:
+                return fail(i, line, "malformed # TYPE line")
+            _, _, family, family_type = parts
+            if not METRIC_NAME.match(family):
+                return fail(i, line, f"bad family name {family!r}")
+            if family_type not in TYPES:
+                return fail(i, line, f"unknown type {family_type!r}")
+            if family in declared:
+                return fail(i, line, f"family {family!r} declared twice")
+            declared[family] = family_type
+            continue
+        if line.startswith("#"):
+            continue  # HELP / UNIT / comments.
+
+        match = SAMPLE.match(line)
+        if not match:
+            return fail(i, line, "unparsable sample line")
+        name = match.group("name")
+        if family is None or not sample_belongs_to(name, family, family_type):
+            return fail(
+                i, line,
+                f"sample {name!r} outside its family "
+                f"(current: {family!r} type {family_type!r})")
+        seen.add(family)
+        labels = match.group("labels")
+        if labels is not None:
+            rest = labels
+            while rest:
+                pair = LABEL_PAIR.match(rest)
+                if not pair:
+                    return fail(i, line, f"malformed label set at {rest!r}")
+                if not LABEL_VALUE.match(pair.group("value")):
+                    return fail(i, line, "illegal escape in label value")
+                rest = rest[pair.end():]
+                if rest.startswith(","):
+                    rest = rest[1:]
+                elif rest:
+                    return fail(i, line, f"trailing garbage in labels: {rest!r}")
+        try:
+            float(match.group("value"))
+        except ValueError:
+            return fail(i, line, f"bad value {match.group('value')!r}")
+
+    missing = [name for name in required if name not in seen]
+    if missing:
+        print(f"check_openmetrics: required families absent: {missing}",
+              file=sys.stderr)
+        return 1
+    print(f"check_openmetrics: OK ({len(declared)} families, "
+          f"{len(seen)} with samples)")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("payload", nargs="?", help="file (default: stdin)")
+    parser.add_argument("--require", action="append", default=[],
+                        metavar="FAMILY",
+                        help="assert this family has at least one sample")
+    args = parser.parse_args()
+    if args.payload:
+        with open(args.payload, "r", encoding="utf-8") as handle:
+            text = handle.read()
+    else:
+        text = sys.stdin.read()
+    return check(text, args.require)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

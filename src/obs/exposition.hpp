@@ -1,0 +1,82 @@
+// A minimal blocking HTTP/1.1 exposition server for live telemetry.
+//
+// One background thread accepts loopback connections and answers GET
+// requests from a TelemetryHub:
+//
+//   /metrics     OpenMetrics text (Prometheus-scrapable)
+//   /progress    sweep progress JSON ("plc-progress/1")
+//   /profile     the global profiler tree as JSON
+//   /timeseries  the sampled time-series rings as JSON
+//   /healthz     liveness probe ("ok")
+//
+// Scope is deliberately narrow: HTTP/1.1, Connection: close, one
+// request per connection, requests capped at 8 KiB. That is exactly
+// what `curl` and a Prometheus scraper need; anything fancier belongs
+// in a real server, not a simulator. Malformed request lines get 400,
+// non-GET methods 405, unknown paths 404 — all covered by tests.
+//
+// The serve loop holds no hub locks between requests; each handler
+// takes one snapshot under the hub mutex and serializes outside it, so
+// a slow client cannot stall the sweep.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+
+#include "util/socket.hpp"
+
+namespace plc::obs {
+
+class TelemetryHub;
+
+class ExpositionServer {
+ public:
+  struct Options {
+    /// TCP port to bind; 0 picks an ephemeral port (see port()).
+    int port = 0;
+    /// Bind address; loopback by default — this is a diagnostics
+    /// endpoint, not a public service.
+    std::string bind_address = "127.0.0.1";
+  };
+
+  ExpositionServer(TelemetryHub& hub, Options options);
+  /// Stops the server (idempotent with stop()).
+  ~ExpositionServer();
+
+  ExpositionServer(const ExpositionServer&) = delete;
+  ExpositionServer& operator=(const ExpositionServer&) = delete;
+
+  /// Binds the listener and starts the serve thread. Throws plc::Error
+  /// when the bind fails (e.g. port already taken).
+  void start();
+
+  /// Closes the listener and joins the serve thread. Safe to call
+  /// multiple times and without a prior start().
+  void stop();
+
+  bool running() const { return thread_.joinable(); }
+  /// The bound port, valid after start() (resolves port 0 requests).
+  int port() const { return listener_.port(); }
+
+  /// Requests answered so far (any status); test/diagnostic aid.
+  std::int64_t requests_served() const {
+    return requests_served_.load(std::memory_order_relaxed);
+  }
+
+  /// Builds the full HTTP response for one raw request head. Exposed
+  /// for tests: the network layer is just transport around this.
+  std::string handle_request(const std::string& request) const;
+
+ private:
+  void serve_loop();
+
+  TelemetryHub& hub_;
+  Options options_;
+  util::ServerSocket listener_;
+  std::thread thread_;
+  std::atomic<std::int64_t> requests_served_{0};
+};
+
+}  // namespace plc::obs

@@ -11,7 +11,15 @@
 
 namespace plc::obs {
 
-std::string json_escape(std::string_view text) {
+namespace {
+
+/// Shared escape core of json_escape and openmetrics_escape: both
+/// formats backslash-escape `\`, `"` and `\n` identically; they differ
+/// only in what to do with the remaining control characters. `json`
+/// selects the JSON tail (\r, \t, \u00XX), otherwise characters outside
+/// the shared set pass through verbatim (OpenMetrics escapes nothing
+/// else).
+std::string escape_core(std::string_view text, bool json) {
   std::string out;
   out.reserve(text.size());
   for (const char c : text) {
@@ -19,10 +27,22 @@ std::string json_escape(std::string_view text) {
       case '"': out += "\\\""; break;
       case '\\': out += "\\\\"; break;
       case '\n': out += "\\n"; break;
-      case '\r': out += "\\r"; break;
-      case '\t': out += "\\t"; break;
+      case '\r':
+        if (json) {
+          out += "\\r";
+        } else {
+          out += c;
+        }
+        break;
+      case '\t':
+        if (json) {
+          out += "\\t";
+        } else {
+          out += c;
+        }
+        break;
       default:
-        if (static_cast<unsigned char>(c) < 0x20) {
+        if (json && static_cast<unsigned char>(c) < 0x20) {
           char buffer[8];
           std::snprintf(buffer, sizeof(buffer), "\\u%04x",
                         static_cast<unsigned>(static_cast<unsigned char>(c)));
@@ -33,6 +53,16 @@ std::string json_escape(std::string_view text) {
     }
   }
   return out;
+}
+
+}  // namespace
+
+std::string json_escape(std::string_view text) {
+  return escape_core(text, /*json=*/true);
+}
+
+std::string openmetrics_escape(std::string_view text) {
+  return escape_core(text, /*json=*/false);
 }
 
 void JsonWriter::element_prefix() {

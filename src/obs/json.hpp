@@ -21,8 +21,16 @@
 namespace plc::obs {
 
 /// Escapes `text` for inclusion inside a JSON string literal (the
-/// surrounding quotes are not added).
+/// surrounding quotes are not added). Handles quotes, backslashes,
+/// newlines/tabs and all other control characters (as \u00XX).
 std::string json_escape(std::string_view text);
+
+/// Escapes `text` for an OpenMetrics label value or HELP text (the
+/// surrounding quotes are not added): backslash, double quote and
+/// newline get backslash escapes — exactly the three the exposition
+/// format defines. Shares its escape core with json_escape so the two
+/// sinks can never drift apart on the characters they both handle.
+std::string openmetrics_escape(std::string_view text);
 
 /// Streaming writer over a caller-owned ostream.
 class JsonWriter {

@@ -257,6 +257,18 @@ void merge_node(const ProfileNode& node, const std::string& parent_path,
 
 }  // namespace
 
+std::vector<std::string> Profiler::current_stack() {
+  std::vector<std::string> stack;
+  const ThreadState* state = t_state;
+  if (state == nullptr) return stack;
+  for (const ProfileNode* node = state->current;
+       node != nullptr && node->parent != nullptr; node = node->parent) {
+    stack.emplace_back(node->name);
+  }
+  std::reverse(stack.begin(), stack.end());
+  return stack;
+}
+
 ProfileSnapshot Profiler::snapshot() const {
   std::lock_guard<std::mutex> lock(impl_->mutex);
   ProfileSnapshot snapshot;

@@ -106,6 +106,12 @@ class Profiler {
   /// Aggregated tree, merged across threads by path.
   ProfileSnapshot snapshot() const;
 
+  /// The calling thread's currently open scope stack, root first (e.g.
+  /// {"scenario.run", "sim.run_point"}). Reads only thread-local state,
+  /// so it is async-signal-tolerant enough for the flight recorder's
+  /// best-effort crash dump; empty when no scope is open.
+  static std::vector<std::string> current_stack();
+
   /// Chrome trace_event JSON array of the captured scope invocations
   /// ("X" phases, pid "profiler", one tid per thread, wall-clock
   /// microsecond timestamps since the last reset).

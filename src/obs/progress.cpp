@@ -8,6 +8,20 @@
 
 namespace plc::obs {
 
+std::string format_duration_brief(double seconds) {
+  if (seconds < 0.0) return "?";
+  if (seconds < 60.0) return util::format_fixed(seconds, 1) + "s";
+  const auto total = static_cast<std::int64_t>(seconds);
+  const auto pad2 = [](std::int64_t value) {
+    return (value < 10 ? "0" : "") + std::to_string(value);
+  };
+  if (total < 3600) {
+    return std::to_string(total / 60) + "m" + pad2(total % 60) + "s";
+  }
+  return std::to_string(total / 3600) + "h" + pad2((total % 3600) / 60) +
+         "m";
+}
+
 ProgressMeter::ProgressMeter(des::SimTime goal)
     : ProgressMeter(goal, Options{}) {}
 
@@ -42,6 +56,12 @@ void ProgressMeter::sample_coarse(des::SimTime now, std::int64_t events) {
   report(now, events, /*final_line=*/false);
 }
 
+void ProgressMeter::set_task_goal(std::int64_t total_tasks) {
+  task_goal_ += total_tasks;
+}
+
+void ProgressMeter::task_complete() { ++tasks_completed_; }
+
 void ProgressMeter::finish(des::SimTime now, std::int64_t events) {
   report(now, events, /*final_line=*/true);
 }
@@ -72,10 +92,26 @@ void ProgressMeter::report(des::SimTime now, std::int64_t events,
     line += util::format_fixed(events_per_second / 1e3, 1);
     line += "k ev/s";
   }
-  if (!final_line && fraction > 0.0) {
+  if (task_goal_ > 0) {
+    line += "  tasks ";
+    line += std::to_string(tasks_completed_);
+    line += "/";
+    line += std::to_string(task_goal_);
+  }
+  if (!final_line && task_goal_ > 0) {
+    // Task-throughput ETA: remaining tasks over the retire rate. More
+    // truthful than the sim-time fraction under caching and uneven
+    // task sizes; unknown ("?") until the first task retires.
+    double eta = -1.0;
+    if (tasks_completed_ > 0 && elapsed > 0.0) {
+      const double rate = static_cast<double>(tasks_completed_) / elapsed;
+      eta = static_cast<double>(task_goal_ - tasks_completed_) / rate;
+    }
     line += "  ETA ";
-    line += util::format_fixed(elapsed / fraction - elapsed, 1);
-    line += "s";
+    line += format_duration_brief(eta);
+  } else if (!final_line && fraction > 0.0) {
+    line += "  ETA ";
+    line += format_duration_brief(elapsed / fraction - elapsed);
   } else if (final_line) {
     line += "  done in ";
     line += util::format_fixed(elapsed, 1);

@@ -16,12 +16,17 @@
 
 #include <cstdint>
 #include <iosfwd>
+#include <string>
 
 #include "des/scheduler.hpp"
 #include "des/time.hpp"
 #include "obs/report.hpp"
 
 namespace plc::obs {
+
+/// Renders a duration for the heartbeat's ETA field with an adaptive
+/// unit: "3.2s", "4m10s", "2h05m"; "?" for negative/unknown values.
+std::string format_duration_brief(double seconds);
 
 /// Not thread-safe: concurrent producers (parallel-runner workers) must
 /// serialize their sample_coarse()/finish() calls behind one mutex.
@@ -50,6 +55,15 @@ class ProgressMeter final : public des::SchedulerObserver {
   /// per-event countdown and applies only the wall-interval check.
   void sample_coarse(des::SimTime now, std::int64_t events);
 
+  /// Announces a sweep task goal (cumulative across legs). Once set,
+  /// the ETA comes from completed-task throughput — tasks are what the
+  /// parallel runner actually retires, so the estimate respects caching
+  /// (store hits complete in microseconds) and uneven task sizes in a
+  /// way the raw simulated-time fraction cannot.
+  void set_task_goal(std::int64_t total_tasks);
+  /// One task retired; feeds the task-throughput ETA.
+  void task_complete();
+
   /// Prints the final status line (idempotent per call site; call once).
   void finish(des::SimTime now, std::int64_t events);
 
@@ -67,6 +81,8 @@ class ProgressMeter final : public des::SchedulerObserver {
   std::int64_t check_countdown_ = kCheckEvery;
   double last_report_seconds_ = 0.0;
   std::int64_t lines_printed_ = 0;
+  std::int64_t task_goal_ = 0;  ///< 0 = no task goal; sim-time ETA.
+  std::int64_t tasks_completed_ = 0;
 };
 
 }  // namespace plc::obs

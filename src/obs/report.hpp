@@ -64,6 +64,11 @@ struct RunReport {
   /// never hit/miss counts, which would make a warm re-run's report
   /// differ from the cold run it must reproduce byte-for-byte.
   std::string cache;
+  /// Sampled time series of the run (a complete JSON value — the
+  /// TimeSeriesSet export — emitted under the "timeseries" key; empty =
+  /// no section). Only harnesses that already expose wall-clock timing
+  /// (plcsim sim) embed it; deterministic scenario reports never do.
+  std::string timeseries;
 
   double events_per_second() const {
     return wall_seconds > 0.0 ? static_cast<double>(events) / wall_seconds

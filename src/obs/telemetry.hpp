@@ -1,0 +1,153 @@
+// The live telemetry plane: a thread-safe aggregation hub between the
+// (deliberately lock-free, thread-confined) metrics path and live
+// consumers — the OpenMetrics exposition server, the CLI's progress
+// endpoints, and the "timeseries" section of a run report.
+//
+// Design constraints, inherited from the rest of the obs layer:
+//
+//   - obs::Registry is not thread-safe and must stay that way (a counter
+//     increment is a bare integer add). The hub therefore never touches
+//     per-event state: workers run on their private registries exactly
+//     as before and feed the hub once per *completed task* (absorb()),
+//     so the enabled-path cost is one mutex acquisition per task — tens
+//     of microseconds of work guarding milliseconds of simulation.
+//   - The hub is a live view only. It never feeds the run report, so a
+//     run with --listen produces a byte-identical report to one
+//     without (the determinism contract of scenario reports).
+//   - Disabled means absent: every producer hook is behind a
+//     `hub != nullptr` check; no hub, no work, no locks.
+//
+// The hub keeps three things under one mutex: its own Registry (task
+// lifecycle counters plus everything absorbed from finished tasks), a
+// TimeSeriesSet sampled on a wall-clock interval, and registered probe
+// callbacks (e.g. plc::store counters — already atomic, safe to read
+// live) evaluated at snapshot/sample time.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/report.hpp"
+#include "obs/timeseries.hpp"
+
+namespace plc::obs {
+
+/// Renders a metrics snapshot in the OpenMetrics text exposition format
+/// (one "# TYPE" header per family, counters with the _total suffix,
+/// histograms as summary _count/_sum pairs, "# EOF" terminator). Metric
+/// and label names are sanitized to the OpenMetrics charset with a
+/// "plc_" prefix; label values go through openmetrics_escape.
+std::string openmetrics_render(const Snapshot& snapshot);
+
+class TelemetryHub {
+ public:
+  struct Options {
+    /// Minimum wall-clock spacing between time-series samples.
+    double sample_interval_seconds = 0.25;
+    /// Ring capacity of each sampled series (see obs::TimeSeries).
+    std::size_t series_capacity = TimeSeries::kDefaultCapacity;
+  };
+
+  /// What one finished sweep task reports to the hub.
+  struct TaskEnd {
+    bool used_store = false;  ///< A result store was consulted.
+    bool store_hit = false;   ///< ... and returned a validated hit.
+    double queue_wait_seconds = 0.0;  ///< submit -> start latency.
+    double task_seconds = 0.0;        ///< start -> end wall time.
+  };
+
+  /// A point-in-time view of sweep progress for the /progress endpoint.
+  struct Progress {
+    std::int64_t tasks_total = 0;
+    std::int64_t tasks_completed = 0;
+    std::int64_t tasks_in_flight = 0;
+    std::int64_t store_hits = 0;
+    std::int64_t store_misses = 0;
+    double wall_seconds = 0.0;
+    double tasks_per_second = 0.0;
+    /// Remaining / throughput; negative when unknown (no completions
+    /// yet or no task goal announced).
+    double eta_seconds = -1.0;
+    double sim_seconds = 0.0;
+    std::int64_t events = 0;
+  };
+
+  TelemetryHub() : TelemetryHub(Options{}) {}
+  explicit TelemetryHub(Options options);
+
+  // --- producer side (runners; every call is one mutex acquisition) ---
+
+  /// Announces `total` more tasks (cumulative across legs).
+  void begin_tasks(std::int64_t total);
+  void task_started();
+  void task_finished(const TaskEnd& end);
+  /// Cumulative simulated progress from the heartbeat path.
+  void advance_sim(double sim_seconds, std::int64_t events);
+  /// Folds a finished task's metric snapshot into the hub registry.
+  void absorb(const Snapshot& snapshot);
+
+  /// Registers a gauge evaluated lazily at snapshot/sample time (e.g. a
+  /// store's atomic counters). `probe` must stay callable for the hub's
+  /// lifetime and be safe to call from any thread.
+  void add_probe(std::string name, std::function<double()> probe);
+
+  // --- consumer side (exposition server, CLI epilogue) ---
+
+  /// Merged snapshot: absorbed task metrics + lifecycle series + probes.
+  /// (Non-const: evaluating probes and taking the interval sample update
+  /// the hub's own series.)
+  Snapshot metrics_snapshot();
+  /// The /metrics payload (see openmetrics_render).
+  std::string openmetrics();
+  /// The /progress payload ("plc-progress/1").
+  std::string progress_json() const;
+  Progress progress() const;
+
+  // Non-blocking variants for the flight recorder's crash path: a
+  // crashing thread may already hold the hub mutex, so these try_lock
+  // and report false instead of deadlocking inside a signal handler.
+  bool try_progress(Progress* out) const;
+  bool try_metrics_snapshot(Snapshot* out);
+
+  /// Forces one time-series sample now (consumers normally rely on the
+  /// interval-throttled samples taken on task completion and scrapes).
+  void sample_now();
+  /// The "timeseries" report section (JSON array; see TimeSeriesSet).
+  std::string timeseries_json() const;
+  std::string timeseries_jsonl() const;
+
+  double wall_seconds() const { return stopwatch_.elapsed_seconds(); }
+
+ private:
+  /// Evaluates probes into gauges; callers hold mutex_.
+  void refresh_probes_locked();
+  /// Takes a time-series sample when the interval elapsed; holds mutex_.
+  void maybe_sample_locked();
+  void sample_locked(double now_seconds);
+  Snapshot snapshot_locked() const;
+  Progress progress_locked() const;
+
+  mutable std::mutex mutex_;
+  Options options_;
+  Stopwatch stopwatch_;
+  Registry registry_;
+  TimeSeriesSet series_;
+  std::vector<std::pair<std::string, std::function<double()>>> probes_;
+  double last_sample_seconds_ = -1.0;
+
+  // Lifecycle state mirrored into registry_ instruments, kept as plain
+  // integers too so progress() needs no snapshot walk.
+  std::int64_t tasks_total_ = 0;
+  std::int64_t tasks_completed_ = 0;
+  std::int64_t tasks_in_flight_ = 0;
+  std::int64_t store_hits_ = 0;
+  std::int64_t store_misses_ = 0;
+  double sim_seconds_ = 0.0;
+  std::int64_t events_ = 0;
+};
+
+}  // namespace plc::obs

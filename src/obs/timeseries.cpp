@@ -1,0 +1,95 @@
+#include "obs/timeseries.hpp"
+
+#include <ostream>
+#include <sstream>
+
+#include "obs/json.hpp"
+#include "util/error.hpp"
+
+namespace plc::obs {
+
+TimeSeries::TimeSeries(std::size_t capacity) : capacity_(capacity) {
+  util::check_arg(capacity >= 2, "capacity", "must be >= 2");
+  points_.reserve(capacity);
+}
+
+void TimeSeries::record(double t_seconds, double value) {
+  const std::int64_t index = offered_++;
+  if (index % stride_ != 0) return;
+  points_.push_back(TimePoint{t_seconds, value});
+  if (points_.size() < capacity_) return;
+  // Compact: keep every other point and double the stride, so retained
+  // points stay evenly spaced over the whole stream.
+  std::size_t write = 0;
+  for (std::size_t read = 0; read < points_.size(); read += 2) {
+    points_[write++] = points_[read];
+  }
+  points_.resize(write);
+  stride_ *= 2;
+}
+
+TimeSeriesSet::TimeSeriesSet(std::size_t capacity_per_series)
+    : capacity_per_series_(capacity_per_series) {}
+
+TimeSeries& TimeSeriesSet::series(const std::string& name) {
+  for (Entry& entry : entries_) {
+    if (entry.name == name) return entry.series;
+  }
+  entries_.push_back(Entry{name, TimeSeries(capacity_per_series_)});
+  return entries_.back().series;
+}
+
+void TimeSeriesSet::record(const std::string& name, double t_seconds,
+                           double value) {
+  series(name).record(t_seconds, value);
+}
+
+const TimeSeries* TimeSeriesSet::find(const std::string& name) const {
+  for (const Entry& entry : entries_) {
+    if (entry.name == name) return &entry.series;
+  }
+  return nullptr;
+}
+
+void TimeSeriesSet::write_into(JsonWriter& json) const {
+  json.begin_array();
+  for (const Entry& entry : entries_) {
+    json.begin_object();
+    json.field("series", entry.name);
+    json.field("stride", entry.series.stride());
+    json.field("offered", entry.series.offered());
+    json.key("points").begin_array();
+    for (const TimePoint& point : entry.series.points()) {
+      json.begin_array();
+      json.value(point.t_seconds);
+      json.value(point.value);
+      json.end_array();
+    }
+    json.end_array();
+    json.end_object();
+  }
+  json.end_array();
+}
+
+std::string TimeSeriesSet::to_json() const {
+  std::ostringstream out;
+  JsonWriter json(out);
+  write_into(json);
+  return out.str();
+}
+
+void TimeSeriesSet::write_jsonl(std::ostream& out) const {
+  for (const Entry& entry : entries_) {
+    for (const TimePoint& point : entry.series.points()) {
+      JsonWriter json(out);
+      json.begin_object();
+      json.field("series", entry.name);
+      json.field("t", point.t_seconds);
+      json.field("value", point.value);
+      json.end_object();
+      out << '\n';
+    }
+  }
+}
+
+}  // namespace plc::obs

@@ -1,0 +1,97 @@
+// Fixed-capacity downsampling time series for live telemetry.
+//
+// A TimeSeries accepts an unbounded stream of (wall-seconds, value)
+// samples but never holds more than `capacity` points: when the buffer
+// fills it drops every other retained point and doubles its acceptance
+// stride, so a series that watched a ten-hour sweep keeps ~capacity
+// points spread evenly over the whole run instead of the newest window
+// (the trace ring already covers "newest window" semantics). record() is
+// O(1) amortized and allocation-free after the buffer first fills.
+//
+// TimeSeriesSet is the named collection the telemetry hub samples into;
+// it exports as a JSON array (the "timeseries" section of
+// plc-run-report/1) and as JSONL (one {"series", "t", "value"} object
+// per line) for ad-hoc plotting.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace plc::obs {
+
+class JsonWriter;
+
+/// One retained sample: wall-clock seconds since the series' owner
+/// started, and the sampled value.
+struct TimePoint {
+  double t_seconds = 0.0;
+  double value = 0.0;
+};
+
+class TimeSeries {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 512;
+
+  /// `capacity` >= 2 (compaction halves the buffer, which must make
+  /// room for at least one new point).
+  explicit TimeSeries(std::size_t capacity = kDefaultCapacity);
+
+  /// Offers one sample; retained when the offer index is a multiple of
+  /// the current stride. O(1) amortized.
+  void record(double t_seconds, double value);
+
+  const std::vector<TimePoint>& points() const { return points_; }
+  std::size_t capacity() const { return capacity_; }
+  /// Total record() calls over the series' lifetime.
+  std::int64_t offered() const { return offered_; }
+  /// Current decimation stride (1 until the buffer first fills, then
+  /// doubles on every compaction).
+  std::int64_t stride() const { return stride_; }
+
+ private:
+  std::size_t capacity_;
+  std::int64_t stride_ = 1;
+  std::int64_t offered_ = 0;
+  std::vector<TimePoint> points_;
+};
+
+/// Named series, created on first use. Not thread-safe — the telemetry
+/// hub serializes access behind its own mutex.
+class TimeSeriesSet {
+ public:
+  explicit TimeSeriesSet(std::size_t capacity_per_series =
+                             TimeSeries::kDefaultCapacity);
+
+  /// Finds or creates the series `name`.
+  TimeSeries& series(const std::string& name);
+
+  /// Shorthand for series(name).record(t_seconds, value).
+  void record(const std::string& name, double t_seconds, double value);
+
+  bool empty() const { return entries_.empty(); }
+  std::size_t size() const { return entries_.size(); }
+  /// Finds an existing series; nullptr when absent.
+  const TimeSeries* find(const std::string& name) const;
+
+  /// JSON array of {"series", "stride", "offered", "points": [[t, v]...]}
+  /// objects, in series-creation order — the "timeseries" section of a
+  /// run report.
+  void write_into(JsonWriter& json) const;
+  std::string to_json() const;
+
+  /// One {"series": ..., "t": ..., "value": ...} object per line.
+  void write_jsonl(std::ostream& out) const;
+
+ private:
+  struct Entry {
+    std::string name;
+    TimeSeries series;
+  };
+
+  std::size_t capacity_per_series_;
+  std::vector<Entry> entries_;  ///< Linear lookup; series counts are small.
+};
+
+}  // namespace plc::obs

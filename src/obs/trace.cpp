@@ -106,9 +106,14 @@ void TraceSink::write_chrome_trace(std::ostream& out) const {
   std::set<std::int32_t> tracks;
   for (const TraceEvent& event : retained) tracks.insert(event.track);
   for (const std::int32_t track : tracks) {
-    const std::string label =
-        track == kMediumTrack ? "medium"
-                              : "station " + std::to_string(track - 1);
+    std::string label;
+    if (track == kMediumTrack) {
+      label = "medium";
+    } else if (track >= kWorkerTrackBase) {
+      label = "worker " + std::to_string(track - kWorkerTrackBase);
+    } else {
+      label = "station " + std::to_string(track - 1);
+    }
     json.begin_object();
     json.field("name", "thread_name").field("ph", "M");
     json.field("pid", 1).field("tid", static_cast<std::int64_t>(track));

@@ -30,6 +30,14 @@ namespace plc::obs {
 inline constexpr std::int32_t kMediumTrack = 0;
 constexpr std::int32_t station_track(int station) { return station + 1; }
 
+/// Scheduler tracks: parallel-sweep task spans render on one track per
+/// worker thread, far above any plausible station id so the ranges can
+/// never collide (the exporter labels them "worker N").
+inline constexpr std::int32_t kWorkerTrackBase = 1 << 20;
+constexpr std::int32_t worker_track(int worker) {
+  return kWorkerTrackBase + worker;
+}
+
 enum class TracePhase : std::uint8_t {
   kSpan = 0,     ///< A duration on a track (Chrome phase "X").
   kCounter = 1,  ///< Sampled counter values (Chrome phase "C").
@@ -46,7 +54,7 @@ struct TraceEvent {
   des::SimTime start = des::SimTime::zero();
   des::SimTime duration = des::SimTime::zero();
 
-  static constexpr int kMaxArgs = 3;
+  static constexpr int kMaxArgs = 4;
   std::array<const char*, kMaxArgs> arg_names{};
   std::array<double, kMaxArgs> arg_values{};
   int arg_count = 0;

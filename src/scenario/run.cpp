@@ -15,6 +15,7 @@
 #include "analysis/model_1901.hpp"
 #include "analysis/model_dcf.hpp"
 #include "obs/json.hpp"
+#include "obs/telemetry.hpp"
 #include "sim/parallel_runner.hpp"
 #include "store/result_store.hpp"
 #include "tools/testbed.hpp"
@@ -172,6 +173,25 @@ bool testbed_result_from_payload(const obs::JsonValue& payload,
 RunOutcome run_scenario(const Spec& spec, const RunOptions& options) {
   spec.validate();
 
+  // Store counters are atomics, safe to read from any thread — ideal
+  // live probes: the hub's /metrics scrape sees hit/miss progress while
+  // the sweep is still running.
+  if (options.telemetry != nullptr && options.store != nullptr) {
+    store::ResultStore* store = options.store;
+    options.telemetry->add_probe("store.hits", [store] {
+      return static_cast<double>(store->counters().hits);
+    });
+    options.telemetry->add_probe("store.misses", [store] {
+      return static_cast<double>(store->counters().misses);
+    });
+    options.telemetry->add_probe("store.publishes", [store] {
+      return static_cast<double>(store->counters().publishes);
+    });
+    options.telemetry->add_probe("store.bytes_written", [store] {
+      return static_cast<double>(store->counters().bytes_written);
+    });
+  }
+
   RunOutcome outcome;
   obs::RunReport& report = outcome.report;
   report.name = spec.name;
@@ -214,6 +234,7 @@ RunOutcome run_scenario(const Spec& spec, const RunOptions& options) {
     attach.registry = registry;
     attach.store = options.store;
     attach.store_legs = &store_legs;
+    attach.telemetry = options.telemetry;
     summaries = runner.run_points(run_specs, attach);
     outcome.wall_seconds += runner.wall_seconds();
     outcome.serial_equivalent_seconds += runner.serial_equivalent_seconds();

@@ -16,6 +16,10 @@
 #include "obs/report.hpp"
 #include "scenario/spec.hpp"
 
+namespace plc::obs {
+class TelemetryHub;
+}
+
 namespace plc::store {
 class ResultStore;
 }
@@ -39,6 +43,11 @@ struct RunOptions {
   /// fully warm run reproduces the cold run's report byte-for-byte, and
   /// the report carries a run-invariant "cache" provenance section.
   store::ResultStore* store = nullptr;
+  /// Live telemetry hub (see obs::TelemetryHub): fed the sim leg's task
+  /// lifecycle plus store counters as probe gauges. Strictly a live
+  /// view for the exposition server — never feeds the report, so
+  /// attaching it preserves byte-identical output.
+  obs::TelemetryHub* telemetry = nullptr;
 };
 
 /// One scenario execution.

@@ -10,12 +10,17 @@
 #include "des/random.hpp"
 #include "obs/log.hpp"
 #include "obs/profiler.hpp"
+#include "obs/telemetry.hpp"
 #include "store/result_store.hpp"
 #include "util/error.hpp"
 #include "util/math.hpp"
 
 namespace plc::sim {
 namespace {
+
+/// The pool worker executing the current task (-1 on non-pool threads);
+/// set once per worker by the on_worker_start hook, read by task spans.
+thread_local int t_worker_index = -1;
 
 /// Everything one (point × repetition) task produces. Tasks only write
 /// their own slot; the merge after the barrier walks slots in task-index
@@ -29,6 +34,14 @@ struct TaskResult {
   obs::Snapshot metrics;
   std::vector<obs::TraceEvent> trace;
   double wall_seconds = 0.0;
+
+  // Scheduling observability (offsets on the sweep's wall stopwatch),
+  // filled by every task for telemetry and the opt-in task spans.
+  double submit_seconds = 0.0;
+  double start_seconds = 0.0;
+  double end_seconds = 0.0;
+  int worker = -1;
+  int store_outcome = -1;  ///< -1 no store consulted, 0 miss, 1 hit.
 };
 
 /// Serializes everything a warm run needs to refill a TaskResult slot
@@ -97,6 +110,7 @@ std::vector<std::string> make_worker_names(int jobs) {
 ParallelRunner::ParallelRunner(int jobs)
     : worker_names_(make_worker_names(jobs)),
       pool_(static_cast<int>(worker_names_.size()), [this](int worker) {
+        t_worker_index = worker;
         obs::Profiler::instance().set_thread_name(
             worker_names_[static_cast<std::size_t>(worker)].c_str());
       }) {}
@@ -143,27 +157,73 @@ std::vector<RunSummary> ParallelRunner::run_points(
   des::SimTime progress_sim = des::SimTime::zero();
   std::int64_t progress_events = 0;
 
+  if (obs.telemetry != nullptr) {
+    obs.telemetry->begin_tasks(static_cast<std::int64_t>(total_tasks));
+  }
+  if (obs.progress != nullptr) {
+    obs.progress->set_task_goal(static_cast<std::int64_t>(total_tasks));
+  }
+
   for (std::size_t p = 0; p < specs.size(); ++p) {
     for (int rep = 0; rep < specs[p].repetitions; ++rep) {
       TaskResult* slot = &slots[offsets[p] + rep];
+      slot->submit_seconds = wall.elapsed_seconds();
       pool_.submit([&specs, &obs, &point_json, &progress_mutex, &progress_sim,
-                    &progress_events, p, rep, slot] {
+                    &progress_events, &wall, p, rep, slot] {
         PROF_SCOPE("sim.repetition");
         obs::Stopwatch task_wall;
         const RunSpec& spec = specs[p];
+        slot->start_seconds = wall.elapsed_seconds();
+        slot->worker = t_worker_index;
+        if (obs.telemetry != nullptr) obs.telemetry->task_started();
+
+        std::optional<store::Key> key;
+        // Everything every exit path owes the observers: span bounds,
+        // the telemetry lifecycle events, and the heartbeat's task
+        // counter. The hub lock is released before the progress lock is
+        // taken, so the two observers never deadlock against the
+        // event-observer path (progress -> hub).
+        const auto finish_task = [&](bool store_hit) {
+          slot->end_seconds = wall.elapsed_seconds();
+          slot->wall_seconds = task_wall.elapsed_seconds();
+          if (key.has_value()) slot->store_outcome = store_hit ? 1 : 0;
+          if (obs.telemetry != nullptr) {
+            obs::TelemetryHub::TaskEnd end;
+            end.used_store = key.has_value();
+            end.store_hit = store_hit;
+            end.queue_wait_seconds =
+                slot->start_seconds - slot->submit_seconds;
+            end.task_seconds = slot->end_seconds - slot->start_seconds;
+            obs.telemetry->task_finished(end);
+            obs.telemetry->absorb(slot->metrics);
+          }
+          if (obs.progress != nullptr) {
+            std::lock_guard<std::mutex> lock(progress_mutex);
+            obs.progress->task_complete();
+          } else if (obs.telemetry != nullptr) {
+            // Telemetry-only runs skip the per-event observer (its
+            // indirect call on the hottest loop is the one cost that
+            // would bust the < 5% budget), so the hub learns simulated
+            // time at task granularity instead.
+            std::lock_guard<std::mutex> lock(progress_mutex);
+            progress_sim += slot->elapsed;
+            progress_events += slot->medium_events;
+            obs.telemetry->advance_sim(progress_sim.seconds(),
+                                       progress_events);
+          }
+        };
 
         // Cache lookup happens inside the task, so warm-run file I/O is
         // as parallel as the cold-run simulation it replaces. Tasks that
         // must produce a trace (rep 0 with a sink attached) always run
         // live; everything else takes a validated hit as-is.
-        std::optional<store::Key> key;
         if (obs.store != nullptr) {
           key = store::make_key((*obs.store_legs)[p], point_json[p], rep);
           const bool must_run_live = obs.trace != nullptr && rep == 0;
           if (!must_run_live) {
             if (auto payload = obs.store->lookup(*key)) {
               if (fill_slot_from_payload(*payload, slot)) {
-                slot->wall_seconds = task_wall.elapsed_seconds();
+                finish_task(/*store_hit=*/true);
                 return;
               }
             }
@@ -176,7 +236,8 @@ std::vector<RunSummary> ParallelRunner::run_points(
         // crosses threads, and the barrier merge lands everything into
         // the caller's sinks in task order.
         obs::Registry local_registry;
-        const bool want_metrics = obs.registry != nullptr || key.has_value();
+        const bool want_metrics = obs.registry != nullptr ||
+                                  obs.telemetry != nullptr || key.has_value();
         if (want_metrics) simulator.bind_metrics(local_registry);
         std::unique_ptr<obs::TraceSink> local_trace;
         if (obs.trace != nullptr && rep == 0) {
@@ -198,7 +259,13 @@ std::vector<RunSummary> ParallelRunner::run_points(
                 flushed_sim = event.start;
                 progress_events += pending;
                 pending = 0;
-                obs.progress->sample_coarse(progress_sim, progress_events);
+                if (obs.progress != nullptr) {
+                  obs.progress->sample_coarse(progress_sim, progress_events);
+                }
+                if (obs.telemetry != nullptr) {
+                  obs.telemetry->advance_sim(progress_sim.seconds(),
+                                             progress_events);
+                }
               });
         }
 
@@ -220,7 +287,7 @@ std::vector<RunSummary> ParallelRunner::run_points(
         if (key.has_value()) {
           obs.store->publish(*key, task_payload_json(*slot));
         }
-        slot->wall_seconds = task_wall.elapsed_seconds();
+        finish_task(/*store_hit=*/false);
       });
     }
   }
@@ -249,6 +316,33 @@ std::vector<RunSummary> ParallelRunner::run_points(
       }
     }
   }
+
+  // Opt-in scheduler spans: one "task" span per slot in task-index
+  // order (deterministic ordering; the timestamps are wall-clock and
+  // therefore run-specific, which is why this never runs by default).
+  if (obs.trace != nullptr && obs.task_spans) {
+    for (std::size_t p = 0; p < specs.size(); ++p) {
+      for (int rep = 0; rep < specs[p].repetitions; ++rep) {
+        const TaskResult& slot = slots[offsets[p] + rep];
+        obs::TraceEvent event;
+        event.phase = obs::TracePhase::kSpan;
+        event.track = obs::worker_track(slot.worker < 0 ? 0 : slot.worker);
+        event.name = "task";
+        event.category = "sched";
+        event.start = des::SimTime::from_ns(
+            static_cast<std::int64_t>(slot.start_seconds * 1e9));
+        event.duration = des::SimTime::from_ns(static_cast<std::int64_t>(
+            (slot.end_seconds - slot.start_seconds) * 1e9));
+        event.add_arg("point", static_cast<double>(p));
+        event.add_arg("rep", static_cast<double>(rep));
+        event.add_arg("store_hit", static_cast<double>(slot.store_outcome));
+        event.add_arg("queue_wait_us",
+                      (slot.start_seconds - slot.submit_seconds) * 1e6);
+        obs.trace->record(event);
+      }
+    }
+  }
+
   if (obs.progress != nullptr) {
     des::SimTime total_sim = des::SimTime::zero();
     std::int64_t total_events = 0;

@@ -9,6 +9,7 @@
 #include "obs/json.hpp"
 #include "obs/log.hpp"
 #include "obs/profiler.hpp"
+#include "obs/telemetry.hpp"
 #include "util/error.hpp"
 #include "util/math.hpp"
 
@@ -101,10 +102,17 @@ RunSummary run_point(const RunSpec& spec, const RunObservability& obs) {
     }
     if (obs.progress != nullptr) {
       // Cumulative sim time across repetitions; the meter's modulo check
-      // keeps the per-event cost at a decrement and branch.
+      // keeps the per-event cost at a decrement and branch. The hub is
+      // mutex-guarded, so it only hears every 64Ki-th event.
       simulator.set_observer(
           [&, base = summary.simulated](const SlotEvent& event) {
-            obs.progress->sample(base + event.start, ++progress_events);
+            ++progress_events;
+            obs.progress->sample(base + event.start, progress_events);
+            if (obs.telemetry != nullptr &&
+                (progress_events & 0xFFFF) == 0) {
+              obs.telemetry->advance_sim((base + event.start).seconds(),
+                                         progress_events);
+            }
           });
     }
     const SlotSimResults results = simulator.run(spec.duration);
@@ -120,9 +128,23 @@ RunSummary run_point(const RunSpec& spec, const RunObservability& obs) {
       shares.push_back(static_cast<double>(s));
     }
     summary.jain_index.add(util::jain_index(shares));
+    if (obs.telemetry != nullptr && obs.progress == nullptr) {
+      // Without a progress meter there is no per-event observer (its
+      // indirect call on the hottest loop would bust the telemetry
+      // budget); the hub advances at repetition granularity instead.
+      obs.telemetry->advance_sim(summary.simulated.seconds(),
+                                 summary.medium_events);
+    }
   }
   if (obs.progress != nullptr) {
     obs.progress->finish(summary.simulated, progress_events);
+  }
+  if (obs.telemetry != nullptr) {
+    obs.telemetry->advance_sim(summary.simulated.seconds(),
+                               summary.medium_events);
+    if (obs.registry != nullptr) {
+      obs.telemetry->absorb(obs.registry->snapshot());
+    }
   }
   return summary;
 }

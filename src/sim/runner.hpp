@@ -20,6 +20,10 @@
 #include "sim/slot_simulator.hpp"
 #include "util/stats.hpp"
 
+namespace plc::obs {
+class TelemetryHub;
+}
+
 namespace plc::scenario {
 struct Spec;
 }
@@ -92,6 +96,20 @@ struct RunObservability {
   /// "sim/CA1") — the leg coordinate of the cache key. Must be non-null
   /// with size() == specs.size() when `store` is set.
   const std::vector<std::string>* store_legs = nullptr;
+  /// Live telemetry hub (see obs::TelemetryHub): fed the task lifecycle
+  /// (started/finished with queue-wait and store hit/miss), cumulative
+  /// simulated progress, and every finished task's metric snapshot.
+  /// Strictly a live view for /metrics and /progress — it never feeds
+  /// reports, so attaching it cannot change any output byte. Only
+  /// honored by ParallelRunner::run_points.
+  obs::TelemetryHub* telemetry = nullptr;
+  /// Also emit one scheduler span per (point, repetition) task into
+  /// `trace` after the barrier merge — name "task" on a per-worker
+  /// track (see obs::worker_track) with point/rep/store_hit/
+  /// queue_wait_us args, so Perfetto shows the parallel schedule next
+  /// to the repetition-0 medium trace. Opt-in because it adds events a
+  /// serial run's trace does not have.
+  bool task_spans = false;
 };
 
 /// Runs one sweep point.

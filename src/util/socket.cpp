@@ -1,0 +1,183 @@
+#include "util/socket.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "util/error.hpp"
+
+namespace plc::util {
+
+namespace {
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw Error(what + ": " + std::strerror(errno));
+}
+
+sockaddr_in make_address(const std::string& host, int port) {
+  check_arg(port >= 0 && port <= 65535, "port", "must be in [0, 65535]");
+  sockaddr_in address{};
+  address.sin_family = AF_INET;
+  address.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &address.sin_addr) != 1) {
+    throw Error("socket: bad IPv4 address '" + host + "'");
+  }
+  return address;
+}
+
+}  // namespace
+
+Socket::~Socket() { close(); }
+
+Socket::Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+Socket Socket::connect_tcp(const std::string& host, int port) {
+  const sockaddr_in address = make_address(host, port);
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw_errno("socket: socket()");
+  Socket socket(fd);
+  int status;
+  do {
+    status = ::connect(fd, reinterpret_cast<const sockaddr*>(&address),
+                       sizeof(address));
+  } while (status < 0 && errno == EINTR);
+  if (status < 0) {
+    throw_errno("socket: connect to " + host + ":" + std::to_string(port));
+  }
+  return socket;
+}
+
+void Socket::send_all(std::string_view data) {
+  require(valid(), "socket: send on closed socket");
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    // MSG_NOSIGNAL: a peer that hung up mid-response yields EPIPE, not
+    // a process-killing SIGPIPE.
+    const ssize_t n = ::send(fd_, data.data() + sent, data.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("socket: send");
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+std::string Socket::recv_some(std::size_t max_bytes) {
+  require(valid(), "socket: recv on closed socket");
+  std::string buffer(max_bytes, '\0');
+  ssize_t n;
+  do {
+    n = ::recv(fd_, buffer.data(), buffer.size(), 0);
+  } while (n < 0 && errno == EINTR);
+  if (n < 0) throw_errno("socket: recv");
+  buffer.resize(static_cast<std::size_t>(n));
+  return buffer;
+}
+
+std::string Socket::recv_all(std::size_t max_total) {
+  std::string out;
+  while (out.size() < max_total) {
+    const std::string chunk = recv_some(4096);
+    if (chunk.empty()) break;
+    out += chunk;
+  }
+  return out;
+}
+
+void Socket::shutdown_write() {
+  if (valid()) ::shutdown(fd_, SHUT_WR);
+}
+
+void Socket::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+ServerSocket::~ServerSocket() { close(); }
+
+ServerSocket::ServerSocket(ServerSocket&& other) noexcept
+    : fd_(other.fd_), port_(other.port_) {
+  other.fd_ = -1;
+  other.port_ = 0;
+}
+
+ServerSocket& ServerSocket::operator=(ServerSocket&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    port_ = other.port_;
+    other.fd_ = -1;
+    other.port_ = 0;
+  }
+  return *this;
+}
+
+ServerSocket ServerSocket::listen_tcp(const std::string& host, int port,
+                                      int backlog) {
+  const sockaddr_in address = make_address(host, port);
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw_errno("socket: socket()");
+  ServerSocket server;
+  server.fd_ = fd;
+  const int reuse = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &reuse, sizeof(reuse));
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&address),
+             sizeof(address)) < 0) {
+    throw_errno("socket: bind " + host + ":" + std::to_string(port));
+  }
+  if (::listen(fd, backlog) < 0) throw_errno("socket: listen");
+  sockaddr_in bound{};
+  socklen_t length = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &length) < 0) {
+    throw_errno("socket: getsockname");
+  }
+  server.port_ = static_cast<int>(ntohs(bound.sin_port));
+  return server;
+}
+
+Socket ServerSocket::accept() {
+  // Snapshot the fd: close() from another thread is the stop signal and
+  // turns the pending accept into EBADF/EINVAL — an orderly shutdown,
+  // reported as an invalid Socket.
+  const int fd = fd_;
+  if (fd < 0) return Socket();
+  while (true) {
+    const int client = ::accept(fd, nullptr, nullptr);
+    if (client >= 0) return Socket(client);
+    if (errno == EINTR) continue;
+    if (errno == EBADF || errno == EINVAL || errno == ECONNABORTED) {
+      return Socket();
+    }
+    throw_errno("socket: accept");
+  }
+}
+
+void ServerSocket::close() {
+  if (fd_ >= 0) {
+    // shutdown() first so a blocked accept() on another thread wakes
+    // with an error instead of waiting for a connection that never
+    // comes (close() alone does not reliably unblock accept on Linux).
+    ::shutdown(fd_, SHUT_RDWR);
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+}  // namespace plc::util

@@ -1,0 +1,92 @@
+// Minimal RAII TCP sockets for the telemetry exposition server.
+//
+// Deliberately tiny: blocking loopback TCP only, no TLS, no name
+// resolution beyond dotted quads — exactly what a localhost OpenMetrics
+// scrape needs and nothing the container does not already provide.
+// Socket owns one connected fd (move-only, closed on destruction);
+// ServerSocket owns a listening fd and mints Sockets from accept().
+// stop()-style shutdown is supported: close()ing a ServerSocket from
+// another thread unblocks a pending accept(), which then returns an
+// invalid Socket instead of throwing.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace plc::util {
+
+/// One connected (or accepted) TCP stream. Move-only; closes on
+/// destruction. All operations throw plc::Error on hard I/O failures.
+class Socket {
+ public:
+  Socket() = default;
+  /// Takes ownership of `fd` (-1 = invalid).
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket();
+
+  Socket(Socket&& other) noexcept;
+  Socket& operator=(Socket&& other) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+
+  /// Connects to host:port (dotted quad, e.g. "127.0.0.1"); throws on
+  /// failure.
+  static Socket connect_tcp(const std::string& host, int port);
+
+  /// Writes all of `data`, retrying on short writes and EINTR.
+  void send_all(std::string_view data);
+
+  /// One read of at most `max_bytes`; "" on orderly peer close.
+  std::string recv_some(std::size_t max_bytes = 4096);
+
+  /// Reads until the peer closes (bounded by `max_total` as a safety
+  /// cap against runaway peers).
+  std::string recv_all(std::size_t max_total = 1 << 22);
+
+  /// Half-closes the write side (signals end-of-request to the peer).
+  void shutdown_write();
+
+  void close();
+
+ private:
+  int fd_ = -1;
+};
+
+/// A listening TCP socket bound to one address.
+class ServerSocket {
+ public:
+  ServerSocket() = default;
+  ~ServerSocket();
+
+  ServerSocket(ServerSocket&& other) noexcept;
+  ServerSocket& operator=(ServerSocket&& other) noexcept;
+  ServerSocket(const ServerSocket&) = delete;
+  ServerSocket& operator=(const ServerSocket&) = delete;
+
+  /// Binds host:port (port 0 = ephemeral; port() reports the choice)
+  /// with SO_REUSEADDR and starts listening. Throws on failure.
+  static ServerSocket listen_tcp(const std::string& host, int port,
+                                 int backlog = 16);
+
+  bool valid() const { return fd_ >= 0; }
+  /// The bound port (resolved after listen_tcp, also for port 0).
+  int port() const { return port_; }
+
+  /// Blocks until a client connects. Returns an invalid Socket when the
+  /// listener was close()d (the stop path) instead of throwing.
+  Socket accept();
+
+  /// Shuts the listener down and closes the fd; safe to call from a
+  /// thread other than the one blocked in accept().
+  void close();
+
+ private:
+  int fd_ = -1;
+  int port_ = 0;
+};
+
+}  // namespace plc::util
