@@ -21,17 +21,22 @@
 //             can make
 //   enabled   hub attached and scraped once per batch via the same
 //             renderer the HTTP endpoint serves
+//   observatory  registry plus a per-rep obs::Observatory capturing
+//             every station's backoff state at every slot epilogue —
+//             the heaviest opt-in plane, same < 5% budget
 //
 // Scalars:
-//   telemetry.disabled_overhead_pct   disabled vs baseline (~0 budget)
-//   telemetry.enabled_overhead_pct    enabled vs baseline  (< 5 budget)
-//   telemetry.tasks_per_second        enabled-side task throughput
+//   telemetry.disabled_overhead_pct     disabled vs baseline (~0 budget)
+//   telemetry.enabled_overhead_pct      enabled vs baseline  (< 5 budget)
+//   telemetry.observatory_overhead_pct  observatory vs baseline (< 5)
+//   telemetry.tasks_per_second          enabled-side task throughput
 #include <cstdio>
 #include <string>
 #include <vector>
 
 #include "bench_main.hpp"
 #include "obs/metrics.hpp"
+#include "obs/observatory.hpp"
 #include "obs/report.hpp"
 #include "obs/telemetry.hpp"
 #include "sim/parallel_runner.hpp"
@@ -76,11 +81,13 @@ int main() {
   sim::ParallelRunner runner;
 
   obs::Stopwatch wall;
+  bool batch_had_stations = false;
   const auto timed_batch = [&](const sim::RunObservability& obs) {
     obs::Stopwatch batch;
     const std::vector<sim::RunSummary> summaries =
         runner.run_points(specs, obs);
     harness.add_simulated_seconds(summaries.front().simulated.seconds());
+    batch_had_stations = summaries.front().stations.has_value();
     return batch.elapsed_seconds();
   };
   const auto keep_min = [](double& slot, double sample) {
@@ -90,12 +97,13 @@ int main() {
   double baseline_min = 0.0;
   double disabled_min = 0.0;
   double enabled_min = 0.0;
+  double observatory_min = 0.0;
   constexpr int kRounds = 20;  // 2 warmup + 18 measured per side.
   for (int round = 0; round < kRounds; ++round) {
     // Rotate the order so a frequency ramp inside a round cannot
     // systematically favor one side.
-    for (int step = 0; step < 3; ++step) {
-      const int side = (round + step) % 3;
+    for (int step = 0; step < 4; ++step) {
+      const int side = (round + step) % 4;
       if (side == 2) {
         obs::Registry registry;
         obs::TelemetryHub hub;
@@ -107,6 +115,15 @@ int main() {
         const std::string exposition = hub.openmetrics();
         if (exposition.empty()) return 1;  // Renderer always emits # EOF.
         if (round >= 2) keep_min(enabled_min, seconds);
+      } else if (side == 3) {
+        obs::Registry registry;
+        obs::ObservatoryOptions options;
+        sim::RunObservability obs;
+        obs.registry = &registry;
+        obs.observatory = &options;
+        const double seconds = timed_batch(obs);
+        if (!batch_had_stations) return 1;  // Capture must have run.
+        if (round >= 2) keep_min(observatory_min, seconds);
       } else {
         obs::Registry registry;
         sim::RunObservability obs;
@@ -127,18 +144,25 @@ int main() {
       baseline_min > 0.0
           ? 100.0 * (enabled_min - baseline_min) / baseline_min
           : 0.0;
+  const double observatory_pct =
+      baseline_min > 0.0
+          ? 100.0 * (observatory_min - baseline_min) / baseline_min
+          : 0.0;
   harness.scalar("telemetry.disabled_overhead_pct") = disabled_pct;
   harness.scalar("telemetry.enabled_overhead_pct") = enabled_pct;
+  harness.scalar("telemetry.observatory_overhead_pct") = observatory_pct;
   harness.scalar("telemetry.tasks_per_second") =
       enabled_min > 0.0 ? static_cast<double>(tasks) / enabled_min : 0.0;
 
   std::printf("telemetry overhead (min batch over %d measured rounds, "
               "%lld tasks/batch, %d workers)\n",
               kRounds - 2, static_cast<long long>(tasks), runner.jobs());
-  std::printf("  baseline  %8.2f ms\n", baseline_min * 1e3);
-  std::printf("  disabled  %8.2f ms  (%+.2f%% vs baseline)\n",
+  std::printf("  baseline     %8.2f ms\n", baseline_min * 1e3);
+  std::printf("  disabled     %8.2f ms  (%+.2f%% vs baseline)\n",
               disabled_min * 1e3, disabled_pct);
-  std::printf("  enabled   %8.2f ms  (%+.2f%% vs baseline)\n",
+  std::printf("  enabled      %8.2f ms  (%+.2f%% vs baseline)\n",
               enabled_min * 1e3, enabled_pct);
+  std::printf("  observatory  %8.2f ms  (%+.2f%% vs baseline)\n",
+              observatory_min * 1e3, observatory_pct);
   return harness.finish();
 }

@@ -49,11 +49,21 @@
 // additionally captures every phase enter/exit as a Chrome trace_event
 // flame chart. Options accept both "--key value" and "--key=value".
 //
+// MAC-state observatory (sim): --observatory attaches per-station
+// backoff analytics to the run — the report gains a "stations" section
+// ("plc-stations/1": per-stage attempt tallies, sliding-window Jain
+// fairness, inter-transmission stats, collision bursts) and a
+// window_jain_mean scalar. --obs-window W sets the fairness window
+// (successes, default 50). --stations-out FILE writes the recorded
+// backoff trajectory (BC/DC/BPC/stage per station, stride-downsampled)
+// as JSONL; it implies --observatory. Scenario runs opt in through the
+// spec's "observatory" object instead (e.g. e20-mac-observatory).
+//
 // Live telemetry (sim and scenario): --listen PORT serves /metrics
-// (OpenMetrics), /progress, /profile and /timeseries over HTTP on
-// 127.0.0.1 for the duration of the run (PORT 0 picks a free port;
-// the chosen URL is logged). Attaching the plane never changes run
-// output: reports stay byte-identical with and without --listen.
+// (OpenMetrics), /progress, /profile, /timeseries and /stations over
+// HTTP on 127.0.0.1 for the duration of the run (PORT 0 picks a free
+// port; the chosen URL is logged). Attaching the plane never changes
+// run output: reports stay byte-identical with and without --listen.
 // --timeseries=<file> writes the sampled series as JSONL afterwards;
 // sim runs also embed them under the report's "timeseries" key.
 // --flight-recorder[=DIR] arms the crash recorder: on SIGSEGV/SIGABRT/
@@ -87,6 +97,7 @@
 #include "obs/json.hpp"
 #include "obs/log.hpp"
 #include "obs/metrics.hpp"
+#include "obs/observatory.hpp"
 #include "obs/profiler.hpp"
 #include "obs/progress.hpp"
 #include "obs/report.hpp"
@@ -319,6 +330,18 @@ int cmd_sim(const Args& args) {
   }
   Telemetry telemetry = Telemetry::from(args);
   observability.telemetry = telemetry.hub.get();
+  // MAC-state observatory: --stations-out and --obs-window imply it.
+  obs::ObservatoryOptions observatory_options;
+  obs::ObservatorySummary stations_summary;
+  const std::string stations_path = args.get_string("stations-out", "");
+  const bool observatory_on = args.has("observatory") ||
+                              args.has("obs-window") ||
+                              !stations_path.empty();
+  if (observatory_on) {
+    observatory_options.fairness_window = args.get_int("obs-window", 50);
+    observability.observatory = &observatory_options;
+    observability.stations_sink = &stations_summary;
+  }
   // Scheduler spans only exist on the parallel path, and only when a
   // trace is being collected anyway (they change the trace contents, so
   // they stay off the serial-comparison path).
@@ -356,6 +379,22 @@ int cmd_sim(const Args& args) {
   std::printf("%.2fM medium events in %.2f s wall (%.1f sim-s/wall-s)\n",
               static_cast<double>(report.events) / 1e6, report.wall_seconds,
               report.sim_seconds_per_wall_second());
+  if (observatory_on) {
+    std::printf("observatory: window_jain(W=%d) mean=%.4f  "
+                "longest collision burst=%lld\n",
+                observatory_options.fairness_window,
+                stations_summary.window_jain.mean(),
+                static_cast<long long>(stations_summary.longest_burst));
+  }
+  if (!stations_path.empty()) {
+    write_file(stations_path, [&](std::ostream& out) {
+      stations_summary.write_trajectory_jsonl(out);
+    });
+    PLC_LOG_INFO("cli", "wrote station trajectory")
+        .str("path", stations_path)
+        .num("samples",
+             static_cast<double>(stations_summary.trajectory.size()));
+  }
 
   if (!trace_path.empty()) {
     write_file(trace_path,
@@ -820,6 +859,15 @@ int cmd_crash_test(const Args& args) {
   registry.counter("crash_test.events").add(3);
   obs::FlightRecorder::instance().attach_trace(&trace);
   obs::FlightRecorder::instance().attach_registry(&registry);
+  // A small observatory, so the dump's "stations" section (the backoff
+  // FSM tail) is exercised too.
+  obs::Observatory observatory(2, 4, obs::ObservatoryOptions{});
+  observatory.on_success(0, 1'000);
+  observatory.begin_sample(1'000);
+  observatory.record_state(3, 1, 0, 0);
+  observatory.record_state(5, 0, 1, 1);
+  observatory.advance_event();
+  obs::FlightRecorder::instance().attach_observatory(&observatory);
   obs::Profiler::set_enabled(true);
   PROF_SCOPE("crash_test");
 
@@ -858,6 +906,7 @@ int cmd_cache(const std::string& action, const Args& args) {
     if (args.has("json")) {
       obs::JsonWriter json(std::cout);
       json.begin_object();
+      json.field("schema", "plc-cache-stats/1");
       json.field("dir", dir);
       json.field("entries", usage.entries);
       json.field("bytes", usage.bytes);
@@ -881,6 +930,7 @@ int cmd_cache(const std::string& action, const Args& args) {
     if (args.has("json")) {
       obs::JsonWriter json(std::cout);
       json.begin_object();
+      json.field("schema", "plc-cache-verify/1");
       json.field("dir", dir);
       json.field("checked", result.checked);
       json.field("ok", result.ok);
@@ -911,6 +961,7 @@ int cmd_cache(const std::string& action, const Args& args) {
     if (args.has("json")) {
       obs::JsonWriter json(std::cout);
       json.begin_object();
+      json.field("schema", "plc-cache-gc/1");
       json.field("dir", dir);
       json.field("bytes_before", result.bytes_before);
       json.field("bytes_after", result.bytes_after);

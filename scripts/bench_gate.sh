@@ -53,6 +53,31 @@ for target in $TARGETS; do
   PLC_BENCH_DIR="$CANDIDATE_DIR" "$bin" > /dev/null
 done
 
+# Absolute telemetry budgets (independent of any baseline): the relative
+# benchdiff gate below only catches drift, so the hard ceilings from
+# bench_telemetry_overhead are enforced here on every run. Budgets:
+# disabled ~0% (3% noise allowance), enabled < 5%, observatory < 5%.
+TELEMETRY_REPORT="$CANDIDATE_DIR/BENCH_telemetry_overhead.json"
+if [ -f "$TELEMETRY_REPORT" ]; then
+  python3 - "$TELEMETRY_REPORT" <<'EOF'
+import json, sys
+scalars = json.load(open(sys.argv[1]))["scalars"]
+budgets = {
+    "telemetry.disabled_overhead_pct": 3.0,
+    "telemetry.enabled_overhead_pct": 5.0,
+    "telemetry.observatory_overhead_pct": 5.0,
+}
+failed = False
+for name, budget in budgets.items():
+    value = scalars[name]
+    ok = value < budget
+    print(f"bench_gate: {name} = {value:+.2f}% (budget < {budget:.0f}%)"
+          f"{'' if ok else '  FAIL'}")
+    failed |= not ok
+sys.exit(1 if failed else 0)
+EOF
+fi
+
 if [ ! -d "$BASELINE_DIR" ]; then
   echo "bench_gate: no baseline at '$BASELINE_DIR' — seeding it from this run"
   cp -r "$CANDIDATE_DIR" "$BASELINE_DIR"

@@ -1,0 +1,189 @@
+#!/usr/bin/env python3
+"""Validates MAC-observatory artifacts: /stations payloads and
+trajectory JSONL files.
+
+Two independent checks, both structural and deliberately strict so CI
+catches shape drift instead of downstream notebooks:
+
+  --stations FILE   a plc-stations/1 document (what `plcsim --listen`
+                    serves at /stations, or the "stations" section of a
+                    run report). Verifies the schema tag, that every
+                    point carries per-station rows matching its declared
+                    station count, that event totals reconcile with the
+                    per-stage table, and that the window-Jain mean sits
+                    inside [1/N - eps, 1 + eps] whenever samples exist.
+
+  --jsonl FILE      a trajectory dump (`plcsim sim --stations-out`).
+                    One JSON object per line with integer fields
+                    station/event/t_ns/bc/dc/bpc/stage; stations stay
+                    inside [0, N), counters stay non-negative, and the
+                    event column is non-decreasing.
+
+Usage:
+    check_stations.py --stations stations.json [--min-points K]
+    check_stations.py --jsonl trajectory.jsonl [--stations-count N]
+
+Exit code 0 when valid, 1 with a diagnostic on the first violation.
+"""
+
+import argparse
+import json
+import sys
+
+EPS = 1e-9
+JSONL_FIELDS = ("station", "event", "t_ns", "bc", "dc", "bpc", "stage")
+
+
+def fail(message):
+    print(f"check_stations: {message}", file=sys.stderr)
+    return 1
+
+
+def check_stats(path, stats):
+    if not isinstance(stats, dict):
+        return fail(f"{path}: expected a stats object")
+    for key in ("count", "mean", "stddev", "min", "max"):
+        if key not in stats:
+            return fail(f"{path}: missing stats field {key!r}")
+    if stats["count"] < 0:
+        return fail(f"{path}: negative count")
+    return 0
+
+
+def check_point(key, point):
+    path = f"points[{key!r}]"
+    for field in ("stations", "stages", "window", "repetitions",
+                  "events", "fairness", "collision_bursts",
+                  "per_stage", "per_station", "trajectory"):
+        if field not in point:
+            return fail(f"{path}: missing field {field!r}")
+    stations = point["stations"]
+    if not isinstance(stations, int) or stations < 1:
+        return fail(f"{path}: bad station count {stations!r}")
+    if len(point["per_station"]) != stations:
+        return fail(
+            f"{path}: per_station has {len(point['per_station'])} rows, "
+            f"declared {stations} stations")
+    if len(point["per_stage"]) != point["stages"]:
+        return fail(
+            f"{path}: per_stage has {len(point['per_stage'])} rows, "
+            f"declared {point['stages']} stages")
+
+    events = point["events"]
+    for kind in ("idle", "success", "collision"):
+        if events.get(kind, -1) < 0:
+            return fail(f"{path}: events.{kind} missing or negative")
+    stage_success = sum(row["tx_success"] for row in point["per_stage"])
+    if stage_success != events["success"]:
+        return fail(
+            f"{path}: per-stage tx_success sums to {stage_success}, "
+            f"events.success is {events['success']}")
+    station_success = sum(row["tx_success"]
+                          for row in point["per_station"])
+    if station_success != events["success"]:
+        return fail(
+            f"{path}: per-station tx_success sums to {station_success}, "
+            f"events.success is {events['success']}")
+
+    jain = point["fairness"].get("window_jain")
+    if check_stats(f"{path}.fairness.window_jain", jain):
+        return 1
+    if jain["count"] > 0:
+        lo, hi = 1.0 / stations - EPS, 1.0 + EPS
+        if not lo <= jain["mean"] <= hi:
+            return fail(
+                f"{path}: window_jain mean {jain['mean']} outside "
+                f"[{1.0 / stations}, 1]")
+    if check_stats(f"{path}.collision_bursts.length",
+                   point["collision_bursts"].get("length")):
+        return 1
+    if point["collision_bursts"].get("longest", -1) < 0:
+        return fail(f"{path}: collision_bursts.longest missing or negative")
+    trajectory = point["trajectory"]
+    for field in ("offered", "stride", "samples"):
+        if trajectory.get(field, -1) < 0:
+            return fail(f"{path}: trajectory.{field} missing or negative")
+    if trajectory["stride"] < 1:
+        return fail(f"{path}: trajectory stride must be >= 1")
+    if trajectory["samples"] > trajectory["offered"]:
+        return fail(f"{path}: more trajectory samples than offered events")
+    return 0
+
+
+def check_stations(text, min_points):
+    try:
+        doc = json.loads(text)
+    except json.JSONDecodeError as error:
+        return fail(f"stations payload is not JSON: {error}")
+    if doc.get("schema") != "plc-stations/1":
+        return fail(f"schema is {doc.get('schema')!r}, want plc-stations/1")
+    points = doc.get("points")
+    if not isinstance(points, dict):
+        return fail("missing 'points' object")
+    if len(points) < min_points:
+        return fail(f"{len(points)} points, required at least {min_points}")
+    for key, point in points.items():
+        if check_point(key, point):
+            return 1
+    print(f"check_stations: stations OK ({len(points)} points)")
+    return 0
+
+
+def check_jsonl(text, stations_count):
+    last_event = {}
+    lines = 0
+    for i, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        lines += 1
+        try:
+            row = json.loads(line)
+        except json.JSONDecodeError as error:
+            return fail(f"line {i}: not JSON: {error}")
+        for field in JSONL_FIELDS:
+            if field not in row:
+                return fail(f"line {i}: missing field {field!r}")
+            if not isinstance(row[field], int):
+                return fail(f"line {i}: field {field!r} is not an integer")
+            if row[field] < 0:
+                return fail(f"line {i}: field {field!r} is negative")
+        station = row["station"]
+        if stations_count is not None and station >= stations_count:
+            return fail(
+                f"line {i}: station {station} outside [0, {stations_count})")
+        if row["event"] < last_event.get(station, 0):
+            return fail(f"line {i}: event column went backwards for "
+                        f"station {station}")
+        last_event[station] = row["event"]
+    if lines == 0:
+        return fail("trajectory JSONL is empty")
+    print(f"check_stations: trajectory OK ({lines} rows, "
+          f"{len(last_event)} stations)")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--stations", metavar="FILE",
+                        help="plc-stations/1 JSON document")
+    parser.add_argument("--min-points", type=int, default=1,
+                        help="minimum point count in --stations mode")
+    parser.add_argument("--jsonl", metavar="FILE",
+                        help="trajectory JSONL dump")
+    parser.add_argument("--stations-count", type=int, default=None,
+                        help="expected station count in --jsonl mode")
+    args = parser.parse_args()
+    if not args.stations and not args.jsonl:
+        parser.error("need --stations and/or --jsonl")
+    status = 0
+    if args.stations:
+        with open(args.stations, "r", encoding="utf-8") as handle:
+            status |= check_stations(handle.read(), args.min_points)
+    if args.jsonl:
+        with open(args.jsonl, "r", encoding="utf-8") as handle:
+            status |= check_jsonl(handle.read(), args.stations_count)
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())

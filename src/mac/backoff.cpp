@@ -1,5 +1,6 @@
 #include "mac/backoff.hpp"
 
+#include <algorithm>
 #include <utility>
 
 #include "util/error.hpp"
@@ -28,12 +29,17 @@ void Backoff1901::redraw() {
 void Backoff1901::on_idle_slot() {
   util::require(bc_ > 0,
                 "Backoff1901::on_idle_slot: entity was ready to transmit");
+  if (tally_) ++tally_->idle[static_cast<std::size_t>(stage_)];
   --bc_;
 }
 
 void Backoff1901::on_busy(bool transmitted, bool success) {
   if (transmitted) {
     util::require(bc_ == 0, "Backoff1901::on_busy: transmitted with BC != 0");
+    if (tally_) {
+      auto& rows = success ? tally_->tx_success : tally_->tx_collision;
+      ++rows[static_cast<std::size_t>(stage_)];
+    }
     if (success) {
       bpc_ = 0;  // The next redraw restarts from stage 0.
     }
@@ -44,9 +50,11 @@ void Backoff1901::on_busy(bool transmitted, bool success) {
   if (dc_ == 0) {
     // Deferral counter expired: jump to the next backoff stage without
     // attempting a transmission.
+    if (tally_) ++tally_->jumps[static_cast<std::size_t>(stage_)];
     redraw();
     return;
   }
+  if (tally_) ++tally_->defers[static_cast<std::size_t>(stage_)];
   --dc_;
   --bc_;
 }
@@ -71,18 +79,37 @@ void BackoffDcf::redraw() {
   bc_ = rng_.draw_backoff(cw_);
 }
 
+int BackoffDcf::stage_count() const {
+  int stages = 1;
+  for (int cw = cw_min_; cw < cw_max_; cw = std::min(cw * 2, cw_max_)) {
+    ++stages;
+  }
+  return stages;
+}
+
+std::size_t BackoffDcf::tally_stage() const {
+  return std::min(static_cast<std::size_t>(retries_), tally_->stages() - 1);
+}
+
 void BackoffDcf::on_idle_slot() {
   util::require(bc_ > 0,
                 "BackoffDcf::on_idle_slot: entity was ready to transmit");
+  if (tally_) ++tally_->idle[tally_stage()];
   --bc_;
 }
 
 void BackoffDcf::on_busy(bool transmitted, bool success) {
   if (!transmitted) {
-    // 802.11 freezes the backoff counter during busy periods.
+    // 802.11 freezes the backoff counter during busy periods: the frozen
+    // event still counts as a defer for the observatory.
+    if (tally_) ++tally_->defers[tally_stage()];
     return;
   }
   util::require(bc_ == 0, "BackoffDcf::on_busy: transmitted with BC != 0");
+  if (tally_) {
+    auto& rows = success ? tally_->tx_success : tally_->tx_collision;
+    ++rows[tally_stage()];
+  }
   if (success) {
     retries_ = 0;
   } else {

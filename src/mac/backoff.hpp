@@ -18,12 +18,40 @@
 // uniformly from {0, ..., CW-1}.
 #pragma once
 
+#include <cstdint>
 #include <memory>
+#include <vector>
 
 #include "des/random.hpp"
 #include "mac/config.hpp"
 
 namespace plc::mac {
+
+/// Per-stage transition tallies for one backoff entity — the raw material
+/// of the observatory's drift estimation (empirical per-stage transition
+/// frequencies vs. the decoupled model's predictions).
+///
+/// Every counter is indexed by the stage *in force when the event fired*
+/// (clamped to `stages() - 1` for entities whose stage index is unbounded,
+/// e.g. DCF retries past the CW saturation point). Counting is branch-guarded
+/// on a nullable pointer in the entity, so a detached entity pays one
+/// predicted-not-taken branch per event and nothing else.
+struct BackoffTally {
+  std::vector<std::int64_t> idle;          ///< idle slots counted down
+  std::vector<std::int64_t> defers;        ///< busy sensed, BC survived (1901: DC>0; DCF: frozen)
+  std::vector<std::int64_t> jumps;         ///< busy sensed with DC == 0 -> stage jump (1901 only)
+  std::vector<std::int64_t> tx_success;    ///< own transmission succeeded
+  std::vector<std::int64_t> tx_collision;  ///< own transmission collided
+
+  void resize(std::size_t stages) {
+    idle.assign(stages, 0);
+    defers.assign(stages, 0);
+    jumps.assign(stages, 0);
+    tx_success.assign(stages, 0);
+    tx_collision.assign(stages, 0);
+  }
+  std::size_t stages() const { return idle.size(); }
+};
 
 /// Abstract CSMA/CA counter machine, driven by medium events.
 ///
@@ -55,6 +83,19 @@ class BackoffEntity {
   virtual int backoff_procedure_counter() const = 0;
   virtual int contention_window() const = 0;
   virtual int stage() const = 0;
+
+  /// Number of distinct backoff stages the entity can occupy — the tally
+  /// vector length the observatory should allocate. Entities with an
+  /// unbounded stage index (DCF retries) report the count of distinct
+  /// (CW) parameterizations and clamp tally indices to the last one.
+  virtual int stage_count() const = 0;
+
+  /// Attaches (or detaches, with nullptr) a transition tally. The caller
+  /// owns the tally and must size it to at least stage_count() entries.
+  void bind_tally(BackoffTally* tally) { tally_ = tally; }
+
+ protected:
+  BackoffTally* tally_ = nullptr;
 };
 
 /// The 1901 deferral-counter entity (Table 1 semantics).
@@ -75,6 +116,7 @@ class Backoff1901 final : public BackoffEntity {
   int contention_window() const override { return cw_; }
   /// The stage whose (CW, d) parameters are currently in force.
   int stage() const override { return stage_; }
+  int stage_count() const override { return static_cast<int>(config_.cw.size()); }
 
   const BackoffConfig& config() const { return config_; }
 
@@ -112,9 +154,12 @@ class BackoffDcf final : public BackoffEntity {
   int backoff_procedure_counter() const override { return retries_; }
   int contention_window() const override { return cw_; }
   int stage() const override { return retries_; }
+  int stage_count() const override;
 
  private:
   void redraw();
+  /// Tally row for the current retry count (clamped to the saturated CW).
+  std::size_t tally_stage() const;
 
   int cw_min_;
   int cw_max_;

@@ -120,6 +120,10 @@ std::string ExpositionServer::handle_request(
     return http_response(200, "OK", "application/json",
                          hub_.timeseries_json() + "\n");
   }
+  if (path == "/stations") {
+    return http_response(200, "OK", "application/json",
+                         hub_.stations_json() + "\n");
+  }
   if (path == "/healthz") {
     return http_response(200, "OK", "text/plain; charset=utf-8", "ok\n");
   }
@@ -130,6 +134,7 @@ std::string ExpositionServer::handle_request(
                          "  /progress    sweep progress (JSON)\n"
                          "  /profile     profiler tree (JSON)\n"
                          "  /timeseries  sampled series (JSON)\n"
+                         "  /stations    MAC observatory view (JSON)\n"
                          "  /healthz     liveness probe\n");
   }
   return error_response(404, "Not Found", "no such endpoint: " + path);

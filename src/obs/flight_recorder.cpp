@@ -9,6 +9,7 @@
 
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
+#include "obs/observatory.hpp"
 #include "obs/profiler.hpp"
 #include "obs/telemetry.hpp"
 #include "obs/trace.hpp"
@@ -104,6 +105,7 @@ void FlightRecorder::disarm() {
   trace_ = nullptr;
   registry_ = nullptr;
   hub_ = nullptr;
+  observatory_ = nullptr;
 }
 
 std::string FlightRecorder::dump_path() const {
@@ -167,6 +169,14 @@ std::string FlightRecorder::render(const std::string& reason) const {
   if (have_metrics) {
     json.key("metrics");
     snapshot.write_into(json);
+  }
+
+  if (observatory_ != nullptr) {
+    // Same honesty budget as the registry read: the observatory belongs
+    // to the (crashed) simulation thread, so the read is unsynchronized
+    // — a torn FSM tail beats none.
+    json.key("stations");
+    observatory_->write_flight_section(json, /*tail=*/16);
   }
 
   if (trace_ != nullptr) {

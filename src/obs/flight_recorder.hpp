@@ -32,6 +32,7 @@
 
 namespace plc::obs {
 
+class Observatory;
 class Registry;
 class TelemetryHub;
 class TraceSink;
@@ -59,6 +60,13 @@ class FlightRecorder {
   void attach_trace(const TraceSink* trace) { trace_ = trace; }
   void attach_registry(const Registry* registry) { registry_ = registry; }
   void attach_hub(TelemetryHub* hub) { hub_ = hub; }
+  /// When a MAC observatory is live, dumps carry each station's backoff
+  /// FSM tail (the "stations" section) — what every station was doing
+  /// right before the crash. Runners attach per repetition and detach
+  /// before the observatory goes out of scope.
+  void attach_observatory(const Observatory* observatory) {
+    observatory_ = observatory;
+  }
 
   /// Writes the dump now (also used by the crash path) and returns its
   /// path; "" when a dump was already written (first crash wins).
@@ -78,6 +86,7 @@ class FlightRecorder {
   const TraceSink* trace_ = nullptr;
   const Registry* registry_ = nullptr;
   TelemetryHub* hub_ = nullptr;
+  const Observatory* observatory_ = nullptr;
 };
 
 }  // namespace plc::obs

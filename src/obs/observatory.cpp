@@ -1,0 +1,360 @@
+#include "obs/observatory.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <sstream>
+#include <utility>
+
+#include "obs/json.hpp"
+#include "util/error.hpp"
+#include "util/math.hpp"
+
+namespace plc::obs {
+
+void LogHistogram::merge(const LogHistogram& other) {
+  for (std::size_t i = 0; i < kBuckets; ++i) buckets[i] += other.buckets[i];
+}
+
+std::size_t LogHistogram::used() const {
+  std::size_t used = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    if (buckets[i] != 0) used = i + 1;
+  }
+  return used;
+}
+
+double ObservatorySummary::StageAgg::attempt_freq() const {
+  const double attempts = static_cast<double>(tx_success + tx_collision);
+  const double visits = attempts + static_cast<double>(jumps);
+  return visits > 0.0 ? attempts / visits : 0.0;
+}
+
+Observatory::Observatory(int station_count, int stage_count,
+                         ObservatoryOptions options)
+    : station_count_(station_count),
+      stage_count_(stage_count),
+      options_(options) {
+  util::check_arg(station_count >= 1, "station_count", "must be >= 1");
+  util::check_arg(stage_count >= 1, "stage_count", "must be >= 1");
+  util::check_arg(options_.fairness_window >= 1, "fairness_window",
+                  "must be >= 1");
+  if (options_.trajectory_capacity == 1) options_.trajectory_capacity = 2;
+  const auto n = static_cast<std::size_t>(station_count_);
+  window_counts_.assign(n, 0.0);
+  window_ring_.assign(static_cast<std::size_t>(options_.fairness_window), 0);
+  last_success_event_.assign(n, -1);
+  last_success_ns_.assign(n, 0);
+  intertx_seconds_.resize(n);
+  intertx_successes_.resize(n);
+  station_agg_.resize(n);
+  stage_agg_.resize(static_cast<std::size_t>(stage_count_));
+  // +1: compaction triggers when size *exceeds* the capacity.
+  samples_.reserve(options_.trajectory_capacity + 1);
+}
+
+void Observatory::flush_burst() {
+  if (current_burst_ == 0) return;
+  collision_burst_.add(static_cast<double>(current_burst_));
+  burst_hist_.add(current_burst_);
+  longest_burst_ = std::max(longest_burst_, current_burst_);
+  current_burst_ = 0;
+}
+
+void Observatory::begin_sample(std::int64_t t_ns) {
+  TrajectorySample sample;
+  sample.event = events_;
+  sample.t_ns = t_ns;
+  if (!spare_states_.empty()) {
+    // Recycle a state vector dropped by the last compaction: in steady
+    // state the sampler allocates nothing.
+    sample.states = std::move(spare_states_.back());
+    spare_states_.pop_back();
+    sample.states.clear();
+  } else {
+    sample.states.reserve(static_cast<std::size_t>(station_count_));
+  }
+  samples_.push_back(std::move(sample));
+}
+
+void Observatory::compact_samples() {
+  // Stride doubling, like obs::TimeSeries: keep every other retained
+  // sample (the even multiples of the old stride), double the stride.
+  // Dropped samples donate their state vectors to the recycling pool.
+  for (std::size_t i = 1; i < samples_.size(); i += 2) {
+    spare_states_.push_back(std::move(samples_[i].states));
+  }
+  std::size_t kept = 0;
+  for (std::size_t i = 0; i < samples_.size(); i += 2) {
+    if (kept != i) samples_[kept] = std::move(samples_[i]);
+    ++kept;
+  }
+  samples_.resize(kept);
+  stride_ *= 2;
+}
+
+void Observatory::ingest_tally(int station, const std::int64_t* idle,
+                               const std::int64_t* defers,
+                               const std::int64_t* jumps,
+                               const std::int64_t* tx_success,
+                               const std::int64_t* tx_collision,
+                               std::size_t stages) {
+  util::require(station >= 0 && station < station_count_,
+                "Observatory::ingest_tally: station id out of range");
+  util::require(stages <= static_cast<std::size_t>(stage_count_),
+                "Observatory::ingest_tally: more stages than allocated");
+  auto& agg = station_agg_[static_cast<std::size_t>(station)];
+  for (std::size_t s = 0; s < stages; ++s) {
+    agg.tx_success += tx_success[s];
+    agg.tx_collision += tx_collision[s];
+    agg.defers += defers[s];
+    agg.jumps += jumps[s];
+    auto& row = stage_agg_[s];
+    row.idle += idle[s];
+    row.defers += defers[s];
+    row.jumps += jumps[s];
+    row.tx_success += tx_success[s];
+    row.tx_collision += tx_collision[s];
+  }
+}
+
+ObservatorySummary Observatory::summarize() {
+  flush_burst();
+  ObservatorySummary summary;
+  summary.stations = station_count_;
+  summary.stages = stage_count_;
+  summary.fairness_window = options_.fairness_window;
+  summary.repetitions = 1;
+  summary.idle_events = events_ - success_events_ - collision_events_;
+  summary.success_events = success_events_;
+  summary.collision_events = collision_events_;
+  summary.per_station = station_agg_;
+  for (std::size_t i = 0; i < station_agg_.size(); ++i) {
+    summary.per_station[i].intertx_seconds = intertx_seconds_[i];
+    summary.per_station[i].intertx_successes = intertx_successes_[i];
+  }
+  summary.per_stage = stage_agg_;
+  summary.window_jain = window_jain_;
+  summary.collision_burst = collision_burst_;
+  summary.burst_hist = burst_hist_;
+  summary.longest_burst = longest_burst_;
+  summary.trajectory = std::move(samples_);
+  samples_.clear();
+  summary.trajectory_offered = events_;
+  summary.trajectory_stride = stride_;
+  return summary;
+}
+
+void ObservatorySummary::merge(const ObservatorySummary& other) {
+  if (repetitions == 0) {
+    *this = other;
+    return;
+  }
+  util::require(stations == other.stations && stages == other.stages &&
+                    fairness_window == other.fairness_window,
+                "ObservatorySummary::merge: mismatched dimensions");
+  repetitions += other.repetitions;
+  idle_events += other.idle_events;
+  success_events += other.success_events;
+  collision_events += other.collision_events;
+  for (std::size_t i = 0; i < per_station.size(); ++i) {
+    auto& mine = per_station[i];
+    const auto& theirs = other.per_station[i];
+    mine.tx_success += theirs.tx_success;
+    mine.tx_collision += theirs.tx_collision;
+    mine.defers += theirs.defers;
+    mine.jumps += theirs.jumps;
+    mine.intertx_seconds.merge(theirs.intertx_seconds);
+    mine.intertx_successes.merge(theirs.intertx_successes);
+  }
+  for (std::size_t s = 0; s < per_stage.size(); ++s) {
+    auto& mine = per_stage[s];
+    const auto& theirs = other.per_stage[s];
+    mine.idle += theirs.idle;
+    mine.defers += theirs.defers;
+    mine.jumps += theirs.jumps;
+    mine.tx_success += theirs.tx_success;
+    mine.tx_collision += theirs.tx_collision;
+  }
+  window_jain.merge(other.window_jain);
+  collision_burst.merge(other.collision_burst);
+  burst_hist.merge(other.burst_hist);
+  longest_burst = std::max(longest_burst, other.longest_burst);
+  if (trajectory.empty() && !other.trajectory.empty()) {
+    trajectory = other.trajectory;
+    trajectory_offered = other.trajectory_offered;
+    trajectory_stride = other.trajectory_stride;
+  }
+}
+
+void ObservatorySummary::merge(ObservatorySummary&& other) {
+  // Steal the trajectory before the copying merge sees it: per-task
+  // summaries are disposable, and the sample vectors are the only
+  // expensive payload (everything else is flat arithmetic).
+  if (trajectory.empty() && !other.trajectory.empty() && repetitions > 0) {
+    trajectory = std::move(other.trajectory);
+    trajectory_offered = other.trajectory_offered;
+    trajectory_stride = other.trajectory_stride;
+    other.trajectory.clear();
+  } else if (repetitions == 0) {
+    *this = std::move(other);
+    return;
+  }
+  merge(static_cast<const ObservatorySummary&>(other));
+}
+
+namespace {
+
+void write_stats(JsonWriter& writer, std::string_view key,
+                 const util::RunningStats& stats) {
+  writer.key(key).begin_object();
+  writer.field("count", stats.count());
+  writer.field("mean", stats.mean());
+  writer.field("stddev", stats.stddev());
+  writer.field("min", stats.min());
+  writer.field("max", stats.max());
+  writer.end_object();
+}
+
+void write_hist(JsonWriter& writer, std::string_view key,
+                const LogHistogram& hist) {
+  writer.key(key).begin_array();
+  for (std::size_t i = 0; i < hist.used(); ++i) {
+    writer.value(hist.buckets[i]);
+  }
+  writer.end_array();
+}
+
+}  // namespace
+
+void ObservatorySummary::write_into(JsonWriter& writer) const {
+  writer.begin_object();
+  writer.field("stations", stations);
+  writer.field("stages", stages);
+  writer.field("window", fairness_window);
+  writer.field("repetitions", repetitions);
+  writer.key("events").begin_object();
+  writer.field("idle", idle_events);
+  writer.field("success", success_events);
+  writer.field("collision", collision_events);
+  writer.end_object();
+  writer.key("fairness").begin_object();
+  write_stats(writer, "window_jain", window_jain);
+  writer.end_object();
+  writer.key("collision_bursts").begin_object();
+  write_stats(writer, "length", collision_burst);
+  writer.field("longest", longest_burst);
+  write_hist(writer, "hist", burst_hist);
+  writer.end_object();
+  writer.key("per_stage").begin_array();
+  for (const auto& row : per_stage) {
+    writer.begin_object();
+    writer.field("idle", row.idle);
+    writer.field("defers", row.defers);
+    writer.field("jumps", row.jumps);
+    writer.field("tx_success", row.tx_success);
+    writer.field("tx_collision", row.tx_collision);
+    writer.field("attempt_freq", row.attempt_freq());
+    writer.end_object();
+  }
+  writer.end_array();
+  writer.key("per_station").begin_array();
+  for (const auto& agg : per_station) {
+    writer.begin_object();
+    writer.field("tx_success", agg.tx_success);
+    writer.field("tx_collision", agg.tx_collision);
+    writer.field("defers", agg.defers);
+    writer.field("jumps", agg.jumps);
+    write_stats(writer, "intertx_seconds", agg.intertx_seconds);
+    write_hist(writer, "intertx_hist", agg.intertx_successes);
+    writer.end_object();
+  }
+  writer.end_array();
+  writer.key("trajectory").begin_object();
+  writer.field("offered", trajectory_offered);
+  writer.field("stride", trajectory_stride);
+  writer.field("samples", static_cast<std::int64_t>(trajectory.size()));
+  writer.end_object();
+  writer.end_object();
+}
+
+void ObservatorySummary::write_trajectory_jsonl(std::ostream& out) const {
+  for (const auto& sample : trajectory) {
+    for (std::size_t i = 0; i < sample.states.size(); ++i) {
+      const auto& state = sample.states[i];
+      JsonWriter writer(out);
+      writer.begin_object();
+      writer.field("station", static_cast<std::int64_t>(i));
+      writer.field("event", sample.event);
+      writer.field("t_ns", sample.t_ns);
+      writer.field("bc", static_cast<std::int64_t>(state.bc));
+      writer.field("dc", static_cast<std::int64_t>(state.dc));
+      writer.field("bpc", static_cast<std::int64_t>(state.bpc));
+      writer.field("stage", static_cast<std::int64_t>(state.stage));
+      writer.end_object();
+      out << '\n';
+    }
+  }
+}
+
+std::string stations_section_json(
+    const std::vector<std::pair<std::string, const ObservatorySummary*>>&
+        points) {
+  std::ostringstream out;
+  JsonWriter writer(out);
+  writer.begin_object();
+  writer.field("schema", "plc-stations/1");
+  writer.key("points").begin_object();
+  for (const auto& [key, summary] : points) {
+    writer.key(key);
+    summary->write_into(writer);
+  }
+  writer.end_object();
+  writer.end_object();
+  return out.str();
+}
+
+void Observatory::write_flight_section(JsonWriter& writer,
+                                       std::size_t tail) const {
+  writer.begin_object();
+  writer.field("stations", station_count_);
+  writer.field("events", events_);
+  writer.key("last").begin_array();
+  if (!samples_.empty()) {
+    const auto& last = samples_.back();
+    for (std::size_t i = 0; i < last.states.size(); ++i) {
+      const auto& state = last.states[i];
+      writer.begin_object();
+      writer.field("station", static_cast<std::int64_t>(i));
+      writer.field("bc", static_cast<std::int64_t>(state.bc));
+      writer.field("dc", static_cast<std::int64_t>(state.dc));
+      writer.field("bpc", static_cast<std::int64_t>(state.bpc));
+      writer.field("stage", static_cast<std::int64_t>(state.stage));
+      writer.end_object();
+    }
+  }
+  writer.end_array();
+  const std::size_t first =
+      samples_.size() > tail ? samples_.size() - tail : 0;
+  writer.key("tail").begin_array();
+  for (std::size_t s = first; s < samples_.size(); ++s) {
+    const auto& sample = samples_[s];
+    writer.begin_object();
+    writer.field("event", sample.event);
+    writer.field("t_ns", sample.t_ns);
+    writer.key("states").begin_array();
+    for (const auto& state : sample.states) {
+      writer.begin_array();
+      writer.value(static_cast<std::int64_t>(state.bc));
+      writer.value(static_cast<std::int64_t>(state.dc));
+      writer.value(static_cast<std::int64_t>(state.bpc));
+      writer.value(static_cast<std::int64_t>(state.stage));
+      writer.end_array();
+    }
+    writer.end_array();
+    writer.end_object();
+  }
+  writer.end_array();
+  writer.end_object();
+}
+
+}  // namespace plc::obs

@@ -1,0 +1,328 @@
+// The MAC-state observatory: opt-in per-station capture of the backoff
+// FSM (BC/DC/BPC, stage, defer/jump/collision events) and online
+// reduction into the paper-grounded analytics that aggregate throughput
+// numbers hide.
+//
+// The paper's §3 argument is about *coupled per-station dynamics*: the
+// deferral counter couples stations, producing drift away from the
+// decoupled fixed point and short-term unfairness (Figure 1's
+// winner-keeps-the-channel mechanism). The simulator computes these
+// dynamics every slot; the observatory is the layer that keeps them.
+//
+// One `Observatory` instance records exactly one repetition (it is
+// single-threaded and owned by the driving simulator's thread). At the
+// end of a rep it is reduced to an `ObservatorySummary` — a plain,
+// exactly-mergeable value — and merged into the per-point summary *in
+// repetition order* on both the serial and the parallel runner, which is
+// what makes the "stations" report section byte-identical for any
+// --jobs.
+//
+// Cost model (the bench_telemetry_overhead budget): detached, the only
+// trace is one null-pointer branch per entity event (tally hook) and one
+// per medium event (simulator hook) — ~0%. Attached, the idle path is
+// free (idle counts are derived from the event index at summarize time),
+// collisions cost two increments, and each *success* pays a constant
+// handful of flops: two Welford updates plus the O(1) exact incremental
+// window-Jain (see on_success). Successes are a small fraction of
+// events, so the whole plane stays under the gated 5%.
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <bit>
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "util/stats.hpp"
+
+namespace plc::obs {
+
+class JsonWriter;
+
+/// Knobs for one observatory-enabled run.
+struct ObservatoryOptions {
+  /// Sliding-window width (in successes) for the short-term Jain index.
+  /// Matches `metrics::sliding_window_jain` semantics exactly.
+  int fairness_window = 50;
+  /// Trajectory ring capacity (sampled events kept per repetition, with
+  /// TimeSeries-style stride doubling). 0 disables trajectory capture.
+  std::size_t trajectory_capacity = 256;
+};
+
+/// Log2-bucketed int64 histogram: bucket i holds values in [2^i, 2^(i+1))
+/// (value 0 lands in bucket 0). Exactly mergeable by element addition.
+struct LogHistogram {
+  static constexpr std::size_t kBuckets = 32;
+  std::array<std::int64_t, kBuckets> buckets{};
+
+  // Inline: add() sits on the observatory's per-success hot path.
+  void add(std::int64_t value) {
+    std::size_t index = 0;
+    if (value > 0) {
+      index = std::min<std::size_t>(
+          std::bit_width(static_cast<std::uint64_t>(value)) - 1, kBuckets - 1);
+    }
+    ++buckets[index];
+  }
+  void merge(const LogHistogram& other);
+  /// Index of the last non-zero bucket + 1 (0 when empty).
+  std::size_t used() const;
+};
+
+/// One per-station FSM state snapshot inside a trajectory sample.
+struct StationState {
+  std::int32_t bc = 0;
+  std::int32_t dc = 0;
+  std::int32_t bpc = 0;
+  std::int32_t stage = 0;
+};
+
+/// One retained trajectory point: the post-event state of every station.
+struct TrajectorySample {
+  std::int64_t event = 0;  ///< Medium-event index within the repetition.
+  std::int64_t t_ns = 0;   ///< Simulated time at the event boundary.
+  std::vector<StationState> states;
+};
+
+class Observatory;
+
+/// The exactly-mergeable reduction of one or more repetitions. Plain
+/// data; merge() performs the same arithmetic in the same order on every
+/// runner, so merged summaries are byte-identical across --jobs.
+struct ObservatorySummary {
+  struct StationAgg {
+    std::int64_t tx_success = 0;
+    std::int64_t tx_collision = 0;
+    std::int64_t defers = 0;
+    std::int64_t jumps = 0;
+    util::RunningStats intertx_seconds;  ///< Gaps between own successes.
+    LogHistogram intertx_successes;      ///< Same gaps in network successes.
+  };
+  struct StageAgg {
+    std::int64_t idle = 0;
+    std::int64_t defers = 0;
+    std::int64_t jumps = 0;
+    std::int64_t tx_success = 0;
+    std::int64_t tx_collision = 0;
+    /// Empirical per-visit attempt probability: a stage visit ends in an
+    /// attempt or a DC-expiry jump, so x̂ = attempts / (attempts + jumps).
+    double attempt_freq() const;
+  };
+
+  int stations = 0;
+  int stages = 0;
+  int fairness_window = 0;
+  std::int64_t repetitions = 0;  ///< Observatories merged in.
+
+  std::int64_t idle_events = 0;
+  std::int64_t success_events = 0;
+  std::int64_t collision_events = 0;
+
+  std::vector<StationAgg> per_station;
+  std::vector<StageAgg> per_stage;
+
+  util::RunningStats window_jain;      ///< Over all sliding windows.
+  util::RunningStats collision_burst;  ///< Lengths of collision runs.
+  LogHistogram burst_hist;
+  std::int64_t longest_burst = 0;
+
+  /// Rep-0 trajectory (first merged summary that carries one wins —
+  /// mirrors the "trace records repetition 0 only" convention).
+  std::vector<TrajectorySample> trajectory;
+  std::int64_t trajectory_offered = 0;
+  std::int64_t trajectory_stride = 1;
+
+  /// Merges `other` into this summary. The first merge into an empty
+  /// summary adopts its dimensions; later merges require matching ones.
+  void merge(const ObservatorySummary& other);
+  /// Same reduction, but steals `other`'s trajectory instead of copying
+  /// it — the runners' per-task path (summaries are use-once there).
+  void merge(ObservatorySummary&& other);
+
+  /// Writes the summary body as one JSON object.
+  void write_into(JsonWriter& writer) const;
+
+  /// Trajectory export: one JSON line per (sample, station) with fields
+  /// station, event, t_ns, bc, dc, bpc, stage.
+  void write_trajectory_jsonl(std::ostream& out) const;
+};
+
+/// Builds the `"stations"` report section: a `plc-stations/1` document
+/// mapping point keys to summary bodies.
+std::string stations_section_json(
+    const std::vector<std::pair<std::string, const ObservatorySummary*>>&
+        points);
+
+/// Per-repetition recorder. The driving simulator feeds it one call per
+/// medium event plus the end-of-run tally fold; `summarize()` finalizes
+/// open accumulations and reduces to a mergeable summary.
+class Observatory {
+ public:
+  Observatory(int station_count, int stage_count, ObservatoryOptions options);
+
+  int station_count() const { return station_count_; }
+  int stage_count() const { return stage_count_; }
+  const ObservatoryOptions& options() const { return options_; }
+
+  // --- per-event hooks (called by the simulator's step epilogue) ---
+  // Inline on purpose: the attached budget is a few ns per medium event
+  // (see the cost model above), so the per-event hooks must compile to a
+  // handful of increments at the call site, with the rare work (burst
+  // closure, ring compaction) behind predicted-not-taken branches.
+  /// Compiles to nothing: idle counts are derived in summarize() from
+  /// the event index, and collision bursts close lazily at the start of
+  /// the next burst (same add order as closing on the idle event).
+  void on_idle() {}
+  /// Precondition: 0 <= winner < station_count(). Not re-checked here —
+  /// the driving simulator owns the station ids, and a per-success check
+  /// would spend part of the bench-gated budget re-validating them.
+  void on_success(int winner, std::int64_t t_ns) {
+    const std::int64_t k = success_events_;  // 0-based success index.
+    ++success_events_;
+
+    const auto w = static_cast<std::size_t>(winner);
+    if (last_success_event_[w] >= 0) {
+      intertx_seconds_[w].add(
+          static_cast<double>(t_ns - last_success_ns_[w]) * 1e-9);
+      intertx_successes_[w].add(k - last_success_event_[w]);
+    }
+    last_success_event_[w] = k;
+    last_success_ns_[w] = t_ns;
+
+    // Sliding-window Jain, bitwise-equal to metrics::sliding_window_jain
+    // on the same winner stream — in O(1) per success instead of O(N):
+    // the window counts are small integers, so every addition and square
+    // in a full jain_index() re-summation is exact double arithmetic, and
+    // maintaining the sum of squares incrementally yields the same bits.
+    // (The window sum is always exactly `window` once the window fills.)
+    const auto window = static_cast<std::int64_t>(options_.fairness_window);
+    const auto slot = static_cast<std::size_t>(ring_pos_);
+    if (++ring_pos_ == options_.fairness_window) ring_pos_ = 0;
+    window_sum_sq_ += 2.0 * window_counts_[w] + 1.0;
+    window_counts_[w] += 1.0;
+    if (k >= window) {
+      double& departing =
+          window_counts_[static_cast<std::size_t>(window_ring_[slot])];
+      window_sum_sq_ -= 2.0 * departing - 1.0;
+      departing -= 1.0;
+      window_jain_.add(window_jain_value());
+    } else if (k == window - 1) {
+      window_jain_.add(window_jain_value());
+    }
+    window_ring_[slot] = winner;
+  }
+  void on_collision(int transmitter_count) {
+    (void)transmitter_count;
+    ++collision_events_;
+    // A new burst starts here if the previous event was not a collision;
+    // close the old one first (lazily, preserving the eager add order).
+    if (current_burst_ != 0 && last_collision_event_ + 1 != events_) {
+      flush_burst();
+    }
+    ++current_burst_;
+    last_collision_event_ = events_;
+  }
+
+  // --- trajectory sampling (post-event state) ---
+  /// True when the current event index is retained by the stride filter.
+  /// stride_ stays a power of two, so the filter is a mask, not a divide.
+  bool sample_due() const {
+    return options_.trajectory_capacity > 0 &&
+           (events_ & (stride_ - 1)) == 0;
+  }
+  void begin_sample(std::int64_t t_ns);
+  void record_state(int bc, int dc, int bpc, int stage) {
+    samples_.back().states.push_back(StationState{
+        static_cast<std::int32_t>(bc), static_cast<std::int32_t>(dc),
+        static_cast<std::int32_t>(bpc), static_cast<std::int32_t>(stage)});
+  }
+  /// Advances the event index; call exactly once per medium event, after
+  /// the optional begin_sample()/record_state() calls.
+  void advance_event() {
+    ++events_;
+    if (samples_.size() > options_.trajectory_capacity) compact_samples();
+  }
+
+  // --- end-of-run ---
+  /// Folds one station's per-stage transition tallies in. `stages` may be
+  /// smaller than stage_count(); rows beyond it stay zero.
+  void ingest_tally(int station, const std::int64_t* idle,
+                    const std::int64_t* defers, const std::int64_t* jumps,
+                    const std::int64_t* tx_success,
+                    const std::int64_t* tx_collision, std::size_t stages);
+
+  /// Flushes open accumulations (trailing collision burst) and reduces
+  /// this repetition to its summary. Moves the retained trajectory out,
+  /// so trajectory() is empty afterwards.
+  ObservatorySummary summarize();
+
+  /// Retained trajectory so far (live view for the flight recorder).
+  const std::vector<TrajectorySample>& trajectory() const { return samples_; }
+  std::int64_t events() const { return events_; }
+
+  /// Flight-recorder section: last-known per-station FSM states plus the
+  /// trajectory tail. Best-effort — values may be mid-update if the
+  /// dumping thread is not the simulating thread.
+  void write_flight_section(JsonWriter& writer, std::size_t tail) const;
+
+ private:
+  /// Closes the open collision burst. Callers guard on current_burst_.
+  void flush_burst();
+  /// Halves the trajectory ring, doubling stride_ (stays a power of 2).
+  void compact_samples();
+  /// Current window Jain from the incrementally-maintained sums. Exactly
+  /// util::jain_index(window_counts_) on a full window: the sum is
+  /// exactly the window width, and window_sum_sq_ carries the same bits
+  /// a re-summation would produce (see on_success).
+  double window_jain_value() const {
+    if (window_sum_sq_ == 0.0) return 1.0;
+    const double sum = static_cast<double>(options_.fairness_window);
+    return (sum * sum) /
+           (static_cast<double>(window_counts_.size()) * window_sum_sq_);
+  }
+
+  int station_count_;
+  int stage_count_;
+  ObservatoryOptions options_;
+
+  // Event counters (idle = events_ - successes - collisions, derived in
+  // summarize() so the idle hook stays free).
+  std::int64_t events_ = 0;
+  std::int64_t success_events_ = 0;
+  std::int64_t collision_events_ = 0;
+
+  // Sliding-window Jain (exactly metrics::sliding_window_jain, online
+  // and O(1) per success via an exact incremental sum of squares).
+  std::vector<double> window_counts_;
+  std::vector<int> window_ring_;
+  int ring_pos_ = 0;            ///< Next write slot (success index % W).
+  double window_sum_sq_ = 0.0;  ///< Sum of squared window counts, exact.
+  util::RunningStats window_jain_;
+
+  // Inter-transmission gaps.
+  std::vector<std::int64_t> last_success_event_;  ///< -1 until first win.
+  std::vector<std::int64_t> last_success_ns_;
+  std::vector<util::RunningStats> intertx_seconds_;
+  std::vector<LogHistogram> intertx_successes_;
+
+  // Collision bursts.
+  std::int64_t current_burst_ = 0;
+  std::int64_t last_collision_event_ = -2;  ///< Event index of last collision.
+  util::RunningStats collision_burst_;
+  LogHistogram burst_hist_;
+  std::int64_t longest_burst_ = 0;
+
+  // Folded tallies.
+  std::vector<ObservatorySummary::StationAgg> station_agg_;
+  std::vector<ObservatorySummary::StageAgg> stage_agg_;
+
+  // Trajectory ring (TimeSeries-style stride doubling).
+  std::vector<TrajectorySample> samples_;
+  /// State vectors from compacted-away samples, reused by begin_sample.
+  std::vector<std::vector<StationState>> spare_states_;
+  std::int64_t stride_ = 1;
+};
+
+}  // namespace plc::obs

@@ -28,6 +28,10 @@ void RunReport::write_json(std::ostream& out) const {
   metrics.write_into(json);
   json.key("profile");
   profile.write_into(json);
+  if (!stations.empty()) {
+    json.key("stations");
+    json.raw(stations);
+  }
   if (!timeseries.empty()) {
     json.key("timeseries");
     json.raw(timeseries);

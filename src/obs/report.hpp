@@ -69,6 +69,12 @@ struct RunReport {
   /// no section). Only harnesses that already expose wall-clock timing
   /// (plcsim sim) embed it; deterministic scenario reports never do.
   std::string timeseries;
+  /// MAC-state observatory reduction (a complete `plc-stations/1` JSON
+  /// value emitted under the "stations" key; empty = no section, so a
+  /// report with the observatory detached is byte-identical to one
+  /// produced before the observatory existed). Deterministic: built from
+  /// simulation state only, merged in repetition order on every runner.
+  std::string stations;
 
   double events_per_second() const {
     return wall_seconds > 0.0 ? static_cast<double>(events) / wall_seconds

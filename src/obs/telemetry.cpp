@@ -177,7 +177,73 @@ void TelemetryHub::absorb(const Snapshot& snapshot) {
 void TelemetryHub::add_probe(std::string name,
                              std::function<double()> probe) {
   std::lock_guard<std::mutex> lock(mutex_);
+  // Seed the gauge now so the family shows up in scrapes that land
+  // before the first refresh — and survives after remove_probe.
+  registry_.gauge(name).set(probe());
+  for (auto& entry : probes_) {
+    if (entry.first == name) {
+      entry.second = std::move(probe);
+      return;
+    }
+  }
   probes_.emplace_back(std::move(name), std::move(probe));
+}
+
+void TelemetryHub::remove_probe(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto it = probes_.begin(); it != probes_.end(); ++it) {
+    if (it->first == name) {
+      probes_.erase(it);
+      return;
+    }
+  }
+}
+
+void TelemetryHub::publish_stations(const std::string& key,
+                                    const ObservatorySummary& summary) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ObservatorySummary* slot = nullptr;
+  for (auto& entry : stations_) {
+    if (entry.first == key) {
+      slot = &entry.second;
+      break;
+    }
+  }
+  if (slot == nullptr) {
+    stations_.emplace_back(key, ObservatorySummary{});
+    slot = &stations_.back().second;
+  }
+  slot->merge(summary);
+
+  // Mirror the headline reductions as plc_station_* gauges so scrapes
+  // see the fairness/drift picture without parsing /stations.
+  const Labels point{{"point", key}};
+  registry_.gauge("station.window_jain_mean", point)
+      .set(slot->window_jain.mean());
+  registry_.gauge("station.success_events", point)
+      .set(static_cast<double>(slot->success_events));
+  registry_.gauge("station.collision_events", point)
+      .set(static_cast<double>(slot->collision_events));
+  registry_.gauge("station.longest_burst", point)
+      .set(static_cast<double>(slot->longest_burst));
+  for (std::size_t s = 0; s < slot->per_station.size(); ++s) {
+    Labels labels{{"point", key}, {"station", std::to_string(s)}};
+    registry_.gauge("station.tx_success", labels)
+        .set(static_cast<double>(slot->per_station[s].tx_success));
+    registry_.gauge("station.tx_collision", labels)
+        .set(static_cast<double>(slot->per_station[s].tx_collision));
+  }
+  maybe_sample_locked();
+}
+
+std::string TelemetryHub::stations_json() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::pair<std::string, const ObservatorySummary*>> points;
+  points.reserve(stations_.size());
+  for (const auto& [key, summary] : stations_) {
+    points.emplace_back(key, &summary);
+  }
+  return stations_section_json(points);
 }
 
 void TelemetryHub::refresh_probes_locked() {

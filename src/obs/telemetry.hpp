@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "obs/metrics.hpp"
+#include "obs/observatory.hpp"
 #include "obs/report.hpp"
 #include "obs/timeseries.hpp"
 
@@ -90,10 +91,28 @@ class TelemetryHub {
   /// Folds a finished task's metric snapshot into the hub registry.
   void absorb(const Snapshot& snapshot);
 
-  /// Registers a gauge evaluated lazily at snapshot/sample time (e.g. a
-  /// store's atomic counters). `probe` must stay callable for the hub's
-  /// lifetime and be safe to call from any thread.
+  /// Registers a gauge evaluated at snapshot/sample time — and once at
+  /// registration, so the family is scrapeable immediately (e.g. a
+  /// store's atomic counters). `probe` must stay callable until removed
+  /// (or for the hub's lifetime) and be safe to call from any thread.
+  /// Re-registering a name replaces the previous probe, so repeated
+  /// sweeps against one hub never accumulate duplicates.
   void add_probe(std::string name, std::function<double()> probe);
+
+  /// Unregisters a probe by name (no-op when absent). Callers whose
+  /// probes capture shorter-lived state (ParallelRunner's pool gauges)
+  /// must remove them before that state dies.
+  void remove_probe(const std::string& name);
+
+  /// Folds a finished repetition's observatory summary into the live
+  /// per-point view (merged in arrival order — a live approximation,
+  /// never report input) and refreshes the plc_station_* gauges.
+  void publish_stations(const std::string& key,
+                        const ObservatorySummary& summary);
+
+  /// The /stations payload: "plc-stations/1" over the live per-point
+  /// summaries ("points" is empty until a summary arrives).
+  std::string stations_json() const;
 
   // --- consumer side (exposition server, CLI epilogue) ---
 
@@ -137,6 +156,8 @@ class TelemetryHub {
   Registry registry_;
   TimeSeriesSet series_;
   std::vector<std::pair<std::string, std::function<double()>>> probes_;
+  /// Live per-point observatory summaries, keyed in arrival order.
+  std::vector<std::pair<std::string, ObservatorySummary>> stations_;
   double last_sample_seconds_ = -1.0;
 
   // Lifecycle state mirrored into registry_ instruments, kept as plain

@@ -94,6 +94,30 @@ Spec e8_boosting() {
   return spec;
 }
 
+/// E20: the MAC-state observatory on the CA1 defaults — short-term Jain
+/// fairness over a 50-success window shrinking as N grows, and the
+/// empirical per-stage attempt frequency drifting away from the
+/// decoupled model's x_i (the coupling the mean-field analysis assumes
+/// away, strongest at small N and deep stages).
+Spec e20_mac_observatory() {
+  Spec spec;
+  spec.name = "e20-mac-observatory";
+  spec.title =
+      "E20: MAC observatory — short-term fairness and per-stage drift vs "
+      "the decoupled model (CA1)";
+  spec.macs = {MacVariant{"CA1", mac::BackoffConfig::ca0_ca1()}};
+  spec.stations = {2, 5, 10, 15, 30};
+  spec.duration = des::SimTime::from_seconds(30.0);
+  spec.repetitions = 3;
+  spec.seed = 0x0B5;
+  spec.legs.sim = true;
+  spec.legs.model = true;
+  spec.observatory = true;
+  spec.observatory_window = 50;
+  spec.observatory_trajectory = 256;
+  return spec;
+}
+
 /// Head-to-head: 1901 CA1 against the standard 802.11 DCF window pair,
 /// simulation and models, at a few representative network sizes.
 Spec dcf_comparison() {
@@ -122,6 +146,7 @@ struct Entry {
 
 constexpr Entry kEntries[] = {
     {"dcf-comparison", dcf_comparison},
+    {"e20-mac-observatory", e20_mac_observatory},
     {"e6-throughput-vs-n", e6_throughput_vs_n},
     {"e8-boosting", e8_boosting},
     {"figure2", figure2},

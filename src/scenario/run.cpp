@@ -235,6 +235,13 @@ RunOutcome run_scenario(const Spec& spec, const RunOptions& options) {
     attach.store = options.store;
     attach.store_legs = &store_legs;
     attach.telemetry = options.telemetry;
+    obs::ObservatoryOptions observatory_options;
+    if (spec.observatory) {
+      observatory_options.fairness_window = spec.observatory_window;
+      observatory_options.trajectory_capacity =
+          static_cast<std::size_t>(spec.observatory_trajectory);
+      attach.observatory = &observatory_options;
+    }
     summaries = runner.run_points(run_specs, attach);
     outcome.wall_seconds += runner.wall_seconds();
     outcome.serial_equivalent_seconds += runner.serial_equivalent_seconds();
@@ -324,6 +331,12 @@ RunOutcome run_scenario(const Spec& spec, const RunOptions& options) {
     *options.out << "=== " << spec.title << " ===\n";
   }
 
+  // Observatory reductions per (variant, N) point, variant-major — the
+  // report's "stations" section. Pointers into `summaries` (stable from
+  // here on).
+  std::vector<std::pair<std::string, const obs::ObservatorySummary*>>
+      station_points;
+
   for (std::size_t variant = 0; variant < variants; ++variant) {
     const std::string& label = spec.macs[variant].label;
     const bool is_1901 =
@@ -336,6 +349,7 @@ RunOutcome run_scenario(const Spec& spec, const RunOptions& options) {
     if (spec.legs.sim) {
       header.push_back("sim coll");
       header.push_back("sim thr");
+      if (spec.observatory) header.push_back("jain(W)");
     }
     if (spec.legs.model) {
       header.push_back("model coll");
@@ -366,6 +380,43 @@ RunOutcome run_scenario(const Spec& spec, const RunOptions& options) {
         report.scalars[prefix + "sim_throughput"] = throughput;
         row.push_back(util::format_fixed(collision, 4));
         row.push_back(util::format_fixed(throughput, 4));
+        if (summary.stations) {
+          const obs::ObservatorySummary& stations = *summary.stations;
+          station_points.emplace_back(label + ".n" + std::to_string(n),
+                                      &stations);
+          const double jain = stations.window_jain.mean();
+          report.scalars[prefix + "obs.window_jain_mean"] = jain;
+          report.scalars[prefix + "obs.window_jain_stddev"] =
+              stations.window_jain.stddev();
+          if (spec.observatory) row.push_back(util::format_fixed(jain, 4));
+          // Per-stage drift: the empirical attempt frequency of each
+          // backoff stage next to the decoupled model's x_i(gamma) — the
+          // divergence at small N is the paper's coupling story.
+          if (is_1901) {
+            const auto& config =
+                std::get<mac::BackoffConfig>(spec.macs[variant].mac);
+            const analysis::Model1901Result model =
+                analysis::solve_1901(n, config);
+            for (std::size_t s = 0; s < stations.per_stage.size(); ++s) {
+              const std::string stage =
+                  prefix + "obs.stage" + std::to_string(s) + ".";
+              report.scalars[stage + "attempt_freq"] =
+                  stations.per_stage[s].attempt_freq();
+              if (s < model.stages.size()) {
+                report.scalars[stage + "attempt_model"] =
+                    model.stages[s].attempt_probability;
+              }
+            }
+          } else {
+            for (std::size_t s = 0; s < stations.per_stage.size(); ++s) {
+              report.scalars[prefix + "obs.stage" + std::to_string(s) +
+                             ".attempt_freq"] =
+                  stations.per_stage[s].attempt_freq();
+            }
+          }
+        } else if (spec.observatory) {
+          row.push_back("-");
+        }
       }
 
       if (spec.legs.model) {
@@ -432,6 +483,10 @@ RunOutcome run_scenario(const Spec& spec, const RunOptions& options) {
       *options.out << "\n--- " << label << " ---\n";
       table.print(*options.out);
     }
+  }
+
+  if (!station_points.empty()) {
+    report.stations = obs::stations_section_json(station_points);
   }
 
   if (options.registry == nullptr) {

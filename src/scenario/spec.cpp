@@ -249,6 +249,10 @@ void Spec::validate() const {
   util::require(testbed_tests >= 1, "scenario: testbed_tests must be >= 1");
   util::require(testbed_duration > des::SimTime::zero(),
                 "scenario: testbed_duration must be positive");
+  util::require(observatory_window >= 1,
+                "scenario: observatory window must be >= 1");
+  util::require(observatory_trajectory >= 0,
+                "scenario: observatory trajectory capacity must be >= 0");
   for (const auto& [key, series] : reference) {
     util::require(!key.empty(), "scenario: reference keys must not be empty");
     util::require(series.size() == stations.size(),
@@ -290,6 +294,15 @@ std::string Spec::to_json() const {
   json.field("tests", testbed_tests);
   json.field("duration_ns", testbed_duration.ns());
   json.end_object();
+  // Only emitted when enabled, so every pre-observatory spec document
+  // round-trips byte-identically (the CI fixture contract).
+  if (observatory) {
+    json.key("observatory").begin_object();
+    json.field("enabled", true);
+    json.field("window", observatory_window);
+    json.field("trajectory_capacity", observatory_trajectory);
+    json.end_object();
+  }
   if (!reference.empty()) {
     json.key("reference").begin_object();
     for (const auto& [key, series] : reference) {
@@ -309,7 +322,7 @@ Spec Spec::from_json(std::string_view text) {
   check_keys(root, "spec",
              {"schema", "name", "title", "macs", "stations", "timing",
               "frame_length_ns", "duration_ns", "repetitions", "seed",
-              "legs", "testbed", "reference"});
+              "legs", "testbed", "observatory", "reference"});
 
   Spec spec;
   if (const JsonValue* schema = root.find("schema")) {
@@ -397,6 +410,25 @@ Spec Spec::from_json(std::string_view text) {
     if (const JsonValue* duration = testbed->find("duration_ns")) {
       spec.testbed_duration =
           time_field(*duration, "spec.testbed.duration_ns");
+    }
+  }
+
+  if (const JsonValue* observatory = root.find("observatory")) {
+    require_object(*observatory, "spec.observatory");
+    check_keys(*observatory, "spec.observatory",
+               {"enabled", "window", "trajectory_capacity"});
+    if (const JsonValue* flag = observatory->find("enabled")) {
+      spec.observatory = bool_field(*flag, "spec.observatory.enabled");
+    } else {
+      spec.observatory = true;  // Presence of the object opts in.
+    }
+    if (const JsonValue* window = observatory->find("window")) {
+      spec.observatory_window =
+          static_cast<int>(int_field(*window, "spec.observatory.window"));
+    }
+    if (const JsonValue* capacity = observatory->find("trajectory_capacity")) {
+      spec.observatory_trajectory = static_cast<int>(
+          int_field(*capacity, "spec.observatory.trajectory_capacity"));
     }
   }
 

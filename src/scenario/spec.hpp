@@ -68,6 +68,16 @@ struct Spec {
   int testbed_tests = 1;
   des::SimTime testbed_duration = des::SimTime::from_seconds(240.0);
 
+  /// MAC-state observatory (per-station backoff trajectories, drift
+  /// estimation, short-term fairness). Off by default: enabling it adds
+  /// a "stations" section to the run report and per-stage drift scalars,
+  /// so toggling it changes report bytes by design.
+  bool observatory = false;
+  /// Sliding fairness window (successes) for the short-term Jain index.
+  int observatory_window = 50;
+  /// Trajectory ring capacity per repetition (0 disables trajectories).
+  int observatory_trajectory = 256;
+
   /// Published reference series (e.g. the paper's measured values), one
   /// vector per label, aligned with `stations`. Printed as extra table
   /// columns and recorded as "<key>" scalars.

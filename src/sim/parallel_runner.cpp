@@ -33,6 +33,8 @@ struct TaskResult {
   des::SimTime elapsed = des::SimTime::zero();
   obs::Snapshot metrics;
   std::vector<obs::TraceEvent> trace;
+  /// This repetition's observatory reduction (engaged runs only).
+  std::optional<obs::ObservatorySummary> stations;
   double wall_seconds = 0.0;
 
   // Scheduling observability (offsets on the sweep's wall stopwatch),
@@ -115,10 +117,38 @@ ParallelRunner::ParallelRunner(int jobs)
             worker_names_[static_cast<std::size_t>(worker)].c_str());
       }) {}
 
+namespace {
+
+/// Detaches the pool.* probes when the sweep leaves run_points, on any
+/// path. The probes capture `this`, so they must never outlive the
+/// sweep: callers are free to destroy the hub and the runner in either
+/// order afterwards (the refreshed gauge values survive in the hub).
+class ProbeGuard {
+ public:
+  explicit ProbeGuard(obs::TelemetryHub* hub) : hub_(hub) {}
+  ~ProbeGuard() {
+    if (hub_ == nullptr) return;
+    hub_->remove_probe("pool.queue_depth");
+    hub_->remove_probe("pool.in_flight");
+    hub_->remove_probe("pool.workers");
+  }
+  ProbeGuard(const ProbeGuard&) = delete;
+  ProbeGuard& operator=(const ProbeGuard&) = delete;
+
+ private:
+  obs::TelemetryHub* hub_;
+};
+
+}  // namespace
+
 RunSummary ParallelRunner::run_point(const RunSpec& spec,
                                      const RunObservability& obs) {
   const std::vector<RunSpec> specs{spec};
-  return run_points(specs, obs)[0];
+  RunSummary summary = run_points(specs, obs)[0];
+  if (obs.stations_sink != nullptr && summary.stations) {
+    *obs.stations_sink = *summary.stations;
+  }
+  return summary;
 }
 
 std::vector<RunSummary> ParallelRunner::run_points(
@@ -157,8 +187,21 @@ std::vector<RunSummary> ParallelRunner::run_points(
   des::SimTime progress_sim = des::SimTime::zero();
   std::int64_t progress_events = 0;
 
+  ProbeGuard probe_guard(obs.telemetry);
   if (obs.telemetry != nullptr) {
     obs.telemetry->begin_tasks(static_cast<std::int64_t>(total_tasks));
+    // Scheduling-backpressure gauges (plc_pool_*), sampled straight from
+    // the pool at scrape time. add_probe replaces same-named probes, so
+    // repeated sweeps against one hub never accumulate duplicates; the
+    // guard detaches them before either the pool or the hub dies.
+    obs.telemetry->add_probe("pool.queue_depth", [this] {
+      return static_cast<double>(pool_.queue_depth());
+    });
+    obs.telemetry->add_probe("pool.in_flight", [this] {
+      return static_cast<double>(pool_.in_flight());
+    });
+    obs.telemetry->add_probe(
+        "pool.workers", [this] { return static_cast<double>(pool_.size()); });
   }
   if (obs.progress != nullptr) {
     obs.progress->set_task_goal(static_cast<std::int64_t>(total_tasks));
@@ -196,6 +239,11 @@ std::vector<RunSummary> ParallelRunner::run_points(
             end.task_seconds = slot->end_seconds - slot->start_seconds;
             obs.telemetry->task_finished(end);
             obs.telemetry->absorb(slot->metrics);
+            if (slot->stations) {
+              // Live view only (arrival order): never feeds reports.
+              obs.telemetry->publish_stations("point-" + std::to_string(p),
+                                              *slot->stations);
+            }
           }
           if (obs.progress != nullptr) {
             std::lock_guard<std::mutex> lock(progress_mutex);
@@ -215,11 +263,14 @@ std::vector<RunSummary> ParallelRunner::run_points(
 
         // Cache lookup happens inside the task, so warm-run file I/O is
         // as parallel as the cold-run simulation it replaces. Tasks that
-        // must produce a trace (rep 0 with a sink attached) always run
-        // live; everything else takes a validated hit as-is.
+        // must produce a trace (rep 0 with a sink attached) or an
+        // observatory reduction (not part of the cached payload — caching
+        // it would change the payload schema for every cached run) always
+        // run live; everything else takes a validated hit as-is.
         if (obs.store != nullptr) {
           key = store::make_key((*obs.store_legs)[p], point_json[p], rep);
-          const bool must_run_live = obs.trace != nullptr && rep == 0;
+          const bool must_run_live = (obs.trace != nullptr && rep == 0) ||
+                                     obs.observatory != nullptr;
           if (!must_run_live) {
             if (auto payload = obs.store->lookup(*key)) {
               if (fill_slot_from_payload(*payload, slot)) {
@@ -232,9 +283,23 @@ std::vector<RunSummary> ParallelRunner::run_points(
 
         SlotSimulator simulator = make_simulator(spec, rep);
 
+        // Per-task observatory: the hot path never crosses threads, and
+        // the barrier merge folds the per-repetition summaries in task
+        // (= repetition) order — exactly the serial runner's arithmetic.
+        std::optional<obs::Observatory> observatory;
+        if (obs.observatory != nullptr) {
+          obs::ObservatoryOptions options = *obs.observatory;
+          // The merge keeps repetition 0's trajectory only (the trace
+          // convention); skip capturing the others' entirely.
+          if (rep > 0) options.trajectory_capacity = 0;
+          observatory.emplace(simulator.station_count(),
+                              simulator.max_stage_count(), options);
+          simulator.attach_observatory(&*observatory);
+        }
+
         // Per-task registry and trace ring: the simulator hot path never
         // crosses threads, and the barrier merge lands everything into
-        // the caller's sinks in task order.
+        // the caller's sinks in task-index order.
         obs::Registry local_registry;
         const bool want_metrics = obs.registry != nullptr ||
                                   obs.telemetry != nullptr || key.has_value();
@@ -270,6 +335,10 @@ std::vector<RunSummary> ParallelRunner::run_points(
         }
 
         const SlotSimResults results = simulator.run(spec.duration);
+        if (observatory) {
+          simulator.flush_observatory();
+          slot->stations = observatory->summarize();
+        }
         slot->medium_events =
             results.idle_slots + results.successes + results.collision_events;
         slot->elapsed = results.elapsed;
@@ -301,12 +370,16 @@ std::vector<RunSummary> ParallelRunner::run_points(
   for (std::size_t p = 0; p < specs.size(); ++p) {
     RunSummary& summary = summaries[p];
     for (int rep = 0; rep < specs[p].repetitions; ++rep) {
-      const TaskResult& slot = slots[offsets[p] + rep];
+      TaskResult& slot = slots[offsets[p] + rep];
       summary.medium_events += slot.medium_events;
       summary.simulated = summary.simulated + slot.elapsed;
       summary.collision_probability.add(slot.collision_probability);
       summary.normalized_throughput.add(slot.normalized_throughput);
       summary.jain_index.add(slot.jain_index);
+      if (slot.stations) {
+        if (!summary.stations) summary.stations.emplace();
+        summary.stations->merge(std::move(*slot.stations));
+      }
       if (obs.registry != nullptr) obs.registry->absorb(slot.metrics);
       serial_equivalent += slot.wall_seconds;
     }
@@ -387,6 +460,11 @@ obs::RunReport ParallelRunner::run_point_report(const RunSpec& spec,
   report.scalars["normalized_throughput_stddev"] =
       summary.normalized_throughput.stddev();
   report.scalars["jain_index_mean"] = summary.jain_index.mean();
+  if (summary.stations) {
+    report.scalars["window_jain_mean"] = summary.stations->window_jain.mean();
+    report.stations = obs::stations_section_json(
+        {{"n" + std::to_string(spec.stations), &*summary.stations}});
+  }
   report.metrics = effective.registry->snapshot();
   if (obs::Profiler::enabled()) {
     report.profile = obs::Profiler::instance().snapshot();

@@ -6,6 +6,7 @@
 #include <type_traits>
 
 #include "des/random.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/json.hpp"
 #include "obs/log.hpp"
 #include "obs/profiler.hpp"
@@ -92,6 +93,20 @@ RunSummary run_point(const RunSpec& spec, const RunObservability& obs) {
   for (int rep = 0; rep < spec.repetitions; ++rep) {
     PROF_SCOPE("sim.repetition");
     SlotSimulator simulator = make_simulator(spec, rep);
+    std::optional<obs::Observatory> observatory;
+    if (obs.observatory != nullptr) {
+      obs::ObservatoryOptions options = *obs.observatory;
+      // The merge keeps repetition 0's trajectory only (the trace
+      // convention); skip capturing the others' entirely.
+      if (rep > 0) options.trajectory_capacity = 0;
+      observatory.emplace(simulator.station_count(),
+                          simulator.max_stage_count(), options);
+      simulator.attach_observatory(&*observatory);
+      if (obs::FlightRecorder::instance().armed()) {
+        // Crash dumps carry this repetition's FSM tail while it runs.
+        obs::FlightRecorder::instance().attach_observatory(&*observatory);
+      }
+    }
     if (obs.registry != nullptr) {
       // One registry across every repetition: counters and histograms
       // accumulate, which is the repeated-run aggregation story.
@@ -116,6 +131,14 @@ RunSummary run_point(const RunSpec& spec, const RunObservability& obs) {
           });
     }
     const SlotSimResults results = simulator.run(spec.duration);
+    if (observatory) {
+      simulator.flush_observatory();
+      if (!summary.stations) summary.stations.emplace();
+      summary.stations->merge(observatory->summarize());
+      if (obs::FlightRecorder::instance().armed()) {
+        obs::FlightRecorder::instance().attach_observatory(nullptr);
+      }
+    }
     summary.medium_events +=
         results.idle_slots + results.successes + results.collision_events;
     summary.simulated = summary.simulated + results.elapsed;
@@ -136,6 +159,9 @@ RunSummary run_point(const RunSpec& spec, const RunObservability& obs) {
                                  summary.medium_events);
     }
   }
+  if (obs.stations_sink != nullptr && summary.stations) {
+    *obs.stations_sink = *summary.stations;
+  }
   if (obs.progress != nullptr) {
     obs.progress->finish(summary.simulated, progress_events);
   }
@@ -144,6 +170,9 @@ RunSummary run_point(const RunSpec& spec, const RunObservability& obs) {
                                summary.medium_events);
     if (obs.registry != nullptr) {
       obs.telemetry->absorb(obs.registry->snapshot());
+    }
+    if (summary.stations) {
+      obs.telemetry->publish_stations("point-0", *summary.stations);
     }
   }
   return summary;
@@ -174,6 +203,11 @@ obs::RunReport run_point_report(const RunSpec& spec, std::string name,
   report.scalars["normalized_throughput_stddev"] =
       summary.normalized_throughput.stddev();
   report.scalars["jain_index_mean"] = summary.jain_index.mean();
+  if (summary.stations) {
+    report.scalars["window_jain_mean"] = summary.stations->window_jain.mean();
+    report.stations = obs::stations_section_json(
+        {{"n" + std::to_string(spec.stations), &*summary.stations}});
+  }
   report.metrics = effective.registry->snapshot();
   if (obs::Profiler::enabled()) {
     report.profile = obs::Profiler::instance().snapshot();

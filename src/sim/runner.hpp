@@ -9,12 +9,14 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <string>
 #include <variant>
 #include <vector>
 
 #include "dcf/dcf.hpp"
 #include "mac/config.hpp"
+#include "obs/observatory.hpp"
 #include "obs/progress.hpp"
 #include "obs/report.hpp"
 #include "sim/slot_simulator.hpp"
@@ -68,6 +70,10 @@ struct RunSummary {
   /// Medium events and simulated time, summed over all repetitions.
   std::int64_t medium_events = 0;
   des::SimTime simulated = des::SimTime::zero();
+  /// MAC-state observatory reduction over all repetitions (engaged only
+  /// when RunObservability::observatory is set). Merged in repetition
+  /// order on both runners, so it is byte-identical for any --jobs.
+  std::optional<obs::ObservatorySummary> stations;
 };
 
 /// Observability attachments for a sweep point (all optional,
@@ -110,6 +116,16 @@ struct RunObservability {
   /// to the repetition-0 medium trace. Opt-in because it adds events a
   /// serial run's trace does not have.
   bool task_spans = false;
+  /// MAC-state observatory knobs (nullptr = detached, the default).
+  /// When set, every repetition runs with per-station FSM capture and
+  /// the point summary lands in RunSummary::stations (and the reports'
+  /// "stations" section). Observatory repetitions always execute live —
+  /// the trajectory is not cached — but still publish to `store`.
+  const obs::ObservatoryOptions* observatory = nullptr;
+  /// When set alongside `observatory`, receives a copy of the merged
+  /// point summary (repetition-0 trajectory included) — the CLI's
+  /// --stations-out export hook. Single-point runs only.
+  obs::ObservatorySummary* stations_sink = nullptr;
 };
 
 /// Runs one sweep point.

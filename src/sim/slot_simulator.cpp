@@ -1,9 +1,11 @@
 #include "sim/slot_simulator.hpp"
 
+#include <algorithm>
 #include <string>
 #include <utility>
 
 #include "dcf/dcf.hpp"
+#include "obs/observatory.hpp"
 #include "obs/profiler.hpp"
 #include "util/error.hpp"
 
@@ -71,6 +73,44 @@ void SlotSimulator::bind_metrics(obs::Registry& registry) {
 void SlotSimulator::set_trace(obs::TraceSink* sink, bool counter_samples) {
   trace_ = sink;
   trace_counter_samples_ = counter_samples;
+}
+
+int SlotSimulator::max_stage_count() const {
+  int stages = 1;
+  for (const auto& entity : entities_) {
+    stages = std::max(stages, entity->stage_count());
+  }
+  return stages;
+}
+
+void SlotSimulator::attach_observatory(obs::Observatory* observatory) {
+  observatory_ = observatory;
+  if (observatory == nullptr) {
+    for (auto& entity : entities_) entity->bind_tally(nullptr);
+    tallies_.clear();
+    return;
+  }
+  util::check_arg(observatory->station_count() == station_count(),
+                  "observatory", "station count mismatch");
+  util::check_arg(observatory->stage_count() >= max_stage_count(),
+                  "observatory", "too few stages allocated");
+  tallies_.resize(entities_.size());
+  for (std::size_t i = 0; i < entities_.size(); ++i) {
+    tallies_[i].resize(static_cast<std::size_t>(entities_[i]->stage_count()));
+    entities_[i]->bind_tally(&tallies_[i]);
+  }
+}
+
+void SlotSimulator::flush_observatory() {
+  if (observatory_ == nullptr) return;
+  for (std::size_t i = 0; i < tallies_.size(); ++i) {
+    auto& tally = tallies_[i];
+    observatory_->ingest_tally(static_cast<int>(i), tally.idle.data(),
+                               tally.defers.data(), tally.jumps.data(),
+                               tally.tx_success.data(),
+                               tally.tx_collision.data(), tally.stages());
+    tally.resize(tally.stages());  // Zeroed: a second flush adds nothing.
+  }
 }
 
 void SlotSimulator::record_trace(SlotEventType type, des::SimTime duration) {
@@ -192,6 +232,30 @@ SlotEventType SlotSimulator::step() {
     event.duration = duration;
     event.transmitters = scratch_transmitters_;
     observer_(event);
+  }
+  if (observatory_ != nullptr) {
+    switch (type) {
+      case SlotEventType::kIdle:
+        observatory_->on_idle();
+        break;
+      case SlotEventType::kSuccess:
+        observatory_->on_success(scratch_transmitters_.front(), now_.ns());
+        break;
+      case SlotEventType::kCollision:
+        observatory_->on_collision(
+            static_cast<int>(scratch_transmitters_.size()));
+        break;
+    }
+    if (observatory_->sample_due()) {
+      // Post-event FSM snapshot of every station, stride-downsampled.
+      observatory_->begin_sample(now_.ns());
+      for (const auto& entity : entities_) {
+        observatory_->record_state(
+            entity->backoff_counter(), entity->deferral_counter(),
+            entity->backoff_procedure_counter(), entity->stage());
+      }
+    }
+    observatory_->advance_event();
   }
   now_ += duration;
   return type;

@@ -34,6 +34,10 @@ namespace plc::dcf {
 struct DcfConfig;
 }
 
+namespace plc::obs {
+class Observatory;
+}
+
 namespace plc::sim {
 
 /// What one station did during one medium event (for trace observers).
@@ -110,6 +114,22 @@ class SlotSimulator {
   /// station's BC/DC/BPC as counter series (heavier; ring-bounded).
   void set_trace(obs::TraceSink* sink, bool counter_samples = false);
 
+  /// Attaches a MAC-state observatory (non-owning; nullptr detaches):
+  /// binds per-stage transition tallies into every entity and feeds the
+  /// observatory one call per medium event plus stride-downsampled
+  /// trajectory snapshots. Detached, the hot-path cost is one branch per
+  /// event (plus one per entity event inside the tally hook).
+  void attach_observatory(obs::Observatory* observatory);
+
+  /// Folds the accumulated per-station tallies into the attached
+  /// observatory and zeroes them. Call once after run()/run_events(),
+  /// before Observatory::summarize().
+  void flush_observatory();
+
+  /// The widest stage_count() over all entities — the tally row count an
+  /// attached observatory must allocate.
+  int max_stage_count() const;
+
   /// Runs until simulated time reaches `duration`.
   SlotSimResults run(des::SimTime duration);
 
@@ -146,6 +166,8 @@ class SlotSimulator {
   std::optional<Metrics> metrics_;
   obs::TraceSink* trace_ = nullptr;
   bool trace_counter_samples_ = false;
+  obs::Observatory* observatory_ = nullptr;
+  std::vector<mac::BackoffTally> tallies_;
   bool record_winners_ = false;
   std::vector<int> winners_;
   SlotSimResults results_;

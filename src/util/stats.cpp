@@ -7,23 +7,6 @@
 
 namespace plc::util {
 
-void RunningStats::add(double value) {
-  ++count_;
-  sum_ += value;
-  if (count_ == 1) {
-    mean_ = value;
-    m2_ = 0.0;
-    min_ = value;
-    max_ = value;
-    return;
-  }
-  const double delta = value - mean_;
-  mean_ += delta / static_cast<double>(count_);
-  m2_ += delta * (value - mean_);
-  min_ = std::min(min_, value);
-  max_ = std::max(max_, value);
-}
-
 double RunningStats::variance() const {
   if (count_ < 2) return 0.0;
   return m2_ / static_cast<double>(count_ - 1);

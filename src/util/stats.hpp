@@ -1,6 +1,7 @@
 // Streaming statistics accumulators.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <vector>
 
@@ -12,7 +13,23 @@ namespace plc::util {
 /// accumulation would cancel.
 class RunningStats {
  public:
-  void add(double value);
+  // Inline: add() sits on per-event hot paths (obs::Observatory).
+  void add(double value) {
+    ++count_;
+    sum_ += value;
+    if (count_ == 1) {
+      mean_ = value;
+      m2_ = 0.0;
+      min_ = value;
+      max_ = value;
+      return;
+    }
+    const double delta = value - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (value - mean_);
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
 
   std::int64_t count() const { return count_; }
   double mean() const { return count_ > 0 ? mean_ : 0.0; }

@@ -53,6 +53,16 @@ void ThreadPool::submit(std::function<void()> task) {
   work_available_.notify_one();
 }
 
+std::int64_t ThreadPool::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return static_cast<std::int64_t>(queue_.size());
+}
+
+std::int64_t ThreadPool::in_flight() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return in_flight_;
+}
+
 void ThreadPool::wait() {
   std::unique_lock<std::mutex> lock(mutex_);
   batch_done_.wait(lock, [this] { return in_flight_ == 0; });

@@ -50,6 +50,14 @@ class ThreadPool {
   /// usable for the next batch).
   void wait();
 
+  /// Tasks waiting in the queue (not yet picked up by a worker).
+  /// Mutex-guarded; safe from any thread — the scheduling-backpressure
+  /// gauge telemetry scrapes expose as plc_pool_queue_depth.
+  std::int64_t queue_depth() const;
+
+  /// Queued plus currently executing tasks (plc_pool_in_flight).
+  std::int64_t in_flight() const;
+
   /// Resolves a --jobs value: positive is taken as-is, 0 (or negative)
   /// means one job per hardware thread (at least 1).
   static int resolve_jobs(int jobs);
@@ -63,7 +71,7 @@ class ThreadPool {
  private:
   void worker_loop();
 
-  std::mutex mutex_;
+  mutable std::mutex mutex_;
   std::condition_variable work_available_;
   std::condition_variable batch_done_;
   std::deque<std::function<void()>> queue_;
