@@ -27,6 +27,8 @@
 #include "obs/profiler.hpp"
 #include "obs/report.hpp"
 #include "obs/trace.hpp"
+#include "sim/event_kernel.hpp"
+#include "sim/runner.hpp"
 #include "sim/slot_simulator.hpp"
 #include "tools/testbed.hpp"
 
@@ -169,6 +171,75 @@ void BM_ProfilerScopeDisabled(benchmark::State& state) {
 }
 BENCHMARK(BM_ProfilerScopeDisabled);
 
+// --- Slot vs event kernel race -----------------------------------------
+//
+// Both kernels simulate identical physics, so "how many slot-equivalents
+// of simulated time per wall second" is the honest throughput unit: the
+// batch covers a fixed simulated duration, and slots_per_sec =
+// (duration / slot_length) / wall_seconds. The workload is the paper's
+// boosting regime — large CWs at N=10, where the medium idles for tens
+// of slots between attempts. That is exactly where sweeps spend their
+// time (long CW tails dominate run cost) and where the event kernel's
+// gap batching pays: the slot path touches every idle slot, the event
+// kernel jumps the whole gap in one O(N) step. The measurement reuses
+// the paired-minimum idiom from BM_ProfilerOverheadPaired so frequency
+// scaling hits both kernels alike; main() derives slot.slots_per_sec,
+// event.slots_per_sec and event.speedup_vs_slot, which
+// scripts/bench_gate.sh holds to an absolute >= 10x budget.
+sim::RunSpec kernel_race_spec() {
+  mac::BackoffConfig boosted;
+  boosted.name = "boosted-large-cw";
+  boosted.cw = {256, 512, 1024, 2048};
+  boosted.dc = {0, 1, 3, 15};
+  sim::RunSpec spec;
+  spec.mac = boosted;
+  spec.stations = 10;
+  return spec;
+}
+
+const des::SimTime kKernelRaceBatch = des::SimTime::from_seconds(2.0);
+std::int64_t g_kernel_race_slot_min_ns = 0;
+std::int64_t g_kernel_race_event_min_ns = 0;
+
+void BM_KernelRacePaired(benchmark::State& state) {
+  const sim::RunSpec spec = kernel_race_spec();
+  sim::SlotSimulator slot_kernel = sim::make_simulator(spec, 0);
+  sim::EventKernel event_kernel = sim::make_event_kernel(spec, 0);
+  std::int64_t slot_min_ns = 0;
+  std::int64_t event_min_ns = 0;
+  std::int64_t batches = 0;
+  using clock = std::chrono::steady_clock;
+  const auto timed_batch = [](auto& kernel) {
+    const auto start = clock::now();
+    kernel.run(kKernelRaceBatch);
+    const auto stop = clock::now();
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(stop -
+                                                                start)
+        .count();
+  };
+  const auto keep_min = [](std::int64_t& slot, std::int64_t sample) {
+    if (slot == 0 || sample < slot) slot = sample;
+  };
+  for (auto _ : state) {
+    if (batches % 2 == 0) {
+      keep_min(slot_min_ns, timed_batch(slot_kernel));
+      keep_min(event_min_ns, timed_batch(event_kernel));
+    } else {
+      keep_min(event_min_ns, timed_batch(event_kernel));
+      keep_min(slot_min_ns, timed_batch(slot_kernel));
+    }
+    ++batches;
+  }
+  const double batch_slots =
+      static_cast<double>(kKernelRaceBatch.ns()) /
+      static_cast<double>(spec.timing.slot.ns());
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * 2 * batch_slots));
+  g_kernel_race_slot_min_ns = slot_min_ns;
+  g_kernel_race_event_min_ns = event_min_ns;
+}
+BENCHMARK(BM_KernelRacePaired);
+
 void BM_SchedulerChurn(benchmark::State& state) {
   for (auto _ : state) {
     des::Scheduler scheduler;
@@ -290,6 +361,22 @@ int main(int argc, char** argv) {
       scalars["profiler.disabled_overhead_pct"] =
           100.0 * scope->second / batch_seconds;
     }
+  }
+
+  // Kernel-race scalars: slot-equivalents of simulated time per wall
+  // second for each kernel, plus their ratio. bench_gate.sh enforces
+  // event.slots_per_sec / slot.slots_per_sec >= 10 as an absolute budget.
+  if (g_kernel_race_slot_min_ns > 0 && g_kernel_race_event_min_ns > 0) {
+    const double batch_slots =
+        static_cast<double>(kKernelRaceBatch.ns()) /
+        static_cast<double>(kernel_race_spec().timing.slot.ns());
+    scalars["slot.slots_per_sec"] =
+        batch_slots * 1e9 / static_cast<double>(g_kernel_race_slot_min_ns);
+    scalars["event.slots_per_sec"] =
+        batch_slots * 1e9 / static_cast<double>(g_kernel_race_event_min_ns);
+    scalars["event.speedup_vs_slot"] =
+        static_cast<double>(g_kernel_race_slot_min_ns) /
+        static_cast<double>(g_kernel_race_event_min_ns);
   }
 
   return harness.finish();

@@ -28,7 +28,7 @@
 // Scalars:
 //   telemetry.disabled_overhead_pct     disabled vs baseline (~0 budget)
 //   telemetry.enabled_overhead_pct      enabled vs baseline  (< 5 budget)
-//   telemetry.observatory_overhead_pct  observatory vs baseline (< 5)
+//   telemetry.observatory_overhead_pct  observatory vs baseline (< 8)
 //   telemetry.tasks_per_second          enabled-side task throughput
 #include <cstdio>
 #include <string>
@@ -58,6 +58,11 @@ std::vector<sim::RunSpec> make_sweep() {
     spec.duration = des::SimTime::from_seconds(20.0);
     spec.repetitions = 6;
     spec.seed = 0x1901;
+    // Pin the slot kernel: the observatory side forces the slot path
+    // (per-slot hooks), so letting the other sides auto-select the event
+    // kernel would turn this into a kernel race instead of a telemetry
+    // overhead measurement. BM_KernelRacePaired owns that comparison.
+    spec.kernel = sim::Kernel::kSlot;
     specs.push_back(spec);
   }
   return specs;

@@ -2,13 +2,14 @@
 //
 //   plcsim sim     --n 4 [--time-s 50] [--reps 1] [--cw 8,16,32,64]
 //                  [--dc 0,1,3,15] [--ts-us 2542.64] [--tc-us 2920.64]
-//                  [--frame-us 2050] [--seed 6401] [--jobs N]
+//                  [--frame-us 2050] [--seed 6401] [--jobs N] [--kernel K]
 //   plcsim model   --n 4 [--cw ...] [--dc ...]
 //   plcsim testbed --n 3 [--time-s 30] [--mme-ms 0] [--capture out.plcc]
 //                  [--tests R] [--jobs N]
-//   plcsim sweep   --n-max 10 [--time-s 20] [--csv] [--jobs N]
+//   plcsim sweep   --n-max 10 [--time-s 20] [--csv] [--jobs N] [--kernel K]
 //   plcsim scenario <name|file.json> [--jobs N] [--report out.json]
 //                  [--dump-spec [out.json]] [--validate] [--cache DIR]
+//                  [--kernel K]
 //   plcsim scenario --list
 //   plcsim cache   <stats|verify|gc> --dir DIR [--max-mb N | --max-bytes N]
 //                  [--json]
@@ -17,6 +18,14 @@
 // points (sweep) across N worker threads; 0 means one per hardware
 // thread. Results are bit-identical for every N, including the default
 // serial path — seeds derive from task indices, never thread schedule.
+//
+// --kernel K picks the contention kernel for simulation legs: "slot"
+// (the slot-stepped oracle), "event" (the event-driven kernel, which
+// jumps idle backoff gaps in one step), or "auto" (default: event-driven
+// unless the run attaches per-slot hooks — --trace, --progress or the
+// observatory — which replay slot-stepped). Both kernels draw the same
+// per-station streams and produce byte-identical reports; on `scenario`
+// the flag overrides the spec's optional "kernel" field.
 //
 // `scenario` runs a declarative experiment spec (scenario::Spec): a
 // built-in from scenario::Registry (--list enumerates them) or a
@@ -110,7 +119,6 @@
 #include "scenario/spec.hpp"
 #include "sim/parallel_runner.hpp"
 #include "sim/runner.hpp"
-#include "sim/sim_1901.hpp"
 #include "sim/unsaturated.hpp"
 #include "store/result_store.hpp"
 #include "tools/capture.hpp"
@@ -312,6 +320,7 @@ int cmd_sim(const Args& args) {
       des::SimTime::from_seconds(args.get_double("time-s", 50.0));
   spec.repetitions = args.get_int("reps", 1);
   spec.seed = static_cast<std::uint64_t>(args.get_int("seed", 0x1901));
+  spec.kernel = sim::kernel_from_name(args.get_string("kernel", "auto"));
 
   obs::Registry registry;
   obs::TraceSink trace;
@@ -615,29 +624,37 @@ int cmd_sweep(const Args& args) {
   const double time_s = args.get_double("time-s", 20.0);
   const mac::BackoffConfig config = config_from(args);
   const phy::TimingConfig timing = phy::TimingConfig::paper_default();
+  const sim::Kernel kernel =
+      sim::kernel_from_name(args.get_string("kernel", "auto"));
   util::TablePrinter table({"n", "sim_collision", "sim_throughput",
                             "model_collision", "model_throughput"});
-  // Sweep points are independent; shard them across the pool. Each point
-  // writes its own slot and the table is built in n order afterwards, so
-  // the output is identical for any --jobs value (each point's seed is
-  // the sim_1901 default, exactly as in the serial loop).
-  std::vector<sim::Sim1901Result> simulated_by_n(
-      static_cast<std::size_t>(n_max));
-  {
-    util::ThreadPool pool(args.get_int("jobs", 1));
-    pool.parallel_for(n_max, [&](std::int64_t i) {
-      simulated_by_n[static_cast<std::size_t>(i)] =
-          sim::sim_1901(static_cast<int>(i) + 1, time_s * 1e6, 2920.64,
-                        2542.64, 2050.0, config.cw, config.dc);
-    });
+  // One RunSpec per station count (single repetition each), sharded as
+  // (point x repetition) tasks across the runner's pool: the table is
+  // built in n order from the merged summaries, so the output is
+  // identical for any --jobs value — and for either --kernel.
+  std::vector<sim::RunSpec> specs;
+  specs.reserve(static_cast<std::size_t>(n_max));
+  for (int n = 1; n <= n_max; ++n) {
+    sim::RunSpec spec;
+    spec.mac = config;
+    spec.stations = n;
+    spec.timing = timing;
+    spec.frame_length = des::SimTime::from_us(2050.0);
+    spec.duration = des::SimTime::from_seconds(time_s);
+    spec.repetitions = 1;
+    spec.kernel = kernel;
+    specs.push_back(spec);
   }
+  sim::ParallelRunner runner(args.get_int("jobs", 1));
+  const std::vector<sim::RunSummary> simulated_by_n =
+      runner.run_points(specs, sim::RunObservability{});
   for (int n = 1; n <= n_max; ++n) {
     const auto& simulated = simulated_by_n[static_cast<std::size_t>(n - 1)];
     const auto model = analysis::solve_1901(n, config);
     table.add_row(
         {std::to_string(n),
-         util::format_fixed(simulated.collision_probability, 4),
-         util::format_fixed(simulated.normalized_throughput, 4),
+         util::format_fixed(simulated.collision_probability.mean(), 4),
+         util::format_fixed(simulated.normalized_throughput.mean(), 4),
          util::format_fixed(model.gamma, 4),
          util::format_fixed(model.normalized_throughput(
                                 timing, des::SimTime::from_us(2050.0)),
@@ -726,9 +743,15 @@ int cmd_scenario(const std::string& target, const Args& args) {
     throw plc::Error("scenario: unknown scenario \"" + target +
                      "\" (known: " + known + ")");
   }
-  const scenario::Spec spec = scenario::Registry::contains(target)
-                                  ? scenario::Registry::get(target)
-                                  : scenario::Spec::from_file(target);
+  scenario::Spec spec = scenario::Registry::contains(target)
+                            ? scenario::Registry::get(target)
+                            : scenario::Spec::from_file(target);
+  if (args.has("kernel")) {
+    // Overrides the spec's "kernel" field for this run. Both kernels
+    // produce byte-identical reports (and the field is never serialized),
+    // so this cannot change --dump-spec or report bytes.
+    spec.kernel = sim::kernel_from_name(args.get_string("kernel", "auto"));
+  }
 
   if (args.has("dump-spec")) {
     const std::string path = args.get_string("dump-spec", "");

@@ -284,6 +284,8 @@ std::string Spec::to_json() const {
   json.field("duration_ns", duration.ns());
   json.field("repetitions", repetitions);
   json.field("seed", seed_to_string(seed));
+  // "kernel" is parse-only (never emitted): reports embed this JSON, and
+  // slot/event runs must stay byte-identical.
   json.key("legs").begin_object();
   json.field("sim", legs.sim);
   json.field("model", legs.model);
@@ -322,7 +324,7 @@ Spec Spec::from_json(std::string_view text) {
   check_keys(root, "spec",
              {"schema", "name", "title", "macs", "stations", "timing",
               "frame_length_ns", "duration_ns", "repetitions", "seed",
-              "legs", "testbed", "observatory", "reference"});
+              "kernel", "legs", "testbed", "observatory", "reference"});
 
   Spec spec;
   if (const JsonValue* schema = root.find("schema")) {
@@ -381,6 +383,14 @@ Spec Spec::from_json(std::string_view text) {
   }
   if (const JsonValue* seed = root.find("seed")) {
     spec.seed = seed_field(*seed, "spec.seed");
+  }
+  if (const JsonValue* kernel = root.find("kernel")) {
+    try {
+      spec.kernel =
+          sim::kernel_from_name(string_field(*kernel, "spec.kernel"));
+    } catch (const Error& error) {
+      fail(std::string("spec.kernel: ") + error.what());
+    }
   }
 
   if (const JsonValue* legs = root.find("legs")) {
@@ -502,6 +512,7 @@ RunSpec::RunSpec(const scenario::Spec& spec, int stations_in,
   frame_length = spec.frame_length;
   duration = spec.duration;
   repetitions = spec.repetitions;
+  kernel = spec.kernel;
   const des::RandomStream root(spec.seed);
   seed = root.derive_seed("sim-" + spec.macs[variant].label + "-n" +
                           std::to_string(stations_in));

@@ -1,0 +1,260 @@
+#include "sim/event_kernel.hpp"
+
+#include <algorithm>
+#include <string>
+
+#include "dcf/dcf.hpp"
+#include "obs/profiler.hpp"
+#include "util/error.hpp"
+
+namespace plc::sim {
+
+EventKernel::EventKernel(Mode mode, int stations,
+                         const phy::TimingConfig& timing,
+                         des::SimTime frame_length, std::uint64_t seed)
+    : mode_(mode),
+      slot_(timing.slot),
+      ts_(timing.success_duration(frame_length)),
+      tc_(timing.collision_duration(frame_length)) {
+  util::check_arg(stations >= 1, "stations", "need at least one station");
+  util::check_arg(slot_ > des::SimTime::zero(), "timing",
+                  "slot must be positive");
+  util::check_arg(frame_length > des::SimTime::zero(), "frame_length",
+                  "must be positive");
+  const auto n = static_cast<std::size_t>(stations);
+  bc_.assign(n, 0);
+  dc_.assign(n, 0);
+  bpc_.assign(n, 0);
+  stage_.assign(n, 0);
+  results_.tx_success.assign(n, 0);
+  results_.tx_collision.assign(n, 0);
+  // Same stream fan-out as make_1901_entities / make_dcf_entities: one
+  // derived stream per station, consumed only by that station's redraws,
+  // so the draw sequences are identical to the slot path's entities.
+  des::RandomStream root(seed);
+  rngs_.reserve(n);
+  for (int i = 0; i < stations; ++i) {
+    rngs_.emplace_back(root.derive_seed("station-" + std::to_string(i)));
+  }
+}
+
+EventKernel::EventKernel(const mac::BackoffConfig& config, int stations,
+                         const phy::TimingConfig& timing,
+                         des::SimTime frame_length, std::uint64_t seed)
+    : EventKernel(Mode::k1901, stations, timing, frame_length, seed) {
+  config.validate();
+  cw_by_stage_ = config.cw;
+  dc_by_stage_ = config.dc;
+  // Mirrors Backoff1901's constructor: start_new_frame is BPC = 0 plus
+  // one initial redraw (which consumes one draw per station).
+  for (std::size_t i = 0; i < bc_.size(); ++i) redraw(i);
+}
+
+EventKernel::EventKernel(const dcf::DcfConfig& config, int stations,
+                         const phy::TimingConfig& timing,
+                         des::SimTime frame_length, std::uint64_t seed)
+    : EventKernel(Mode::kDcf, stations, timing, frame_length, seed) {
+  util::check_arg(config.cw_min >= 1, "cw_min", "must be >= 1");
+  util::check_arg(config.cw_max >= config.cw_min, "cw_max",
+                  "must be >= cw_min");
+  // The binary-exponential ladder BackoffDcf::redraw walks per call,
+  // resolved once: cw_by_stage_[r] is the window after r failed tries.
+  cw_by_stage_.push_back(config.cw_min);
+  for (int cw = config.cw_min; cw < config.cw_max;) {
+    cw = std::min(cw * 2, config.cw_max);
+    cw_by_stage_.push_back(cw);
+  }
+  for (std::size_t i = 0; i < bc_.size(); ++i) redraw(i);
+}
+
+void EventKernel::bind_metrics(obs::Registry& registry) {
+  Metrics metrics;
+  static constexpr const char* kTypes[3] = {"idle", "success", "collision"};
+  for (int t = 0; t < 3; ++t) {
+    metrics.events[t] =
+        &registry.counter("slot_sim.events", {{"type", kTypes[t]}});
+    metrics.airtime_ns[t] =
+        &registry.counter("slot_sim.airtime_ns", {{"type", kTypes[t]}});
+  }
+  for (int i = 0; i < station_count(); ++i) {
+    metrics.station_success.push_back(&registry.counter(
+        "slot_sim.tx",
+        {{"station", std::to_string(i)}, {"outcome", "success"}}));
+    metrics.station_collision.push_back(&registry.counter(
+        "slot_sim.tx",
+        {{"station", std::to_string(i)}, {"outcome", "collision"}}));
+  }
+  metrics_ = std::move(metrics);
+}
+
+void EventKernel::redraw(std::size_t station) {
+  const int stages = static_cast<int>(cw_by_stage_.size());
+  const int stage = std::min(bpc_[station], stages - 1);
+  stage_[station] = stage;
+  bc_[station] = rngs_[station].draw_backoff(
+      cw_by_stage_[static_cast<std::size_t>(stage)]);
+  if (mode_ == Mode::k1901) {
+    dc_[station] = dc_by_stage_[static_cast<std::size_t>(stage)];
+    ++bpc_[station];  // Backoff1901::redraw advances BPC; DCF's does not.
+  }
+}
+
+std::int64_t EventKernel::min_backoff() const {
+  int min_bc = bc_[0];
+  for (const int bc : bc_) min_bc = std::min(min_bc, bc);
+  return min_bc;
+}
+
+void EventKernel::advance_idle(std::int64_t slots) {
+  results_.idle_slots += slots;
+  const int delta = static_cast<int>(slots);  // slots <= min BC, fits int.
+  for (int& bc : bc_) bc -= delta;
+  now_ += slot_ * slots;
+  if (metrics_) {
+    const auto idle = static_cast<std::size_t>(SlotEventType::kIdle);
+    metrics_->events[idle]->add(slots);
+    metrics_->airtime_ns[idle]->add(slots * slot_.ns());
+  }
+}
+
+void EventKernel::attempt() {
+  scratch_transmitters_.clear();
+  for (int i = 0; i < station_count(); ++i) {
+    if (bc_[static_cast<std::size_t>(i)] == 0) {
+      scratch_transmitters_.push_back(i);
+    }
+  }
+
+  SlotEventType type;
+  des::SimTime duration;
+  if (scratch_transmitters_.size() == 1) {
+    type = SlotEventType::kSuccess;
+    duration = ts_;
+    ++results_.successes;
+    const int winner = scratch_transmitters_.front();
+    ++results_.tx_success[static_cast<std::size_t>(winner)];
+    if (record_winners_) winners_.push_back(winner);
+    for (std::size_t i = 0; i < bc_.size(); ++i) {
+      if (static_cast<int>(i) == winner) {
+        bpc_[i] = 0;  // Both MACs restart the ladder after a success.
+        redraw(i);
+      } else if (mode_ == Mode::k1901) {
+        if (dc_[i] == 0) {
+          redraw(i);  // Deferral expired: jump without attempting.
+        } else {
+          --dc_[i];
+          --bc_[i];
+        }
+      }
+      // DCF non-transmitters freeze their BC through busy periods.
+    }
+  } else {
+    type = SlotEventType::kCollision;
+    duration = tc_;
+    ++results_.collision_events;
+    results_.collided_tx +=
+        static_cast<std::int64_t>(scratch_transmitters_.size());
+    for (std::size_t i = 0; i < bc_.size(); ++i) {
+      if (bc_[i] == 0) {
+        ++results_.tx_collision[i];
+        if (mode_ == Mode::kDcf) ++bpc_[i];  // One more failed try.
+        redraw(i);
+      } else if (mode_ == Mode::k1901) {
+        if (dc_[i] == 0) {
+          redraw(i);
+        } else {
+          --dc_[i];
+          --bc_[i];
+        }
+      }
+    }
+  }
+
+  if (metrics_) {
+    const auto t = static_cast<std::size_t>(type);
+    metrics_->events[t]->add();
+    metrics_->airtime_ns[t]->add(duration.ns());
+    if (type == SlotEventType::kSuccess) {
+      metrics_->station_success[static_cast<std::size_t>(
+                                    scratch_transmitters_.front())]
+          ->add();
+    } else {
+      for (const int station : scratch_transmitters_) {
+        metrics_->station_collision[static_cast<std::size_t>(station)]->add();
+      }
+    }
+  }
+  now_ += duration;
+}
+
+SlotSimResults EventKernel::run(des::SimTime duration) {
+  PROF_SCOPE("event_kernel.run");
+  util::check_arg(duration > des::SimTime::zero(), "duration",
+                  "must be positive");
+  const des::SimTime end = now_ + duration;
+  while (now_ < end) {
+    const std::int64_t min_bc = min_backoff();
+    if (min_bc > 0) {
+      // The whole idle gap in one step, clipped to the slots still
+      // inside `duration` so the run stops exactly where the slot path
+      // stops (the clipped remainder of the gap carries over to the
+      // next run() call via the decremented BCs).
+      const std::int64_t slots_left =
+          ((end - now_).ns() + slot_.ns() - 1) / slot_.ns();
+      advance_idle(std::min(min_bc, slots_left));
+    } else {
+      attempt();
+    }
+  }
+  results_.elapsed = now_;
+  return results_;
+}
+
+SlotSimResults EventKernel::run_events(std::int64_t max_events) {
+  PROF_SCOPE("event_kernel.run_events");
+  util::check_arg(max_events > 0, "max_events", "must be positive");
+  std::int64_t remaining = max_events;
+  while (remaining > 0) {
+    const std::int64_t min_bc = min_backoff();
+    if (min_bc > 0) {
+      const std::int64_t slots = std::min(min_bc, remaining);
+      advance_idle(slots);
+      remaining -= slots;
+    } else {
+      attempt();
+      --remaining;
+    }
+  }
+  results_.elapsed = now_;
+  return results_;
+}
+
+int EventKernel::backoff_counter(int station) const {
+  util::check_arg(station >= 0 && station < station_count(), "station",
+                  "out of range");
+  return bc_[static_cast<std::size_t>(station)];
+}
+
+int EventKernel::deferral_counter(int station) const {
+  util::check_arg(station >= 0 && station < station_count(), "station",
+                  "out of range");
+  if (mode_ == Mode::kDcf) return mac::kDeferralDisabled;
+  return dc_[static_cast<std::size_t>(station)];
+}
+
+int EventKernel::backoff_procedure_counter(int station) const {
+  util::check_arg(station >= 0 && station < station_count(), "station",
+                  "out of range");
+  return bpc_[static_cast<std::size_t>(station)];
+}
+
+int EventKernel::stage(int station) const {
+  util::check_arg(station >= 0 && station < station_count(), "station",
+                  "out of range");
+  // Matches the entity accessors: Backoff1901 reports the clamped stage,
+  // BackoffDcf reports its raw retry count.
+  if (mode_ == Mode::kDcf) return bpc_[static_cast<std::size_t>(station)];
+  return stage_[static_cast<std::size_t>(station)];
+}
+
+}  // namespace plc::sim

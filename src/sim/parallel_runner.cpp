@@ -281,63 +281,81 @@ std::vector<RunSummary> ParallelRunner::run_points(
           }
         }
 
-        SlotSimulator simulator = make_simulator(spec, rep);
-
-        // Per-task observatory: the hot path never crosses threads, and
-        // the barrier merge folds the per-repetition summaries in task
-        // (= repetition) order — exactly the serial runner's arithmetic.
-        std::optional<obs::Observatory> observatory;
-        if (obs.observatory != nullptr) {
-          obs::ObservatoryOptions options = *obs.observatory;
-          // The merge keeps repetition 0's trajectory only (the trace
-          // convention); skip capturing the others' entirely.
-          if (rep > 0) options.trajectory_capacity = 0;
-          observatory.emplace(simulator.station_count(),
-                              simulator.max_stage_count(), options);
-          simulator.attach_observatory(&*observatory);
-        }
-
-        // Per-task registry and trace ring: the simulator hot path never
-        // crosses threads, and the barrier merge lands everything into
-        // the caller's sinks in task-index order.
+        // Per-task registry: the hot path never crosses threads, and the
+        // barrier merge lands everything into the caller's sinks in
+        // task-index order.
         obs::Registry local_registry;
         const bool want_metrics = obs.registry != nullptr ||
                                   obs.telemetry != nullptr || key.has_value();
-        if (want_metrics) simulator.bind_metrics(local_registry);
-        std::unique_ptr<obs::TraceSink> local_trace;
-        if (obs.trace != nullptr && rep == 0) {
-          local_trace = std::make_unique<obs::TraceSink>(obs.trace->capacity());
-          simulator.set_trace(local_trace.get(), obs.trace_counter_samples);
-        }
-        if (obs.progress != nullptr) {
-          simulator.set_observer(
-              [&obs, &progress_mutex, &progress_sim, &progress_events,
-               countdown = obs::ProgressMeter::kCheckEvery,
-               pending = std::int64_t{0},
-               flushed_sim = des::SimTime::zero()](
-                  const SlotEvent& event) mutable {
-                ++pending;
-                if (--countdown > 0) return;
-                countdown = obs::ProgressMeter::kCheckEvery;
-                std::lock_guard<std::mutex> lock(progress_mutex);
-                progress_sim += event.start - flushed_sim;
-                flushed_sim = event.start;
-                progress_events += pending;
-                pending = 0;
-                if (obs.progress != nullptr) {
-                  obs.progress->sample_coarse(progress_sim, progress_events);
-                }
-                if (obs.telemetry != nullptr) {
-                  obs.telemetry->advance_sim(progress_sim.seconds(),
-                                             progress_events);
-                }
-              });
-        }
 
-        const SlotSimResults results = simulator.run(spec.duration);
-        if (observatory) {
-          simulator.flush_observatory();
-          slot->stations = observatory->summarize();
+        // Kernel dispatch, identical to the serial runner: the event
+        // kernel takes every repetition without per-slot hooks; trace,
+        // progress-observer and observatory repetitions replay
+        // slot-stepped (both kernels produce identical results, so any
+        // mix merges into one byte-identical summary).
+        const bool per_slot_hooks = obs.observatory != nullptr ||
+                                    obs.progress != nullptr ||
+                                    (obs.trace != nullptr && rep == 0);
+        SlotSimResults results;
+        std::unique_ptr<obs::TraceSink> local_trace;
+        if (use_event_kernel(spec.kernel, per_slot_hooks)) {
+          EventKernel kernel = make_event_kernel(spec, rep);
+          if (want_metrics) kernel.bind_metrics(local_registry);
+          results = kernel.run(spec.duration);
+        } else {
+          SlotSimulator simulator = make_simulator(spec, rep);
+
+          // Per-task observatory: the barrier merge folds the
+          // per-repetition summaries in task (= repetition) order —
+          // exactly the serial runner's arithmetic.
+          std::optional<obs::Observatory> observatory;
+          if (obs.observatory != nullptr) {
+            obs::ObservatoryOptions options = *obs.observatory;
+            // The merge keeps repetition 0's trajectory only (the trace
+            // convention); skip capturing the others' entirely.
+            if (rep > 0) options.trajectory_capacity = 0;
+            observatory.emplace(simulator.station_count(),
+                                simulator.max_stage_count(), options);
+            simulator.attach_observatory(&*observatory);
+          }
+
+          if (want_metrics) simulator.bind_metrics(local_registry);
+          if (obs.trace != nullptr && rep == 0) {
+            local_trace =
+                std::make_unique<obs::TraceSink>(obs.trace->capacity());
+            simulator.set_trace(local_trace.get(), obs.trace_counter_samples);
+          }
+          if (obs.progress != nullptr) {
+            simulator.set_observer(
+                [&obs, &progress_mutex, &progress_sim, &progress_events,
+                 countdown = obs::ProgressMeter::kCheckEvery,
+                 pending = std::int64_t{0},
+                 flushed_sim = des::SimTime::zero()](
+                    const SlotEvent& event) mutable {
+                  ++pending;
+                  if (--countdown > 0) return;
+                  countdown = obs::ProgressMeter::kCheckEvery;
+                  std::lock_guard<std::mutex> lock(progress_mutex);
+                  progress_sim += event.start - flushed_sim;
+                  flushed_sim = event.start;
+                  progress_events += pending;
+                  pending = 0;
+                  if (obs.progress != nullptr) {
+                    obs.progress->sample_coarse(progress_sim,
+                                                progress_events);
+                  }
+                  if (obs.telemetry != nullptr) {
+                    obs.telemetry->advance_sim(progress_sim.seconds(),
+                                               progress_events);
+                  }
+                });
+          }
+
+          results = simulator.run(spec.duration);
+          if (observatory) {
+            simulator.flush_observatory();
+            slot->stations = observatory->summarize();
+          }
         }
         slot->medium_events =
             results.idle_slots + results.successes + results.collision_events;

@@ -16,6 +16,30 @@
 
 namespace plc::sim {
 
+const char* kernel_name(Kernel kernel) {
+  switch (kernel) {
+    case Kernel::kAuto:
+      return "auto";
+    case Kernel::kSlot:
+      return "slot";
+    case Kernel::kEvent:
+      return "event";
+  }
+  return "auto";
+}
+
+Kernel kernel_from_name(std::string_view name) {
+  if (name == "auto") return Kernel::kAuto;
+  if (name == "slot") return Kernel::kSlot;
+  if (name == "event") return Kernel::kEvent;
+  throw Error("unknown kernel \"" + std::string(name) +
+              "\" (want auto, slot or event)");
+}
+
+bool use_event_kernel(Kernel kernel, bool per_slot_hooks) {
+  return kernel != Kernel::kSlot && !per_slot_hooks;
+}
+
 std::string canonical_point_json(const RunSpec& spec) {
   // Seeds are 64-bit; JSON numbers are doubles and lose bits past 2^53,
   // so the seed serializes as a lossless hex string (same convention as
@@ -81,6 +105,19 @@ SlotSimulator make_simulator(const RunSpec& spec, int repetition) {
   return SlotSimulator(std::move(entities), spec.timing, spec.frame_length);
 }
 
+EventKernel make_event_kernel(const RunSpec& spec, int repetition) {
+  util::check_arg(spec.stations >= 1, "stations", "must be >= 1");
+  des::RandomStream root(spec.seed);
+  const std::uint64_t rep_seed =
+      root.derive_seed("rep-" + std::to_string(repetition));
+  return std::visit(
+      [&](const auto& mac_config) {
+        return EventKernel(mac_config, spec.stations, spec.timing,
+                           spec.frame_length, rep_seed);
+      },
+      spec.mac);
+}
+
 RunSummary run_point(const RunSpec& spec) {
   return run_point(spec, RunObservability{});
 }
@@ -92,51 +129,65 @@ RunSummary run_point(const RunSpec& spec, const RunObservability& obs) {
   std::int64_t progress_events = 0;
   for (int rep = 0; rep < spec.repetitions; ++rep) {
     PROF_SCOPE("sim.repetition");
-    SlotSimulator simulator = make_simulator(spec, rep);
-    std::optional<obs::Observatory> observatory;
-    if (obs.observatory != nullptr) {
-      obs::ObservatoryOptions options = *obs.observatory;
-      // The merge keeps repetition 0's trajectory only (the trace
-      // convention); skip capturing the others' entirely.
-      if (rep > 0) options.trajectory_capacity = 0;
-      observatory.emplace(simulator.station_count(),
-                          simulator.max_stage_count(), options);
-      simulator.attach_observatory(&*observatory);
-      if (obs::FlightRecorder::instance().armed()) {
-        // Crash dumps carry this repetition's FSM tail while it runs.
-        obs::FlightRecorder::instance().attach_observatory(&*observatory);
+    // Kernel dispatch: the event kernel takes every repetition that has
+    // no per-slot hooks; repetitions that must feed a trace, progress
+    // observer or observatory replay slot-stepped (both kernels produce
+    // identical results, so the mix is invisible in the summary).
+    const bool per_slot_hooks = obs.observatory != nullptr ||
+                                obs.progress != nullptr ||
+                                (obs.trace != nullptr && rep == 0);
+    SlotSimResults results;
+    if (use_event_kernel(spec.kernel, per_slot_hooks)) {
+      EventKernel kernel = make_event_kernel(spec, rep);
+      if (obs.registry != nullptr) kernel.bind_metrics(*obs.registry);
+      results = kernel.run(spec.duration);
+    } else {
+      SlotSimulator simulator = make_simulator(spec, rep);
+      std::optional<obs::Observatory> observatory;
+      if (obs.observatory != nullptr) {
+        obs::ObservatoryOptions options = *obs.observatory;
+        // The merge keeps repetition 0's trajectory only (the trace
+        // convention); skip capturing the others' entirely.
+        if (rep > 0) options.trajectory_capacity = 0;
+        observatory.emplace(simulator.station_count(),
+                            simulator.max_stage_count(), options);
+        simulator.attach_observatory(&*observatory);
+        if (obs::FlightRecorder::instance().armed()) {
+          // Crash dumps carry this repetition's FSM tail while it runs.
+          obs::FlightRecorder::instance().attach_observatory(&*observatory);
+        }
       }
-    }
-    if (obs.registry != nullptr) {
-      // One registry across every repetition: counters and histograms
-      // accumulate, which is the repeated-run aggregation story.
-      simulator.bind_metrics(*obs.registry);
-    }
-    if (obs.trace != nullptr && rep == 0) {
-      simulator.set_trace(obs.trace, obs.trace_counter_samples);
-    }
-    if (obs.progress != nullptr) {
-      // Cumulative sim time across repetitions; the meter's modulo check
-      // keeps the per-event cost at a decrement and branch. The hub is
-      // mutex-guarded, so it only hears every 64Ki-th event.
-      simulator.set_observer(
-          [&, base = summary.simulated](const SlotEvent& event) {
-            ++progress_events;
-            obs.progress->sample(base + event.start, progress_events);
-            if (obs.telemetry != nullptr &&
-                (progress_events & 0xFFFF) == 0) {
-              obs.telemetry->advance_sim((base + event.start).seconds(),
-                                         progress_events);
-            }
-          });
-    }
-    const SlotSimResults results = simulator.run(spec.duration);
-    if (observatory) {
-      simulator.flush_observatory();
-      if (!summary.stations) summary.stations.emplace();
-      summary.stations->merge(observatory->summarize());
-      if (obs::FlightRecorder::instance().armed()) {
-        obs::FlightRecorder::instance().attach_observatory(nullptr);
+      if (obs.registry != nullptr) {
+        // One registry across every repetition: counters and histograms
+        // accumulate, which is the repeated-run aggregation story.
+        simulator.bind_metrics(*obs.registry);
+      }
+      if (obs.trace != nullptr && rep == 0) {
+        simulator.set_trace(obs.trace, obs.trace_counter_samples);
+      }
+      if (obs.progress != nullptr) {
+        // Cumulative sim time across repetitions; the meter's modulo check
+        // keeps the per-event cost at a decrement and branch. The hub is
+        // mutex-guarded, so it only hears every 64Ki-th event.
+        simulator.set_observer(
+            [&, base = summary.simulated](const SlotEvent& event) {
+              ++progress_events;
+              obs.progress->sample(base + event.start, progress_events);
+              if (obs.telemetry != nullptr &&
+                  (progress_events & 0xFFFF) == 0) {
+                obs.telemetry->advance_sim((base + event.start).seconds(),
+                                           progress_events);
+              }
+            });
+      }
+      results = simulator.run(spec.duration);
+      if (observatory) {
+        simulator.flush_observatory();
+        if (!summary.stations) summary.stations.emplace();
+        summary.stations->merge(observatory->summarize());
+        if (obs::FlightRecorder::instance().armed()) {
+          obs::FlightRecorder::instance().attach_observatory(nullptr);
+        }
       }
     }
     summary.medium_events +=

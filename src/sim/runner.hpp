@@ -11,6 +11,7 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <variant>
 #include <vector>
 
@@ -19,6 +20,7 @@
 #include "obs/observatory.hpp"
 #include "obs/progress.hpp"
 #include "obs/report.hpp"
+#include "sim/event_kernel.hpp"
 #include "sim/slot_simulator.hpp"
 #include "util/stats.hpp"
 
@@ -41,6 +43,28 @@ namespace plc::sim {
 /// shared with dcf::DcfConfig — no parallel raw ints.
 using MacSpec = std::variant<mac::BackoffConfig, dcf::DcfConfig>;
 
+/// Which contention kernel executes a sweep point's repetitions. Both
+/// kernels produce bit-identical results on the same spec (the
+/// kernel-equivalence CI job holds this across the scenario registry),
+/// so the choice is purely a speed/observability trade.
+enum class Kernel : std::uint8_t {
+  /// Event-driven unless the repetition needs per-slot hooks (trace,
+  /// observatory, progress observer) — the default.
+  kAuto = 0,
+  /// Force the slot-stepped oracle (SlotSimulator).
+  kSlot = 1,
+  /// Event-driven (EventKernel). Repetitions that need per-slot hooks
+  /// still fall back to slot-stepped replay: batching idle slots makes
+  /// per-slot callbacks meaningless, and the replay is exact anyway.
+  kEvent = 2,
+};
+
+/// "auto" / "slot" / "event".
+const char* kernel_name(Kernel kernel);
+
+/// Parses a kernel name; throws plc::Error on anything else.
+Kernel kernel_from_name(std::string_view name);
+
 /// One sweep point's configuration.
 struct RunSpec {
   RunSpec() = default;
@@ -60,6 +84,10 @@ struct RunSpec {
   des::SimTime duration = des::SimTime::from_seconds(50.0);
   int repetitions = 10;
   std::uint64_t seed = 0x1901;
+  /// Kernel selection (see Kernel). Deliberately NOT part of
+  /// canonical_point_json: both kernels compute the same physics, so
+  /// slot and event runs share one store cache entry.
+  Kernel kernel = Kernel::kAuto;
 };
 
 /// Aggregated metrics over the repetitions of one sweep point.
@@ -145,12 +173,24 @@ obs::RunReport run_point_report(const RunSpec& spec, std::string name,
 /// (exposed for harnesses needing traces/observers).
 SlotSimulator make_simulator(const RunSpec& spec, int repetition);
 
+/// Event-driven twin of make_simulator: same per-repetition seed
+/// derivation ("rep-<i>"), same per-station stream fan-out, so the two
+/// kernels replay identical randomness for any (spec, repetition).
+EventKernel make_event_kernel(const RunSpec& spec, int repetition);
+
+/// The runners' kernel dispatch, shared by the serial and parallel
+/// paths: event-driven exactly when the spec does not force the slot
+/// kernel and the repetition has no per-slot hooks attached.
+bool use_event_kernel(Kernel kernel, bool per_slot_hooks);
+
 /// Canonical JSON of a RunSpec's result-determining content — the
 /// "point" coordinate of a plc::store cache key. Covers the MAC
 /// parameters (excluding the cosmetic preset name), stations, timing,
 /// frame length, duration and the root seed; excludes `repetitions`
 /// (the repetition index is a separate key coordinate, and each
-/// repetition's seed is a pure function of the root seed). Field order
+/// repetition's seed is a pure function of the root seed) and `kernel`
+/// (both kernels compute identical results, so slot and event runs
+/// share one cache entry by design). Field order
 /// is fixed here, so the same spec always serializes to the same bytes
 /// regardless of where it came from.
 std::string canonical_point_json(const RunSpec& spec);

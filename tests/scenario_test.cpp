@@ -92,6 +92,29 @@ TEST(SpecJson, AcceptsPresetShorthand) {
             dcf::DcfConfig::ieee80211b().cw_min);
 }
 
+// The "kernel" key selects the contention kernel on parse but is never
+// emitted: reports embed the spec JSON, and slot/event runs must stay
+// byte-identical (the kernel-equivalence CI contract).
+TEST(SpecJson, KernelKeyParsesButIsNeverEmitted) {
+  Spec spec = tiny_spec();
+  std::string json = spec.to_json();
+  EXPECT_EQ(json.find("\"kernel\""), std::string::npos);
+
+  // Splice the key into the canonical form: it must parse...
+  const std::string with_kernel =
+      "{\"kernel\": \"event\"," + json.substr(1);
+  const Spec parsed = Spec::from_json(with_kernel);
+  EXPECT_EQ(parsed.kernel, sim::Kernel::kEvent);
+  // ...and serialize back WITHOUT it, bytes equal to the original.
+  EXPECT_EQ(parsed.to_json(), json);
+
+  EXPECT_EQ(Spec::from_json("{\"kernel\": \"slot\"," + json.substr(1)).kernel,
+            sim::Kernel::kSlot);
+  EXPECT_EQ(Spec::from_json(json).kernel, sim::Kernel::kAuto);
+  EXPECT_THROW(Spec::from_json("{\"kernel\": \"warp\"," + json.substr(1)),
+               plc::Error);
+}
+
 // --- Strict validation -------------------------------------------------------
 
 TEST(SpecJson, RejectsUnknownKeysAtEveryLevel) {
