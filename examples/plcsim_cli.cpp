@@ -13,6 +13,7 @@
 //   plcsim scenario --list
 //   plcsim cache   <stats|verify|gc> --dir DIR [--max-mb N | --max-bytes N]
 //                  [--json]
+//   plcsim mac     <list|describe <name>> [--json]
 //
 // --jobs N shards repetitions (sim), tests (testbed --tests), or sweep
 // points (sweep) across N worker threads; 0 means one per hardware
@@ -43,6 +44,13 @@
 // `verify` re-validates every entry (quarantining corrupt ones; exit 1
 // when any fail), `gc` evicts oldest-first down to --max-mb/--max-bytes.
 // --json switches the output to a machine-readable object.
+//
+// `mac` enumerates the registered MAC defs (mac::builtin_registry()):
+// `list` prints one row per def — aliases, presets, whether the def has
+// an analytical model — and `describe <name>` the full metadata,
+// exposed FSM counters, and the default configuration in spec form
+// (the fields a plc-scenario/1 mac object takes). --json emits
+// "plc-mac-list/1" / "plc-mac/1" objects instead.
 //   plcsim boost   --n 10
 //   plcsim delay   --n 5 --load 0.5
 //   plcsim capture --file out.plcc [--head 10]
@@ -98,6 +106,7 @@
 #include <vector>
 
 #include "analysis/delay.hpp"
+#include "macdef/registry.hpp"
 #include "util/error.hpp"
 #include "analysis/model_1901.hpp"
 #include "analysis/optimizer.hpp"
@@ -1004,6 +1013,124 @@ int cmd_cache(const std::string& action, const Args& args) {
                    "\" (want stats, verify or gc)");
 }
 
+/// One MAC def as a "plc-mac/1" JSON object: identity, metadata and the
+/// def's default configuration in spec form (the same fields a
+/// plc-scenario/1 mac object takes).
+void write_mac_def_json(obs::JsonWriter& json, const mac::MacDef& def) {
+  json.begin_object();
+  json.field("name", def.name);
+  json.key("aliases").begin_array();
+  for (std::size_t i = 0; i < def.alias_count; ++i) json.value(def.aliases[i]);
+  json.end_array();
+  json.field("summary", def.summary);
+  json.key("presets").begin_array();
+  for (std::size_t i = 0; i < def.preset_count; ++i) {
+    json.begin_object();
+    json.field("name", def.presets[i].name);
+    json.field("summary", def.presets[i].summary);
+    json.end_object();
+  }
+  json.end_array();
+  json.key("counters").begin_array();
+  for (std::size_t i = 0; i < def.counter_count; ++i) {
+    json.begin_object();
+    json.field("name", def.counters[i].name);
+    json.field("summary", def.counters[i].summary);
+    json.end_object();
+  }
+  json.end_array();
+  json.field("has_model", def.solve != nullptr);
+  json.field("is_1901_family", def.backoff_config != nullptr);
+  const std::shared_ptr<const void> config = def.default_config();
+  json.key("default").begin_object();
+  def.write_spec_fields(json, config.get());
+  json.end_object();
+  json.end_object();
+}
+
+/// `plcsim mac <list|describe NAME>`: the registered MAC defs, driven
+/// entirely by mac::builtin_registry() metadata.
+int cmd_mac(const std::string& action, const std::string& name,
+            const Args& args) {
+  const mac::Registry& registry = mac::builtin_registry();
+  if (action == "list") {
+    if (args.has("json")) {
+      obs::JsonWriter json(std::cout);
+      json.begin_object();
+      json.field("schema", "plc-mac-list/1");
+      json.key("macs").begin_array();
+      for (const mac::MacDef* def : registry.defs()) {
+        write_mac_def_json(json, *def);
+      }
+      json.end_array();
+      json.end_object();
+      std::cout << "\n";
+      return 0;
+    }
+    util::TablePrinter table({"name", "aliases", "presets", "model",
+                              "summary"});
+    for (const mac::MacDef* def : registry.defs()) {
+      std::string aliases;
+      for (std::size_t i = 0; i < def->alias_count; ++i) {
+        if (!aliases.empty()) aliases += ", ";
+        aliases += def->aliases[i];
+      }
+      std::string presets;
+      for (std::size_t i = 0; i < def->preset_count; ++i) {
+        if (!presets.empty()) presets += ", ";
+        presets += def->presets[i].name;
+      }
+      table.add_row({def->name, aliases.empty() ? "-" : aliases,
+                     presets.empty() ? "-" : presets,
+                     def->solve != nullptr ? "yes" : "-", def->summary});
+    }
+    table.print(std::cout);
+    return 0;
+  }
+  if (action == "describe") {
+    if (name.empty()) {
+      throw plc::Error("mac describe: give a MAC name (known: " +
+                       registry.known_names() + ")");
+    }
+    const mac::MacDef& def = registry.get(name);
+    if (args.has("json")) {
+      obs::JsonWriter json(std::cout);
+      write_mac_def_json(json, def);
+      std::cout << "\n";
+      return 0;
+    }
+    std::printf("%s — %s\n", def.name, def.summary);
+    for (std::size_t i = 0; i < def.alias_count; ++i) {
+      std::printf("  alias: %s\n", def.aliases[i]);
+    }
+    if (def.preset_count > 0) {
+      std::printf("presets:\n");
+      for (std::size_t i = 0; i < def.preset_count; ++i) {
+        std::printf("  %-24s %s\n", def.presets[i].name,
+                    def.presets[i].summary);
+      }
+    }
+    std::printf("counters:\n");
+    for (std::size_t i = 0; i < def.counter_count; ++i) {
+      std::printf("  %-6s %s\n", def.counters[i].name,
+                  def.counters[i].summary);
+    }
+    std::printf("model solver: %s\n", def.solve != nullptr ? "yes" : "no");
+    std::printf("1901 family:  %s\n",
+                def.backoff_config != nullptr ? "yes" : "no");
+    const std::shared_ptr<const void> config = def.default_config();
+    std::ostringstream out;
+    obs::JsonWriter json(out);
+    json.begin_object();
+    def.write_spec_fields(json, config.get());
+    json.end_object();
+    std::printf("default:      %s\n", out.str().c_str());
+    return 0;
+  }
+  throw plc::Error("mac: unknown action \"" + action +
+                   "\" (want list or describe)");
+}
+
 int cmd_capture(const Args& args) {
   const std::string path = args.get_string("file", "");
   if (path.empty()) throw plc::Error("capture: --file is required");
@@ -1040,8 +1167,8 @@ int cmd_capture(const Args& args) {
 
 int usage() {
   std::fprintf(stderr,
-               "usage: plcsim <sim|model|testbed|sweep|scenario|cache|boost|"
-               "delay|capture> [--key value ...]\n"
+               "usage: plcsim <sim|model|testbed|sweep|scenario|cache|mac|"
+               "boost|delay|capture> [--key value ...]\n"
                "see the file header of examples/plcsim_cli.cpp for the "
                "full option list\n");
   return 2;
@@ -1069,6 +1196,19 @@ int main(int argc, char** argv) {
         throw plc::Error("cache: give an action (stats, verify or gc)");
       }
       return cmd_cache(argv[2], Args(argc, argv, 3));
+    }
+    if (command == "mac") {
+      // Action and name are positional: `plcsim mac describe 1901`.
+      if (argc < 3 || std::string(argv[2]).rfind("--", 0) == 0) {
+        throw plc::Error("mac: give an action (list or describe)");
+      }
+      std::string name;
+      int first = 3;
+      if (argc >= 4 && std::string(argv[3]).rfind("--", 0) != 0) {
+        name = argv[3];
+        first = 4;
+      }
+      return cmd_mac(argv[2], name, Args(argc, argv, first));
     }
     const Args args(argc, argv, 2);
     if (command == "sim") return cmd_sim(args);

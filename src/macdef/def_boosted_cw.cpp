@@ -1,0 +1,176 @@
+// The boosted-CW device def — the paper's boosting analysis as a MAC
+// variant, and the proof that a new MAC touches only its own
+// translation unit plus a registration line.
+//
+// For a known station count N, the best uniform contention window
+// (single stage, deferral disabled) balances idle waste against
+// collision cost at CW ~ N * sqrt(2*Tc/slot) (§5 / the optimizer's
+// uniform-window family). The def resolves that window once at
+// parse/default time by scanning the decoupled model over candidate
+// windows (analysis::best_uniform_window) under the paper's timing and
+// frame length — a deterministic pure function of `target_stations` —
+// and then runs the schedule on the stock 1901 machinery: Backoff1901
+// entities on the slot path, the shared 1901 EventMac on the event
+// path, solve_1901 for the model leg, and the resolved schedule as the
+// 1901-family view (exact pair, drift analysis).
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "analysis/model_1901.hpp"
+#include "analysis/optimizer.hpp"
+#include "macdef/registry.hpp"
+#include "macdef/spec_json.hpp"
+#include "util/error.hpp"
+
+namespace plc::mac {
+
+namespace {
+
+using specjson::check_keys;
+using specjson::fail;
+using specjson::int_field;
+using specjson::require_member;
+using specjson::string_field;
+
+/// The parsed config: the N the window is tuned for, plus the schedule
+/// it resolves to (derived, not serialized as an input).
+struct BoostedCwConfig {
+  std::string name;
+  int target_stations = 2;
+  BackoffConfig resolved;
+};
+
+const BoostedCwConfig& as_boosted(const void* config) {
+  return *static_cast<const BoostedCwConfig*>(config);
+}
+
+/// Resolves the schedule for a target N: deterministic (a fixed scan
+/// under the paper's defaults), so equal target_stations always yields
+/// equal behavior. Changing this resolution is a simulation-semantics
+/// change covered by store::kResultEpoch.
+BackoffConfig resolve_schedule(int target_stations, std::string name) {
+  const phy::TimingConfig timing = phy::TimingConfig::paper_default();
+  // The paper's frame duration (2050 us, Table 3) — the same default the
+  // sim layer uses.
+  const des::SimTime frame = des::SimTime::from_ns(2'050'000);
+  BackoffConfig config =
+      analysis::best_uniform_window(target_stations, timing, frame).config;
+  config.name = std::move(name);
+  return config;
+}
+
+std::shared_ptr<const void> make_config(int target_stations,
+                                        std::string name) {
+  auto config = std::make_shared<BoostedCwConfig>();
+  config->target_stations = target_stations;
+  config->resolved = resolve_schedule(target_stations, name);
+  config->name = std::move(name);
+  return std::shared_ptr<const void>(std::move(config));
+}
+
+std::shared_ptr<const void> default_boosted() {
+  return make_config(2, "boosted-cw");
+}
+
+std::shared_ptr<const void> parse_boosted(const obs::JsonValue& value,
+                                          const std::string& where,
+                                          const std::string& label) {
+  check_keys(value, where, {"label", "type", "name", "target_stations"});
+  const int target_stations = static_cast<int>(
+      int_field(require_member(value, where, "target_stations"),
+                where + ".target_stations"));
+  if (target_stations < 1) fail(where + ".target_stations: must be >= 1");
+  std::string name = label;
+  if (const obs::JsonValue* override_name = value.find("name")) {
+    name = string_field(*override_name, where + ".name");
+  }
+  return make_config(target_stations, std::move(name));
+}
+
+void validate_boosted(const void* config) {
+  const BoostedCwConfig& c = as_boosted(config);
+  util::require(c.target_stations >= 1,
+                "scenario: boosted-cw target_stations must be >= 1");
+  c.resolved.validate();
+}
+
+void write_spec_boosted(obs::JsonWriter& json, const void* config) {
+  const BoostedCwConfig& c = as_boosted(config);
+  json.field("name", c.name);
+  json.field("target_stations", c.target_stations);
+}
+
+void write_canonical_boosted(obs::JsonWriter& json, const void* config) {
+  // target_stations determines the schedule, but the resolved window is
+  // emitted too so cache keys stay honest even if the resolution scan
+  // is ever retuned (belt and braces next to store::kResultEpoch).
+  const BoostedCwConfig& c = as_boosted(config);
+  json.field("target_stations", c.target_stations);
+  json.key("cw").begin_array();
+  for (const int w : c.resolved.cw) json.value(w);
+  json.end_array();
+}
+
+std::unique_ptr<BackoffEntity> entity_boosted(const void* config,
+                                              int /*station*/,
+                                              des::RandomStream rng) {
+  return std::make_unique<Backoff1901>(as_boosted(config).resolved,
+                                       std::move(rng));
+}
+
+std::unique_ptr<EventMac> event_boosted(const void* config) {
+  return make_event_mac_1901(as_boosted(config).resolved);
+}
+
+MacModelResult solve_boosted(const void* config, int stations,
+                             const phy::TimingConfig& timing,
+                             des::SimTime frame_length) {
+  const analysis::Model1901Result model =
+      analysis::solve_1901(stations, as_boosted(config).resolved);
+  MacModelResult result;
+  result.collision_probability = model.gamma;
+  result.throughput = model.normalized_throughput(timing, frame_length);
+  result.stage_attempt_probability.reserve(model.stages.size());
+  for (const analysis::StageMetrics& stage : model.stages) {
+    result.stage_attempt_probability.push_back(stage.attempt_probability);
+  }
+  return result;
+}
+
+const BackoffConfig* backoff_boosted(const void* config) {
+  return &as_boosted(config).resolved;
+}
+
+constexpr const char* kAliases[] = {"boosted"};
+constexpr MacCounterInfo kCounters[] = {
+    {"bc", "backoff counter: idle slots left before transmitting"},
+    {"dc", "deferral counter (disabled: single stage, nothing to jump to)"},
+    {"bpc", "backoff procedure counter (stays in the single stage)"},
+};
+
+}  // namespace
+
+const MacDef kMacDefBoostedCw = {
+    .name = "boosted-cw",
+    .aliases = kAliases,
+    .alias_count = std::size(kAliases),
+    .summary =
+        "boosting: the model-optimal uniform contention window for a "
+        "known station count (single stage, deferral disabled)",
+    .presets = nullptr,
+    .preset_count = 0,
+    .counters = kCounters,
+    .counter_count = std::size(kCounters),
+    .default_config = default_boosted,
+    .parse = parse_boosted,
+    .validate = validate_boosted,
+    .write_spec_fields = write_spec_boosted,
+    .write_canonical_fields = write_canonical_boosted,
+    .make_entity = entity_boosted,
+    .make_event_mac = event_boosted,
+    .solve = solve_boosted,
+    .backoff_config = backoff_boosted,
+};
+
+}  // namespace plc::mac

@@ -1,0 +1,116 @@
+#include "macdef/registry.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "dcf/dcf.hpp"
+#include "util/error.hpp"
+
+namespace plc::mac {
+
+int EventMac::deferral_counter(const EventLanes& lanes,
+                               std::size_t station) const {
+  return lanes.dc[station];
+}
+
+int EventMac::stage(const EventLanes& lanes, std::size_t station) const {
+  return lanes.stage[station];
+}
+
+MacSpec::MacSpec() : MacSpec(default_def(), default_def().default_config()) {}
+
+MacSpec::MacSpec(const MacDef& def, std::shared_ptr<const void> config)
+    : def_(&def), config_(std::move(config)) {
+  util::check_arg(config_ != nullptr, "config", "must not be null");
+}
+
+MacSpec::MacSpec(BackoffConfig config)
+    : MacSpec(kMacDef1901,
+              std::make_shared<const BackoffConfig>(std::move(config))) {}
+
+MacSpec::MacSpec(const dcf::DcfConfig& config)
+    : MacSpec(kMacDefDcf, std::make_shared<const dcf::DcfConfig>(config)) {}
+
+const BackoffConfig* MacSpec::backoff_config() const {
+  if (def_->backoff_config == nullptr) return nullptr;
+  return def_->backoff_config(config_.get());
+}
+
+const dcf::DcfConfig* MacSpec::dcf_config() const {
+  if (def_ != &kMacDefDcf) return nullptr;
+  return static_cast<const dcf::DcfConfig*>(config_.get());
+}
+
+void Registry::add(const MacDef* def) {
+  util::check_arg(def != nullptr && def->name != nullptr, "def",
+                  "must have a name");
+  auto taken = [&](std::string_view name) {
+    for (const MacDef* existing : defs_) {
+      if (name == existing->name) return true;
+      for (std::size_t a = 0; a < existing->alias_count; ++a) {
+        if (name == existing->aliases[a]) return true;
+      }
+    }
+    return false;
+  };
+  if (taken(def->name)) {
+    throw Error("mac: duplicate MAC def name \"" + std::string(def->name) +
+                "\"");
+  }
+  for (std::size_t a = 0; a < def->alias_count; ++a) {
+    if (taken(def->aliases[a])) {
+      throw Error("mac: duplicate MAC def alias \"" +
+                  std::string(def->aliases[a]) + "\"");
+    }
+  }
+  defs_.push_back(def);
+}
+
+const MacDef* Registry::find(std::string_view name) const {
+  for (const MacDef* def : defs_) {
+    if (name == def->name) return def;
+    for (std::size_t a = 0; a < def->alias_count; ++a) {
+      if (name == def->aliases[a]) return def;
+    }
+  }
+  return nullptr;
+}
+
+const MacDef& Registry::get(std::string_view name) const {
+  const MacDef* def = find(name);
+  if (def == nullptr) {
+    throw Error("unknown MAC type \"" + std::string(name) +
+                "\" (known: " + known_names() + ")");
+  }
+  return *def;
+}
+
+std::string Registry::known_names() const {
+  std::vector<std::string> names;
+  names.reserve(defs_.size());
+  for (const MacDef* def : defs_) names.emplace_back(def->name);
+  std::sort(names.begin(), names.end());
+  std::string out;
+  for (const std::string& name : names) {
+    if (!out.empty()) out += ", ";
+    out += "\"" + name + "\"";
+  }
+  return out;
+}
+
+const Registry& builtin_registry() {
+  // The registration lines: one per def, in `plcsim mac list` order.
+  static const Registry registry = [] {
+    Registry r;
+    r.add(&kMacDef1901);
+    r.add(&kMacDefDcf);
+    r.add(&kMacDefTdma);
+    r.add(&kMacDefBoostedCw);
+    return r;
+  }();
+  return registry;
+}
+
+const MacDef& default_def() { return kMacDef1901; }
+
+}  // namespace plc::mac

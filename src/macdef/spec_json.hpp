@@ -1,0 +1,98 @@
+// Strict-parsing helpers for the plc-scenario/1 JSON dialect, shared by
+// the scenario parser (scenario/spec.cpp) and every MacDef::parse hook.
+//
+// The dialect's rules are uniform everywhere: unknown keys are rejected
+// at every level, integers must be exact (no fractional doubles), times
+// are non-negative integer nanoseconds, and error messages carry the
+// "scenario: <where>: ..." shape. Keeping the helpers in one header
+// means a MAC def TU cannot drift from the scenario parser's behavior.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "des/time.hpp"
+#include "obs/json.hpp"
+#include "util/error.hpp"
+
+namespace plc::specjson {
+
+[[noreturn]] inline void fail(const std::string& message) {
+  throw Error("scenario: " + message);
+}
+
+/// Strict parsing: every object's keys must come from its allowed set.
+inline void check_keys(const obs::JsonValue& object, const std::string& where,
+                       std::initializer_list<std::string_view> allowed) {
+  for (const auto& [key, value] : object.members) {
+    bool known = false;
+    for (const std::string_view candidate : allowed) {
+      if (key == candidate) {
+        known = true;
+        break;
+      }
+    }
+    if (!known) fail(where + ": unknown key \"" + key + "\"");
+  }
+}
+
+inline const obs::JsonValue& require_member(const obs::JsonValue& object,
+                                            const std::string& where,
+                                            std::string_view key) {
+  const obs::JsonValue* value = object.find(key);
+  if (value == nullptr) {
+    fail(where + ": missing required key \"" + std::string(key) + "\"");
+  }
+  return *value;
+}
+
+inline const obs::JsonValue& require_object(const obs::JsonValue& value,
+                                            const std::string& where) {
+  if (!value.is_object()) fail(where + ": expected an object");
+  return value;
+}
+
+inline std::string string_field(const obs::JsonValue& value,
+                                const std::string& where) {
+  if (!value.is_string()) fail(where + ": expected a string");
+  return value.text;
+}
+
+inline bool bool_field(const obs::JsonValue& value, const std::string& where) {
+  if (!value.is_bool()) fail(where + ": expected a boolean");
+  return value.boolean;
+}
+
+inline std::int64_t int_field(const obs::JsonValue& value,
+                              const std::string& where) {
+  if (!value.is_number()) fail(where + ": expected a number");
+  const double number = value.number;
+  if (std::floor(number) != number || std::abs(number) > 9.0e15) {
+    fail(where + ": expected an integer");
+  }
+  return static_cast<std::int64_t>(number);
+}
+
+inline des::SimTime time_field(const obs::JsonValue& value,
+                               const std::string& where) {
+  const std::int64_t ns = int_field(value, where);
+  if (ns < 0) fail(where + ": must be non-negative nanoseconds");
+  return des::SimTime::from_ns(ns);
+}
+
+inline std::vector<int> int_array(const obs::JsonValue& value,
+                                  const std::string& where) {
+  if (!value.is_array()) fail(where + ": expected an array");
+  std::vector<int> out;
+  out.reserve(value.items.size());
+  for (const obs::JsonValue& item : value.items) {
+    out.push_back(static_cast<int>(int_field(item, where + " element")));
+  }
+  return out;
+}
+
+}  // namespace plc::specjson

@@ -118,6 +118,30 @@ Spec e20_mac_observatory() {
   return spec;
 }
 
+/// E21: the boosting recipe as a registered MAC — the model-optimal
+/// uniform contention window for a target population (boosted-cw def,
+/// tuned for N = 5) against the CA1 default, simulation and models.
+/// Matched at the target, the tuned window trades the deferral ladder's
+/// robustness for throughput; away from the target the win shrinks.
+/// Written as a spec document on purpose: the factory goes through the
+/// same plc-scenario/1 parser (and the boosted-cw def's parse hook) as
+/// a user-supplied --spec file.
+Spec e21_boosted_cw() {
+  return Spec::from_json(R"({
+    "name": "e21-boosted-cw",
+    "title": "E21: boosted CW (tuned for N=5) vs the CA1 default",
+    "macs": [
+      {"label": "CA1", "type": "1901", "preset": "ca0_ca1"},
+      {"label": "BoostedCW-5", "type": "boosted-cw", "target_stations": 5}
+    ],
+    "stations": [2, 5, 10],
+    "duration_ns": 10000000000,
+    "repetitions": 3,
+    "seed": "0xb0057ed",
+    "legs": {"sim": true, "model": true, "testbed": false, "exact_pair": false}
+  })");
+}
+
 /// Head-to-head: 1901 CA1 against the standard 802.11 DCF window pair,
 /// simulation and models, at a few representative network sizes.
 Spec dcf_comparison() {
@@ -147,6 +171,7 @@ struct Entry {
 constexpr Entry kEntries[] = {
     {"dcf-comparison", dcf_comparison},
     {"e20-mac-observatory", e20_mac_observatory},
+    {"e21-boosted-cw", e21_boosted_cw},
     {"e6-throughput-vs-n", e6_throughput_vs_n},
     {"e8-boosting", e8_boosting},
     {"figure2", figure2},

@@ -3,17 +3,15 @@
 #include <cstddef>
 #include <cstdio>
 #include <deque>
+#include <optional>
 #include <ostream>
 #include <sstream>
 #include <string>
-#include <type_traits>
 #include <utility>
-#include <variant>
 #include <vector>
 
 #include "analysis/exact_chain.hpp"
-#include "analysis/model_1901.hpp"
-#include "analysis/model_dcf.hpp"
+#include "macdef/registry.hpp"
 #include "obs/json.hpp"
 #include "obs/telemetry.hpp"
 #include "sim/parallel_runner.hpp"
@@ -32,35 +30,15 @@ std::string scalar_prefix(const std::string& label, int stations) {
   return label + ".n" + std::to_string(stations) + ".";
 }
 
-/// Model-leg results for one (variant, N) point, MAC-agnostic.
-struct ModelPoint {
-  double collision_probability = 0.0;
-  double throughput = 0.0;
-};
-
-ModelPoint solve_model(const sim::MacSpec& mac, int stations,
-                       const phy::TimingConfig& timing,
-                       des::SimTime frame_length) {
-  return std::visit(
-      [&](const auto& config) {
-        using T = std::decay_t<decltype(config)>;
-        ModelPoint point;
-        if constexpr (std::is_same_v<T, mac::BackoffConfig>) {
-          const analysis::Model1901Result model =
-              analysis::solve_1901(stations, config);
-          point.collision_probability = model.gamma;
-          point.throughput =
-              model.normalized_throughput(timing, frame_length);
-        } else {
-          const analysis::ModelDcfResult model =
-              analysis::solve_dcf(stations, config.cw_min, config.cw_max);
-          point.collision_probability = model.gamma;
-          point.throughput =
-              model.normalized_throughput(timing, frame_length);
-        }
-        return point;
-      },
-      mac);
+/// Model-leg results for one (variant, N) point, MAC-agnostic: the
+/// def's registered solver, or nullopt for MACs without one (TDMA) —
+/// those print "-" cells and record no model scalars.
+std::optional<mac::MacModelResult> solve_model(const sim::MacSpec& mac,
+                                               int stations,
+                                               const phy::TimingConfig& timing,
+                                               des::SimTime frame_length) {
+  if (mac.def().solve == nullptr) return std::nullopt;
+  return mac.def().solve(mac.config(), stations, timing, frame_length);
 }
 
 /// Canonical point JSON of one testbed test — the testbed leg's cache
@@ -339,9 +317,9 @@ RunOutcome run_scenario(const Spec& spec, const RunOptions& options) {
 
   for (std::size_t variant = 0; variant < variants; ++variant) {
     const std::string& label = spec.macs[variant].label;
-    const bool is_1901 =
-        std::holds_alternative<mac::BackoffConfig>(spec.macs[variant].mac);
-    const bool with_exact = spec.legs.exact_pair && is_1901;
+    const sim::MacSpec& mac = spec.macs[variant].mac;
+    const bool is_1901_family = mac.backoff_config() != nullptr;
+    const bool with_exact = spec.legs.exact_pair && is_1901_family;
     const bool with_testbed = spec.legs.testbed && variant == 0;
     const bool with_reference = variant == 0 && !spec.reference.empty();
 
@@ -391,27 +369,21 @@ RunOutcome run_scenario(const Spec& spec, const RunOptions& options) {
           if (spec.observatory) row.push_back(util::format_fixed(jain, 4));
           // Per-stage drift: the empirical attempt frequency of each
           // backoff stage next to the decoupled model's x_i(gamma) — the
-          // divergence at small N is the paper's coupling story.
-          if (is_1901) {
-            const auto& config =
-                std::get<mac::BackoffConfig>(spec.macs[variant].mac);
-            const analysis::Model1901Result model =
-                analysis::solve_1901(n, config);
-            for (std::size_t s = 0; s < stations.per_stage.size(); ++s) {
-              const std::string stage =
-                  prefix + "obs.stage" + std::to_string(s) + ".";
-              report.scalars[stage + "attempt_freq"] =
-                  stations.per_stage[s].attempt_freq();
-              if (s < model.stages.size()) {
-                report.scalars[stage + "attempt_model"] =
-                    model.stages[s].attempt_probability;
-              }
-            }
-          } else {
-            for (std::size_t s = 0; s < stations.per_stage.size(); ++s) {
-              report.scalars[prefix + "obs.stage" + std::to_string(s) +
-                             ".attempt_freq"] =
-                  stations.per_stage[s].attempt_freq();
+          // divergence at small N is the paper's coupling story. MACs
+          // whose solver has no per-stage analysis (DCF) — or no solver
+          // at all — record empirical frequencies only.
+          std::vector<double> stage_model;
+          if (const std::optional<mac::MacModelResult> model =
+                  solve_model(mac, n, spec.timing, spec.frame_length)) {
+            stage_model = model->stage_attempt_probability;
+          }
+          for (std::size_t s = 0; s < stations.per_stage.size(); ++s) {
+            const std::string stage =
+                prefix + "obs.stage" + std::to_string(s) + ".";
+            report.scalars[stage + "attempt_freq"] =
+                stations.per_stage[s].attempt_freq();
+            if (s < stage_model.size()) {
+              report.scalars[stage + "attempt_model"] = stage_model[s];
             }
           }
         } else if (spec.observatory) {
@@ -420,20 +392,23 @@ RunOutcome run_scenario(const Spec& spec, const RunOptions& options) {
       }
 
       if (spec.legs.model) {
-        const ModelPoint model = solve_model(spec.macs[variant].mac, n,
-                                             spec.timing, spec.frame_length);
-        report.scalars[prefix + "model_collision_probability"] =
-            model.collision_probability;
-        report.scalars[prefix + "model_throughput"] = model.throughput;
-        row.push_back(util::format_fixed(model.collision_probability, 4));
-        row.push_back(util::format_fixed(model.throughput, 4));
+        if (const std::optional<mac::MacModelResult> model =
+                solve_model(mac, n, spec.timing, spec.frame_length)) {
+          report.scalars[prefix + "model_collision_probability"] =
+              model->collision_probability;
+          report.scalars[prefix + "model_throughput"] = model->throughput;
+          row.push_back(util::format_fixed(model->collision_probability, 4));
+          row.push_back(util::format_fixed(model->throughput, 4));
+        } else {
+          row.push_back("-");
+          row.push_back("-");
+        }
       }
 
       if (with_exact) {
         if (n == 2) {
-          const analysis::ExactPairResult exact = analysis::solve_exact_pair(
-              std::get<mac::BackoffConfig>(spec.macs[variant].mac), 3000,
-              1e-10);
+          const analysis::ExactPairResult exact =
+              analysis::solve_exact_pair(*mac.backoff_config(), 3000, 1e-10);
           report.scalars[prefix + "exact_collision_probability"] =
               exact.collision_probability;
           row.push_back(util::format_fixed(exact.collision_probability, 4));

@@ -1,15 +1,13 @@
 #include "scenario/spec.hpp"
 
-#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
-#include <initializer_list>
 #include <sstream>
-#include <type_traits>
-#include <variant>
 
 #include "des/random.hpp"
+#include "macdef/registry.hpp"
+#include "macdef/spec_json.hpp"
 #include "obs/json.hpp"
 #include "util/error.hpp"
 
@@ -19,75 +17,17 @@ namespace {
 
 using obs::JsonValue;
 
-[[noreturn]] void fail(const std::string& message) {
-  throw Error("scenario: " + message);
-}
-
-/// Strict parsing: every object's keys must come from its allowed set.
-void check_keys(const JsonValue& object, const std::string& where,
-                std::initializer_list<std::string_view> allowed) {
-  for (const auto& [key, value] : object.members) {
-    bool known = false;
-    for (const std::string_view candidate : allowed) {
-      if (key == candidate) {
-        known = true;
-        break;
-      }
-    }
-    if (!known) fail(where + ": unknown key \"" + key + "\"");
-  }
-}
-
-const JsonValue& require_member(const JsonValue& object,
-                                const std::string& where,
-                                std::string_view key) {
-  const JsonValue* value = object.find(key);
-  if (value == nullptr) {
-    fail(where + ": missing required key \"" + std::string(key) + "\"");
-  }
-  return *value;
-}
-
-const JsonValue& require_object(const JsonValue& value,
-                                const std::string& where) {
-  if (!value.is_object()) fail(where + ": expected an object");
-  return value;
-}
-
-std::string string_field(const JsonValue& value, const std::string& where) {
-  if (!value.is_string()) fail(where + ": expected a string");
-  return value.text;
-}
-
-bool bool_field(const JsonValue& value, const std::string& where) {
-  if (!value.is_bool()) fail(where + ": expected a boolean");
-  return value.boolean;
-}
-
-std::int64_t int_field(const JsonValue& value, const std::string& where) {
-  if (!value.is_number()) fail(where + ": expected a number");
-  const double number = value.number;
-  if (std::floor(number) != number || std::abs(number) > 9.0e15) {
-    fail(where + ": expected an integer");
-  }
-  return static_cast<std::int64_t>(number);
-}
-
-des::SimTime time_field(const JsonValue& value, const std::string& where) {
-  const std::int64_t ns = int_field(value, where);
-  if (ns < 0) fail(where + ": must be non-negative nanoseconds");
-  return des::SimTime::from_ns(ns);
-}
-
-std::vector<int> int_array(const JsonValue& value, const std::string& where) {
-  if (!value.is_array()) fail(where + ": expected an array");
-  std::vector<int> out;
-  out.reserve(value.items.size());
-  for (const JsonValue& item : value.items) {
-    out.push_back(static_cast<int>(int_field(item, where + " element")));
-  }
-  return out;
-}
+// The strict-parsing helpers are shared with the MacDef parse hooks
+// (see macdef/spec_json.hpp) — one dialect, one set of error shapes.
+using specjson::bool_field;
+using specjson::check_keys;
+using specjson::fail;
+using specjson::int_array;
+using specjson::int_field;
+using specjson::require_member;
+using specjson::require_object;
+using specjson::string_field;
+using specjson::time_field;
 
 /// Seeds are 64-bit; JSON numbers are doubles and lose bits past 2^53,
 /// so the canonical form is a hex string ("0x1901"). Decimal strings and
@@ -122,83 +62,22 @@ MacVariant parse_mac_variant(const JsonValue& value, const std::string& where) {
                                where + ".label");
   const std::string type =
       string_field(require_member(value, where, "type"), where + ".type");
-  if (type == "1901") {
-    check_keys(value, where, {"label", "type", "name", "preset", "cw", "dc"});
-    mac::BackoffConfig config;
-    if (const JsonValue* preset = value.find("preset")) {
-      if (value.find("cw") != nullptr || value.find("dc") != nullptr) {
-        fail(where + ": \"preset\" excludes explicit \"cw\"/\"dc\"");
-      }
-      const std::string name = string_field(*preset, where + ".preset");
-      if (name == "ca0_ca1") {
-        config = mac::BackoffConfig::ca0_ca1();
-      } else if (name == "ca2_ca3") {
-        config = mac::BackoffConfig::ca2_ca3();
-      } else {
-        fail(where + ": unknown 1901 preset \"" + name + "\"");
-      }
-    } else {
-      config.cw = int_array(require_member(value, where, "cw"), where + ".cw");
-      config.dc = int_array(require_member(value, where, "dc"), where + ".dc");
-      config.name = variant.label;
-    }
-    if (const JsonValue* name = value.find("name")) {
-      config.name = string_field(*name, where + ".name");
-    }
-    variant.mac = std::move(config);
-  } else if (type == "dcf") {
-    check_keys(value, where, {"label", "type", "preset", "cw_min", "cw_max"});
-    dcf::DcfConfig config;
-    if (const JsonValue* preset = value.find("preset")) {
-      if (value.find("cw_min") != nullptr || value.find("cw_max") != nullptr) {
-        fail(where + ": \"preset\" excludes explicit \"cw_min\"/\"cw_max\"");
-      }
-      const std::string name = string_field(*preset, where + ".preset");
-      if (name == "ieee80211ag") {
-        config = dcf::DcfConfig::ieee80211ag();
-      } else if (name == "ieee80211b") {
-        config = dcf::DcfConfig::ieee80211b();
-      } else if (name == "plc_window_no_deferral") {
-        config = dcf::DcfConfig::plc_window_no_deferral();
-      } else {
-        fail(where + ": unknown dcf preset \"" + name + "\"");
-      }
-    } else {
-      config.cw_min = static_cast<int>(
-          int_field(require_member(value, where, "cw_min"), where + ".cw_min"));
-      config.cw_max = static_cast<int>(
-          int_field(require_member(value, where, "cw_max"), where + ".cw_max"));
-    }
-    variant.mac = config;
-  } else {
-    fail(where + ": unknown MAC type \"" + type + "\" (want \"1901\" or "
-                 "\"dcf\")");
+  // "type" dispatches through the MAC registry: the def owns its key
+  // set, presets and config shape; the parser owns only label/type.
+  const mac::MacDef* def = mac::builtin_registry().find(type);
+  if (def == nullptr) {
+    fail(where + ": unknown MAC type \"" + type +
+         "\" (known: " + mac::builtin_registry().known_names() + ")");
   }
+  variant.mac = sim::MacSpec(*def, def->parse(value, where, variant.label));
   return variant;
 }
 
 void write_mac_variant(obs::JsonWriter& json, const MacVariant& variant) {
   json.begin_object();
   json.field("label", variant.label);
-  std::visit(
-      [&](const auto& config) {
-        using T = std::decay_t<decltype(config)>;
-        if constexpr (std::is_same_v<T, mac::BackoffConfig>) {
-          json.field("type", "1901");
-          json.field("name", config.name);
-          json.key("cw").begin_array();
-          for (const int w : config.cw) json.value(w);
-          json.end_array();
-          json.key("dc").begin_array();
-          for (const int d : config.dc) json.value(d);
-          json.end_array();
-        } else {
-          json.field("type", "dcf");
-          json.field("cw_min", config.cw_min);
-          json.field("cw_max", config.cw_max);
-        }
-      },
-      variant.mac);
+  json.field("type", variant.mac.def().name);
+  variant.mac.def().write_spec_fields(json, variant.mac.config());
   json.end_object();
 }
 
@@ -215,19 +94,7 @@ void Spec::validate() const {
                     "scenario: duplicate MAC variant label \"" +
                         macs[i].label + "\"");
     }
-    std::visit(
-        [&](const auto& config) {
-          using T = std::decay_t<decltype(config)>;
-          if constexpr (std::is_same_v<T, mac::BackoffConfig>) {
-            config.validate();
-          } else {
-            util::require(config.cw_min >= 1,
-                          "scenario: dcf cw_min must be >= 1");
-            util::require(config.cw_max >= config.cw_min,
-                          "scenario: dcf cw_max must be >= cw_min");
-          }
-        },
-        macs[i].mac);
+    macs[i].mac.def().validate(macs[i].mac.config());
   }
   util::require(!stations.empty(), "scenario: need at least one station count");
   for (const int n : stations) {

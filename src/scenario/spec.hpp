@@ -9,7 +9,7 @@
 // duration, repetitions and seed, plus which legs to run. Specs
 // serialize to JSON ("plc-scenario/1") via obs::json, parse back with
 // strict validation (unknown keys are rejected at every level, MAC
-// invariants go through BackoffConfig::validate), and bridge to the
+// objects dispatch through the mac::MacDef registry), and bridge to the
 // execution layers through sim::RunSpec and tools::TestbedConfig — so
 // sim, model and emu provably consume the same parameters, and "new
 // scenario" is a JSON file instead of a C++ change.
@@ -31,7 +31,8 @@ namespace plc::scenario {
 /// One MAC configuration under test, with its table/scalar label.
 struct MacVariant {
   std::string label;  ///< Column label and scalar prefix, e.g. "CA1".
-  sim::MacSpec mac = mac::BackoffConfig::ca0_ca1();
+  /// Defaults to the registry default def (see mac::default_def()).
+  sim::MacSpec mac;
 };
 
 /// Which legs of the methodology a scenario runs.

@@ -3,16 +3,15 @@
 #include <algorithm>
 #include <string>
 
-#include "dcf/dcf.hpp"
 #include "obs/profiler.hpp"
 #include "util/error.hpp"
 
 namespace plc::sim {
 
-EventKernel::EventKernel(Mode mode, int stations,
+EventKernel::EventKernel(const mac::MacSpec& mac, int stations,
                          const phy::TimingConfig& timing,
                          des::SimTime frame_length, std::uint64_t seed)
-    : mode_(mode),
+    : mac_(mac.def().make_event_mac(mac.config())),
       slot_(timing.slot),
       ts_(timing.success_duration(frame_length)),
       tc_(timing.collision_duration(frame_length)) {
@@ -22,49 +21,22 @@ EventKernel::EventKernel(Mode mode, int stations,
   util::check_arg(frame_length > des::SimTime::zero(), "frame_length",
                   "must be positive");
   const auto n = static_cast<std::size_t>(stations);
-  bc_.assign(n, 0);
-  dc_.assign(n, 0);
-  bpc_.assign(n, 0);
-  stage_.assign(n, 0);
+  lanes_.bc.assign(n, 0);
+  lanes_.dc.assign(n, 0);
+  lanes_.bpc.assign(n, 0);
+  lanes_.stage.assign(n, 0);
   results_.tx_success.assign(n, 0);
   results_.tx_collision.assign(n, 0);
-  // Same stream fan-out as make_1901_entities / make_dcf_entities: one
-  // derived stream per station, consumed only by that station's redraws,
-  // so the draw sequences are identical to the slot path's entities.
+  // Same stream fan-out as the slot path's entity factories: one derived
+  // stream per station, all derived before any initial state is drawn,
+  // consumed only by that station's own transitions — so the draw
+  // sequences are identical to the slot path's entities.
   des::RandomStream root(seed);
-  rngs_.reserve(n);
+  lanes_.rngs.reserve(n);
   for (int i = 0; i < stations; ++i) {
-    rngs_.emplace_back(root.derive_seed("station-" + std::to_string(i)));
+    lanes_.rngs.emplace_back(root.derive_seed("station-" + std::to_string(i)));
   }
-}
-
-EventKernel::EventKernel(const mac::BackoffConfig& config, int stations,
-                         const phy::TimingConfig& timing,
-                         des::SimTime frame_length, std::uint64_t seed)
-    : EventKernel(Mode::k1901, stations, timing, frame_length, seed) {
-  config.validate();
-  cw_by_stage_ = config.cw;
-  dc_by_stage_ = config.dc;
-  // Mirrors Backoff1901's constructor: start_new_frame is BPC = 0 plus
-  // one initial redraw (which consumes one draw per station).
-  for (std::size_t i = 0; i < bc_.size(); ++i) redraw(i);
-}
-
-EventKernel::EventKernel(const dcf::DcfConfig& config, int stations,
-                         const phy::TimingConfig& timing,
-                         des::SimTime frame_length, std::uint64_t seed)
-    : EventKernel(Mode::kDcf, stations, timing, frame_length, seed) {
-  util::check_arg(config.cw_min >= 1, "cw_min", "must be >= 1");
-  util::check_arg(config.cw_max >= config.cw_min, "cw_max",
-                  "must be >= cw_min");
-  // The binary-exponential ladder BackoffDcf::redraw walks per call,
-  // resolved once: cw_by_stage_[r] is the window after r failed tries.
-  cw_by_stage_.push_back(config.cw_min);
-  for (int cw = config.cw_min; cw < config.cw_max;) {
-    cw = std::min(cw * 2, config.cw_max);
-    cw_by_stage_.push_back(cw);
-  }
-  for (std::size_t i = 0; i < bc_.size(); ++i) redraw(i);
+  for (std::size_t i = 0; i < n; ++i) mac_->init_station(lanes_, i);
 }
 
 void EventKernel::bind_metrics(obs::Registry& registry) {
@@ -87,28 +59,16 @@ void EventKernel::bind_metrics(obs::Registry& registry) {
   metrics_ = std::move(metrics);
 }
 
-void EventKernel::redraw(std::size_t station) {
-  const int stages = static_cast<int>(cw_by_stage_.size());
-  const int stage = std::min(bpc_[station], stages - 1);
-  stage_[station] = stage;
-  bc_[station] = rngs_[station].draw_backoff(
-      cw_by_stage_[static_cast<std::size_t>(stage)]);
-  if (mode_ == Mode::k1901) {
-    dc_[station] = dc_by_stage_[static_cast<std::size_t>(stage)];
-    ++bpc_[station];  // Backoff1901::redraw advances BPC; DCF's does not.
-  }
-}
-
 std::int64_t EventKernel::min_backoff() const {
-  int min_bc = bc_[0];
-  for (const int bc : bc_) min_bc = std::min(min_bc, bc);
+  int min_bc = lanes_.bc[0];
+  for (const int bc : lanes_.bc) min_bc = std::min(min_bc, bc);
   return min_bc;
 }
 
 void EventKernel::advance_idle(std::int64_t slots) {
   results_.idle_slots += slots;
   const int delta = static_cast<int>(slots);  // slots <= min BC, fits int.
-  for (int& bc : bc_) bc -= delta;
+  for (int& bc : lanes_.bc) bc -= delta;
   now_ += slot_ * slots;
   if (metrics_) {
     const auto idle = static_cast<std::size_t>(SlotEventType::kIdle);
@@ -120,7 +80,7 @@ void EventKernel::advance_idle(std::int64_t slots) {
 void EventKernel::attempt() {
   scratch_transmitters_.clear();
   for (int i = 0; i < station_count(); ++i) {
-    if (bc_[static_cast<std::size_t>(i)] == 0) {
+    if (lanes_.bc[static_cast<std::size_t>(i)] == 0) {
       scratch_transmitters_.push_back(i);
     }
   }
@@ -134,19 +94,12 @@ void EventKernel::attempt() {
     const int winner = scratch_transmitters_.front();
     ++results_.tx_success[static_cast<std::size_t>(winner)];
     if (record_winners_) winners_.push_back(winner);
-    for (std::size_t i = 0; i < bc_.size(); ++i) {
+    for (std::size_t i = 0; i < lanes_.size(); ++i) {
       if (static_cast<int>(i) == winner) {
-        bpc_[i] = 0;  // Both MACs restart the ladder after a success.
-        redraw(i);
-      } else if (mode_ == Mode::k1901) {
-        if (dc_[i] == 0) {
-          redraw(i);  // Deferral expired: jump without attempting.
-        } else {
-          --dc_[i];
-          --bc_[i];
-        }
+        mac_->on_transmitted(lanes_, i, /*success=*/true);
+      } else {
+        mac_->on_busy(lanes_, i);
       }
-      // DCF non-transmitters freeze their BC through busy periods.
     }
   } else {
     type = SlotEventType::kCollision;
@@ -154,18 +107,12 @@ void EventKernel::attempt() {
     ++results_.collision_events;
     results_.collided_tx +=
         static_cast<std::int64_t>(scratch_transmitters_.size());
-    for (std::size_t i = 0; i < bc_.size(); ++i) {
-      if (bc_[i] == 0) {
+    for (std::size_t i = 0; i < lanes_.size(); ++i) {
+      if (lanes_.bc[i] == 0) {
         ++results_.tx_collision[i];
-        if (mode_ == Mode::kDcf) ++bpc_[i];  // One more failed try.
-        redraw(i);
-      } else if (mode_ == Mode::k1901) {
-        if (dc_[i] == 0) {
-          redraw(i);
-        } else {
-          --dc_[i];
-          --bc_[i];
-        }
+        mac_->on_transmitted(lanes_, i, /*success=*/false);
+      } else {
+        mac_->on_busy(lanes_, i);
       }
     }
   }
@@ -229,32 +176,29 @@ SlotSimResults EventKernel::run_events(std::int64_t max_events) {
   return results_;
 }
 
-int EventKernel::backoff_counter(int station) const {
+void EventKernel::check_station(int station) const {
   util::check_arg(station >= 0 && station < station_count(), "station",
                   "out of range");
-  return bc_[static_cast<std::size_t>(station)];
+}
+
+int EventKernel::backoff_counter(int station) const {
+  check_station(station);
+  return lanes_.bc[static_cast<std::size_t>(station)];
 }
 
 int EventKernel::deferral_counter(int station) const {
-  util::check_arg(station >= 0 && station < station_count(), "station",
-                  "out of range");
-  if (mode_ == Mode::kDcf) return mac::kDeferralDisabled;
-  return dc_[static_cast<std::size_t>(station)];
+  check_station(station);
+  return mac_->deferral_counter(lanes_, static_cast<std::size_t>(station));
 }
 
 int EventKernel::backoff_procedure_counter(int station) const {
-  util::check_arg(station >= 0 && station < station_count(), "station",
-                  "out of range");
-  return bpc_[static_cast<std::size_t>(station)];
+  check_station(station);
+  return lanes_.bpc[static_cast<std::size_t>(station)];
 }
 
 int EventKernel::stage(int station) const {
-  util::check_arg(station >= 0 && station < station_count(), "station",
-                  "out of range");
-  // Matches the entity accessors: Backoff1901 reports the clamped stage,
-  // BackoffDcf reports its raw retry count.
-  if (mode_ == Mode::kDcf) return bpc_[static_cast<std::size_t>(station)];
-  return stage_[static_cast<std::size_t>(station)];
+  check_station(station);
+  return mac_->stage(lanes_, static_cast<std::size_t>(station));
 }
 
 }  // namespace plc::sim

@@ -4,27 +4,27 @@
 // While every station is merely counting down backoff, the medium is
 // idle and nothing observable happens until the smallest BC reaches
 // zero. The length of that gap is computable in O(stations), so this
-// kernel keeps the per-station FSM state in SoA arrays (BC/DC/BPC/stage
+// kernel keeps the per-station FSM state in SoA lanes (BC/DC/BPC/stage
 // plus the per-station RNG streams), scans for the minimum BC each
 // iteration, advances virtual time by the whole gap in one step, and
 // then resolves the attempt — success, or a collision of every expired
-// station — with exactly the transitions Backoff1901/BackoffDcf apply
-// inside SlotSimulator:
+// station.
 //
-//   - idle slot          every station: BC -= 1 (batched over the gap);
-//   - own success        1901: BPC = 0, redraw; DCF: retries = 0, redraw;
-//   - own collision      1901: redraw at stage min(BPC, m-1); DCF:
-//                        retries += 1, redraw;
-//   - sensed busy, 1901  DC == 0: jump (redraw, BPC += 1), else
-//                        DC -= 1 and BC -= 1;
-//   - sensed busy, DCF   freeze (BC unchanged).
+// The per-station transition rules live in the MAC's registered
+// mac::EventMac (see macdef/registry.hpp): the kernel owns the lanes
+// and the event loop, the EventMac owns what a success, collision or
+// sensed-busy event does to one station's counters. The kernel itself
+// applies only the one transition the ABI fixes for every MAC — an
+// idle slot decrements every BC by one — which is what lets it batch
+// whole idle gaps as `bc -= gap`.
 //
-// Per-station RNG streams are derived with the same labels as
-// make_1901_entities / make_dcf_entities and consumed by the same
-// transitions, so every draw — and therefore every counter, metric and
-// winner sequence — is bit-identical to SlotSimulator's on the same
-// seed. Tests pin this down; the kernel-equivalence CI job holds it
-// across the whole scenario registry.
+// Per-station RNG streams are derived with the same labels as the slot
+// path's entity factories and consumed by the same transitions in the
+// same station-ascending order, so every draw — and therefore every
+// counter, metric and winner sequence — is bit-identical to
+// SlotSimulator's on the same seed. Tests pin this down; the
+// kernel-equivalence CI job holds it across the whole scenario
+// registry.
 //
 // The kernel deliberately has no per-slot hooks (trace, observer,
 // observatory): batching idle slots makes "one callback per slot"
@@ -33,36 +33,29 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <vector>
 
-#include "des/random.hpp"
 #include "des/time.hpp"
-#include "mac/config.hpp"
+#include "macdef/registry.hpp"
 #include "obs/metrics.hpp"
 #include "phy/timing.hpp"
 #include "sim/slot_simulator.hpp"
-
-namespace plc::dcf {
-struct DcfConfig;
-}
 
 namespace plc::sim {
 
 /// Event-driven twin of SlotSimulator (same results type, same metric
 /// names, same RNG discipline). One homogeneous MAC per run, exactly
-/// like the make_*_entities factories the slot path uses.
+/// like the slot path; any registered MacDef works (the implicit
+/// MacSpec constructors keep `EventKernel(config, ...)` call sites
+/// with concrete BackoffConfig / DcfConfig arguments compiling).
 class EventKernel {
  public:
-  /// N stations running the 1901 backoff `config`; per-station streams
-  /// derive from `seed` with the "station-<i>" labels.
-  EventKernel(const mac::BackoffConfig& config, int stations,
-              const phy::TimingConfig& timing, des::SimTime frame_length,
-              std::uint64_t seed);
-
-  /// N stations running DCF (binary exponential backoff, frozen BC on
-  /// busy slots).
-  EventKernel(const dcf::DcfConfig& config, int stations,
+  /// N stations running `mac`; per-station streams derive from `seed`
+  /// with the "station-<i>" labels, all before any station's initial
+  /// state is drawn.
+  EventKernel(const mac::MacSpec& mac, int stations,
               const phy::TimingConfig& timing, des::SimTime frame_length,
               std::uint64_t seed);
 
@@ -84,7 +77,7 @@ class EventKernel {
   /// idle slot counts as one medium event, matching the slot path.
   SlotSimResults run_events(std::int64_t max_events);
 
-  int station_count() const { return static_cast<int>(bc_.size()); }
+  int station_count() const { return static_cast<int>(lanes_.size()); }
 
   /// FSM introspection for tests (mirrors mac::BackoffEntity accessors).
   int backoff_counter(int station) const;
@@ -96,8 +89,6 @@ class EventKernel {
   const std::vector<int>& winners() const { return winners_; }
 
  private:
-  enum class Mode : std::uint8_t { k1901, kDcf };
-
   /// Pre-resolved registry instruments (indexing by SlotEventType).
   struct Metrics {
     obs::Counter* events[3] = {nullptr, nullptr, nullptr};
@@ -106,29 +97,15 @@ class EventKernel {
     std::vector<obs::Counter*> station_collision;
   };
 
-  EventKernel(Mode mode, int stations, const phy::TimingConfig& timing,
-              des::SimTime frame_length, std::uint64_t seed);
-
-  void redraw(std::size_t station);
   /// `slots` idle slots at once (requires slots <= min BC).
   void advance_idle(std::int64_t slots);
   /// Resolves the attempt event at the current time (some BC == 0).
   void attempt();
   std::int64_t min_backoff() const;
+  void check_station(int station) const;
 
-  Mode mode_;
-  /// Stage tables: for 1901 these are the config's CW/DC vectors; for
-  /// DCF, cw_by_stage_ is the cw_min..cw_max doubling ladder and the
-  /// "BPC" arrays hold the retry count.
-  std::vector<int> cw_by_stage_;
-  std::vector<int> dc_by_stage_;
-
-  // SoA per-station FSM state.
-  std::vector<int> bc_;
-  std::vector<int> dc_;
-  std::vector<int> bpc_;
-  std::vector<int> stage_;
-  std::vector<des::RandomStream> rngs_;
+  std::unique_ptr<mac::EventMac> mac_;
+  mac::EventLanes lanes_;
 
   des::SimTime slot_ = des::SimTime::zero();
   des::SimTime ts_ = des::SimTime::zero();

@@ -52,26 +52,11 @@ std::string canonical_point_json(const RunSpec& spec) {
   obs::JsonWriter json(out);
   json.begin_object();
   json.key("mac").begin_object();
-  std::visit(
-      [&](const auto& config) {
-        using T = std::decay_t<decltype(config)>;
-        if constexpr (std::is_same_v<T, mac::BackoffConfig>) {
-          // config.name is a cosmetic label; two configs differing only
-          // in name produce identical results and must share a key.
-          json.field("type", "1901");
-          json.key("cw").begin_array();
-          for (const int w : config.cw) json.value(w);
-          json.end_array();
-          json.key("dc").begin_array();
-          for (const int d : config.dc) json.value(d);
-          json.end_array();
-        } else {
-          json.field("type", "dcf");
-          json.field("cw_min", config.cw_min);
-          json.field("cw_max", config.cw_max);
-        }
-      },
-      spec.mac);
+  // The def's canonical serializer emits result-determining parameters
+  // only (cosmetic names excluded): two configs that simulate
+  // identically must share a cache key.
+  json.field("type", spec.mac.def().name);
+  spec.mac.def().write_canonical_fields(json, spec.mac.config());
   json.end_object();
   json.field("stations", spec.stations);
   json.key("timing").begin_object();
@@ -92,16 +77,18 @@ SlotSimulator make_simulator(const RunSpec& spec, int repetition) {
   des::RandomStream root(spec.seed);
   const std::uint64_t rep_seed =
       root.derive_seed("rep-" + std::to_string(repetition));
-  std::vector<std::unique_ptr<mac::BackoffEntity>> entities = std::visit(
-      [&](const auto& mac_config) {
-        using T = std::decay_t<decltype(mac_config)>;
-        if constexpr (std::is_same_v<T, mac::BackoffConfig>) {
-          return make_1901_entities(spec.stations, mac_config, rep_seed);
-        } else {
-          return make_dcf_entities(spec.stations, mac_config, rep_seed);
-        }
-      },
-      spec.mac);
+  // Same stream fan-out as the entity factories the slot path always
+  // used (and as EventKernel): one derived "station-<i>" stream per
+  // station, handed to the def's entity factory in ascending order.
+  des::RandomStream rep_root(rep_seed);
+  std::vector<std::unique_ptr<mac::BackoffEntity>> entities;
+  entities.reserve(static_cast<std::size_t>(spec.stations));
+  for (int i = 0; i < spec.stations; ++i) {
+    des::RandomStream stream(
+        rep_root.derive_seed("station-" + std::to_string(i)));
+    entities.push_back(
+        spec.mac.def().make_entity(spec.mac.config(), i, std::move(stream)));
+  }
   return SlotSimulator(std::move(entities), spec.timing, spec.frame_length);
 }
 
@@ -110,12 +97,8 @@ EventKernel make_event_kernel(const RunSpec& spec, int repetition) {
   des::RandomStream root(spec.seed);
   const std::uint64_t rep_seed =
       root.derive_seed("rep-" + std::to_string(repetition));
-  return std::visit(
-      [&](const auto& mac_config) {
-        return EventKernel(mac_config, spec.stations, spec.timing,
-                           spec.frame_length, rep_seed);
-      },
-      spec.mac);
+  return EventKernel(spec.mac, spec.stations, spec.timing, spec.frame_length,
+                     rep_seed);
 }
 
 RunSummary run_point(const RunSpec& spec) {

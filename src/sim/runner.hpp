@@ -12,11 +12,9 @@
 #include <optional>
 #include <string>
 #include <string_view>
-#include <variant>
 #include <vector>
 
-#include "dcf/dcf.hpp"
-#include "mac/config.hpp"
+#include "macdef/registry.hpp"
 #include "obs/observatory.hpp"
 #include "obs/progress.hpp"
 #include "obs/report.hpp"
@@ -38,10 +36,11 @@ class ResultStore;
 
 namespace plc::sim {
 
-/// Which MAC a sweep point runs: a 1901 backoff configuration (CW/DC
-/// stage vectors) or an 802.11-style DCF window pair. One description,
-/// shared with dcf::DcfConfig — no parallel raw ints.
-using MacSpec = std::variant<mac::BackoffConfig, dcf::DcfConfig>;
+/// Which MAC a sweep point runs: a (MacDef, config) pair from the MAC
+/// registry (see macdef/registry.hpp). Any registered def works; the
+/// implicit MacSpec constructors keep concrete-config call sites
+/// (`spec.mac = mac::BackoffConfig::ca0_ca1()`) compiling.
+using MacSpec = mac::MacSpec;
 
 /// Which contention kernel executes a sweep point's repetitions. Both
 /// kernels produce bit-identical results on the same spec (the
@@ -77,7 +76,8 @@ struct RunSpec {
   explicit RunSpec(const scenario::Spec& scenario, int stations,
                    std::size_t variant = 0);
 
-  MacSpec mac = mac::BackoffConfig::ca0_ca1();
+  /// Defaults to the registry default def ("1901" with CA0/CA1).
+  MacSpec mac;
   int stations = 2;
   phy::TimingConfig timing = phy::TimingConfig::paper_default();
   des::SimTime frame_length = default_frame_length();

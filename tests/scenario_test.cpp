@@ -3,7 +3,6 @@
 // jobs-independence (byte-identical reports).
 #include <sstream>
 #include <string>
-#include <variant>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -68,13 +67,13 @@ TEST(SpecJson, SeedSurvivesAboveDoublePrecision) {
 TEST(SpecJson, MacVariantsRoundTripBothAlternatives) {
   const Spec parsed = Spec::from_json(tiny_spec().to_json());
   ASSERT_EQ(parsed.macs.size(), 2u);
-  ASSERT_TRUE(std::holds_alternative<mac::BackoffConfig>(parsed.macs[0].mac));
-  const auto& ca1 = std::get<mac::BackoffConfig>(parsed.macs[0].mac);
+  ASSERT_NE(parsed.macs[0].mac.backoff_config(), nullptr);
+  const auto& ca1 = *parsed.macs[0].mac.backoff_config();
   EXPECT_EQ(ca1.cw, mac::BackoffConfig::ca0_ca1().cw);
   EXPECT_EQ(ca1.dc, mac::BackoffConfig::ca0_ca1().dc);
-  ASSERT_TRUE(std::holds_alternative<dcf::DcfConfig>(parsed.macs[1].mac));
-  EXPECT_EQ(std::get<dcf::DcfConfig>(parsed.macs[1].mac).cw_min, 16);
-  EXPECT_EQ(std::get<dcf::DcfConfig>(parsed.macs[1].mac).cw_max, 1024);
+  ASSERT_NE(parsed.macs[1].mac.dcf_config(), nullptr);
+  EXPECT_EQ(parsed.macs[1].mac.dcf_config()->cw_min, 16);
+  EXPECT_EQ(parsed.macs[1].mac.dcf_config()->cw_max, 1024);
 }
 
 TEST(SpecJson, AcceptsPresetShorthand) {
@@ -86,9 +85,9 @@ TEST(SpecJson, AcceptsPresetShorthand) {
     ],
     "stations": [2]
   })");
-  EXPECT_EQ(std::get<mac::BackoffConfig>(spec.macs[0].mac).cw,
+  EXPECT_EQ(spec.macs[0].mac.backoff_config()->cw,
             mac::BackoffConfig::ca2_ca3().cw);
-  EXPECT_EQ(std::get<dcf::DcfConfig>(spec.macs[1].mac).cw_min,
+  EXPECT_EQ(spec.macs[1].mac.dcf_config()->cw_min,
             dcf::DcfConfig::ieee80211b().cw_min);
 }
 
@@ -221,7 +220,7 @@ TEST(Bridge, RunSpecCarriesEveryField) {
   EXPECT_EQ(run.repetitions, spec.repetitions);
   EXPECT_EQ(run.timing.slot, spec.timing.slot);
   EXPECT_EQ(run.timing.success_overhead, spec.timing.success_overhead);
-  ASSERT_TRUE(std::holds_alternative<dcf::DcfConfig>(run.mac));
+  ASSERT_NE(run.mac.dcf_config(), nullptr);
   // Seeds derive from (root seed, variant label, N) — reproducible and
   // distinct per point.
   const des::RandomStream root(spec.seed);
