@@ -1,0 +1,184 @@
+// plcsim serve under load: an in-process load generator drives the
+// daemon over real loopback sockets, closed-loop — submit a spec via
+// POST /v1/jobs, poll GET /v1/jobs/<id> until done, fetch the report —
+// and measures per-spec latency cold (empty store, every task
+// simulated) and warm (identical specs resubmitted, every task a store
+// hit). The headline scalars are the warm/cold p50 ratio (what the
+// store buys an API client; gated >= 10x in scripts/bench_gate.sh) and
+// warm specs/sec (the absolute service-rate budget).
+//
+// The warm round must be a 100% hit: any miss means the canonical-spec
+// hash drifted between two identical submissions, which is a
+// correctness bug, so the bench fails loudly instead of recording a
+// diluted ratio.
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_main.hpp"
+#include "obs/json.hpp"
+#include "obs/report.hpp"
+#include "serve/server.hpp"
+#include "util/socket.hpp"
+#include "util/thread_pool.hpp"
+
+#ifdef _WIN32
+#include <process.h>
+#define PLC_GETPID _getpid
+#else
+#include <unistd.h>
+#define PLC_GETPID getpid
+#endif
+
+namespace {
+
+using namespace plc;
+
+/// One distinct spec per index: same shape, different seed, so the
+/// rounds exercise distinct cache keys like a real submission mix.
+/// Sim leg only — the model leg is analytic (never cached), so it would
+/// put a constant floor under both rounds and dilute the warm ratio.
+std::string spec_json(int index) {
+  return "{\"schema\":\"plc-scenario/1\",\"name\":\"serve-load-" +
+         std::to_string(index) +
+         "\",\"macs\":[{\"label\":\"CA1\",\"type\":\"1901\","
+         "\"preset\":\"ca0_ca1\"}],\"stations\":[2,3],"
+         "\"duration_ns\":400000000000,\"repetitions\":2,"
+         "\"seed\":\"0x" +
+         std::to_string(7000 + index) +
+         "\",\"legs\":{\"sim\":true,\"model\":false}}";
+}
+
+/// One request/connection round trip against the daemon.
+std::string roundtrip(int port, const std::string& request) {
+  util::Socket client = util::Socket::connect_tcp("127.0.0.1", port);
+  client.send_all(request);
+  return client.recv_all();
+}
+
+std::string body_of(const std::string& response) {
+  return response.substr(response.find("\r\n\r\n") + 4);
+}
+
+bool has_status(const std::string& response, const char* code) {
+  return response.compare(9, 3, code) == 0;  // "HTTP/1.1 ###".
+}
+
+/// Closed-loop: submit one spec, poll until done, fetch the report.
+/// Returns the submit -> report-in-hand latency in seconds.
+double run_one(int port, const std::string& spec) {
+  obs::Stopwatch clock;
+  const std::string submit = roundtrip(
+      port, "POST /v1/jobs HTTP/1.1\r\nContent-Length: " +
+                std::to_string(spec.size()) + "\r\n\r\n" + spec);
+  if (!has_status(submit, "202")) {
+    std::fprintf(stderr, "bench_serve_throughput: submit failed:\n%s\n",
+                 submit.c_str());
+    std::exit(1);
+  }
+  const obs::JsonValue job = obs::parse_json(body_of(submit));
+  const std::string id = job.find("id")->text;
+  while (true) {
+    const std::string report = roundtrip(
+        port, "GET /v1/jobs/" + id + "/report HTTP/1.1\r\n\r\n");
+    if (has_status(report, "200")) return clock.elapsed_seconds();
+    if (!has_status(report, "409")) {
+      std::fprintf(stderr,
+                   "bench_serve_throughput: job %s failed:\n%s\n",
+                   id.c_str(), report.c_str());
+      std::exit(1);
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+}
+
+double percentile(std::vector<double> sorted, double q) {
+  std::sort(sorted.begin(), sorted.end());
+  const auto rank = static_cast<std::size_t>(
+      q * static_cast<double>(sorted.size() - 1) + 0.5);
+  return sorted[std::min(rank, sorted.size() - 1)];
+}
+
+}  // namespace
+
+int main() {
+  bench::Harness harness("serve_throughput");
+  constexpr int kSpecs = 8;
+
+  const std::filesystem::path root =
+      std::filesystem::temp_directory_path() /
+      ("plc-bench-serve-" + std::to_string(PLC_GETPID()));
+  std::filesystem::remove_all(root);
+
+  serve::Server::Options options;
+  options.jobs = util::jobs_from_env();
+  options.cache_dir = root.string();
+  serve::Server server(options);
+  server.start();
+  const int port = server.port();
+
+  // Cold round: every task simulated and published.
+  std::vector<double> cold;
+  obs::Stopwatch cold_clock;
+  for (int i = 0; i < kSpecs; ++i) cold.push_back(run_one(port, spec_json(i)));
+  const double cold_seconds = cold_clock.elapsed_seconds();
+
+  // Warm round: the identical mix again — 100% store hits, no sim work.
+  const store::Counters before = server.store()->counters();
+  std::vector<double> warm;
+  obs::Stopwatch warm_clock;
+  for (int i = 0; i < kSpecs; ++i) warm.push_back(run_one(port, spec_json(i)));
+  const double warm_seconds = warm_clock.elapsed_seconds();
+  const store::Counters after = server.store()->counters();
+
+  server.stop();
+  std::filesystem::remove_all(root);
+
+  if (after.misses != before.misses || after.hits == before.hits) {
+    std::fprintf(stderr,
+                 "bench_serve_throughput: warm round was not a full hit "
+                 "(%lld new hits, %lld new misses) — spec-hash or store-key "
+                 "instability\n",
+                 static_cast<long long>(after.hits - before.hits),
+                 static_cast<long long>(after.misses - before.misses));
+    return 1;
+  }
+
+  const double cold_p50 = percentile(cold, 0.50);
+  const double cold_p99 = percentile(cold, 0.99);
+  const double warm_p50 = percentile(warm, 0.50);
+  const double warm_p99 = percentile(warm, 0.99);
+  harness.scalar("serve.cold_p50_ms") = cold_p50 * 1e3;
+  harness.scalar("serve.cold_p99_ms") = cold_p99 * 1e3;
+  harness.scalar("serve.warm_p50_ms") = warm_p50 * 1e3;
+  harness.scalar("serve.warm_p99_ms") = warm_p99 * 1e3;
+  harness.scalar("serve.warm_over_cold_p50") =
+      warm_p50 > 0.0 ? cold_p50 / warm_p50 : 0.0;
+  // The one relatively-gated scalar ("throughput" substring puts it on
+  // benchdiff's default gate list): how many already-computed specs the
+  // daemon serves per second, end to end over sockets.
+  harness.scalar("serve.warm_throughput_specs_per_second") =
+      warm_seconds > 0.0 ? static_cast<double>(kSpecs) / warm_seconds : 0.0;
+  harness.scalar("serve.jobs") =
+      static_cast<double>(util::ThreadPool::resolve_jobs(options.jobs));
+
+  std::cout << "serve load (" << kSpecs << " specs, jobs="
+            << util::ThreadPool::resolve_jobs(options.jobs) << "):\n"
+            << "  cold  p50 " << util::format_fixed(cold_p50 * 1e3, 1)
+            << " ms  p99 " << util::format_fixed(cold_p99 * 1e3, 1)
+            << " ms  (" << util::format_fixed(cold_seconds, 2)
+            << " s total)\n"
+            << "  warm  p50 " << util::format_fixed(warm_p50 * 1e3, 1)
+            << " ms  p99 " << util::format_fixed(warm_p99 * 1e3, 1)
+            << " ms  ("
+            << util::format_fixed(
+                   static_cast<double>(kSpecs) / warm_seconds, 1)
+            << " specs/s, "
+            << util::format_fixed(cold_p50 / warm_p50, 1)
+            << "x faster at p50)\n";
+  return harness.finish();
+}

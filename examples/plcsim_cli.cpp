@@ -14,6 +14,10 @@
 //   plcsim cache   <stats|verify|gc> --dir DIR [--max-mb N | --max-bytes N]
 //                  [--json]
 //   plcsim mac     <list|describe <name>> [--json]
+//   plcsim serve   [--port P] [--bind ADDR] [--jobs N] [--max-queue Q]
+//                  [--cache DIR] [--queue-file FILE] [--json]
+//   plcsim http    --port P --path /v1/jobs [--method M] [--body FILE|-]
+//                  [--host ADDR] [--out FILE] [--include] [--expect CODE]
 //
 // --jobs N shards repetitions (sim), tests (testbed --tests), or sweep
 // points (sweep) across N worker threads; 0 means one per hardware
@@ -39,6 +43,25 @@
 // published into it and later runs of the same spec take validated hits
 // instead of re-simulating — a fully warm run reproduces the cold run's
 // report byte-for-byte and prints its hit rate.
+//
+// `serve` runs the store-backed sweep service (serve::Server): a daemon
+// that accepts plc-scenario/1 specs over an HTTP JSON API (POST
+// /v1/jobs; see src/serve/server.hpp for the full route table) plus the
+// whole telemetry plane (/metrics, /progress, ...) on one port. Jobs
+// run one at a time over a shared warm worker pool; identical in-flight
+// specs coalesce; --cache DIR makes re-submitted specs complete from
+// store hits with byte-identical reports. --max-queue bounds admission
+// (429 + Retry-After beyond it). SIGTERM/SIGINT drains gracefully:
+// running tasks finish, the owed queue is persisted to --queue-file
+// (reloaded on the next start), new submits get 503. The startup banner
+// goes to stdout — one "plc-serve/1" JSON object with --json.
+//
+// `http` is a tiny loopback HTTP client for driving the daemon from
+// tests without curl: one request, Connection: close. --body FILE (or
+// "-" for stdin) implies POST; --out writes the response body bytes to
+// a file (byte-exact, for cmp), --include prints the response head,
+// --expect N makes the exit code 0 iff the status is N (default: 0 on
+// 2xx).
 //
 // `cache` maintains such a store: `stats` prints entry counts and bytes,
 // `verify` re-validates every entry (quarantining corrupt ones; exit 1
@@ -94,6 +117,7 @@
 // Every command prints human-readable tables; `sweep --csv` emits CSV for
 // plotting. File-output narration goes through obs::Log (stderr; silence
 // with PLC_LOG=off). Exit code 2 on usage errors.
+#include <chrono>
 #include <csignal>
 #include <cstdint>
 #include <cstdio>
@@ -103,6 +127,7 @@
 #include <memory>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "analysis/delay.hpp"
@@ -126,10 +151,14 @@
 #include "scenario/registry.hpp"
 #include "scenario/run.hpp"
 #include "scenario/spec.hpp"
+#include "serve/server.hpp"
 #include "sim/parallel_runner.hpp"
 #include "sim/runner.hpp"
 #include "sim/unsaturated.hpp"
 #include "store/result_store.hpp"
+#include "util/fs.hpp"
+#include "util/http.hpp"
+#include "util/socket.hpp"
 #include "tools/capture.hpp"
 #include "tools/testbed.hpp"
 #include "util/stats.hpp"
@@ -867,6 +896,126 @@ int cmd_scenario(const std::string& target, const Args& args) {
   return 0;
 }
 
+/// SIGTERM/SIGINT flag for `plcsim serve` — the handler only sets the
+/// flag; the main thread polls it and runs the drain outside signal
+/// context.
+volatile std::sig_atomic_t g_serve_stop = 0;
+
+extern "C" void handle_serve_signal(int) { g_serve_stop = 1; }
+
+/// `plcsim serve`: the store-backed sweep service. Runs until SIGTERM
+/// or SIGINT, then drains (finish running tasks, persist the owed queue
+/// to --queue-file, refuse new work) and exits 0.
+int cmd_serve(const Args& args) {
+  serve::Server::Options options;
+  options.port = args.get_int("port", 0);
+  options.bind_address = args.get_string("bind", "127.0.0.1");
+  options.jobs = args.get_int("jobs", 0);
+  options.max_queue = args.get_int("max-queue", 16);
+  options.cache_dir = args.get_string("cache", "");
+  options.queue_file = args.get_string("queue-file", "");
+
+  serve::Server server(options);
+  server.start();
+  const std::string url = "http://" + options.bind_address + ":" +
+                          std::to_string(server.port());
+  if (args.has("json")) {
+    // Machine-readable startup banner ("plc-serve/1"): harnesses parse
+    // the chosen port from here when --port 0 picked an ephemeral one.
+    obs::JsonWriter json(std::cout);
+    json.begin_object();
+    json.field("schema", "plc-serve/1");
+    json.field("url", url);
+    json.field("port", static_cast<std::int64_t>(server.port()));
+    json.field("jobs",
+               static_cast<std::int64_t>(server.scheduler().pool_jobs()));
+    json.field("max_queue", static_cast<std::int64_t>(options.max_queue));
+    json.field("cache", options.cache_dir);
+    json.field("queue_file", options.queue_file);
+    json.field("restored_jobs", server.restored_jobs());
+    json.end_object();
+    std::printf("\n");
+  } else {
+    std::printf("plcsim serve: %s (jobs=%d, max-queue=%d%s%s)\n",
+                url.c_str(), server.scheduler().pool_jobs(),
+                options.max_queue,
+                options.cache_dir.empty() ? "" : ", cache=",
+                options.cache_dir.c_str());
+  }
+  std::fflush(stdout);
+
+  std::signal(SIGTERM, handle_serve_signal);
+  std::signal(SIGINT, handle_serve_signal);
+  while (g_serve_stop == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  PLC_LOG_INFO("serve", "signal received; draining");
+  server.drain();
+  server.stop();
+  return 0;
+}
+
+/// `plcsim http`: one loopback HTTP request against the daemon (the
+/// curl the CLI tests can rely on). Exit 0 on 2xx, or exactly --expect.
+int cmd_http(const Args& args) {
+  const int port = args.get_int("port", 0);
+  if (port <= 0) throw plc::Error("http: --port is required");
+  const std::string host = args.get_string("host", "127.0.0.1");
+  const std::string path = args.get_string("path", "/");
+
+  std::string body;
+  const bool have_body = args.has("body");
+  if (have_body) {
+    const std::string body_file = args.get_string("body", "");
+    if (body_file.empty() || body_file == "-") {
+      std::ostringstream in;
+      in << std::cin.rdbuf();
+      body = in.str();
+    } else {
+      body = util::read_file(body_file);
+    }
+  }
+  const std::string method =
+      args.get_string("method", have_body ? "POST" : "GET");
+
+  std::string request = method + " " + path + " HTTP/1.1\r\nHost: " + host +
+                        "\r\n";
+  if (have_body) {
+    request += "Content-Type: application/json\r\nContent-Length: " +
+               std::to_string(body.size()) + "\r\n";
+  }
+  request += "Connection: close\r\n\r\n" + body;
+
+  util::Socket socket = util::Socket::connect_tcp(host, port);
+  socket.send_all(request);
+  const std::string response = socket.recv_all();
+  const std::size_t head_end = response.find("\r\n\r\n");
+  if (head_end == std::string::npos) {
+    throw plc::Error("http: malformed response (no header terminator)");
+  }
+  const std::string head = response.substr(0, head_end);
+  const std::string payload = response.substr(head_end + 4);
+  int status = 0;
+  if (const std::size_t space = head.find(' ');
+      space != std::string::npos && space + 1 < head.size()) {
+    status = std::stoi(head.substr(space + 1));
+  }
+
+  if (args.has("include")) std::printf("%s\n\n", head.c_str());
+  const std::string out_path = args.get_string("out", "");
+  if (!out_path.empty()) {
+    // Byte-exact: this is the `cmp`-against-the-CLI-report path.
+    util::write_file_atomic(out_path, payload);
+  } else {
+    std::fwrite(payload.data(), 1, payload.size(), stdout);
+  }
+  std::fflush(stdout);
+  if (args.has("expect")) {
+    return status == args.get_int("expect", 0) ? 0 : 1;
+  }
+  return status >= 200 && status < 300 ? 0 : 1;
+}
+
 /// `plcsim crash-test`: deliberately crashes after arming the flight
 /// recorder, so tests (and the curious) can exercise the crash-dump
 /// path end to end. Hidden from usage() on purpose.
@@ -1168,7 +1317,7 @@ int cmd_capture(const Args& args) {
 int usage() {
   std::fprintf(stderr,
                "usage: plcsim <sim|model|testbed|sweep|scenario|cache|mac|"
-               "boost|delay|capture> [--key value ...]\n"
+               "serve|http|boost|delay|capture> [--key value ...]\n"
                "see the file header of examples/plcsim_cli.cpp for the "
                "full option list\n");
   return 2;
@@ -1218,6 +1367,8 @@ int main(int argc, char** argv) {
     if (command == "boost") return cmd_boost(args);
     if (command == "delay") return cmd_delay(args);
     if (command == "capture") return cmd_capture(args);
+    if (command == "serve") return cmd_serve(args);
+    if (command == "http") return cmd_http(args);
     if (command == "crash-test") return cmd_crash_test(args);
     return usage();
   } catch (const std::exception& e) {

@@ -33,7 +33,7 @@ THRESHOLD="${PLC_BENCH_GATE_THRESHOLD:-5}"
 # the profiler-overhead budgets) and the cheap report-only benches. The
 # full table/figure reproductions take minutes each — opt in via
 # PLC_BENCH_GATE_TARGETS.
-TARGETS="${PLC_BENCH_GATE_TARGETS:-bench_table1_parameters bench_figure1_trace bench_table3_interface bench_kernel_microbench bench_cache_speedup bench_telemetry_overhead}"
+TARGETS="${PLC_BENCH_GATE_TARGETS:-bench_table1_parameters bench_figure1_trace bench_table3_interface bench_kernel_microbench bench_cache_speedup bench_telemetry_overhead bench_serve_throughput}"
 
 if [ ! -d "$BUILD_DIR" ]; then
   echo "bench_gate: build directory '$BUILD_DIR' not found" >&2
@@ -98,6 +98,32 @@ ok = ratio >= 10.0
 print(f"bench_gate: event.slots_per_sec / slot.slots_per_sec = "
       f"{ratio:.1f}x (budget >= 10x){'' if ok else '  FAIL'}")
 sys.exit(0 if ok else 1)
+EOF
+fi
+
+# Absolute serve-daemon budgets: a warmed store must make the job API
+# dramatically faster than simulating (p50 ratio >= 10x — the contract
+# the ISSUE's warm-path design exists for) and the daemon must sustain a
+# minimum absolute service rate for already-computed specs. The absolute
+# floor carries a large allowance (local runs measure ~700 specs/s) so
+# only a broken warm path trips it, not a slow CI machine.
+SERVE_REPORT="$CANDIDATE_DIR/BENCH_serve_throughput.json"
+if [ -f "$SERVE_REPORT" ]; then
+  python3 - "$SERVE_REPORT" <<'EOF'
+import json, sys
+scalars = json.load(open(sys.argv[1]))["scalars"]
+ratio = scalars["serve.warm_over_cold_p50"]
+rate = scalars["serve.warm_throughput_specs_per_second"]
+failed = False
+ok = ratio >= 10.0
+print(f"bench_gate: serve.warm_over_cold_p50 = {ratio:.1f}x "
+      f"(budget >= 10x){'' if ok else '  FAIL'}")
+failed |= not ok
+ok = rate >= 25.0
+print(f"bench_gate: serve.warm_throughput_specs_per_second = {rate:.1f} "
+      f"(budget >= 25){'' if ok else '  FAIL'}")
+failed |= not ok
+sys.exit(1 if failed else 0)
 EOF
 fi
 

@@ -9,43 +9,6 @@
 
 namespace plc::obs {
 
-namespace {
-
-constexpr std::size_t kMaxRequestBytes = 8 * 1024;
-
-std::string http_response(int status, const std::string& reason,
-                          const std::string& content_type,
-                          const std::string& body) {
-  std::string out = "HTTP/1.1 " + std::to_string(status) + " " + reason +
-                    "\r\n";
-  out += "Content-Type: " + content_type + "\r\n";
-  out += "Content-Length: " + std::to_string(body.size()) + "\r\n";
-  out += "Connection: close\r\n\r\n";
-  out += body;
-  return out;
-}
-
-std::string error_response(int status, const std::string& reason,
-                           const std::string& detail) {
-  return http_response(status, reason, "text/plain; charset=utf-8",
-                       detail + "\n");
-}
-
-/// Reads until the end of the request head (CRLFCRLF) or the size cap.
-/// GET requests carry no body, so the head is the whole request.
-std::string read_request_head(util::Socket& client) {
-  std::string head;
-  while (head.size() < kMaxRequestBytes &&
-         head.find("\r\n\r\n") == std::string::npos) {
-    const std::string chunk = client.recv_some(1024);
-    if (chunk.empty()) break;
-    head += chunk;
-  }
-  return head;
-}
-
-}  // namespace
-
 ExpositionServer::ExpositionServer(TelemetryHub& hub, Options options)
     : hub_(hub), options_(std::move(options)) {}
 
@@ -68,8 +31,20 @@ void ExpositionServer::serve_loop() {
     util::Socket client = listener_.accept();
     if (!client.valid()) return;  // listener closed: orderly stop
     try {
-      const std::string request = read_request_head(client);
-      client.send_all(handle_request(request));
+      std::string carry;
+      const util::HttpParseResult parsed =
+          util::read_http_request(client, &carry, options_.limits);
+      if (parsed.status == util::HttpParseStatus::kError) {
+        // error_status 0 means the peer closed without sending
+        // anything — there is no one to answer.
+        if (parsed.error_status != 0) {
+          client.send_all(util::http_error_response(parsed.error_status,
+                                                    parsed.error_reason));
+          ++requests_served_;
+        }
+        continue;
+      }
+      client.send_all(dispatch(parsed.request));
     } catch (const std::exception&) {
       // A client that vanished mid-exchange is its own problem; the
       // serve loop outlives any single connection.
@@ -80,64 +55,65 @@ void ExpositionServer::serve_loop() {
 
 std::string ExpositionServer::handle_request(
     const std::string& request) const {
-  // Request line: METHOD SP PATH SP VERSION CRLF.
-  const std::size_t line_end = request.find("\r\n");
-  const std::string line =
-      line_end == std::string::npos ? request : request.substr(0, line_end);
-  const std::size_t method_end = line.find(' ');
-  const std::size_t path_end =
-      method_end == std::string::npos ? std::string::npos
-                                      : line.find(' ', method_end + 1);
-  if (method_end == std::string::npos || path_end == std::string::npos ||
-      line.compare(path_end + 1, 5, "HTTP/") != 0) {
-    return error_response(400, "Bad Request", "malformed request line");
+  const util::HttpParseResult parsed =
+      util::parse_http_request(request, options_.limits);
+  if (parsed.status == util::HttpParseStatus::kComplete) {
+    return dispatch(parsed.request);
   }
-  const std::string method = line.substr(0, method_end);
-  std::string path = line.substr(method_end + 1, path_end - method_end - 1);
-  const std::size_t query = path.find('?');
-  if (query != std::string::npos) path.resize(query);
-  if (method != "GET") {
-    return error_response(405, "Method Not Allowed",
-                          "only GET is supported");
+  if (parsed.status == util::HttpParseStatus::kError) {
+    return util::http_error_response(parsed.error_status,
+                                     parsed.error_reason);
   }
+  return util::http_error_response(400, "truncated request");
+}
 
+std::string ExpositionServer::dispatch(
+    const util::HttpRequest& request) const {
+  if (handler_) {
+    if (std::optional<std::string> response = handler_(request)) {
+      return *std::move(response);
+    }
+  }
+  if (request.method != "GET") {
+    return util::http_error_response(405, "only GET is supported");
+  }
+  const std::string& path = request.path;
   if (path == "/metrics") {
-    return http_response(
-        200, "OK",
-        "application/openmetrics-text; version=1.0.0; charset=utf-8",
+    return util::http_response(
+        200, "application/openmetrics-text; version=1.0.0; charset=utf-8",
         hub_.openmetrics());
   }
   if (path == "/progress") {
-    return http_response(200, "OK", "application/json",
-                         hub_.progress_json() + "\n");
+    return util::http_response(200, "application/json",
+                               hub_.progress_json() + "\n");
   }
   if (path == "/profile") {
     std::ostringstream body;
     Profiler::instance().snapshot().write_json(body);
-    return http_response(200, "OK", "application/json", body.str());
+    return util::http_response(200, "application/json", body.str());
   }
   if (path == "/timeseries") {
-    return http_response(200, "OK", "application/json",
-                         hub_.timeseries_json() + "\n");
+    return util::http_response(200, "application/json",
+                               hub_.timeseries_json() + "\n");
   }
   if (path == "/stations") {
-    return http_response(200, "OK", "application/json",
-                         hub_.stations_json() + "\n");
+    return util::http_response(200, "application/json",
+                               hub_.stations_json() + "\n");
   }
   if (path == "/healthz") {
-    return http_response(200, "OK", "text/plain; charset=utf-8", "ok\n");
+    return util::http_response(200, "text/plain; charset=utf-8", "ok\n");
   }
   if (path == "/") {
-    return http_response(200, "OK", "text/plain; charset=utf-8",
-                         "plc telemetry endpoints:\n"
-                         "  /metrics     OpenMetrics exposition\n"
-                         "  /progress    sweep progress (JSON)\n"
-                         "  /profile     profiler tree (JSON)\n"
-                         "  /timeseries  sampled series (JSON)\n"
-                         "  /stations    MAC observatory view (JSON)\n"
-                         "  /healthz     liveness probe\n");
+    return util::http_response(200, "text/plain; charset=utf-8",
+                               "plc telemetry endpoints:\n"
+                               "  /metrics     OpenMetrics exposition\n"
+                               "  /progress    sweep progress (JSON)\n"
+                               "  /profile     profiler tree (JSON)\n"
+                               "  /timeseries  sampled series (JSON)\n"
+                               "  /stations    MAC observatory view (JSON)\n"
+                               "  /healthz     liveness probe\n");
   }
-  return error_response(404, "Not Found", "no such endpoint: " + path);
+  return util::http_error_response(404, "no such endpoint: " + path);
 }
 
 }  // namespace plc::obs

@@ -10,10 +10,18 @@
 //   /healthz     liveness probe ("ok")
 //
 // Scope is deliberately narrow: HTTP/1.1, Connection: close, one
-// request per connection, requests capped at 8 KiB. That is exactly
-// what `curl` and a Prometheus scraper need; anything fancier belongs
-// in a real server, not a simulator. Malformed request lines get 400,
-// non-GET methods 405, unknown paths 404 — all covered by tests.
+// request per connection, heads capped at 8 KiB. That is exactly
+// what `curl` and a Prometheus scraper need. Malformed request lines
+// get 400, non-GET methods 405, unknown paths 404 — all covered by
+// tests. Parsing (including request bodies, Content-Length framing,
+// and pipelining) lives in util/http.hpp; this class is the accept
+// loop plus the telemetry routes.
+//
+// A host application can mount additional routes — the serve job API
+// does — by installing a request handler before start(): the handler
+// sees every parsed request (any method, body included) first and
+// returns a complete response, or nullopt to fall through to the
+// built-in telemetry routes.
 //
 // The serve loop holds no hub locks between requests; each handler
 // takes one snapshot under the hub mutex and serializes outside it, so
@@ -22,9 +30,12 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
+#include <optional>
 #include <string>
 #include <thread>
 
+#include "util/http.hpp"
 #include "util/socket.hpp"
 
 namespace plc::obs {
@@ -39,7 +50,14 @@ class ExpositionServer {
     /// Bind address; loopback by default — this is a diagnostics
     /// endpoint, not a public service.
     std::string bind_address = "127.0.0.1";
+    /// Parser limits (head/body caps → 431/413).
+    util::HttpLimits limits;
   };
+
+  /// Full response bytes for a request, or nullopt to let the
+  /// built-in telemetry routes answer it.
+  using RequestHandler =
+      std::function<std::optional<std::string>(const util::HttpRequest&)>;
 
   ExpositionServer(TelemetryHub& hub, Options options);
   /// Stops the server (idempotent with stop()).
@@ -47,6 +65,10 @@ class ExpositionServer {
 
   ExpositionServer(const ExpositionServer&) = delete;
   ExpositionServer& operator=(const ExpositionServer&) = delete;
+
+  /// Installs the route hook. Must be called before start(): the serve
+  /// thread reads the handler without further synchronization.
+  void set_handler(RequestHandler handler) { handler_ = std::move(handler); }
 
   /// Binds the listener and starts the serve thread. Throws plc::Error
   /// when the bind fails (e.g. port already taken).
@@ -65,15 +87,20 @@ class ExpositionServer {
     return requests_served_.load(std::memory_order_relaxed);
   }
 
-  /// Builds the full HTTP response for one raw request head. Exposed
-  /// for tests: the network layer is just transport around this.
+  /// Builds the full HTTP response for one raw request. Exposed for
+  /// tests: the network layer is just transport around this.
   std::string handle_request(const std::string& request) const;
+
+  /// Routes one parsed request: the installed handler first, then the
+  /// built-in telemetry routes.
+  std::string dispatch(const util::HttpRequest& request) const;
 
  private:
   void serve_loop();
 
   TelemetryHub& hub_;
   Options options_;
+  RequestHandler handler_;
   util::ServerSocket listener_;
   std::thread thread_;
   std::atomic<std::int64_t> requests_served_{0};

@@ -146,10 +146,20 @@ bool testbed_result_from_payload(const obs::JsonValue& payload,
   }
 }
 
+/// Throws when the caller's cancel flag is up — the between-leg
+/// counterpart of the per-task check in ParallelRunner.
+void check_cancelled(const RunOptions& options) {
+  if (options.cancel != nullptr &&
+      options.cancel->load(std::memory_order_relaxed)) {
+    throw Error("sweep cancelled");
+  }
+}
+
 }  // namespace
 
 RunOutcome run_scenario(const Spec& spec, const RunOptions& options) {
   spec.validate();
+  check_cancelled(options);
 
   // Store counters are atomics, safe to read from any thread — ideal
   // live probes: the hub's /metrics scrape sees hit/miss progress while
@@ -207,12 +217,19 @@ RunOutcome run_scenario(const Spec& spec, const RunOptions& options) {
         store_legs.push_back("sim/" + spec.macs[variant].label);
       }
     }
-    sim::ParallelRunner runner(options.jobs);
+    // A caller-owned runner (the serve scheduler's warm pool) wins over
+    // a per-run pool; both merge task results in task-index order, so
+    // the choice cannot change a single output byte.
+    std::optional<sim::ParallelRunner> local_runner;
+    if (options.runner == nullptr) local_runner.emplace(options.jobs);
+    sim::ParallelRunner& runner =
+        options.runner != nullptr ? *options.runner : *local_runner;
     sim::RunObservability attach;
     attach.registry = registry;
     attach.store = options.store;
     attach.store_legs = &store_legs;
     attach.telemetry = options.telemetry;
+    attach.cancel = options.cancel;
     obs::ObservatoryOptions observatory_options;
     if (spec.observatory) {
       observatory_options.fairness_window = spec.observatory_window;
@@ -234,6 +251,7 @@ RunOutcome run_scenario(const Spec& spec, const RunOptions& options) {
   // testbed_tests independent tests per station count.
   tools::TestbedSuiteResult suite;
   if (spec.legs.testbed) {
+    check_cancelled(options);
     std::vector<tools::TestbedConfig> configs;
     configs.reserve(points * static_cast<std::size_t>(spec.testbed_tests));
     for (const int n : spec.stations) {

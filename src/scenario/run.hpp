@@ -10,6 +10,7 @@
 // returned separately in RunOutcome for the bench harnesses.
 #pragma once
 
+#include <atomic>
 #include <iosfwd>
 
 #include "obs/metrics.hpp"
@@ -18,6 +19,10 @@
 
 namespace plc::obs {
 class TelemetryHub;
+}
+
+namespace plc::sim {
+class ParallelRunner;
 }
 
 namespace plc::store {
@@ -48,6 +53,17 @@ struct RunOptions {
   /// view for the exposition server — never feeds the report, so
   /// attaching it preserves byte-identical output.
   obs::TelemetryHub* telemetry = nullptr;
+  /// Shared runner for the sim leg. A long-lived caller (the serve
+  /// scheduler) passes one runner so consecutive scenarios reuse one
+  /// warm ThreadPool instead of spawning and joining workers per job.
+  /// Overrides `jobs` for the sim leg (the runner's pool size wins);
+  /// nullptr (the default) constructs a per-run runner. Results are
+  /// byte-identical either way.
+  sim::ParallelRunner* runner = nullptr;
+  /// Cooperative cancellation (see sim::RunObservability::cancel).
+  /// Checked before each leg and at sim-task granularity; a cancelled
+  /// run throws plc::Error("sweep cancelled").
+  const std::atomic<bool>* cancel = nullptr;
 };
 
 /// One scenario execution.

@@ -1,0 +1,157 @@
+#include "serve/job.hpp"
+
+#include <sstream>
+
+#include "macdef/spec_json.hpp"
+#include "util/error.hpp"
+
+namespace plc::serve {
+
+namespace {
+
+using obs::JsonValue;
+using specjson::check_keys;
+using specjson::fail;
+using specjson::int_field;
+using specjson::require_member;
+using specjson::require_object;
+using specjson::string_field;
+
+double double_field(const JsonValue& value, const std::string& where) {
+  if (!value.is_number()) fail(where + ": expected a number");
+  return value.number;
+}
+
+}  // namespace
+
+const char* job_state_name(JobState state) {
+  switch (state) {
+    case JobState::kQueued: return "queued";
+    case JobState::kRunning: return "running";
+    case JobState::kDone: return "done";
+    case JobState::kFailed: return "failed";
+    case JobState::kCancelled: return "cancelled";
+  }
+  return "queued";
+}
+
+JobState job_state_from_name(std::string_view name) {
+  if (name == "queued") return JobState::kQueued;
+  if (name == "running") return JobState::kRunning;
+  if (name == "done") return JobState::kDone;
+  if (name == "failed") return JobState::kFailed;
+  if (name == "cancelled") return JobState::kCancelled;
+  throw Error("serve: unknown job state \"" + std::string(name) +
+              "\" (want queued, running, done, failed or cancelled)");
+}
+
+bool job_state_terminal(JobState state) {
+  return state == JobState::kDone || state == JobState::kFailed ||
+         state == JobState::kCancelled;
+}
+
+std::string JobInfo::to_json() const {
+  std::ostringstream out;
+  obs::JsonWriter json(out);
+  json.begin_object();
+  json.field("schema", kSchema);
+  json.field("id", id);
+  json.field("state", job_state_name(state));
+  json.field("spec_hash", spec_hash);
+  json.field("submitted_seq", submitted_seq);
+  json.field("tasks_total", tasks_total);
+  json.field("tasks_completed", tasks_completed);
+  json.field("store_hits", store_hits);
+  json.field("store_misses", store_misses);
+  json.field("wall_seconds", wall_seconds);
+  if (!error.empty()) json.field("error", error);
+  json.key("spec").raw(spec.to_json());
+  json.end_object();
+  return out.str();
+}
+
+JobInfo JobInfo::from_json_value(const JsonValue& value,
+                                 const std::string& where) {
+  require_object(value, where);
+  check_keys(value, where,
+             {"schema", "id", "state", "spec_hash", "submitted_seq",
+              "tasks_total", "tasks_completed", "store_hits", "store_misses",
+              "wall_seconds", "error", "spec"});
+  const std::string schema =
+      string_field(require_member(value, where, "schema"), where + ".schema");
+  if (schema != kSchema) {
+    fail(where + ": expected schema \"" + std::string(kSchema) + "\", got \"" +
+         schema + "\"");
+  }
+  JobInfo job;
+  job.id = string_field(require_member(value, where, "id"), where + ".id");
+  if (job.id.empty()) fail(where + ".id: must be non-empty");
+  job.state = job_state_from_name(string_field(
+      require_member(value, where, "state"), where + ".state"));
+  job.spec_hash = string_field(require_member(value, where, "spec_hash"),
+                               where + ".spec_hash");
+  if (job.spec_hash.size() != 32) {
+    fail(where + ".spec_hash: expected 32 hex characters");
+  }
+  job.submitted_seq = int_field(require_member(value, where, "submitted_seq"),
+                                where + ".submitted_seq");
+  job.tasks_total = int_field(require_member(value, where, "tasks_total"),
+                              where + ".tasks_total");
+  job.tasks_completed =
+      int_field(require_member(value, where, "tasks_completed"),
+                where + ".tasks_completed");
+  job.store_hits = int_field(require_member(value, where, "store_hits"),
+                             where + ".store_hits");
+  job.store_misses = int_field(require_member(value, where, "store_misses"),
+                               where + ".store_misses");
+  job.wall_seconds = double_field(
+      require_member(value, where, "wall_seconds"), where + ".wall_seconds");
+  if (const JsonValue* detail = value.find("error")) {
+    job.error = string_field(*detail, where + ".error");
+  }
+  // The embedded spec re-parses through the strict scenario parser, so
+  // a queue file cannot smuggle in a spec the API would have rejected.
+  job.spec =
+      scenario::Spec::from_json(require_member(value, where, "spec").dump());
+  return job;
+}
+
+JobInfo JobInfo::from_json(std::string_view text) {
+  return from_json_value(obs::parse_json(text), "job");
+}
+
+std::string queue_json(const std::vector<JobInfo>& jobs) {
+  std::ostringstream out;
+  obs::JsonWriter json(out);
+  json.begin_object();
+  json.field("schema", "plc-serve-queue/1");
+  json.key("jobs").begin_array();
+  for (const JobInfo& job : jobs) json.raw(job.to_json());
+  json.end_array();
+  json.end_object();
+  return out.str();
+}
+
+std::vector<JobInfo> queue_from_json(std::string_view text) {
+  const JsonValue value = obs::parse_json(text);
+  const std::string where = "queue";
+  require_object(value, where);
+  check_keys(value, where, {"schema", "jobs"});
+  const std::string schema =
+      string_field(require_member(value, where, "schema"), where + ".schema");
+  if (schema != "plc-serve-queue/1") {
+    fail(where + ": expected schema \"plc-serve-queue/1\", got \"" + schema +
+         "\"");
+  }
+  const JsonValue& jobs = require_member(value, where, "jobs");
+  if (!jobs.is_array()) fail(where + ".jobs: expected an array");
+  std::vector<JobInfo> out;
+  out.reserve(jobs.items.size());
+  for (std::size_t i = 0; i < jobs.items.size(); ++i) {
+    out.push_back(JobInfo::from_json_value(
+        jobs.items[i], where + ".jobs[" + std::to_string(i) + "]"));
+  }
+  return out;
+}
+
+}  // namespace plc::serve

@@ -1,0 +1,87 @@
+// One serve job: an accepted plc-scenario/1 spec and its lifecycle —
+// the unit the scheduler queues, runs, coalesces and reports on.
+//
+// JobInfo serializes as "plc-serve-job/1", the document every /v1/jobs
+// endpoint returns and the drain path persists. The parse is strict in
+// exactly the plc-scenario/1 sense (shared specjson helpers: unknown
+// keys rejected at every level, integers exact) and to_json() is
+// canonical (fixed field order), so to_json -> from_json -> to_json is
+// the identity on bytes — the same round-trip contract scenario::Spec
+// holds, tested the same way.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "scenario/spec.hpp"
+
+namespace plc::serve {
+
+/// Lifecycle of a job. Queued/running are the "in-flight" states a
+/// duplicate submit coalesces onto; done/failed/cancelled are terminal.
+enum class JobState : std::uint8_t {
+  kQueued = 0,
+  kRunning = 1,
+  kDone = 2,
+  kFailed = 3,
+  kCancelled = 4,
+};
+
+/// "queued" / "running" / "done" / "failed" / "cancelled".
+const char* job_state_name(JobState state);
+
+/// Inverse of job_state_name; throws plc::Error on anything else.
+JobState job_state_from_name(std::string_view name);
+
+bool job_state_terminal(JobState state);
+
+/// One job's externally visible state ("plc-serve-job/1").
+struct JobInfo {
+  static constexpr const char* kSchema = "plc-serve-job/1";
+
+  std::string id;  ///< "j<seq>", assigned at admission.
+  JobState state = JobState::kQueued;
+  /// 32 hex chars: util::hash128 over the canonical JSON of the spec —
+  /// the coalescing key (and the reason identical specs share work).
+  std::string spec_hash;
+  /// Admission sequence number (1-based, monotonic per server).
+  std::int64_t submitted_seq = 0;
+  /// (leg, point, rep) task accounting. tasks_total is an estimate
+  /// until the job runs (legs announce their exact counts then).
+  std::int64_t tasks_total = 0;
+  std::int64_t tasks_completed = 0;
+  /// Store traffic attributed to this job (counter deltas; jobs run
+  /// one at a time). A fully warm job has misses == 0.
+  std::int64_t store_hits = 0;
+  std::int64_t store_misses = 0;
+  /// Wall-clock seconds the job spent running (0 until it ran).
+  double wall_seconds = 0.0;
+  /// Failure detail; non-empty exactly when state == kFailed.
+  std::string error;
+  /// The accepted experiment description.
+  scenario::Spec spec;
+
+  /// Canonical serialization (stable field order; "error" emitted only
+  /// when non-empty, matching from_json's round-trip).
+  std::string to_json() const;
+
+  /// Strict parse: unknown keys anywhere throw plc::Error, as do a
+  /// wrong/missing schema and a state/spec that fail validation.
+  static JobInfo from_json(std::string_view text);
+
+  /// from_json over an already parsed document (used by queue files).
+  static JobInfo from_json_value(const obs::JsonValue& value,
+                                 const std::string& where);
+};
+
+/// Serializes queued jobs for the drain path ("plc-serve-queue/1"):
+/// what a draining server still owes, re-admitted on next startup.
+std::string queue_json(const std::vector<JobInfo>& jobs);
+
+/// Strict inverse of queue_json.
+std::vector<JobInfo> queue_from_json(std::string_view text);
+
+}  // namespace plc::serve

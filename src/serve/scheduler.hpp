@@ -1,0 +1,187 @@
+// The serve job scheduler: bounded admission, in-flight coalescing,
+// and a single dispatch thread draining jobs through one shared
+// sim::ParallelRunner.
+//
+// Concurrency model: jobs run one at a time, in admission order, and
+// each job fans its (leg, point, rep) tasks across the runner's warm
+// ThreadPool — so the machine is saturated by task-level parallelism
+// while per-job store-counter deltas and hub progress stay attributable
+// to exactly one job. Duplicate specs (same canonical-JSON hash) that
+// are still queued or running coalesce onto the existing job instead of
+// doing the work twice; a spec resubmitted after its job finished is
+// admitted fresh and completes via 100% store hits, byte-identically.
+//
+// Drain (SIGTERM): admission closes, the running job is interrupted at
+// task granularity (finished tasks are already published to the store),
+// re-queued, and the queued jobs are handed back for persistence — a
+// restarted server re-admits them and resumes from the store.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/report.hpp"
+#include "serve/job.hpp"
+#include "sim/parallel_runner.hpp"
+#include "util/stats.hpp"
+
+namespace plc::obs {
+class TelemetryHub;
+}
+
+namespace plc::store {
+class ResultStore;
+}
+
+namespace plc::serve {
+
+class Scheduler {
+ public:
+  struct Options {
+    /// Worker count of the shared pool (util::ThreadPool::resolve_jobs
+    /// semantics; <= 0 means $PLC_JOBS / hardware threads).
+    int jobs = 0;
+    /// Admission bound: maximum jobs waiting to run (the running job
+    /// does not count). Submits beyond it are rejected (HTTP 429).
+    int max_queue = 16;
+    /// Result store every job runs against (nullable: no caching, no
+    /// warm hits — every job simulates).
+    store::ResultStore* store = nullptr;
+    /// Live telemetry hub (nullable). Fed each job's task lifecycle;
+    /// also the source of mid-run tasks_completed in job snapshots.
+    obs::TelemetryHub* telemetry = nullptr;
+  };
+
+  enum class Outcome : std::uint8_t {
+    kAccepted = 0,   ///< New job admitted (HTTP 202).
+    kCoalesced = 1,  ///< Identical spec already in flight (HTTP 200).
+    kRejected = 2,   ///< Queue full (HTTP 429) or draining (HTTP 503).
+  };
+
+  struct Admission {
+    Outcome outcome = Outcome::kRejected;
+    std::string id;  ///< Empty exactly when rejected.
+  };
+
+  enum class CancelResult : std::uint8_t {
+    kUnknown = 0,   ///< No such job (HTTP 404).
+    kAccepted = 1,  ///< Queued job removed / running job interrupted.
+    kTerminal = 2,  ///< Already done/failed/cancelled (HTTP 409).
+  };
+
+  explicit Scheduler(Options options);
+  /// Stops the dispatch thread without draining: the running job is
+  /// interrupted (as in drain()) but nothing is persisted here — the
+  /// owner persists pending_jobs() first if it wants them back.
+  ~Scheduler();
+
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  /// Admits, coalesces or rejects one validated spec.
+  Admission submit(scenario::Spec spec);
+
+  /// Snapshot of one job (mid-run progress sampled live), or nullopt.
+  std::optional<JobInfo> job(const std::string& id) const;
+
+  /// Snapshots of every job, in admission order.
+  std::vector<JobInfo> jobs() const;
+
+  /// Cancels a queued job (dropped before it starts) or the running
+  /// job (interrupted at task granularity).
+  CancelResult cancel(const std::string& id);
+
+  /// The finished job's plc-run-report/1 bytes — exactly what
+  /// RunReport::save would write, so transports can cmp against the
+  /// CLI path. nullopt until the job is done (or for unknown ids).
+  std::optional<std::string> report(const std::string& id) const;
+
+  /// Closes admission and interrupts the running job at task
+  /// granularity; returns when the dispatch thread exited. Idempotent.
+  void drain();
+  bool draining() const;
+
+  /// The still-queued jobs in queue order (the drain persistence
+  /// payload; an interrupted running job rejoins the front).
+  std::vector<JobInfo> pending_jobs() const;
+
+  // Admission-plane gauges for the serve.* probes.
+  std::int64_t queue_depth() const;
+  std::int64_t active_jobs() const;
+  std::int64_t jobs_submitted() const;
+  std::int64_t jobs_completed() const;
+  std::int64_t jobs_coalesced() const;
+  std::int64_t jobs_rejected() const;
+  /// Mean submit -> terminal latency over finished jobs (seconds).
+  double mean_latency_seconds() const;
+
+  int pool_jobs() const { return runner_.jobs(); }
+
+ private:
+  struct Record {
+    JobInfo info;
+    std::string report_bytes;     ///< Set exactly when state == kDone.
+    std::atomic<bool> cancel{false};
+    /// True when a DELETE asked for the cancel (vs a drain interrupt);
+    /// guarded by the scheduler mutex.
+    bool user_cancelled = false;
+    double submit_seconds = 0.0;  ///< On the scheduler stopwatch.
+    /// Hub progress baselines captured when the job starts running, so
+    /// mid-run snapshots can attribute task deltas to this job.
+    std::int64_t base_tasks_total = 0;
+    std::int64_t base_tasks_completed = 0;
+  };
+
+  void dispatch_loop();
+  /// Runs one job outside the mutex; returns the terminal state.
+  void run_job(Record& record);
+  JobInfo snapshot_locked(const Record& record) const;
+  /// Re-derives the lock-free gauge mirrors from the locked state.
+  /// Call after every mutation of queue_/running_id_/latency_.
+  void refresh_gauges_locked();
+  /// Conservative task count for jobs that have not run yet.
+  static std::int64_t estimate_tasks(const scenario::Spec& spec);
+
+  Options options_;
+  sim::ParallelRunner runner_;
+  obs::Stopwatch stopwatch_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable wake_;
+  /// Job records by id; std::map for stable addresses (the dispatch
+  /// thread holds a Record* across the unlocked run).
+  std::map<std::string, Record> records_;
+  std::deque<std::string> queue_;            ///< Queued job ids, FIFO.
+  std::map<std::string, std::string> in_flight_;  ///< spec_hash -> id.
+  std::string running_id_;                   ///< Empty when idle.
+  bool draining_ = false;
+  bool stopping_ = false;
+  util::RunningStats latency_;
+
+  // The admission-plane gauges are atomics (counters written under the
+  // mutex; queue/active/latency mirrors refreshed by
+  // refresh_gauges_locked) so the serve.* probes read them WITHOUT the
+  // scheduler mutex. Probes run under the hub mutex while the dispatch
+  // thread calls hub progress() under the scheduler mutex — a probe
+  // that locked the scheduler would close a lock-order cycle
+  // (hub -> scheduler vs scheduler -> hub) and risk deadlock.
+  std::atomic<std::int64_t> next_seq_{0};
+  std::atomic<std::int64_t> completed_{0};
+  std::atomic<std::int64_t> coalesced_{0};
+  std::atomic<std::int64_t> rejected_{0};
+  std::atomic<std::int64_t> gauge_queue_depth_{0};
+  std::atomic<std::int64_t> gauge_active_jobs_{0};
+  std::atomic<double> gauge_mean_latency_{0.0};
+
+  std::thread dispatch_;  ///< Last member: joins before state dies.
+};
+
+}  // namespace plc::serve

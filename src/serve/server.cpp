@@ -1,0 +1,255 @@
+#include "serve/server.hpp"
+
+#include <cstdio>
+#include <sstream>
+#include <utility>
+
+#include "obs/json.hpp"
+#include "obs/log.hpp"
+#include "util/error.hpp"
+#include "util/fs.hpp"
+
+namespace plc::serve {
+
+namespace {
+
+constexpr const char* kJsonType = "application/json";
+
+/// JSON error body for the /v1/* routes ("plc-serve-error/1") — the
+/// API stays machine-readable on every path, including failures.
+std::string api_error(int status, const std::string& detail,
+                      const std::vector<std::string>& extra_headers = {}) {
+  std::ostringstream out;
+  obs::JsonWriter json(out);
+  json.begin_object();
+  json.field("schema", "plc-serve-error/1");
+  json.field("status", status);
+  json.field("error", detail);
+  json.end_object();
+  out << "\n";
+  return util::http_response(status, kJsonType, out.str(), extra_headers);
+}
+
+}  // namespace
+
+Server::Server(Options options) : options_(std::move(options)) {
+  if (!options_.cache_dir.empty()) {
+    store_ = std::make_unique<store::ResultStore>(options_.cache_dir);
+  }
+  Scheduler::Options scheduler_options;
+  scheduler_options.jobs = options_.jobs;
+  scheduler_options.max_queue = options_.max_queue;
+  scheduler_options.store = store_.get();
+  scheduler_options.telemetry = &hub_;
+  scheduler_ = std::make_unique<Scheduler>(scheduler_options);
+
+  obs::ExpositionServer::Options exposition_options;
+  exposition_options.port = options_.port;
+  exposition_options.bind_address = options_.bind_address;
+  exposition_options.limits = options_.limits;
+  exposition_ =
+      std::make_unique<obs::ExpositionServer>(hub_, exposition_options);
+  exposition_->set_handler(
+      [this](const util::HttpRequest& request) { return handle(request); });
+
+  register_probes();
+  restore_queue();
+}
+
+Server::~Server() { stop(); }
+
+void Server::start() { exposition_->start(); }
+
+void Server::stop() {
+  exposition_->stop();
+  // The serve.* (and store.*) probes capture the scheduler and the
+  // store; nothing scrapes after the exposition stopped, but the hub
+  // outlives both, so detach them rather than leave dangling closures.
+  for (const char* name :
+       {"serve.queue_depth", "serve.active_jobs", "serve.jobs_submitted",
+        "serve.jobs_completed", "serve.jobs_coalesced", "serve.jobs_rejected",
+        "serve.job_latency_seconds", "store.hits", "store.misses",
+        "store.publishes", "store.bytes_written"}) {
+    hub_.remove_probe(name);
+  }
+}
+
+void Server::drain() {
+  scheduler_->drain();
+  if (options_.queue_file.empty()) return;
+  const std::vector<JobInfo> pending = scheduler_->pending_jobs();
+  if (pending.empty()) return;
+  util::write_file_atomic(options_.queue_file, queue_json(pending) + "\n");
+  PLC_LOG_INFO("serve", "persisted queue")
+      .str("path", options_.queue_file)
+      .num("jobs", static_cast<double>(pending.size()));
+}
+
+void Server::register_probes() {
+  Scheduler* scheduler = scheduler_.get();
+  hub_.add_probe("serve.queue_depth", [scheduler] {
+    return static_cast<double>(scheduler->queue_depth());
+  });
+  hub_.add_probe("serve.active_jobs", [scheduler] {
+    return static_cast<double>(scheduler->active_jobs());
+  });
+  hub_.add_probe("serve.jobs_submitted", [scheduler] {
+    return static_cast<double>(scheduler->jobs_submitted());
+  });
+  hub_.add_probe("serve.jobs_completed", [scheduler] {
+    return static_cast<double>(scheduler->jobs_completed());
+  });
+  hub_.add_probe("serve.jobs_coalesced", [scheduler] {
+    return static_cast<double>(scheduler->jobs_coalesced());
+  });
+  hub_.add_probe("serve.jobs_rejected", [scheduler] {
+    return static_cast<double>(scheduler->jobs_rejected());
+  });
+  hub_.add_probe("serve.job_latency_seconds", [scheduler] {
+    return scheduler->mean_latency_seconds();
+  });
+}
+
+void Server::restore_queue() {
+  if (options_.queue_file.empty()) return;
+  std::string text;
+  try {
+    text = util::read_file(options_.queue_file);
+  } catch (const Error&) {
+    return;  // No queue file: nothing owed.
+  }
+  // Consume the file first: even if re-admission fails the stale state
+  // must not poison every future startup.
+  std::remove(options_.queue_file.c_str());
+  try {
+    const std::vector<JobInfo> owed = queue_from_json(text);
+    for (const JobInfo& job : owed) {
+      const Scheduler::Admission admission = scheduler_->submit(job.spec);
+      if (admission.outcome == Scheduler::Outcome::kAccepted) {
+        ++restored_jobs_;
+      }
+    }
+    PLC_LOG_INFO("serve", "restored queue")
+        .str("path", options_.queue_file)
+        .num("jobs", static_cast<double>(restored_jobs_));
+  } catch (const std::exception& e) {
+    PLC_LOG_WARN("serve", "discarding unreadable queue file")
+        .str("path", options_.queue_file)
+        .str("detail", e.what());
+  }
+}
+
+std::optional<std::string> Server::handle(const util::HttpRequest& request) {
+  const std::string& path = request.path;
+  if (path.rfind("/v1/", 0) != 0) return std::nullopt;
+
+  if (path == "/v1/jobs") {
+    if (request.method == "POST") return submit_response(request.body);
+    if (request.method == "GET") return list_response();
+    return api_error(405, "use GET or POST on /v1/jobs");
+  }
+
+  const std::string prefix = "/v1/jobs/";
+  if (path.rfind(prefix, 0) == 0) {
+    std::string id = path.substr(prefix.size());
+    const std::string report_suffix = "/report";
+    const bool want_report =
+        id.size() > report_suffix.size() &&
+        id.compare(id.size() - report_suffix.size(), report_suffix.size(),
+                   report_suffix) == 0;
+    if (want_report) id.resize(id.size() - report_suffix.size());
+    if (id.empty() || id.find('/') != std::string::npos) {
+      return api_error(404, "no such endpoint: " + path);
+    }
+    if (want_report) {
+      if (request.method != "GET") {
+        return api_error(405, "use GET on /v1/jobs/<id>/report");
+      }
+      return report_response(id);
+    }
+    if (request.method == "GET") return job_response(id);
+    if (request.method == "DELETE") return cancel_response(id);
+    return api_error(405, "use GET or DELETE on /v1/jobs/<id>");
+  }
+
+  return api_error(404, "no such endpoint: " + path);
+}
+
+std::string Server::submit_response(const std::string& body) {
+  if (scheduler_->draining()) {
+    return api_error(503, "draining: not accepting new jobs");
+  }
+  scenario::Spec spec;
+  try {
+    spec = scenario::Spec::from_json(body);
+  } catch (const std::exception& e) {
+    return api_error(400, e.what());
+  }
+  const Scheduler::Admission admission = scheduler_->submit(std::move(spec));
+  switch (admission.outcome) {
+    case Scheduler::Outcome::kAccepted:
+      return util::http_response(
+          202, kJsonType, scheduler_->job(admission.id)->to_json() + "\n");
+    case Scheduler::Outcome::kCoalesced:
+      return util::http_response(
+          200, kJsonType, scheduler_->job(admission.id)->to_json() + "\n");
+    case Scheduler::Outcome::kRejected:
+      break;
+  }
+  if (scheduler_->draining()) {
+    return api_error(503, "draining: not accepting new jobs");
+  }
+  return api_error(429,
+                   "queue full (" + std::to_string(options_.max_queue) +
+                       " jobs waiting); retry later",
+                   {"Retry-After: 1"});
+}
+
+std::string Server::job_response(const std::string& id) {
+  const std::optional<JobInfo> job = scheduler_->job(id);
+  if (!job) return api_error(404, "no such job: " + id);
+  return util::http_response(200, kJsonType, job->to_json() + "\n");
+}
+
+std::string Server::report_response(const std::string& id) {
+  const std::optional<JobInfo> job = scheduler_->job(id);
+  if (!job) return api_error(404, "no such job: " + id);
+  const std::optional<std::string> bytes = scheduler_->report(id);
+  if (!bytes) {
+    return api_error(409, "job " + id + " is " +
+                              job_state_name(job->state) +
+                              "; the report exists once it is done");
+  }
+  // Verbatim plc-run-report/1 bytes: cmp-identical to what
+  // `plcsim scenario --report` writes for the same spec.
+  return util::http_response(200, kJsonType, *bytes);
+}
+
+std::string Server::cancel_response(const std::string& id) {
+  switch (scheduler_->cancel(id)) {
+    case Scheduler::CancelResult::kUnknown:
+      return api_error(404, "no such job: " + id);
+    case Scheduler::CancelResult::kTerminal:
+      return api_error(409, "job " + id + " already finished");
+    case Scheduler::CancelResult::kAccepted:
+      break;
+  }
+  return util::http_response(200, kJsonType,
+                             scheduler_->job(id)->to_json() + "\n");
+}
+
+std::string Server::list_response() {
+  std::ostringstream out;
+  obs::JsonWriter json(out);
+  json.begin_object();
+  json.field("schema", "plc-serve-jobs/1");
+  json.field("draining", scheduler_->draining());
+  json.key("jobs").begin_array();
+  for (const JobInfo& job : scheduler_->jobs()) json.raw(job.to_json());
+  json.end_array();
+  json.end_object();
+  out << "\n";
+  return util::http_response(200, kJsonType, out.str());
+}
+
+}  // namespace plc::serve

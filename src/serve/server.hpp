@@ -1,0 +1,114 @@
+// The plcsim serve daemon: one HTTP endpoint that carries both the job
+// API (/v1/*) and the telemetry plane (/metrics, /progress, ...).
+//
+// Composition, in construction order (destruction runs in reverse —
+// the shutdown-ordering contract the threaded serve test pins):
+//
+//   TelemetryHub -> ResultStore -> Scheduler -> ExpositionServer
+//
+// so at teardown the exposition server stops accepting first, then the
+// scheduler joins its dispatch thread (and with it the worker pool),
+// and only then do the store and hub die. Every serve.* probe the
+// server registers on the hub captures the scheduler, so stop()
+// removes them before the scheduler can go away.
+//
+// API (HTTP/1.1, Connection: close, JSON bodies):
+//
+//   POST   /v1/jobs             submit a plc-scenario/1 spec
+//                               202 job (accepted) / 200 job (coalesced)
+//                               400 parse error / 413 oversized
+//                               429 + Retry-After (queue full)
+//                               503 (draining)
+//   GET    /v1/jobs             plc-serve-jobs/1 listing
+//   GET    /v1/jobs/<id>        plc-serve-job/1 status + progress
+//   GET    /v1/jobs/<id>/report the job's plc-run-report/1, byte-equal
+//                               to `plcsim scenario --report` output
+//                               (409 until the job is done)
+//   DELETE /v1/jobs/<id>        cancel (200 job / 404 / 409 terminal)
+//
+// plus every telemetry route ExpositionServer already serves.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "obs/exposition.hpp"
+#include "obs/telemetry.hpp"
+#include "serve/scheduler.hpp"
+#include "store/result_store.hpp"
+
+namespace plc::serve {
+
+class Server {
+ public:
+  struct Options {
+    /// TCP port; 0 picks an ephemeral one (see port()).
+    int port = 0;
+    std::string bind_address = "127.0.0.1";
+    /// Worker pool size (util::ThreadPool::resolve_jobs semantics).
+    int jobs = 0;
+    /// Admission queue bound (Scheduler::Options::max_queue).
+    int max_queue = 16;
+    /// Result-store directory; empty runs without a cache (every job
+    /// simulates; warm-hit semantics need this set).
+    std::string cache_dir;
+    /// Queue persistence path. On startup an existing file is loaded,
+    /// deleted and its jobs re-admitted; drain() writes the still-owed
+    /// jobs back. Empty disables persistence.
+    std::string queue_file;
+    /// HTTP parser limits (the body cap guards POST /v1/jobs).
+    util::HttpLimits limits;
+  };
+
+  explicit Server(Options options);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds and starts serving. Throws plc::Error when the bind fails.
+  void start();
+
+  /// Stops serving and joins every thread (idempotent). Does NOT drain:
+  /// queued jobs are dropped unless drain() ran first.
+  void stop();
+
+  /// Graceful shutdown, SIGTERM semantics: close admission (new submits
+  /// get 503), interrupt the running job at task granularity, persist
+  /// the owed queue to `queue_file`, keep answering reads. Call stop()
+  /// afterwards to actually exit.
+  void drain();
+
+  int port() const { return exposition_->port(); }
+  bool running() const { return exposition_->running(); }
+
+  /// Routes one parsed request; nullopt falls through to the telemetry
+  /// routes. Public so tests can drive the API without sockets.
+  std::optional<std::string> handle(const util::HttpRequest& request);
+
+  obs::TelemetryHub& hub() { return hub_; }
+  Scheduler& scheduler() { return *scheduler_; }
+  store::ResultStore* store() { return store_.get(); }
+
+  /// Jobs re-admitted from `queue_file` at construction.
+  std::int64_t restored_jobs() const { return restored_jobs_; }
+
+ private:
+  std::string submit_response(const std::string& body);
+  std::string job_response(const std::string& id);
+  std::string report_response(const std::string& id);
+  std::string cancel_response(const std::string& id);
+  std::string list_response();
+  void register_probes();
+  void restore_queue();
+
+  Options options_;
+  obs::TelemetryHub hub_;
+  std::unique_ptr<store::ResultStore> store_;
+  std::unique_ptr<Scheduler> scheduler_;
+  std::unique_ptr<obs::ExpositionServer> exposition_;
+  std::int64_t restored_jobs_ = 0;
+};
+
+}  // namespace plc::serve

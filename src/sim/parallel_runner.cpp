@@ -214,6 +214,12 @@ std::vector<RunSummary> ParallelRunner::run_points(
       pool_.submit([&specs, &obs, &point_json, &progress_mutex, &progress_sim,
                     &progress_events, &wall, p, rep, slot] {
         PROF_SCOPE("sim.repetition");
+        // Cooperative cancel: tasks that have not started yet bail out
+        // before touching the store or the hub; the barrier rethrows.
+        if (obs.cancel != nullptr &&
+            obs.cancel->load(std::memory_order_relaxed)) {
+          throw Error("sweep cancelled");
+        }
         obs::Stopwatch task_wall;
         const RunSpec& spec = specs[p];
         slot->start_seconds = wall.elapsed_seconds();

@@ -6,6 +6,7 @@
 // sample standard deviation of each metric are reported.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -154,6 +155,14 @@ struct RunObservability {
   /// point summary (repetition-0 trajectory included) — the CLI's
   /// --stations-out export hook. Single-point runs only.
   obs::ObservatorySummary* stations_sink = nullptr;
+  /// Cooperative cancellation flag (e.g. a serve job's DELETE, or a
+  /// drain). Checked at task granularity — a repetition that already
+  /// started runs to completion — by ParallelRunner::run_points: when
+  /// it reads true, not-yet-started tasks throw plc::Error("sweep
+  /// cancelled"), which the pool barrier rethrows to the caller. The
+  /// store stays consistent (finished tasks published, the rest
+  /// absent), so a resubmit resumes from what completed.
+  const std::atomic<bool>* cancel = nullptr;
 };
 
 /// Runs one sweep point.

@@ -1,0 +1,232 @@
+#include "util/http.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+namespace plc::util {
+
+namespace {
+
+std::string lowercase(std::string_view text) {
+  std::string out(text);
+  std::transform(out.begin(), out.end(), out.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return out;
+}
+
+std::string_view trim(std::string_view text) {
+  while (!text.empty() &&
+         (text.front() == ' ' || text.front() == '\t')) {
+    text.remove_prefix(1);
+  }
+  while (!text.empty() && (text.back() == ' ' || text.back() == '\t')) {
+    text.remove_suffix(1);
+  }
+  return text;
+}
+
+HttpParseResult parse_error(int status, std::string reason) {
+  HttpParseResult result;
+  result.status = HttpParseStatus::kError;
+  result.error_status = status;
+  result.error_reason = std::move(reason);
+  return result;
+}
+
+/// Strict non-negative decimal parse; -1 on anything else (signs,
+/// blanks, trailing junk — all invalid Content-Length spellings).
+long long parse_content_length(std::string_view text) {
+  if (text.empty() || text.size() > 18) return -1;
+  long long value = 0;
+  for (const char c : text) {
+    if (c < '0' || c > '9') return -1;
+    value = value * 10 + (c - '0');
+  }
+  return value;
+}
+
+}  // namespace
+
+const std::string* HttpRequest::header(std::string_view name) const {
+  const std::string wanted = lowercase(name);
+  for (const auto& [key, value] : headers) {
+    if (key == wanted) return &value;
+  }
+  return nullptr;
+}
+
+HttpParseResult parse_http_request(std::string_view buffer,
+                                   const HttpLimits& limits) {
+  const std::size_t head_end = buffer.find("\r\n\r\n");
+  if (head_end == std::string_view::npos) {
+    // No complete head yet. A buffer already past the head cap can
+    // never become valid; anything shorter may still grow into one.
+    if (buffer.size() > limits.max_head_bytes) {
+      return parse_error(431, "request head exceeds " +
+                                  std::to_string(limits.max_head_bytes) +
+                                  " bytes");
+    }
+    HttpParseResult need_more;
+    need_more.status = HttpParseStatus::kNeedMore;
+    return need_more;
+  }
+  if (head_end > limits.max_head_bytes) {
+    return parse_error(431, "request head exceeds " +
+                                std::to_string(limits.max_head_bytes) +
+                                " bytes");
+  }
+
+  const std::string_view head = buffer.substr(0, head_end);
+  const std::size_t line_end = head.find("\r\n");
+  const std::string_view request_line =
+      line_end == std::string_view::npos ? head : head.substr(0, line_end);
+
+  // Request line: METHOD SP TARGET SP VERSION.
+  const std::size_t method_end = request_line.find(' ');
+  const std::size_t target_end =
+      method_end == std::string_view::npos
+          ? std::string_view::npos
+          : request_line.find(' ', method_end + 1);
+  if (method_end == std::string_view::npos ||
+      target_end == std::string_view::npos || method_end == 0 ||
+      request_line.compare(target_end + 1, 5, "HTTP/") != 0) {
+    return parse_error(400, "malformed request line");
+  }
+
+  HttpParseResult result;
+  HttpRequest& request = result.request;
+  request.method = std::string(request_line.substr(0, method_end));
+  std::string_view target =
+      request_line.substr(method_end + 1, target_end - method_end - 1);
+  if (target.empty()) return parse_error(400, "empty request target");
+  request.version = std::string(request_line.substr(target_end + 1));
+  if (const std::size_t q = target.find('?'); q != std::string_view::npos) {
+    request.query = std::string(target.substr(q + 1));
+    target = target.substr(0, q);
+  }
+  request.path = std::string(target);
+
+  // Header lines: "Name: value", names case-insensitive.
+  std::size_t cursor = line_end == std::string_view::npos
+                           ? head.size()
+                           : line_end + 2;
+  while (cursor < head.size()) {
+    std::size_t next = head.find("\r\n", cursor);
+    if (next == std::string_view::npos) next = head.size();
+    const std::string_view line = head.substr(cursor, next - cursor);
+    cursor = next + 2;
+    if (line.empty()) continue;
+    const std::size_t colon = line.find(':');
+    if (colon == std::string_view::npos || colon == 0) {
+      return parse_error(400, "malformed header line");
+    }
+    request.headers.emplace_back(lowercase(trim(line.substr(0, colon))),
+                                 std::string(trim(line.substr(colon + 1))));
+  }
+
+  // Body framing. Chunked (or any other Transfer-Encoding) is out of
+  // scope for a loopback JSON API; say so honestly instead of
+  // misparsing it as an unframed body.
+  if (request.header("transfer-encoding") != nullptr) {
+    return parse_error(501, "Transfer-Encoding is not supported");
+  }
+  long long content_length = 0;
+  bool seen_length = false;
+  for (const auto& [key, value] : request.headers) {
+    if (key != "content-length") continue;
+    const long long parsed = parse_content_length(value);
+    if (parsed < 0) return parse_error(400, "invalid Content-Length");
+    if (seen_length && parsed != content_length) {
+      return parse_error(400, "conflicting Content-Length headers");
+    }
+    content_length = parsed;
+    seen_length = true;
+  }
+  if (content_length >
+      static_cast<long long>(limits.max_body_bytes)) {
+    return parse_error(
+        413, "request body exceeds " +
+                 std::to_string(limits.max_body_bytes) + " bytes");
+  }
+
+  const std::size_t body_start = head_end + 4;
+  const std::size_t body_bytes = static_cast<std::size_t>(content_length);
+  if (buffer.size() - body_start < body_bytes) {
+    HttpParseResult need_more;
+    need_more.status = HttpParseStatus::kNeedMore;
+    return need_more;
+  }
+  request.body = std::string(buffer.substr(body_start, body_bytes));
+  result.status = HttpParseStatus::kComplete;
+  result.consumed = body_start + body_bytes;
+  return result;
+}
+
+HttpParseResult read_http_request(Socket& socket, std::string* carry,
+                                  const HttpLimits& limits) {
+  while (true) {
+    HttpParseResult result = parse_http_request(*carry, limits);
+    if (result.status == HttpParseStatus::kComplete) {
+      carry->erase(0, result.consumed);
+      return result;
+    }
+    if (result.status == HttpParseStatus::kError) {
+      carry->clear();  // The connection is poisoned; drop the buffer.
+      return result;
+    }
+    const std::string chunk = socket.recv_some(4096);
+    if (chunk.empty()) {
+      // Orderly close: nothing buffered means the peer is simply done;
+      // a partial request means it died mid-send.
+      if (carry->empty()) return parse_error(0, "peer closed");
+      carry->clear();
+      return parse_error(400, "truncated request");
+    }
+    *carry += chunk;
+  }
+}
+
+const char* http_status_reason(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 202: return "Accepted";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 409: return "Conflict";
+    case 413: return "Content Too Large";
+    case 429: return "Too Many Requests";
+    case 431: return "Request Header Fields Too Large";
+    case 500: return "Internal Server Error";
+    case 501: return "Not Implemented";
+    case 503: return "Service Unavailable";
+    default: return "Unknown";
+  }
+}
+
+std::string http_response(int status, std::string_view content_type,
+                          std::string_view body,
+                          const std::vector<std::string>& extra_headers) {
+  std::string out = "HTTP/1.1 " + std::to_string(status) + " " +
+                    http_status_reason(status) + "\r\n";
+  out += "Content-Type: ";
+  out += content_type;
+  out += "\r\n";
+  out += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+  for (const std::string& header : extra_headers) {
+    out += header;
+    out += "\r\n";
+  }
+  out += "Connection: close\r\n\r\n";
+  out += body;
+  return out;
+}
+
+std::string http_error_response(int status, std::string_view detail) {
+  std::string body(detail);
+  body += "\n";
+  return http_response(status, "text/plain; charset=utf-8", body);
+}
+
+}  // namespace plc::util

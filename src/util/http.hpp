@@ -1,0 +1,91 @@
+// Minimal HTTP/1.1 request parsing and response building over
+// util::Socket — the transport layer shared by the telemetry exposition
+// server and the plcsim serve job API.
+//
+// Scope matches the sockets underneath: blocking loopback HTTP/1.1, one
+// request at a time, Connection: close responses. What PR 6's
+// GET-without-body reader could not do — and this layer exists for — is
+// request *bodies*: the parser handles Content-Length framing robustly
+// (oversized bodies are rejected with 413 before buffering them,
+// malformed or conflicting lengths with 400, Transfer-Encoding with
+// 501), reports exactly how many buffered bytes one request consumed so
+// pipelined input never bleeds into the next request, and distinguishes
+// "malformed" from "not complete yet" so callers can keep reading a
+// truncated request instead of failing it.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/socket.hpp"
+
+namespace plc::util {
+
+/// One parsed request. Header names are lower-cased at parse time
+/// (HTTP header names are case-insensitive); values keep their bytes
+/// with surrounding whitespace trimmed.
+struct HttpRequest {
+  std::string method;   ///< "GET", "POST", ... (as sent, upper-case).
+  std::string path;     ///< Request target without the query string.
+  std::string query;    ///< Bytes after '?' (no decoding), "" when absent.
+  std::string version;  ///< "HTTP/1.1".
+  std::vector<std::pair<std::string, std::string>> headers;
+  std::string body;
+
+  /// First header value by (case-insensitive) name, or nullptr.
+  const std::string* header(std::string_view name) const;
+};
+
+/// Parser limits. Oversized heads fail with 431, oversized bodies with
+/// 413 — both *before* the parser ever buffers that much.
+struct HttpLimits {
+  std::size_t max_head_bytes = 8 * 1024;
+  std::size_t max_body_bytes = 1 << 20;
+};
+
+enum class HttpParseStatus : unsigned char {
+  kNeedMore,  ///< The buffer holds a valid prefix; read more bytes.
+  kComplete,  ///< One full request parsed; `consumed` bytes were used.
+  kError,     ///< Protocol error; answer with `error_status` and close.
+};
+
+struct HttpParseResult {
+  HttpParseStatus status = HttpParseStatus::kNeedMore;
+  HttpRequest request;       ///< Valid when status == kComplete.
+  std::size_t consumed = 0;  ///< Bytes of the buffer this request used.
+  int error_status = 0;      ///< 400/413/431/501 when status == kError.
+  std::string error_reason;  ///< Human detail for the error body.
+};
+
+/// Parses one request from the front of `buffer`. Leftover bytes
+/// (`buffer.substr(result.consumed)`) belong to the next pipelined
+/// request and must be carried over by the caller.
+HttpParseResult parse_http_request(std::string_view buffer,
+                                   const HttpLimits& limits = {});
+
+/// Reads one full request from `socket`, appending into `*carry` (the
+/// connection's buffered-but-unconsumed bytes; pass the same string for
+/// every request on one connection so pipelined requests survive).
+/// Consumed bytes are erased from `*carry` on completion. An orderly
+/// peer close with an empty carry returns kError with error_status 0
+/// (nothing to answer); a close mid-request maps to 400.
+HttpParseResult read_http_request(Socket& socket, std::string* carry,
+                                  const HttpLimits& limits = {});
+
+/// The canonical reason phrase for the handful of status codes this
+/// codebase emits ("OK", "Bad Request", ...); "Unknown" otherwise.
+const char* http_status_reason(int status);
+
+/// Builds a complete response: status line, Content-Type/Length,
+/// optional extra header lines (each "Name: value", no CRLF), and a
+/// closing "Connection: close".
+std::string http_response(int status, std::string_view content_type,
+                          std::string_view body,
+                          const std::vector<std::string>& extra_headers = {});
+
+/// text/plain error response with `detail` + "\n" as the body.
+std::string http_error_response(int status, std::string_view detail);
+
+}  // namespace plc::util

@@ -113,17 +113,15 @@ void Socket::close() {
 ServerSocket::~ServerSocket() { close(); }
 
 ServerSocket::ServerSocket(ServerSocket&& other) noexcept
-    : fd_(other.fd_), port_(other.port_) {
-  other.fd_ = -1;
+    : fd_(other.fd_.exchange(-1)), port_(other.port_) {
   other.port_ = 0;
 }
 
 ServerSocket& ServerSocket::operator=(ServerSocket&& other) noexcept {
   if (this != &other) {
     close();
-    fd_ = other.fd_;
+    fd_.store(other.fd_.exchange(-1));
     port_ = other.port_;
-    other.fd_ = -1;
     other.port_ = 0;
   }
   return *this;
@@ -170,13 +168,15 @@ Socket ServerSocket::accept() {
 }
 
 void ServerSocket::close() {
-  if (fd_ >= 0) {
+  // exchange() takes ownership exactly once even when the owner's
+  // destructor races a stop() from another thread.
+  const int fd = fd_.exchange(-1);
+  if (fd >= 0) {
     // shutdown() first so a blocked accept() on another thread wakes
     // with an error instead of waiting for a connection that never
     // comes (close() alone does not reliably unblock accept on Linux).
-    ::shutdown(fd_, SHUT_RDWR);
-    ::close(fd_);
-    fd_ = -1;
+    ::shutdown(fd, SHUT_RDWR);
+    ::close(fd);
   }
 }
 

@@ -10,6 +10,7 @@
 // invalid Socket instead of throwing.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 #include <string_view>
@@ -85,7 +86,10 @@ class ServerSocket {
   void close();
 
  private:
-  int fd_ = -1;
+  /// Atomic because close() is the cross-thread stop signal for a
+  /// blocked accept(): the stopping thread exchanges the fd out while
+  /// the serve thread reads it.
+  std::atomic<int> fd_{-1};
   int port_ = 0;
 };
 
